@@ -1,0 +1,65 @@
+//! Entity-linking reference points of Table 4: the raw lookup service
+//! (top-1 candidate) and its Oracle upper bound (correct whenever the
+//! gold entity appears anywhere in the candidate set).
+
+use turl_kb::tasks::metrics::PrfAccumulator;
+use turl_kb::tasks::ElMention;
+
+/// The lookup baseline's prediction: the top-ranked candidate.
+pub fn lookup_top1(mention: &ElMention) -> Option<u32> {
+    mention.candidates.first().copied()
+}
+
+/// F1/P/R of the lookup top-1 baseline over a mention set.
+pub fn lookup_top1_prf(mentions: &[ElMention]) -> PrfAccumulator {
+    let mut acc = PrfAccumulator::new();
+    for m in mentions {
+        acc.add_linking(lookup_top1(m), m.gold);
+    }
+    acc
+}
+
+/// F1/P/R of the Oracle: counts a mention as linked correctly whenever the
+/// gold entity is in the candidate set.
+pub fn lookup_oracle_prf(mentions: &[ElMention]) -> PrfAccumulator {
+    let mut acc = PrfAccumulator::new();
+    for m in mentions {
+        let pred = if m.candidates.contains(&m.gold) {
+            Some(m.gold)
+        } else {
+            lookup_top1(m)
+        };
+        acc.add_linking(pred, m.gold);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mention(gold: u32, candidates: Vec<u32>) -> ElMention {
+        ElMention { table_idx: 0, row: 0, col: 0, mention: "m".into(), gold, candidates }
+    }
+
+    #[test]
+    fn top1_takes_first_candidate() {
+        assert_eq!(lookup_top1(&mention(5, vec![7, 5])), Some(7));
+        assert_eq!(lookup_top1(&mention(5, vec![])), None);
+    }
+
+    #[test]
+    fn oracle_dominates_top1() {
+        let mentions = vec![
+            mention(1, vec![1, 2]),   // both correct
+            mention(2, vec![1, 2]),   // top1 wrong, oracle right
+            mention(3, vec![4, 5]),   // both wrong
+            mention(6, vec![]),       // both abstain
+        ];
+        let top1 = lookup_top1_prf(&mentions);
+        let oracle = lookup_oracle_prf(&mentions);
+        assert!(oracle.f1() >= top1.f1());
+        assert_eq!(top1.tp, 1);
+        assert_eq!(oracle.tp, 2);
+    }
+}

@@ -1,0 +1,124 @@
+//! Criterion micro-benchmarks for the performance-critical primitives:
+//! matmul kernels, the structure-aware encoder forward/backward, the
+//! visibility-matrix construction, corpus generation, and lookup queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use turl_core::{EncodedInput, Pretrainer, TurlConfig};
+use turl_data::{LinearizeConfig, TableInstance, VisibilityMatrix, Vocab};
+use turl_kb::{
+    generate_corpus, identify_relational, CooccurrenceIndex, CorpusConfig, KnowledgeBase,
+    LookupIndex, PipelineConfig, WorldConfig,
+};
+use turl_nn::Forward;
+use turl_tensor::{normal_init, ops, Graph};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[32usize, 64, 128] {
+        let a = normal_init(&mut rng, vec![n, n], 0.0, 1.0);
+        let b = normal_init(&mut rng, vec![n, n], 0.0, 1.0);
+        group.bench_with_input(BenchmarkId::new("nn", n), &n, |bch, _| {
+            bch.iter(|| ops::matmul(&a, &b))
+        });
+        group.bench_with_input(BenchmarkId::new("nt", n), &n, |bch, _| {
+            bch.iter(|| ops::matmul_nt(&a, &b))
+        });
+    }
+    group.finish();
+}
+
+fn bench_autograd(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let x0 = normal_init(&mut rng, vec![64, 64], 0.0, 1.0);
+    let w0 = normal_init(&mut rng, vec![64, 64], 0.0, 0.1);
+    c.bench_function("graph_matmul_softmax_backward", |bch| {
+        bch.iter(|| {
+            let mut g = Graph::new();
+            let x = g.leaf(x0.clone(), true);
+            let w = g.leaf(w0.clone(), true);
+            let y = g.matmul(x, w);
+            let p = g.softmax_last(y);
+            let l = g.sum_all(p);
+            g.backward(l);
+        })
+    });
+}
+
+fn setup_world() -> (KnowledgeBase, Vec<turl_data::Table>, Vocab) {
+    let kb = KnowledgeBase::generate(&WorldConfig::tiny(5));
+    let tables = identify_relational(
+        generate_corpus(&kb, &CorpusConfig { n_tables: 60, ..CorpusConfig::tiny(6) }),
+        &PipelineConfig::default(),
+    );
+    let texts: Vec<String> = tables
+        .iter()
+        .flat_map(|t| {
+            let mut v = vec![t.full_caption()];
+            v.extend(t.headers.clone());
+            v.extend(t.rows.iter().flatten().map(|c| c.text.clone()));
+            v
+        })
+        .collect();
+    let vocab = Vocab::build(texts.iter().map(String::as_str), 1);
+    (kb, tables, vocab)
+}
+
+fn bench_encoder(c: &mut Criterion) {
+    let (kb, tables, vocab) = setup_world();
+    let cfg = TurlConfig::small(3);
+    let pt = Pretrainer::new(cfg, vocab.len(), kb.n_entities(), vocab.mask_id() as usize);
+    let inst = TableInstance::from_table(&tables[0], &vocab, &LinearizeConfig::default());
+    let enc = EncodedInput::from_instance(&inst, &vocab, true);
+    let mut rng = StdRng::seed_from_u64(2);
+    c.bench_function("turl_encode_forward_small", |bch| {
+        bch.iter(|| {
+            let mut f = Forward::inference(&pt.store);
+            let h = pt.model.encode(&mut f, &pt.store, &mut rng, &enc);
+            f.graph.value(h).sum()
+        })
+    });
+    let cooccur = CooccurrenceIndex::build(&tables);
+    let data: Vec<(TableInstance, EncodedInput)> = vec![(inst, enc)];
+    let mut pt2 = Pretrainer::new(cfg, vocab.len(), kb.n_entities(), vocab.mask_id() as usize);
+    c.bench_function("turl_pretrain_step_one_table", |bch| {
+        bch.iter(|| pt2.train_step(&data, &cooccur))
+    });
+}
+
+fn bench_visibility(c: &mut Criterion) {
+    let (_, tables, vocab) = setup_world();
+    let insts: Vec<TableInstance> = tables
+        .iter()
+        .take(20)
+        .map(|t| TableInstance::from_table(t, &vocab, &LinearizeConfig::default()))
+        .collect();
+    c.bench_function("visibility_matrix_build_20_tables", |bch| {
+        bch.iter(|| {
+            insts.iter().map(|i| VisibilityMatrix::build(i).density()).sum::<f64>()
+        })
+    });
+}
+
+fn bench_corpus_and_lookup(c: &mut Criterion) {
+    let kb = KnowledgeBase::generate(&WorldConfig::tiny(7));
+    c.bench_function("generate_corpus_120_tables", |bch| {
+        bch.iter(|| generate_corpus(&kb, &CorpusConfig::tiny(8)).len())
+    });
+    let lookup = LookupIndex::build(&kb);
+    let mentions: Vec<String> = kb.entities.iter().take(50).map(|e| e.name.clone()).collect();
+    c.bench_function("lookup_50_mentions", |bch| {
+        bch.iter(|| {
+            mentions.iter().map(|m| lookup.lookup(m, 50).candidates.len()).sum::<usize>()
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_matmul, bench_autograd, bench_encoder, bench_visibility, bench_corpus_and_lookup
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Extension experiment (paper §7, future work 2): KB-enhanced
+//! pre-training. Compares standard MLM+MER pre-training against
+//! pre-training with the auxiliary KB-relation-prediction objective, on
+//! the object-entity probe and zero-shot cell filling.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use turl_bench::{ExperimentWorld, Scale};
+use turl_core::tasks::cell_filling::CellFiller;
+use turl_core::{probe, AuxRelationObjective, Pretrainer};
+use turl_kb::tasks::build_cell_filling;
+
+fn main() {
+    let scale = Scale::from_env();
+    let world = ExperimentWorld::build(scale);
+    let cfg = world.turl_config();
+    let epochs = scale.pretrain_epochs();
+    let data = world.encode_split(&world.splits.train, &cfg);
+    let val = world.encode_split(&world.splits.validation, &cfg);
+    let cf_eval = build_cell_filling(&world.splits.test, &world.cooccur, 3, true);
+    let probe_cells = match scale {
+        Scale::Smoke => 80,
+        _ => 300,
+    };
+
+    println!("== Extension: KB-enhanced pre-training (auxiliary relation prediction) ==\n");
+    for (name, with_aux) in [("MLM + MER (paper)", false), ("MLM + MER + KB relations", true)] {
+        let mut pt = Pretrainer::new(
+            cfg,
+            world.vocab.len(),
+            world.kb.n_entities(),
+            world.vocab.mask_id() as usize,
+        );
+        let aux = AuxRelationObjective::build(
+            &mut pt.store,
+            pt.model.d_model(),
+            &world.kb,
+            &data,
+            0.5,
+            900,
+        );
+        if with_aux {
+            println!(
+                "(aux objective covers {:.0}% of training tables, {} classes)",
+                100.0 * aux.coverage(data.len()),
+                aux.n_classes()
+            );
+            pt.set_aux_relations(aux);
+        }
+        pt.train(&data, &world.cooccur, epochs);
+        let acc = probe::object_entity_accuracy(
+            &pt.model,
+            &pt.store,
+            &val,
+            &world.cooccur,
+            world.vocab.mask_id() as usize,
+            0,
+            probe_cells,
+        );
+        let filler = CellFiller::new(&pt.model, &pt.store);
+        let p1 = filler.precision_at(&world.vocab, &world.kb, &world.splits.test, &cf_eval, &[1])[0];
+        let rel_acc = pt
+            .take_aux_relations()
+            .map(|aux| {
+                let mut rng = StdRng::seed_from_u64(0);
+                aux.accuracy(&pt, &world.kb, &val, &mut rng, 200)
+            })
+            .unwrap_or(f64::NAN);
+        println!(
+            "{name:<28} probe ACC {acc:.3} | cell-filling P@1 {:.1} | rel-pred ACC {rel_acc:.3}",
+            100.0 * p1
+        );
+    }
+    println!("\nexplicit relational supervision should help entity recovery most when");
+    println!("row co-occurrence alone is ambiguous (several plausible same-row fills).");
+}

@@ -1,0 +1,74 @@
+//! Figure 6: comparison of fine-tuning TURL and BERT for relation
+//! extraction — validation MAP against training progress. TURL's
+//! pre-trained initialization converges much faster.
+
+use turl_baselines::{BertReConfig, BertStyleRe};
+use turl_bench::{pretrained, ExperimentWorld, Scale};
+use turl_core::tasks::relation_extraction::RelationModel;
+use turl_core::tasks::{clone_pretrained, InputChannels};
+use turl_core::FinetuneConfig;
+
+fn main() {
+    let scale = Scale::from_env();
+    let world = ExperimentWorld::build(scale);
+    let cfg = world.turl_config();
+    let pt = pretrained(&world, cfg, "main");
+    let task = turl_kb::tasks::build_relation_task(
+        &world.kb,
+        &world.splits.train,
+        &world.splits.validation,
+        &world.splits.test,
+        3,
+        5,
+    );
+    let n_train = task.train.len().min(scale.max_task_examples());
+    let eval = if task.validation.is_empty() { &task.test } else { &task.validation };
+    let eval_tables =
+        if task.validation.is_empty() { &world.splits.test } else { &world.splits.validation };
+    let epochs = scale.finetune_epochs().max(4);
+
+    println!("== Figure 6: validation MAP vs fine-tuning progress (relation extraction) ==");
+    println!("epoch |    TURL | BERT-based");
+
+    let (model, store) = clone_pretrained(cfg, world.vocab.len(), world.kb.n_entities(), &pt.store);
+    let mut turl =
+        RelationModel::new(model, store, task.label_relations.len(), InputChannels::full());
+    let mut bert = BertStyleRe::new(
+        BertReConfig { encoder: cfg.encoder, seed: 41, ..Default::default() },
+        &world.vocab,
+        task.label_relations.len(),
+    );
+
+    let mut turl_curve = Vec::new();
+    let mut bert_curve = Vec::new();
+    for epoch in 0..epochs {
+        println!(
+            "{epoch:>5} | {:>6.2}  | {:>6.2}",
+            100.0 * turl.map(eval_tables, &world.vocab, eval),
+            100.0 * bert.map(&world.vocab, eval_tables, eval)
+        );
+        turl_curve.push(turl.map(eval_tables, &world.vocab, eval));
+        bert_curve.push(bert.map(&world.vocab, eval_tables, eval));
+        turl.train(
+            &world.splits.train,
+            &world.vocab,
+            &task.train[..n_train],
+            &FinetuneConfig { epochs: 1, seed: epoch as u64, ..Default::default() },
+        );
+        bert.train_with_curve(&world.vocab, &world.splits.train, &task.train[..n_train], 1, None);
+    }
+    println!(
+        "{epochs:>5} | {:>6.2}  | {:>6.2}",
+        100.0 * turl.map(eval_tables, &world.vocab, eval),
+        100.0 * bert.map(&world.vocab, eval_tables, eval)
+    );
+
+    // convergence-speed summary: area under the (normalized) curve
+    let auc = |c: &[f64]| c.iter().sum::<f64>() / c.len().max(1) as f64;
+    println!(
+        "\nmean-MAP-during-training: TURL {:.3} vs BERT {:.3} (higher = faster convergence)",
+        auc(&turl_curve),
+        auc(&bert_curve)
+    );
+    println!("(paper: TURL converges much faster thanks to pre-trained initialization)");
+}

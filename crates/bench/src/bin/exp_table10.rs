@@ -1,0 +1,47 @@
+//! Table 10: model evaluation on schema augmentation (MAP, 0 and 1 seed
+//! headers). Methods: the tf-idf kNN baseline and TURL + fine-tuning.
+
+use turl_baselines::KnnSchema;
+use turl_bench::{pretrained, ExperimentWorld, Scale};
+use turl_core::tasks::clone_pretrained;
+use turl_core::tasks::schema_augmentation::SchemaAugModel;
+use turl_core::FinetuneConfig;
+use turl_kb::tasks::{build_header_vocab, build_schema_augmentation};
+
+fn main() {
+    let scale = Scale::from_env();
+    let world = ExperimentWorld::build(scale);
+    let cfg = world.turl_config();
+    let pt = pretrained(&world, cfg, "main");
+
+    let headers = build_header_vocab(&world.splits.train, 3);
+    println!("== Table 10: schema augmentation ==");
+    println!("header vocabulary: {} headers\n", headers.len());
+
+    let mut train_ex = build_schema_augmentation(&world.splits.train, &headers, 0);
+    train_ex.extend(build_schema_augmentation(&world.splits.train, &headers, 1));
+    train_ex.truncate(scale.max_task_examples());
+    let (model, store) = clone_pretrained(cfg, world.vocab.len(), world.kb.n_entities(), &pt.store);
+    let mut turl = SchemaAugModel::new(model, store, headers.len());
+    // the paper fine-tunes this task longer (50 epochs vs the usual 10)
+    turl.train(
+        &world.vocab,
+        &headers,
+        &train_ex,
+        &FinetuneConfig { epochs: scale.finetune_epochs() * 3, ..Default::default() },
+    );
+
+    let knn = KnnSchema::new(&world.search, 10);
+    println!("{:<22} {:>8} {:>8}", "method", "#seed=0", "#seed=1");
+    let mut knn_maps = Vec::new();
+    let mut turl_maps = Vec::new();
+    for n_seed in [0usize, 1] {
+        let eval = build_schema_augmentation(&world.splits.test, &headers, n_seed);
+        knn_maps.push(100.0 * knn.map(&headers, &eval));
+        turl_maps.push(100.0 * turl.map(&world.vocab, &headers, &eval));
+    }
+    println!("{:<22} {:>8.2} {:>8.2}", "kNN", knn_maps[0], knn_maps[1]);
+    println!("{:<22} {:>8.2} {:>8.2}", "TURL + fine-tuning", turl_maps[0], turl_maps[1]);
+    println!("\n(paper: kNN 80.16/82.01 vs TURL 81.94/77.55 — TURL wins without seeds,");
+    println!(" kNN wins once a seed header identifies a near-duplicate table)");
+}

@@ -1,0 +1,92 @@
+//! Table 5: model evaluation on column type annotation.
+//!
+//! Methods: Sherlock (feature-engineered baseline), TURL fine-tuned with
+//! the full input, and the five input-channel ablations of the paper.
+
+use turl_bench::{pretrained, ExperimentWorld, Scale};
+use turl_baselines::{extract_column_features, Sherlock};
+use turl_core::tasks::column_type::ColumnTypeModel;
+use turl_core::tasks::{clone_pretrained, InputChannels};
+use turl_core::FinetuneConfig;
+use turl_data::Table;
+use turl_kb::tasks::metrics::PrfAccumulator;
+use turl_kb::tasks::{ColumnTypeExample, ColumnTypeTask};
+
+fn column_values<'a>(tables: &'a [Table], ex: &ColumnTypeExample) -> Vec<&'a str> {
+    tables[ex.table_idx]
+        .rows
+        .iter()
+        .filter_map(|r| r.get(ex.col))
+        .filter(|c| !c.text.is_empty())
+        .map(|c| c.text.as_str())
+        .collect()
+}
+
+fn featurize(tables: &[Table], exs: &[ColumnTypeExample]) -> Vec<(Vec<f32>, Vec<usize>)> {
+    exs.iter()
+        .map(|ex| (extract_column_features(&column_values(tables, ex)), ex.labels.clone()))
+        .collect()
+}
+
+fn row(name: &str, acc: &PrfAccumulator) {
+    println!(
+        "{name:<36} F1 {:>5.2}  P {:>5.2}  R {:>5.2}",
+        100.0 * acc.f1(),
+        100.0 * acc.precision(),
+        100.0 * acc.recall()
+    );
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let world = ExperimentWorld::build(scale);
+    let cfg = world.turl_config();
+    let pt = pretrained(&world, cfg, "main");
+    let task: ColumnTypeTask = turl_kb::tasks::build_column_type_task(
+        &world.kb,
+        &world.splits.train,
+        &world.splits.validation,
+        &world.splits.test,
+        3,
+        5,
+    );
+    let n_train = task.train.len().min(scale.max_task_examples());
+    println!("== Table 5: column type annotation ==");
+    println!(
+        "labels: {} | train columns: {} (using {n_train}) | test columns: {}\n",
+        task.label_types.len(),
+        task.train.len(),
+        task.test.len()
+    );
+
+    // Sherlock baseline with validation early stopping
+    let train_feats = featurize(&world.splits.train, &task.train[..n_train]);
+    let val_feats = featurize(&world.splits.validation, &task.validation);
+    let mut sherlock = Sherlock::new(task.label_types.len(), 11);
+    sherlock.train(&train_feats, &val_feats, 100, 10, 12);
+    let mut sher_acc = PrfAccumulator::new();
+    for ex in &task.test {
+        let pred = sherlock.predict(&extract_column_features(&column_values(&world.splits.test, ex)));
+        sher_acc.add_sets(&pred, &ex.labels);
+    }
+    row("Sherlock", &sher_acc);
+
+    let ft = FinetuneConfig { epochs: scale.finetune_epochs(), ..Default::default() };
+    for (name, channels) in [
+        ("TURL + fine-tuning (only entity mention)", InputChannels::only_mention()),
+        ("TURL + fine-tuning", InputChannels::full()),
+        ("  w/o table metadata", InputChannels::without_metadata()),
+        ("  w/o learned embedding", InputChannels::without_embedding()),
+        ("  only table metadata", InputChannels::only_metadata()),
+        ("  only learned embedding", InputChannels::only_embedding()),
+    ] {
+        let (model, store) =
+            clone_pretrained(cfg, world.vocab.len(), world.kb.n_entities(), &pt.store);
+        let mut ct = ColumnTypeModel::new(model, store, task.label_types.len(), channels);
+        ct.train(&world.splits.train, &world.vocab, &task.train[..n_train], &ft);
+        let acc = ct.evaluate(&world.splits.test, &world.vocab, &task.test);
+        row(name, &acc);
+    }
+    println!("\n(paper: Sherlock F1 78.47 < TURL-mention-only 88.86 < TURL full 94.75;");
+    println!(" every ablation degrades the full model)");
+}

@@ -1,0 +1,80 @@
+//! Table 7: model evaluation on relation extraction.
+//!
+//! Methods: the BERT-style metadata-as-sentence baseline, TURL with only
+//! table metadata, TURL full, and the w/o-metadata / w/o-embedding
+//! ablations.
+
+use turl_baselines::{BertReConfig, BertStyleRe};
+use turl_bench::{pretrained, ExperimentWorld, Scale};
+use turl_core::tasks::relation_extraction::RelationModel;
+use turl_core::tasks::{clone_pretrained, InputChannels};
+use turl_core::FinetuneConfig;
+use turl_kb::tasks::metrics::PrfAccumulator;
+
+fn row(name: &str, acc: &PrfAccumulator) {
+    println!(
+        "{name:<36} F1 {:>5.2}  P {:>5.2}  R {:>5.2}",
+        100.0 * acc.f1(),
+        100.0 * acc.precision(),
+        100.0 * acc.recall()
+    );
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let world = ExperimentWorld::build(scale);
+    let cfg = world.turl_config();
+    let pt = pretrained(&world, cfg, "main");
+    let task = turl_kb::tasks::build_relation_task(
+        &world.kb,
+        &world.splits.train,
+        &world.splits.validation,
+        &world.splits.test,
+        3,
+        5,
+    );
+    // Low-resource fine-tuning regime: with the synthetic world's nearly
+    // bijective header->relation map, full-data fine-tuning saturates every
+    // method at 100 F1; the paper's ordering shows up in how much each
+    // initialization extracts from limited supervision.
+    let n_train = task.train.len().min(scale.max_task_examples() / 4);
+    println!("== Table 7: relation extraction (low-resource fine-tuning) ==");
+    println!(
+        "relations: {} | train pairs: {} (using {n_train}) | test pairs: {}\n",
+        task.label_relations.len(),
+        task.train.len(),
+        task.test.len()
+    );
+
+    // BERT-based baseline: same encoder size, no table pre-training, 2.5x
+    // the fine-tuning epochs (the paper gives it 25 vs TURL's 10).
+    let mut bert = BertStyleRe::new(
+        BertReConfig { encoder: cfg.encoder, seed: 31, ..Default::default() },
+        &world.vocab,
+        task.label_relations.len(),
+    );
+    bert.train_with_curve(
+        &world.vocab,
+        &world.splits.train,
+        &task.train[..n_train],
+        (scale.finetune_epochs() / 2).max(1) * 5 / 2,
+        None,
+    );
+    row("BERT-based", &bert.evaluate(&world.vocab, &world.splits.test, &task.test));
+
+    let ft = FinetuneConfig { epochs: (scale.finetune_epochs() / 2).max(1), ..Default::default() };
+    for (name, channels) in [
+        ("TURL + fine-tuning (only metadata)", InputChannels::only_metadata()),
+        ("TURL + fine-tuning", InputChannels::full()),
+        ("  w/o table metadata", InputChannels::without_metadata()),
+        ("  w/o learned embedding", InputChannels::without_embedding()),
+    ] {
+        let (model, store) =
+            clone_pretrained(cfg, world.vocab.len(), world.kb.n_entities(), &pt.store);
+        let mut re = RelationModel::new(model, store, task.label_relations.len(), channels);
+        re.train(&world.splits.train, &world.vocab, &task.train[..n_train], &ft);
+        row(name, &re.evaluate(&world.splits.test, &world.vocab, &task.test));
+    }
+    println!("\n(paper: BERT-based 90.94 < TURL-only-metadata 92.13 < TURL full 94.91,");
+    println!(" and both ablations fall between)");
+}

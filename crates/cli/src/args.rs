@@ -1,0 +1,76 @@
+//! Minimal `--flag value` argument parsing (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed command options.
+#[derive(Debug, Clone, Default)]
+pub struct Options {
+    flags: HashMap<String, String>,
+}
+
+impl Options {
+    /// Parse `--key value` pairs.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut flags = HashMap::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let Some(key) = a.strip_prefix("--") else {
+                return Err(format!("expected --flag, got `{a}`"));
+            };
+            let value =
+                it.next().ok_or_else(|| format!("flag --{key} is missing a value"))?;
+            flags.insert(key.to_string(), value.clone());
+        }
+        Ok(Self { flags })
+    }
+
+    /// String flag with a default.
+    pub fn get(&self, key: &str, default: &str) -> String {
+        self.flags.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// Integer flag with a default.
+    pub fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got `{v}`")),
+        }
+    }
+
+    /// u64 flag with a default.
+    pub fn get_u64(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got `{v}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_pairs() {
+        let o = Options::parse(&strs(&["--seed", "7", "--out", "x.json"])).unwrap();
+        assert_eq!(o.get_u64("seed", 0).unwrap(), 7);
+        assert_eq!(o.get("out", "-"), "x.json");
+        assert_eq!(o.get_usize("tables", 100).unwrap(), 100);
+    }
+
+    #[test]
+    fn rejects_positional_and_dangling() {
+        assert!(Options::parse(&strs(&["seed"])).is_err());
+        assert!(Options::parse(&strs(&["--seed"])).is_err());
+    }
+
+    #[test]
+    fn rejects_non_integer() {
+        let o = Options::parse(&strs(&["--tables", "lots"])).unwrap();
+        assert!(o.get_usize("tables", 1).is_err());
+    }
+}

@@ -1,0 +1,212 @@
+//! CLI command implementations.
+
+use crate::args::Options;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::Path;
+use turl_core::tasks::cell_filling::CellFiller;
+use turl_core::{probe as probe_mod, EncodedInput, Pretrainer, TurlConfig};
+use turl_data::{CorpusStats, LinearizeConfig, TableInstance, Vocab};
+use turl_kb::tasks::build_cell_filling;
+use turl_kb::{
+    generate_corpus, identify_relational, partition, CooccurrenceIndex, CorpusConfig,
+    CorpusSplits, KnowledgeBase, PipelineConfig, WorldConfig,
+};
+
+/// Top-level usage text.
+pub const USAGE: &str = "turl — TURL reproduction CLI
+
+USAGE:
+  turl world    [--entities N] [--seed S]
+  turl corpus   [--entities N] [--tables N] [--seed S] [--out corpus.json]
+  turl pretrain [--entities N] [--tables N] [--epochs E] [--seed S] [--out model.json]
+  turl probe    [--entities N] [--tables N] [--epochs E] [--seed S] [--ckpt model.json]
+  turl fill     [--entities N] [--tables N] [--epochs E] [--seed S] [--ckpt model.json]
+
+Defaults: --entities 800, --tables 400, --epochs 6, --seed 0.
+All commands regenerate the deterministic synthetic world from the seed;
+checkpoints written by `pretrain` can be reused by `probe`/`fill` via --ckpt.";
+
+struct Setup {
+    kb: KnowledgeBase,
+    splits: CorpusSplits,
+    vocab: Vocab,
+    cooccur: CooccurrenceIndex,
+    cfg: TurlConfig,
+}
+
+fn setup(opts: &Options) -> Result<Setup, String> {
+    let entities = opts.get_usize("entities", 800)?;
+    let tables = opts.get_usize("tables", 400)?;
+    let seed = opts.get_u64("seed", 0)?;
+    let kb = KnowledgeBase::generate(&WorldConfig {
+        n_entities: entities,
+        ..WorldConfig::small(seed)
+    });
+    let pcfg = PipelineConfig { max_eval_tables: (tables / 8).max(10), ..Default::default() };
+    let splits = partition(
+        identify_relational(
+            generate_corpus(&kb, &CorpusConfig { n_tables: tables, ..CorpusConfig::small(seed + 1) }),
+            &pcfg,
+        ),
+        &pcfg,
+    );
+    let texts: Vec<String> = splits
+        .train
+        .iter()
+        .flat_map(|t| {
+            let mut v = vec![t.full_caption()];
+            v.extend(t.headers.clone());
+            v.extend(t.rows.iter().flatten().map(|c| c.text.clone()));
+            v
+        })
+        .chain(kb.entities.iter().map(|e| e.description.clone()))
+        .collect();
+    let vocab = Vocab::build(texts.iter().map(String::as_str), 1);
+    let cooccur = CooccurrenceIndex::build(&splits.train);
+    let cfg = TurlConfig::tiny(seed);
+    Ok(Setup { kb, splits, vocab, cooccur, cfg })
+}
+
+fn encode(s: &Setup, tables: &[turl_data::Table]) -> Vec<(TableInstance, EncodedInput)> {
+    tables
+        .iter()
+        .map(|t| {
+            let inst = TableInstance::from_table(t, &s.vocab, &LinearizeConfig::default());
+            let enc = EncodedInput::from_instance(&inst, &s.vocab, s.cfg.use_visibility);
+            (inst, enc)
+        })
+        .collect()
+}
+
+fn make_pretrainer(s: &Setup, opts: &Options) -> Result<Pretrainer, String> {
+    let mut pt = Pretrainer::new(
+        s.cfg,
+        s.vocab.len(),
+        s.kb.n_entities(),
+        s.vocab.mask_id() as usize,
+    );
+    let ckpt = opts.get("ckpt", "");
+    if !ckpt.is_empty() {
+        let loaded = turl_nn::load_store(Path::new(&ckpt)).map_err(|e| e.to_string())?;
+        let copied = pt.store.load_matching(&loaded);
+        if copied != pt.store.len() {
+            return Err(format!(
+                "checkpoint {ckpt} restored only {copied}/{} parameters — \
+                 was it written with the same --entities/--tables/--seed?",
+                pt.store.len()
+            ));
+        }
+        println!("loaded checkpoint {ckpt}");
+    } else {
+        let epochs = opts.get_usize("epochs", 6)?;
+        let data = encode(s, &s.splits.train);
+        println!("pre-training: {} tables x {epochs} epochs ...", data.len());
+        let stats = pt.train(&data, &s.cooccur, epochs);
+        println!(
+            "loss {:.3} -> {:.3}",
+            stats.epoch_losses.first().copied().unwrap_or(f32::NAN),
+            stats.epoch_losses.last().copied().unwrap_or(f32::NAN)
+        );
+    }
+    Ok(pt)
+}
+
+/// `turl world`: print the synthetic world summary.
+pub fn world(opts: &Options) -> Result<(), String> {
+    let s = setup(opts)?;
+    println!(
+        "entities: {}   types: {}   relations: {}   facts: {}",
+        s.kb.n_entities(),
+        s.kb.schema.types.len(),
+        s.kb.schema.relations.len(),
+        s.kb.facts().len()
+    );
+    for (t, def) in s.kb.schema.types.iter().enumerate() {
+        let n = s.kb.entities_of_type(t).len();
+        let parent = def.parent.map(|p| s.kb.schema.types[p].name.as_str()).unwrap_or("-");
+        println!("  type {:<14} parent {:<14} entities {:>5}", def.name, parent, n);
+    }
+    Ok(())
+}
+
+/// `turl corpus`: generate, partition, summarize (and optionally save).
+pub fn corpus(opts: &Options) -> Result<(), String> {
+    let s = setup(opts)?;
+    for (name, split) in [
+        ("train", &s.splits.train),
+        ("dev", &s.splits.validation),
+        ("test", &s.splits.test),
+    ] {
+        let st = CorpusStats::compute(split);
+        println!(
+            "{name:>5}: {} tables | rows mean {:.1} | entity-cols mean {:.1} | entities mean {:.1}",
+            st.n_tables, st.rows.mean, st.entity_columns.mean, st.entities.mean
+        );
+    }
+    let out = opts.get("out", "");
+    if !out.is_empty() {
+        let json = serde_json::to_string(&s.splits).map_err(|e| e.to_string())?;
+        std::fs::write(&out, json).map_err(|e| e.to_string())?;
+        println!("wrote corpus splits to {out}");
+    }
+    Ok(())
+}
+
+/// `turl pretrain`: pre-train and checkpoint.
+pub fn pretrain(opts: &Options) -> Result<(), String> {
+    let s = setup(opts)?;
+    let pt = make_pretrainer(&s, opts)?;
+    let out = opts.get("out", "turl-model.json");
+    turl_nn::save_store(&pt.store, Path::new(&out)).map_err(|e| e.to_string())?;
+    println!("wrote checkpoint to {out} ({} parameters)", pt.store.num_scalars());
+    Ok(())
+}
+
+/// `turl probe`: object-entity prediction accuracy on validation.
+pub fn probe(opts: &Options) -> Result<(), String> {
+    let s = setup(opts)?;
+    let pt = make_pretrainer(&s, opts)?;
+    let val = encode(&s, &s.splits.validation);
+    let acc = probe_mod::object_entity_accuracy(
+        &pt.model,
+        &pt.store,
+        &val,
+        &s.cooccur,
+        s.vocab.mask_id() as usize,
+        0,
+        300,
+    );
+    println!("object-entity prediction accuracy (validation): {acc:.3}");
+    Ok(())
+}
+
+/// `turl fill`: zero-shot cell filling on the test split.
+pub fn fill(opts: &Options) -> Result<(), String> {
+    let s = setup(opts)?;
+    let pt = make_pretrainer(&s, opts)?;
+    let examples = build_cell_filling(&s.splits.test, &s.cooccur, 3, true);
+    let filler = CellFiller::new(&pt.model, &pt.store);
+    let ps = filler.precision_at(&s.vocab, &s.kb, &s.splits.test, &examples, &[1, 3, 5, 10]);
+    println!(
+        "cell filling over {} instances: P@1 {:.1}  P@3 {:.1}  P@5 {:.1}  P@10 {:.1}",
+        examples.len(),
+        100.0 * ps[0],
+        100.0 * ps[1],
+        100.0 * ps[2],
+        100.0 * ps[3]
+    );
+    let mut rng = StdRng::seed_from_u64(1);
+    let _ = &mut rng;
+    for ex in examples.iter().filter(|e| e.candidates.len() > 1).take(3) {
+        let ranked = filler.rank(&s.vocab, &s.kb, &s.splits.test, ex);
+        println!(
+            "  {} + \"{}\" -> {} (gold: {})",
+            s.kb.entity(ex.subject).name,
+            ex.target_header,
+            ranked.first().map(|&e| s.kb.entity(e).name.as_str()).unwrap_or("-"),
+            s.kb.entity(ex.gold).name
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! `turl` — command-line interface for the TURL reproduction.
+//!
+//! ```text
+//! turl world    [--entities N] [--seed S]            inspect a synthetic world
+//! turl corpus   [--tables N] [--seed S] [--out F]    generate + partition a corpus
+//! turl pretrain [--tables N] [--epochs E] [--out F]  pre-train and checkpoint
+//! turl probe    [--ckpt F] [...]                     object-entity prediction probe
+//! turl fill     [--ckpt F] [...]                     zero-shot cell filling demo
+//! ```
+//!
+//! All commands are deterministic in `--seed` and run on one CPU core.
+
+#![deny(missing_docs)]
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprintln!("{}", commands::USAGE);
+        return ExitCode::FAILURE;
+    };
+    let opts = match args::Options::parse(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", commands::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "world" => commands::world(&opts),
+        "corpus" => commands::corpus(&opts),
+        "pretrain" => commands::pretrain(&opts),
+        "probe" => commands::probe(&opts),
+        "fill" => commands::fill(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Model and pre-training configuration.
+
+use serde::{Deserialize, Serialize};
+use turl_data::LinearizeConfig;
+use turl_nn::TransformerConfig;
+
+/// Candidate-set construction for the MER softmax (Eqn. 6): "entities in
+/// the current table, entities that have co-occurred with those in the
+/// current table, and randomly sampled negative entities".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CandidateConfig {
+    /// Include the current table's entities.
+    pub use_table_entities: bool,
+    /// Maximum co-occurring entities added.
+    pub max_cooccurring: usize,
+    /// Number of random negatives added.
+    pub n_random_negatives: usize,
+}
+
+impl Default for CandidateConfig {
+    fn default() -> Self {
+        Self { use_table_entities: true, max_cooccurring: 48, n_random_negatives: 16 }
+    }
+}
+
+/// §4.4 masking hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PretrainConfig {
+    /// Fraction of token positions selected for MLM (paper: 0.2).
+    pub mlm_select_ratio: f64,
+    /// Fraction of entity cells selected for MER (paper: 0.6; Figure 7b
+    /// sweeps this).
+    pub mer_select_ratio: f64,
+    /// Among MER-selected cells that get their entity masked, the share
+    /// that keeps its mention visible (paper: 0.3 — the "27%" branch).
+    pub mer_mention_keep_share: f64,
+    /// Adam learning rate (paper: 1e-4).
+    pub learning_rate: f32,
+    /// Tables per optimizer step.
+    pub batch_size: usize,
+    /// Gradient clipping threshold.
+    pub max_grad_norm: f32,
+}
+
+impl Default for PretrainConfig {
+    fn default() -> Self {
+        Self {
+            mlm_select_ratio: 0.2,
+            mer_select_ratio: 0.6,
+            mer_mention_keep_share: 0.3,
+            learning_rate: 1e-3,
+            batch_size: 8,
+            max_grad_norm: 5.0,
+        }
+    }
+}
+
+/// Full TURL configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TurlConfig {
+    /// Encoder stack (N, d_model, d_intermediate, heads, dropout).
+    pub encoder: TransformerConfig,
+    /// Table linearization limits.
+    pub linearize: LinearizeConfig,
+    /// Pre-training hyper-parameters.
+    pub pretrain: PretrainConfig,
+    /// MER candidate-set construction.
+    pub candidates: CandidateConfig,
+    /// Whether the structure-derived visibility matrix is applied
+    /// (`false` reproduces the Figure-7a ablation).
+    pub use_visibility: bool,
+    /// Maximum position index for the position embedding table.
+    pub max_position: usize,
+    /// Base RNG seed for initialization and masking.
+    pub seed: u64,
+}
+
+impl TurlConfig {
+    /// The paper's configuration (TinyBERT-sized encoder).
+    pub fn paper() -> Self {
+        Self {
+            encoder: TransformerConfig::paper(),
+            linearize: LinearizeConfig::default(),
+            pretrain: PretrainConfig { learning_rate: 1e-4, ..Default::default() },
+            candidates: CandidateConfig::default(),
+            use_visibility: true,
+            max_position: 64,
+            seed: 0,
+        }
+    }
+
+    /// CPU-scale configuration used by the experiment harness.
+    pub fn small(seed: u64) -> Self {
+        Self {
+            encoder: TransformerConfig::small(),
+            linearize: LinearizeConfig::default(),
+            pretrain: PretrainConfig::default(),
+            candidates: CandidateConfig::default(),
+            use_visibility: true,
+            max_position: 64,
+            seed,
+        }
+    }
+
+    /// Minimal configuration for unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            encoder: TransformerConfig::tiny(),
+            linearize: LinearizeConfig::default(),
+            pretrain: PretrainConfig { batch_size: 4, learning_rate: 2e-3, ..Default::default() },
+            candidates: CandidateConfig {
+                max_cooccurring: 16,
+                n_random_negatives: 8,
+                ..Default::default()
+            },
+            use_visibility: true,
+            max_position: 64,
+            seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_section_4_4() {
+        let c = TurlConfig::paper();
+        assert_eq!(c.encoder.n_layers, 4);
+        assert_eq!(c.encoder.d_model, 312);
+        assert_eq!(c.pretrain.mlm_select_ratio, 0.2);
+        assert_eq!(c.pretrain.mer_select_ratio, 0.6);
+        assert_eq!(c.pretrain.learning_rate, 1e-4);
+        assert!(c.use_visibility);
+    }
+
+    #[test]
+    fn configs_serialize() {
+        let c = TurlConfig::small(3);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: TurlConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -1,0 +1,176 @@
+//! Model-ready encoded inputs.
+//!
+//! An [`EncodedInput`] is a linearized table after masking decisions have
+//! been applied: integer ids for every embedding lookup plus the additive
+//! visibility mask. Pre-training mutates a clean encoding according to a
+//! [`crate::MaskPlan`]; fine-tuning tasks construct encodings directly
+//! (possibly with appended `[MASK]` cells or stripped metadata).
+
+use turl_data::{TableInstance, TokenScope, VisibilityMatrix, Vocab};
+use turl_tensor::Tensor;
+
+/// One entity cell, ready for the embedding layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntityInput {
+    /// Row in the entity-embedding table: `0` is the entity `[MASK]`,
+    /// entity `e` sits at `e + 1`.
+    pub emb_index: usize,
+    /// Word ids of the mention; a masked mention is `[mask_word_id]`.
+    pub mention: Vec<usize>,
+    /// Entity type: 0 topic, 1 subject, 2 object.
+    pub type_idx: usize,
+}
+
+/// A fully encoded model input.
+#[derive(Debug, Clone)]
+pub struct EncodedInput {
+    /// Metadata token ids.
+    pub token_ids: Vec<usize>,
+    /// Token type ids (0 caption, 1 header) — `t` in Eqn. 1.
+    pub token_types: Vec<usize>,
+    /// Token positions within their caption/header — `p` in Eqn. 1.
+    pub token_pos: Vec<usize>,
+    /// Entity cells.
+    pub entities: Vec<EntityInput>,
+    /// Additive visibility mask (`[n, n]`), or `None` for full visibility.
+    pub mask: Option<Tensor>,
+}
+
+impl EncodedInput {
+    /// Encode a linearized table with no masking applied.
+    ///
+    /// With `use_visibility = false` the Figure-7a ablation (full
+    /// visibility) is produced.
+    pub fn from_instance(inst: &TableInstance, vocab: &Vocab, use_visibility: bool) -> Self {
+        let mask_word = vocab.mask_id() as usize;
+        let token_ids = inst.tokens.iter().map(|t| t.token as usize).collect();
+        let token_types = inst
+            .tokens
+            .iter()
+            .map(|t| match t.scope {
+                TokenScope::Caption => 0,
+                TokenScope::Header(_) => 1,
+            })
+            .collect();
+        let token_pos = inst.tokens.iter().map(|t| t.position).collect();
+        let entities = inst
+            .entities
+            .iter()
+            .map(|e| EntityInput {
+                emb_index: e.entity as usize + 1,
+                mention: if e.mention_tokens.is_empty() {
+                    vec![mask_word]
+                } else {
+                    e.mention_tokens.iter().map(|&t| t as usize).collect()
+                },
+                type_idx: e.type_index(),
+            })
+            .collect();
+        let mask = use_visibility.then(|| {
+            let vm = VisibilityMatrix::build(inst);
+            Tensor::from_vec(vec![vm.n(), vm.n()], vm.to_additive_mask(-1e9))
+        });
+        Self { token_ids, token_types, token_pos, entities, mask }
+    }
+
+    /// Total sequence length.
+    pub fn seq_len(&self) -> usize {
+        self.token_ids.len() + self.entities.len()
+    }
+
+    /// Sequence row of entity `i`.
+    pub fn entity_row(&self, i: usize) -> usize {
+        self.token_ids.len() + i
+    }
+
+    /// Mask the linked entity of cell `i` (keep or mask the mention too).
+    pub fn mask_entity(&mut self, i: usize, mask_mention: bool, mask_word_id: usize) {
+        self.entities[i].emb_index = 0;
+        if mask_mention {
+            self.entities[i].mention = vec![mask_word_id];
+        }
+    }
+
+    /// Replace the linked entity of cell `i` with another entity (the MER
+    /// random-noise branch).
+    pub fn replace_entity(&mut self, i: usize, entity: usize) {
+        self.entities[i].emb_index = entity + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turl_data::{Cell, EntityRef, LinearizeConfig, Table};
+
+    fn instance() -> (TableInstance, Vocab) {
+        let t = Table {
+            id: "t".into(),
+            page_title: "Films".into(),
+            section_title: String::new(),
+            caption: "by director".into(),
+            topic_entity: Some(EntityRef { id: 7, mention: "topic guy".into() }),
+            headers: vec!["film".into(), "director".into()],
+            subject_column: 0,
+            rows: vec![vec![Cell::linked(1, "alpha"), Cell::linked(2, "beta gamma")]],
+        };
+        let vocab = Vocab::build(
+            ["films by director film alpha beta gamma topic guy"].iter().map(|s| &**s),
+            1,
+        );
+        (TableInstance::from_table(&t, &vocab, &LinearizeConfig::default()), vocab)
+    }
+
+    #[test]
+    fn encoding_layout() {
+        let (inst, vocab) = instance();
+        let enc = EncodedInput::from_instance(&inst, &vocab, true);
+        assert_eq!(enc.token_ids.len(), inst.tokens.len());
+        assert_eq!(enc.entities.len(), 3); // topic + 2 cells
+        assert_eq!(enc.seq_len(), inst.seq_len());
+        assert_eq!(enc.entities[0].type_idx, 0);
+        assert_eq!(enc.entities[1].type_idx, 1);
+        assert_eq!(enc.entities[2].type_idx, 2);
+        // entity ids are shifted by one for the [MASK] row
+        assert_eq!(enc.entities[1].emb_index, 2);
+        let m = enc.mask.as_ref().unwrap();
+        assert_eq!(m.shape(), &[enc.seq_len(), enc.seq_len()]);
+    }
+
+    #[test]
+    fn token_types_and_positions() {
+        let (inst, vocab) = instance();
+        let enc = EncodedInput::from_instance(&inst, &vocab, false);
+        assert!(enc.mask.is_none());
+        // caption tokens first with type 0, then headers with type 1
+        assert_eq!(enc.token_types[0], 0);
+        assert_eq!(*enc.token_types.last().unwrap(), 1);
+        assert_eq!(enc.token_pos[0], 0);
+        assert_eq!(enc.token_pos[1], 1);
+        // header positions restart at 0
+        let first_header = enc.token_types.iter().position(|&t| t == 1).unwrap();
+        assert_eq!(enc.token_pos[first_header], 0);
+    }
+
+    #[test]
+    fn entity_masking_mutations() {
+        let (inst, vocab) = instance();
+        let mut enc = EncodedInput::from_instance(&inst, &vocab, true);
+        let mask_word = vocab.mask_id() as usize;
+        enc.mask_entity(1, true, mask_word);
+        assert_eq!(enc.entities[1].emb_index, 0);
+        assert_eq!(enc.entities[1].mention, vec![mask_word]);
+        enc.mask_entity(2, false, mask_word);
+        assert_eq!(enc.entities[2].emb_index, 0);
+        assert_ne!(enc.entities[2].mention, vec![mask_word], "mention kept");
+        enc.replace_entity(2, 5);
+        assert_eq!(enc.entities[2].emb_index, 6);
+    }
+
+    #[test]
+    fn multiword_mentions_encoded() {
+        let (inst, vocab) = instance();
+        let enc = EncodedInput::from_instance(&inst, &vocab, true);
+        assert_eq!(enc.entities[2].mention.len(), 2); // "beta gamma"
+    }
+}

@@ -1,0 +1,38 @@
+//! TURL: Table Understanding through Representation Learning.
+//!
+//! This crate implements the paper's contribution on top of the workspace
+//! substrates:
+//!
+//! * the input **embedding layer** of §4.2 — token embeddings
+//!   `x_t = w + t + p` and fused entity embeddings
+//!   `x_e = LINEAR([e^e; e^m]) + t_e` ([`TurlModel`]);
+//! * the **structure-aware Transformer encoder** of §4.3 — multi-head
+//!   self-attention masked by the table-derived visibility matrix;
+//! * the **pre-training objectives** of §4.4 — Masked Language Model over
+//!   metadata tokens and Masked Entity Recovery over entity cells, with
+//!   candidate-set softmax ([`Pretrainer`], [`MaskPlan`]);
+//! * **fine-tuning heads** for all six TUBE tasks (module [`tasks`]);
+//! * the Figure-7 **object-entity prediction probe** ([`probe`]).
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for the full pipeline: generate a synthetic
+//! corpus, pre-train, inspect entity embeddings, then fine-tune.
+
+#![deny(missing_docs)]
+
+mod config;
+mod extensions;
+mod finetune;
+mod input;
+mod model;
+mod pretrain;
+pub mod probe;
+pub mod tasks;
+
+pub use config::{CandidateConfig, PretrainConfig, TurlConfig};
+pub use extensions::{AuxRelationObjective, RelationPair};
+pub use finetune::{FinetuneConfig, FinetuneStats};
+pub use input::EncodedInput;
+pub use model::TurlModel;
+pub use pretrain::{apply_mask_plan, build_candidates, MaskPlan, PretrainStats, Pretrainer};

@@ -1,0 +1,419 @@
+//! Pre-training: the §4.4 masking mechanics (MLM + MER), candidate-set
+//! construction, and the training loop.
+
+use crate::config::TurlConfig;
+use crate::extensions::AuxRelationObjective;
+use crate::input::EncodedInput;
+use crate::model::TurlModel;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use turl_kb::CooccurrenceIndex;
+use turl_nn::{clip_grad_norm, Adam, AdamConfig, Forward, LinearDecaySchedule, ParamStore};
+use turl_data::TableInstance;
+
+/// The masking decisions for one table: which positions were selected and
+/// what their recovery targets are.
+#[derive(Debug, Clone, Default)]
+pub struct MaskPlan {
+    /// `(token position, original word id)` pairs selected for MLM.
+    pub mlm: Vec<(usize, usize)>,
+    /// `(entity cell index, original entity id)` pairs selected for MER.
+    pub mer: Vec<(usize, usize)>,
+}
+
+/// Apply the §4.4 masking mechanism to an encoded input, in place.
+///
+/// MLM: `mlm_select_ratio` of token positions; of those 80% become
+/// `[MASK]`, 10% a random word, 10% unchanged.
+///
+/// MER: `mer_select_ratio` of entity cells; of those 10% keep both `e^m`
+/// and `e^e`, 63% mask both, 27% keep the mention and mask only the entity
+/// (10% of which get a random entity instead of `[MASK]`).
+pub fn apply_mask_plan<R: Rng>(
+    rng: &mut R,
+    enc: &mut EncodedInput,
+    cfg: &TurlConfig,
+    mask_word_id: usize,
+    n_words: usize,
+    n_entities: usize,
+) -> MaskPlan {
+    let mut plan = MaskPlan::default();
+    for pos in 0..enc.token_ids.len() {
+        if rng.gen::<f64>() >= cfg.pretrain.mlm_select_ratio {
+            continue;
+        }
+        plan.mlm.push((pos, enc.token_ids[pos]));
+        let roll = rng.gen::<f64>();
+        if roll < 0.8 {
+            enc.token_ids[pos] = mask_word_id;
+        } else if roll < 0.9 {
+            enc.token_ids[pos] = rng.gen_range(4..n_words.max(5));
+        } // else: keep unchanged
+    }
+    for cell in 0..enc.entities.len() {
+        if rng.gen::<f64>() >= cfg.pretrain.mer_select_ratio {
+            continue;
+        }
+        let original = enc.entities[cell].emb_index.checked_sub(1).expect("unmasked input");
+        plan.mer.push((cell, original));
+        let roll = rng.gen::<f64>();
+        // 10% keep both; of the remaining 90%, `mer_mention_keep_share`
+        // keeps the mention (paper: 30% -> the 63%/27% split of Section 4.4)
+        let mask_both_upto = 0.1 + 0.9 * (1.0 - cfg.pretrain.mer_mention_keep_share);
+        if roll < 0.1 {
+            // keep both
+        } else if roll < mask_both_upto {
+            enc.mask_entity(cell, true, mask_word_id);
+        } else {
+            // keep mention, mask entity; 10% random-entity noise
+            if rng.gen::<f64>() < 0.1 {
+                enc.replace_entity(cell, rng.gen_range(0..n_entities));
+            } else {
+                enc.mask_entity(cell, false, mask_word_id);
+            }
+        }
+    }
+    plan
+}
+
+/// Build the MER candidate set for a table (Eqn. 6): the table's own
+/// entities, entities co-occurring with them, and random negatives.
+/// Returns entity ids (unshifted) in a deterministic order.
+pub fn build_candidates<R: Rng>(
+    rng: &mut R,
+    inst: &TableInstance,
+    cooccur: &CooccurrenceIndex,
+    cfg: &TurlConfig,
+    n_entities: usize,
+) -> Vec<usize> {
+    let mut set: HashSet<usize> = HashSet::new();
+    let mut out: Vec<usize> = Vec::new();
+    if cfg.candidates.use_table_entities {
+        for e in &inst.entities {
+            if set.insert(e.entity as usize) {
+                out.push(e.entity as usize);
+            }
+        }
+    }
+    let mut co: Vec<usize> = Vec::new();
+    for e in &inst.entities {
+        for &c in cooccur.cooccurring(e.entity) {
+            co.push(c as usize);
+        }
+    }
+    co.sort_unstable();
+    co.dedup();
+    co.shuffle(rng);
+    for c in co.into_iter().take(cfg.candidates.max_cooccurring) {
+        if set.insert(c) {
+            out.push(c);
+        }
+    }
+    let mut guard = 0;
+    let mut added = 0;
+    while added < cfg.candidates.n_random_negatives && guard < 10 * cfg.candidates.n_random_negatives
+    {
+        guard += 1;
+        let e = rng.gen_range(0..n_entities);
+        if set.insert(e) {
+            out.push(e);
+            added += 1;
+        }
+    }
+    out
+}
+
+/// Aggregate statistics of a pre-training run.
+#[derive(Debug, Clone, Default)]
+pub struct PretrainStats {
+    /// Optimizer steps taken.
+    pub steps: u64,
+    /// Mean combined loss per table, by epoch.
+    pub epoch_losses: Vec<f32>,
+}
+
+/// The pre-training driver: owns the model, its parameters and optimizer.
+pub struct Pretrainer {
+    /// Model configuration.
+    pub cfg: TurlConfig,
+    /// The TURL model.
+    pub model: TurlModel,
+    /// Parameter store.
+    pub store: ParamStore,
+    /// Optimizer.
+    pub opt: Adam,
+    mask_word_id: usize,
+    n_words: usize,
+    n_entities: usize,
+    rng: StdRng,
+    aux_relations: Option<AuxRelationObjective>,
+    schedule: Option<LinearDecaySchedule>,
+}
+
+impl Pretrainer {
+    /// Create a pre-trainer for a vocabulary of `n_words` words,
+    /// `n_entities` entities, with `[MASK]` at `mask_word_id`.
+    pub fn new(cfg: TurlConfig, n_words: usize, n_entities: usize, mask_word_id: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut store = ParamStore::new();
+        let model = TurlModel::new(&mut store, &mut rng, cfg, n_words, n_entities);
+        let opt = Adam::new(AdamConfig { lr: cfg.pretrain.learning_rate, ..Default::default() });
+        Self {
+            cfg,
+            model,
+            store,
+            opt,
+            mask_word_id,
+            n_words,
+            n_entities,
+            rng,
+            aux_relations: None,
+            schedule: None,
+        }
+    }
+
+    /// Use the paper's linearly decreasing learning rate over a planned
+    /// number of optimizer steps (optionally with warmup).
+    pub fn set_schedule(&mut self, schedule: LinearDecaySchedule) {
+        self.schedule = Some(schedule);
+    }
+
+    /// Install the KB-relation auxiliary objective (the paper's
+    /// future-work extension; see [`crate::AuxRelationObjective`]).
+    pub fn set_aux_relations(&mut self, aux: AuxRelationObjective) {
+        self.aux_relations = Some(aux);
+    }
+
+    /// Remove and return the auxiliary objective.
+    pub fn take_aux_relations(&mut self) -> Option<AuxRelationObjective> {
+        self.aux_relations.take()
+    }
+
+    /// One optimizer step over a batch of tables. Returns the mean loss.
+    pub fn train_step(
+        &mut self,
+        batch: &[(TableInstance, EncodedInput)],
+        cooccur: &CooccurrenceIndex,
+    ) -> f32 {
+        let mut total = 0.0f32;
+        let mut counted = 0usize;
+        for (inst, clean) in batch {
+            let mut enc = clean.clone();
+            let plan = apply_mask_plan(
+                &mut self.rng,
+                &mut enc,
+                &self.cfg,
+                self.mask_word_id,
+                self.n_words,
+                self.n_entities,
+            );
+            if plan.mlm.is_empty() && plan.mer.is_empty() {
+                continue;
+            }
+            let mut candidates =
+                build_candidates(&mut self.rng, inst, cooccur, &self.cfg, self.n_entities);
+            // The recovery targets must be scoreable even under candidate-set
+            // ablations that drop table entities.
+            for &(_, gold) in &plan.mer {
+                if !candidates.contains(&gold) {
+                    candidates.push(gold);
+                }
+            }
+            let mut f = Forward::new(&self.store);
+            let h = self.model.encode(&mut f, &self.store, &mut self.rng, &enc);
+            let mut losses: Vec<turl_tensor::Var> = Vec::new();
+            if !plan.mlm.is_empty() {
+                let rows: Vec<usize> = plan.mlm.iter().map(|&(p, _)| p).collect();
+                let targets: Vec<usize> = plan.mlm.iter().map(|&(_, t)| t).collect();
+                let logits = self.model.mlm_logits(&mut f, &self.store, h, &rows);
+                losses.push(f.graph.cross_entropy(logits, &targets));
+            }
+            if !plan.mer.is_empty() {
+                let rows: Vec<usize> =
+                    plan.mer.iter().map(|&(c, _)| enc.entity_row(c)).collect();
+                let targets: Vec<usize> = plan
+                    .mer
+                    .iter()
+                    .map(|&(_, e)| {
+                        candidates.iter().position(|&c| c == e).expect("gold in candidates")
+                    })
+                    .collect();
+                let logits = self.model.mer_logits(&mut f, &self.store, h, &rows, &candidates);
+                losses.push(f.graph.cross_entropy(logits, &targets));
+            }
+            if let Some(aux) = &self.aux_relations {
+                if let Some(l) = aux.loss(&mut f, &self.store, h, inst, &enc) {
+                    losses.push(l);
+                }
+            }
+            let mut loss = losses[0];
+            for &extra in &losses[1..] {
+                loss = f.graph.add(loss, extra);
+            }
+            total += f.graph.value(loss).item();
+            counted += 1;
+            f.backprop(loss, &mut self.store);
+        }
+        if counted == 0 {
+            return 0.0;
+        }
+        if let Some(s) = &self.schedule {
+            self.opt.config.lr = s.lr_at(self.opt.steps());
+        }
+        clip_grad_norm(&mut self.store, self.cfg.pretrain.max_grad_norm);
+        self.opt.step(&mut self.store);
+        total / counted as f32
+    }
+
+    /// Train for `epochs` passes over pre-encoded tables.
+    pub fn train(
+        &mut self,
+        data: &[(TableInstance, EncodedInput)],
+        cooccur: &CooccurrenceIndex,
+        epochs: usize,
+    ) -> PretrainStats {
+        let mut stats = PretrainStats::default();
+        let batch = self.cfg.pretrain.batch_size.max(1);
+        for _ in 0..epochs {
+            let mut order: Vec<usize> = (0..data.len()).collect();
+            order.shuffle(&mut self.rng);
+            let mut epoch_loss = 0.0f32;
+            let mut n_batches = 0usize;
+            for chunk in order.chunks(batch) {
+                let items: Vec<(TableInstance, EncodedInput)> =
+                    chunk.iter().map(|&i| data[i].clone()).collect();
+                epoch_loss += self.train_step(&items, cooccur);
+                n_batches += 1;
+                stats.steps += 1;
+            }
+            stats.epoch_losses.push(epoch_loss / n_batches.max(1) as f32);
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turl_data::{LinearizeConfig, Vocab};
+    use turl_kb::{
+        generate_corpus, identify_relational, CorpusConfig, KnowledgeBase, PipelineConfig,
+        WorldConfig,
+    };
+
+    fn setup() -> (KnowledgeBase, Vocab, Vec<(TableInstance, EncodedInput)>, CooccurrenceIndex) {
+        let kb = KnowledgeBase::generate(&WorldConfig::tiny(13));
+        let tables = identify_relational(
+            generate_corpus(&kb, &CorpusConfig { n_tables: 40, ..CorpusConfig::tiny(14) }),
+            &PipelineConfig::default(),
+        );
+        let texts: Vec<String> = tables
+            .iter()
+            .flat_map(|t| {
+                let mut v = vec![t.full_caption()];
+                v.extend(t.headers.clone());
+                v.extend(t.rows.iter().flatten().map(|c| c.text.clone()));
+                v
+            })
+            .collect();
+        let vocab = Vocab::build(texts.iter().map(String::as_str), 1);
+        let cfg = TurlConfig::tiny(1);
+        let data: Vec<(TableInstance, EncodedInput)> = tables
+            .iter()
+            .map(|t| {
+                let inst = TableInstance::from_table(t, &vocab, &LinearizeConfig::default());
+                let enc = EncodedInput::from_instance(&inst, &vocab, cfg.use_visibility);
+                (inst, enc)
+            })
+            .collect();
+        let cooccur = CooccurrenceIndex::build(&tables);
+        (kb, vocab, data, cooccur)
+    }
+
+    #[test]
+    fn mask_plan_ratios_roughly_hold() {
+        let (_, vocab, data, _) = setup();
+        let cfg = TurlConfig::tiny(1);
+        let mut rng = StdRng::seed_from_u64(5);
+        let (mut sel_tok, mut tot_tok, mut sel_ent, mut tot_ent) = (0usize, 0usize, 0usize, 0usize);
+        let mut masked_mentions = 0usize;
+        let mut kept_mentions = 0usize;
+        for (_, clean) in &data {
+            let mut enc = clean.clone();
+            let plan =
+                apply_mask_plan(&mut rng, &mut enc, &cfg, vocab.mask_id() as usize, vocab.len(), 100);
+            sel_tok += plan.mlm.len();
+            tot_tok += enc.token_ids.len();
+            sel_ent += plan.mer.len();
+            tot_ent += enc.entities.len();
+            for &(c, _) in &plan.mer {
+                if enc.entities[c].emb_index == 0 {
+                    if enc.entities[c].mention == vec![vocab.mask_id() as usize] {
+                        masked_mentions += 1;
+                    } else {
+                        kept_mentions += 1;
+                    }
+                }
+            }
+        }
+        let tok_ratio = sel_tok as f64 / tot_tok as f64;
+        let ent_ratio = sel_ent as f64 / tot_ent as f64;
+        assert!((tok_ratio - 0.2).abs() < 0.06, "MLM select ratio {tok_ratio}");
+        assert!((ent_ratio - 0.6).abs() < 0.08, "MER select ratio {ent_ratio}");
+        // among masked-entity cells, mention-kept cases exist (the 27% branch)
+        assert!(kept_mentions > 0, "no mention-kept MER cases");
+        assert!(masked_mentions > kept_mentions, "63% branch should dominate");
+    }
+
+    #[test]
+    fn candidates_contain_table_entities_and_negatives() {
+        let (_, _, data, cooccur) = setup();
+        let cfg = TurlConfig::tiny(1);
+        let mut rng = StdRng::seed_from_u64(3);
+        let (inst, _) = &data[0];
+        let cands = build_candidates(&mut rng, inst, &cooccur, &cfg, 300);
+        for e in &inst.entities {
+            assert!(cands.contains(&(e.entity as usize)));
+        }
+        assert!(cands.len() > inst.entities.len(), "no negatives added");
+        let set: HashSet<_> = cands.iter().collect();
+        assert_eq!(set.len(), cands.len(), "duplicate candidates");
+    }
+
+    #[test]
+    fn schedule_decays_learning_rate_during_training() {
+        let (kb, vocab, data, cooccur) = setup();
+        let mut pt = Pretrainer::new(
+            TurlConfig::tiny(9),
+            vocab.len(),
+            kb.n_entities(),
+            vocab.mask_id() as usize,
+        );
+        let base_lr = pt.opt.config.lr;
+        pt.set_schedule(turl_nn::LinearDecaySchedule::new(base_lr, 0, 40));
+        pt.train(&data[..8], &cooccur, 4);
+        assert!(pt.opt.config.lr < base_lr, "lr must have decayed");
+        assert!(pt.opt.config.lr >= 0.0);
+    }
+
+    #[test]
+    fn pretraining_reduces_loss() {
+        let (kb, vocab, data, cooccur) = setup();
+        let mut pt = Pretrainer::new(
+            TurlConfig::tiny(2),
+            vocab.len(),
+            kb.n_entities(),
+            vocab.mask_id() as usize,
+        );
+        let stats = pt.train(&data[..16.min(data.len())], &cooccur, 14);
+        assert_eq!(stats.epoch_losses.len(), 14);
+        // per-epoch losses are noisy (random re-masking); compare windows
+        let first: f32 = stats.epoch_losses[..4].iter().sum::<f32>() / 4.0;
+        let last: f32 =
+            stats.epoch_losses[stats.epoch_losses.len() - 4..].iter().sum::<f32>() / 4.0;
+        assert!(last < first, "pre-training loss did not drop: {first} -> {last}");
+        assert!(last.is_finite());
+    }
+}

@@ -1,0 +1,24 @@
+//! Relational-table data model for the TURL reproduction.
+//!
+//! Implements §2 of the paper: a table `T = (C, H, E, e_t)` with caption,
+//! headers, entity cells and topic entity ([`Table`]); a word-level
+//! tokenizer and vocabulary ([`Vocab`]); the linearization of a table into
+//! the model's input sequence ([`TableInstance`]); the structure-derived
+//! [`VisibilityMatrix`] of §4.3; and corpus statistics (Table 3 of the
+//! paper).
+
+#![deny(missing_docs)]
+
+mod linearize;
+mod model;
+mod stats;
+mod tokenizer;
+mod visibility;
+
+pub use linearize::{
+    EntityItem, EntityPosition, LinearizeConfig, TableInstance, TokenItem, TokenScope,
+};
+pub use model::{Cell, EntityId, EntityRef, Table};
+pub use stats::{CorpusStats, SplitSummary};
+pub use tokenizer::{tokenize, Vocab, CLS_TOKEN, MASK_TOKEN, PAD_TOKEN, UNK_TOKEN};
+pub use visibility::VisibilityMatrix;

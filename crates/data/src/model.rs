@@ -1,0 +1,216 @@
+//! The relational-table data model (§2, Table 1 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// Unique identifier of an entity in the entity vocabulary / knowledge base.
+pub type EntityId = u32;
+
+/// A linked entity occurrence: the entity `e^e` plus its surface mention
+/// `e^m` (the cell text string).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EntityRef {
+    /// The linked entity.
+    pub id: EntityId,
+    /// The surface form used in this cell.
+    pub mention: String,
+}
+
+/// One table cell: raw text, optionally linked to an entity.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cell {
+    /// Cell text (equals the entity mention for linked cells).
+    pub text: String,
+    /// Entity link, when the cell refers to a known entity.
+    pub entity: Option<EntityRef>,
+}
+
+impl Cell {
+    /// An empty cell.
+    pub fn empty() -> Self {
+        Self { text: String::new(), entity: None }
+    }
+
+    /// A plain-text (unlinked) cell.
+    pub fn text(text: impl Into<String>) -> Self {
+        Self { text: text.into(), entity: None }
+    }
+
+    /// A cell linked to entity `id` with surface form `mention`.
+    pub fn linked(id: EntityId, mention: impl Into<String>) -> Self {
+        let mention = mention.into();
+        Self { text: mention.clone(), entity: Some(EntityRef { id, mention }) }
+    }
+
+    /// True when the cell is linked to an entity.
+    pub fn is_linked(&self) -> bool {
+        self.entity.is_some()
+    }
+}
+
+/// A relational Web table `T = (C, H, E, e_t)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Stable table identifier.
+    pub id: String,
+    /// Title of the page the table was extracted from.
+    pub page_title: String,
+    /// Section title on that page.
+    pub section_title: String,
+    /// The table caption `C`.
+    pub caption: String,
+    /// The topic entity `e_t`, when identified.
+    pub topic_entity: Option<EntityRef>,
+    /// Column headers `H` (one per column).
+    pub headers: Vec<String>,
+    /// Table content: rows of cells, each row as wide as `headers`.
+    pub rows: Vec<Vec<Cell>>,
+    /// Index of the subject column (see §5.1 subject-column detection).
+    pub subject_column: usize,
+}
+
+impl Table {
+    /// Comprehensive description: page title, section title and caption
+    /// concatenated (the paper's pre-processing step, §5.1).
+    pub fn full_caption(&self) -> String {
+        let mut parts: Vec<&str> = Vec::new();
+        for p in [&self.page_title, &self.section_title, &self.caption] {
+            if !p.is_empty() {
+                parts.push(p);
+            }
+        }
+        parts.join(" ")
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.headers.len()
+    }
+
+    /// Cell at `(row, col)`, if present.
+    pub fn cell(&self, row: usize, col: usize) -> Option<&Cell> {
+        self.rows.get(row).and_then(|r| r.get(col))
+    }
+
+    /// Columns containing at least one linked cell ("entity columns").
+    pub fn entity_columns(&self) -> Vec<usize> {
+        (0..self.n_cols())
+            .filter(|&c| self.rows.iter().any(|r| r.get(c).is_some_and(Cell::is_linked)))
+            .collect()
+    }
+
+    /// All linked entities in content cells, with their (row, col) position.
+    pub fn linked_entities(&self) -> impl Iterator<Item = (usize, usize, &EntityRef)> {
+        self.rows.iter().enumerate().flat_map(|(ri, row)| {
+            row.iter()
+                .enumerate()
+                .filter_map(move |(ci, cell)| cell.entity.as_ref().map(|e| (ri, ci, e)))
+        })
+    }
+
+    /// Count of linked entity cells (excluding the topic entity).
+    pub fn n_linked_entities(&self) -> usize {
+        self.linked_entities().count()
+    }
+
+    /// Linked entities in the subject column, in row order.
+    pub fn subject_entities(&self) -> Vec<&EntityRef> {
+        self.rows
+            .iter()
+            .filter_map(|r| r.get(self.subject_column).and_then(|c| c.entity.as_ref()))
+            .collect()
+    }
+
+    /// Fraction of cells in entity columns that are linked.
+    pub fn linked_cell_ratio(&self) -> f64 {
+        let cols = self.entity_columns();
+        if cols.is_empty() || self.rows.is_empty() {
+            return 0.0;
+        }
+        let total = cols.len() * self.rows.len();
+        let linked: usize = cols
+            .iter()
+            .map(|&c| self.rows.iter().filter(|r| r.get(c).is_some_and(Cell::is_linked)).count())
+            .sum();
+        linked as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_table() -> Table {
+        Table {
+            id: "t1".into(),
+            page_title: "National Film Award for Best Direction".into(),
+            section_title: "Recipients".into(),
+            caption: "award winners by year".into(),
+            topic_entity: Some(EntityRef { id: 100, mention: "National Film Award".into() }),
+            headers: vec!["Year".into(), "Director".into(), "Film".into(), "Language".into()],
+            subject_column: 0,
+            rows: vec![
+                vec![
+                    Cell::linked(1, "15th"),
+                    Cell::linked(2, "Satyajit Ray"),
+                    Cell::linked(3, "Chiriyakhana"),
+                    Cell::text("Bengali"),
+                ],
+                vec![
+                    Cell::linked(4, "17th"),
+                    Cell::linked(5, "Mrinal Sen"),
+                    Cell::linked(6, "Bhuvan Shome"),
+                    Cell::text("Hindi"),
+                ],
+            ],
+        }
+    }
+
+    #[test]
+    fn full_caption_concatenates_metadata() {
+        let t = sample_table();
+        assert_eq!(
+            t.full_caption(),
+            "National Film Award for Best Direction Recipients award winners by year"
+        );
+    }
+
+    #[test]
+    fn full_caption_skips_empty_parts() {
+        let mut t = sample_table();
+        t.section_title.clear();
+        assert!(!t.full_caption().contains("  "));
+    }
+
+    #[test]
+    fn entity_columns_excludes_text_only() {
+        let t = sample_table();
+        assert_eq!(t.entity_columns(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn subject_entities_in_row_order() {
+        let t = sample_table();
+        let subj = t.subject_entities();
+        assert_eq!(subj.iter().map(|e| e.id).collect::<Vec<_>>(), vec![1, 4]);
+    }
+
+    #[test]
+    fn linked_counts_and_ratio() {
+        let t = sample_table();
+        assert_eq!(t.n_linked_entities(), 6);
+        assert!((t.linked_cell_ratio() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = sample_table();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Table = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,194 @@
+//! The visibility matrix `M` of §4.3.
+//!
+//! A symmetric binary matrix over the linearized sequence. `M[i][j] = 1`
+//! iff element `j` is visible to element `i`:
+//!
+//! * caption tokens and the topic entity are visible to (and see) all
+//!   elements;
+//! * header tokens see other header tokens and the entities of their own
+//!   column;
+//! * cell entities see entities/tokens in the same row or the same column.
+
+use crate::linearize::{EntityPosition, TableInstance, TokenScope};
+
+/// Structural element classification used to evaluate visibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Element {
+    Caption,
+    Header(usize),
+    Topic,
+    Cell { row: usize, col: usize },
+}
+
+fn visible(a: Element, b: Element) -> bool {
+    use Element::*;
+    match (a, b) {
+        (Caption, _) | (_, Caption) | (Topic, _) | (_, Topic) => true,
+        // headers form the schema row: mutually visible
+        (Header(_), Header(_)) => true,
+        (Header(c), Cell { col, .. }) | (Cell { col, .. }, Header(c)) => c == col,
+        (Cell { row: r1, col: c1 }, Cell { row: r2, col: c2 }) => r1 == r2 || c1 == c2,
+    }
+}
+
+/// A dense symmetric boolean visibility matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VisibilityMatrix {
+    n: usize,
+    bits: Vec<bool>,
+}
+
+impl VisibilityMatrix {
+    /// Build the matrix for a linearized table.
+    pub fn build(inst: &TableInstance) -> Self {
+        let n = inst.seq_len();
+        let elems: Vec<Element> = inst
+            .tokens
+            .iter()
+            .map(|t| match t.scope {
+                TokenScope::Caption => Element::Caption,
+                TokenScope::Header(c) => Element::Header(c),
+            })
+            .chain(inst.entities.iter().map(|e| match e.position {
+                EntityPosition::Topic => Element::Topic,
+                EntityPosition::Cell { row, col } => Element::Cell { row, col },
+            }))
+            .collect();
+        let mut bits = vec![false; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let v = i == j || visible(elems[i], elems[j]);
+                bits[i * n + j] = v;
+                bits[j * n + i] = v;
+            }
+        }
+        Self { n, bits }
+    }
+
+    /// A fully visible matrix (the "no visibility matrix" ablation of
+    /// Figure 7a).
+    pub fn allow_all(n: usize) -> Self {
+        Self { n, bits: vec![true; n * n] }
+    }
+
+    /// Sequence length.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Whether element `j` is visible to element `i`.
+    pub fn visible(&self, i: usize, j: usize) -> bool {
+        self.bits[i * self.n + j]
+    }
+
+    /// Row-major additive attention mask: `0.0` where visible, `neg`
+    /// (e.g. `-1e9`) where masked.
+    pub fn to_additive_mask(&self, neg: f32) -> Vec<f32> {
+        self.bits.iter().map(|&b| if b { 0.0 } else { neg }).collect()
+    }
+
+    /// Fraction of visible pairs (diagnostic).
+    pub fn density(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        self.bits.iter().filter(|&&b| b).count() as f64 / (self.n * self.n) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linearize::{LinearizeConfig, TableInstance};
+    use crate::model::{Cell, EntityRef, Table};
+    use crate::tokenizer::Vocab;
+
+    /// 2x2 fully linked table with topic entity; caption one token.
+    fn build_instance() -> TableInstance {
+        let t = Table {
+            id: "t".into(),
+            page_title: String::new(),
+            section_title: String::new(),
+            caption: "films".into(),
+            topic_entity: Some(EntityRef { id: 50, mention: "topic".into() }),
+            headers: vec!["year".into(), "director".into()],
+            subject_column: 0,
+            rows: vec![
+                vec![Cell::linked(1, "a"), Cell::linked(2, "b")],
+                vec![Cell::linked(3, "c"), Cell::linked(4, "d")],
+            ],
+        };
+        let v = Vocab::build(
+            ["films year director topic a b c d"].iter().map(|s| &**s),
+            1,
+        );
+        TableInstance::from_table(&t, &v, &LinearizeConfig::default())
+    }
+
+    // Sequence layout: [0]=caption "films", [1]=hdr year, [2]=hdr director,
+    // [3]=topic, [4]=e(0,0), [5]=e(0,1), [6]=e(1,0), [7]=e(1,1)
+
+    #[test]
+    fn caption_and_topic_see_everything() {
+        let m = VisibilityMatrix::build(&build_instance());
+        for j in 0..m.n() {
+            assert!(m.visible(0, j), "caption must see {j}");
+            assert!(m.visible(3, j), "topic must see {j}");
+            assert!(m.visible(j, 0) && m.visible(j, 3), "everything sees caption/topic");
+        }
+    }
+
+    #[test]
+    fn headers_see_each_other_and_own_column_only() {
+        let m = VisibilityMatrix::build(&build_instance());
+        assert!(m.visible(1, 2), "headers mutually visible");
+        assert!(m.visible(1, 4), "year header sees column-0 entity");
+        assert!(m.visible(1, 6));
+        assert!(!m.visible(1, 5), "year header must not see column-1 entity");
+        assert!(!m.visible(1, 7));
+    }
+
+    #[test]
+    fn cells_see_same_row_and_column() {
+        let m = VisibilityMatrix::build(&build_instance());
+        // e(0,0): same row e(0,1), same col e(1,0); not e(1,1)
+        assert!(m.visible(4, 5));
+        assert!(m.visible(4, 6));
+        assert!(!m.visible(4, 7), "diagonal cells must be invisible (Satyajit/Pratidwandi)");
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_unit_diagonal() {
+        let m = VisibilityMatrix::build(&build_instance());
+        for i in 0..m.n() {
+            assert!(m.visible(i, i));
+            for j in 0..m.n() {
+                assert_eq!(m.visible(i, j), m.visible(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn additive_mask_values() {
+        let m = VisibilityMatrix::build(&build_instance());
+        let mask = m.to_additive_mask(-1e9);
+        assert_eq!(mask.len(), m.n() * m.n());
+        let n = m.n();
+        assert_eq!(mask[4 * n + 7], -1e9);
+        assert_eq!(mask[4 * n + 5], 0.0);
+    }
+
+    #[test]
+    fn allow_all_is_dense() {
+        let m = VisibilityMatrix::allow_all(5);
+        assert_eq!(m.density(), 1.0);
+        assert!(m.visible(0, 4));
+    }
+
+    #[test]
+    fn structured_matrix_is_sparser_than_allow_all() {
+        let m = VisibilityMatrix::build(&build_instance());
+        assert!(m.density() < 1.0);
+        assert!(m.density() > 0.0);
+    }
+}

@@ -1,0 +1,387 @@
+//! Sampling a Wikipedia-style relational table corpus from the synthetic KB.
+//!
+//! Each generated table follows the anatomy of Figure 1 in the paper: a
+//! caption (page title + section title + caption), a header row, a subject
+//! column of same-type entities, and object columns populated from KB
+//! relations. Noise knobs inject the imperfections the paper's §5.1
+//! pipeline must cope with: non-canonical mentions, unlinked cells, missing
+//! values and junk columns.
+
+use crate::schema::{RelationId, TypeId};
+use crate::world::KnowledgeBase;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use turl_data::{Cell, EntityId, EntityRef, Table};
+
+/// Configuration for [`generate_corpus`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CorpusConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of tables to generate.
+    pub n_tables: usize,
+    /// Minimum rows per table.
+    pub min_rows: usize,
+    /// Maximum rows per table.
+    pub max_rows: usize,
+    /// Probability a linked cell loses its link (text kept).
+    pub p_unlink: f64,
+    /// Probability an object cell is left empty.
+    pub p_missing: f64,
+    /// Probability the cell mention uses a non-canonical alias.
+    pub p_alias: f64,
+    /// Probability a junk (non-entity) column is appended.
+    pub p_junk_column: f64,
+    /// Probability a coherent topic entity drives subject selection.
+    pub p_topic: f64,
+}
+
+impl CorpusConfig {
+    /// Tiny corpus for unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            seed,
+            n_tables: 120,
+            min_rows: 3,
+            max_rows: 12,
+            p_unlink: 0.15,
+            p_missing: 0.08,
+            p_alias: 0.35,
+            p_junk_column: 0.15,
+            p_topic: 0.7,
+        }
+    }
+
+    /// Small corpus for experiments.
+    pub fn small(seed: u64) -> Self {
+        Self { n_tables: 2000, max_rows: 20, ..Self::tiny(seed) }
+    }
+}
+
+fn subject_headers(kb: &KnowledgeBase, t: TypeId) -> &'static [&'static str] {
+    match kb.schema.types[t].name.as_str() {
+        "pro_athlete" => &["name", "player"],
+        "actor" | "director" | "musician" | "person" => &["name", "person"],
+        "film" => &["film", "title"],
+        "album" => &["album", "title"],
+        "tv_series" => &["series", "title"],
+        "citytown" => &["city", "name"],
+        "country" => &["country"],
+        "sports_team" => &["team", "club"],
+        "record_label" => &["label"],
+        "award" => &["award"],
+        "award_edition" => &["year", "edition", "ceremony"],
+        "language" => &["language"],
+        _ => &["name"],
+    }
+}
+
+const JUNK_HEADERS: &[&str] = &["no.", "notes", "ref", "#"];
+const SECTION_WORDS: &[&str] = &["", "list", "recipients", "out", "season", "overview"];
+
+fn pick_mention<R: Rng>(kb: &KnowledgeBase, rng: &mut R, e: EntityId, p_alias: f64) -> String {
+    let meta = kb.entity(e);
+    if meta.aliases.len() > 1 && rng.gen::<f64>() < p_alias {
+        meta.aliases[rng.gen_range(1..meta.aliases.len())].clone()
+    } else {
+        meta.name.clone()
+    }
+}
+
+fn entity_cell<R: Rng>(kb: &KnowledgeBase, rng: &mut R, e: EntityId, cfg: &CorpusConfig) -> Cell {
+    let mention = pick_mention(kb, rng, e, cfg.p_alias);
+    if rng.gen::<f64>() < cfg.p_unlink {
+        Cell::text(mention)
+    } else {
+        Cell { text: mention.clone(), entity: Some(EntityRef { id: e, mention }) }
+    }
+}
+
+/// Generate `cfg.n_tables` raw tables from the knowledge base.
+///
+/// The output is *raw*: some tables violate the §5.1 relational-table
+/// criteria on purpose and are expected to be filtered by
+/// [`crate::identify_relational`].
+pub fn generate_corpus(kb: &KnowledgeBase, cfg: &CorpusConfig) -> Vec<Table> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let leaf_types: Vec<TypeId> = kb
+        .schema
+        .leaf_types()
+        .into_iter()
+        .filter(|&t| {
+            kb.entities_of_type(t).len() >= cfg.min_rows
+                && !kb.schema.relations_for_subject(t).is_empty()
+        })
+        .collect();
+    assert!(!leaf_types.is_empty(), "no generatable subject types");
+
+    let mut tables = Vec::with_capacity(cfg.n_tables);
+    let mut attempts = 0usize;
+    while tables.len() < cfg.n_tables && attempts < cfg.n_tables * 20 {
+        attempts += 1;
+        if let Some(t) = generate_table(kb, cfg, &mut rng, &leaf_types, tables.len()) {
+            tables.push(t);
+        }
+    }
+    tables
+}
+
+fn generate_table(
+    kb: &KnowledgeBase,
+    cfg: &CorpusConfig,
+    rng: &mut StdRng,
+    leaf_types: &[TypeId],
+    idx: usize,
+) -> Option<Table> {
+    let st = leaf_types[rng.gen_range(0..leaf_types.len())];
+    let mut rels = kb.schema.relations_for_subject(st);
+    rels.shuffle(rng);
+    let n_rels = rng.gen_range(1..=rels.len().min(4));
+    let chosen: Vec<RelationId> = rels[..n_rels].to_vec();
+
+    // Topic-driven subject selection for semantic coherence.
+    let mut topic: Option<EntityId> = None;
+    let mut filter_rel: Option<RelationId> = None;
+    let mut subjects: Vec<EntityId> = Vec::new();
+    if rng.gen::<f64>() < cfg.p_topic {
+        for _ in 0..6 {
+            let rel = chosen[rng.gen_range(0..chosen.len())];
+            let obj_type = kb.schema.relations[rel].object_type;
+            if let Some(o) = kb.sample_of_type(rng, obj_type) {
+                let cands = kb.subjects_with(rel, o);
+                if cands.len() >= cfg.min_rows {
+                    topic = Some(o);
+                    filter_rel = Some(rel);
+                    subjects = cands.to_vec();
+                    break;
+                }
+            }
+        }
+    }
+    if subjects.is_empty() {
+        subjects = kb.entities_of_type(st).to_vec();
+    }
+    subjects.shuffle(rng);
+    subjects.dedup();
+    let n_rows = rng.gen_range(cfg.min_rows..=cfg.max_rows).min(subjects.len());
+    if n_rows < cfg.min_rows {
+        return None;
+    }
+    subjects.truncate(n_rows);
+
+    // Columns: subject + object columns (the filter relation's column is
+    // usually dropped, since its value is constant — like "films directed
+    // by X" tables not repeating the director).
+    let mut columns: Vec<RelationId> = chosen
+        .iter()
+        .copied()
+        .filter(|&r| filter_rel != Some(r) || rng.gen::<f64>() < 0.3)
+        .collect();
+    if columns.is_empty() {
+        columns.push(chosen[0]);
+    }
+
+    let subj_header_pool = subject_headers(kb, st);
+    let mut headers = vec![subj_header_pool[rng.gen_range(0..subj_header_pool.len())].to_string()];
+    for &r in &columns {
+        let hs = &kb.schema.relations[r].headers;
+        headers.push(hs[rng.gen_range(0..hs.len())].clone());
+    }
+
+    // Rows.
+    let mut rows: Vec<Vec<Cell>> = Vec::with_capacity(subjects.len());
+    for &s in &subjects {
+        let mut row = vec![entity_cell(kb, rng, s, cfg)];
+        for &r in &columns {
+            let objs = kb.objects_of(s, r);
+            if objs.is_empty() || rng.gen::<f64>() < cfg.p_missing {
+                row.push(Cell::empty());
+            } else {
+                let o = objs[rng.gen_range(0..objs.len())];
+                row.push(entity_cell(kb, rng, o, cfg));
+            }
+        }
+        rows.push(row);
+    }
+
+    // Junk column (numbers / notes) to exercise pipeline filtering.
+    if rng.gen::<f64>() < cfg.p_junk_column {
+        let jh = JUNK_HEADERS[rng.gen_range(0..JUNK_HEADERS.len())].to_string();
+        let front = rng.gen::<f64>() < 0.2;
+        for (i, row) in rows.iter_mut().enumerate() {
+            let cell = Cell::text(format!("{}", i + 1));
+            if front {
+                row.insert(0, cell);
+            } else {
+                row.push(cell);
+            }
+        }
+        if front {
+            headers.insert(0, jh);
+        } else {
+            headers.push(jh);
+        }
+    }
+    let subject_column = if headers.first().map(String::as_str).map_or(false, |h| {
+        JUNK_HEADERS.contains(&h)
+    }) {
+        1
+    } else {
+        0
+    };
+
+    // Metadata.
+    let type_word = kb.schema.types[st].name.replace('_', " ");
+    let (page_title, caption) = match (topic, filter_rel) {
+        (Some(o), Some(r)) => {
+            let oname = kb.entity(o).name.clone();
+            let rel_word = kb.schema.relations[r].headers[0].clone();
+            (oname.clone(), format!("list of {type_word}s with {rel_word} {oname}"))
+        }
+        _ => (format!("{type_word}s"), format!("list of {type_word}s")),
+    };
+    let section_title = SECTION_WORDS[rng.gen_range(0..SECTION_WORDS.len())].to_string();
+
+    Some(Table {
+        id: format!("synth-{idx}"),
+        page_title,
+        section_title,
+        caption,
+        topic_entity: topic.map(|o| EntityRef {
+            id: o,
+            mention: kb.entity(o).name.clone(),
+        }),
+        headers,
+        rows,
+        subject_column,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+
+    fn setup() -> (KnowledgeBase, Vec<Table>) {
+        let kb = KnowledgeBase::generate(&WorldConfig::tiny(11));
+        let tables = generate_corpus(&kb, &CorpusConfig::tiny(12));
+        (kb, tables)
+    }
+
+    #[test]
+    fn corpus_reaches_target_size() {
+        let (_, tables) = setup();
+        assert_eq!(tables.len(), 120);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let kb = KnowledgeBase::generate(&WorldConfig::tiny(11));
+        let a = generate_corpus(&kb, &CorpusConfig::tiny(12));
+        let b = generate_corpus(&kb, &CorpusConfig::tiny(12));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rows_are_rectangular() {
+        let (_, tables) = setup();
+        for t in &tables {
+            for row in &t.rows {
+                assert_eq!(row.len(), t.headers.len(), "table {}", t.id);
+            }
+        }
+    }
+
+    #[test]
+    fn subject_column_entities_share_a_type() {
+        let (kb, tables) = setup();
+        for t in tables.iter().take(30) {
+            let subj = t.subject_entities();
+            if subj.len() < 2 {
+                continue;
+            }
+            let common = kb.common_types(&subj.iter().map(|e| e.id).collect::<Vec<_>>());
+            assert!(!common.is_empty(), "subject column of {} shares no type", t.id);
+        }
+    }
+
+    #[test]
+    fn linked_object_cells_reflect_kb_facts() {
+        let (kb, tables) = setup();
+        let mut checked = 0;
+        for t in &tables {
+            let subj_col = t.subject_column;
+            for row in &t.rows {
+                let Some(s) = row.get(subj_col).and_then(|c| c.entity.as_ref()) else { continue };
+                for (ci, cell) in row.iter().enumerate() {
+                    if ci == subj_col {
+                        continue;
+                    }
+                    if let Some(o) = &cell.entity {
+                        // the object must be connected to the subject by some relation
+                        let connected =
+                            kb.facts_of(s.id).iter().any(|&(_, obj)| obj == o.id);
+                        assert!(connected, "cell entity not a KB fact object");
+                        checked += 1;
+                    }
+                }
+            }
+        }
+        assert!(checked > 50, "too few linked object cells to be meaningful: {checked}");
+    }
+
+    #[test]
+    fn some_mentions_use_aliases() {
+        let (kb, tables) = setup();
+        let mut alias_mentions = 0;
+        let mut total = 0;
+        for t in &tables {
+            for (_, _, e) in t.linked_entities() {
+                total += 1;
+                if e.mention != kb.entity(e.id).name {
+                    alias_mentions += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(
+            alias_mentions as f64 > total as f64 * 0.1,
+            "alias noise missing: {alias_mentions}/{total}"
+        );
+    }
+
+    #[test]
+    fn some_tables_have_junk_columns_and_unlinked_cells() {
+        let (_, tables) = setup();
+        let junk = tables
+            .iter()
+            .filter(|t| t.headers.iter().any(|h| JUNK_HEADERS.contains(&h.as_str())))
+            .count();
+        assert!(junk > 0, "expected junk columns");
+        let unlinked = tables
+            .iter()
+            .flat_map(|t| t.rows.iter())
+            .flat_map(|r| r.iter())
+            .filter(|c| !c.text.is_empty() && c.entity.is_none())
+            .count();
+        assert!(unlinked > 0, "expected unlinked cells");
+    }
+
+    #[test]
+    fn topic_tables_have_coherent_captions() {
+        let (kb, tables) = setup();
+        let with_topic = tables.iter().filter(|t| t.topic_entity.is_some()).count();
+        assert!(with_topic > tables.len() / 4, "topic tables too rare: {with_topic}");
+        for t in tables.iter().filter(|t| t.topic_entity.is_some()).take(10) {
+            let topic = t.topic_entity.as_ref().unwrap();
+            assert!(
+                t.caption.contains(&kb.entity(topic.id).name),
+                "caption '{}' must mention topic '{}'",
+                t.caption,
+                kb.entity(topic.id).name
+            );
+        }
+    }
+}

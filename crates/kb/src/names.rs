@@ -1,0 +1,220 @@
+//! Name generation for synthetic entities.
+//!
+//! Pools are intentionally small enough that surface forms collide (shared
+//! surnames, re-used title nouns), which makes entity linking genuinely
+//! ambiguous — the property the paper's disambiguation experiments rely on.
+
+use crate::schema::NameKind;
+use rand::Rng;
+
+const FIRST_NAMES: &[&str] = &[
+    "satya", "anil", "ravi", "meera", "lena", "omar", "ivan", "jorge", "keiko", "aiko", "nina",
+    "paulo", "dara", "femi", "tariq", "sona", "milan", "petra", "anders", "bjorn", "carla",
+    "dmitri", "elena", "farid", "greta", "hugo", "iris", "janek", "kira", "luca",
+];
+
+const LAST_NAMES: &[&str] = &[
+    "rayan", "senghal", "kovacs", "moreau", "tanaka", "okafor", "silva", "novak", "petrov",
+    "lindgren", "haddad", "costa", "varga", "bergman", "fontaine", "ishida", "mbeki", "duarte",
+    "kaplan", "rossi", "weber", "nakamura", "olsen", "farouk", "brandt",
+];
+
+const TITLE_ADJS: &[&str] = &[
+    "silent", "golden", "broken", "distant", "hidden", "burning", "frozen", "scarlet", "midnight",
+    "wandering", "lost", "eternal", "crimson", "quiet", "savage",
+];
+
+const TITLE_NOUNS: &[&str] = &[
+    "river", "zoo", "mirror", "garden", "fortress", "harvest", "voyage", "lantern", "monsoon",
+    "orchard", "citadel", "horizon", "sparrow", "tempest", "archive",
+];
+
+const PLACE_PREFIX: &[&str] = &[
+    "spring", "north", "east", "west", "south", "oak", "maple", "stone", "clear", "silver",
+    "iron", "green", "black", "white", "red",
+];
+
+const PLACE_SUFFIX: &[&str] =
+    &["field", "ville", "burg", "port", "ford", "haven", "mouth", "stad", "pur", "grad"];
+
+const MASCOTS: &[&str] = &[
+    "tigers", "rovers", "united", "falcons", "wolves", "mariners", "comets", "dynamos",
+    "wanderers", "athletic",
+];
+
+const AWARD_CATEGORIES: &[&str] = &[
+    "best direction", "best film", "best screenplay", "best score", "lifetime achievement",
+    "best performance", "best design",
+];
+
+const AWARD_BODIES: &[&str] =
+    &["national film", "continental music", "federation sports", "metropolitan arts"];
+
+const WORDS: &[&str] = &[
+    "bengali", "hindi", "castellan", "norsk", "kappan", "tirolean", "maric", "soluna", "veshti",
+    "quore", "ellish", "tandri",
+];
+
+const EVENT_STEMS: &[&str] =
+    &["national film awards", "continental music gala", "federation games", "arts biennale"];
+
+fn ordinal(n: usize) -> String {
+    let suffix = match (n % 10, n % 100) {
+        (1, 11) | (2, 12) | (3, 13) => "th",
+        (1, _) => "st",
+        (2, _) => "nd",
+        (3, _) => "rd",
+        _ => "th",
+    };
+    format!("{n}{suffix}")
+}
+
+fn title_case(s: &str) -> String {
+    s.split(' ')
+        .map(|w| {
+            let mut c = w.chars();
+            match c.next() {
+                Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+                None => String::new(),
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// A generated canonical name plus mention aliases (canonical name first).
+#[derive(Debug, Clone)]
+pub struct GeneratedName {
+    /// Canonical entity name.
+    pub name: String,
+    /// Mention variants, including the canonical name.
+    pub aliases: Vec<String>,
+}
+
+/// Generate a name of the given kind. `salt` perturbs pool choices so ids
+/// map to stable-but-varied names under one RNG stream.
+pub fn generate_name<R: Rng>(kind: NameKind, rng: &mut R, salt: usize) -> GeneratedName {
+    match kind {
+        NameKind::Person => {
+            let first = FIRST_NAMES[(rng.gen::<usize>() ^ salt) % FIRST_NAMES.len()];
+            let last = LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())];
+            let name = title_case(&format!("{first} {last}"));
+            let aliases = vec![
+                name.clone(),
+                title_case(last),
+                title_case(&format!("{}. {last}", &first[..1])),
+            ];
+            GeneratedName { name, aliases }
+        }
+        NameKind::Work => {
+            let adj = TITLE_ADJS[rng.gen_range(0..TITLE_ADJS.len())];
+            let noun = TITLE_NOUNS[rng.gen_range(0..TITLE_NOUNS.len())];
+            let name = title_case(&format!("the {adj} {noun}"));
+            let aliases = vec![name.clone(), title_case(&format!("{adj} {noun}"))];
+            GeneratedName { name, aliases }
+        }
+        NameKind::Place => {
+            let pre = PLACE_PREFIX[rng.gen_range(0..PLACE_PREFIX.len())];
+            let suf = PLACE_SUFFIX[rng.gen_range(0..PLACE_SUFFIX.len())];
+            let name = title_case(&format!("{pre}{suf}"));
+            GeneratedName { aliases: vec![name.clone()], name }
+        }
+        NameKind::Team => {
+            let pre = PLACE_PREFIX[rng.gen_range(0..PLACE_PREFIX.len())];
+            let suf = PLACE_SUFFIX[rng.gen_range(0..PLACE_SUFFIX.len())];
+            let mascot = MASCOTS[rng.gen_range(0..MASCOTS.len())];
+            let city = title_case(&format!("{pre}{suf}"));
+            let name = format!("{city} {}", title_case(mascot));
+            let aliases = vec![name.clone(), title_case(mascot), city];
+            GeneratedName { name, aliases }
+        }
+        NameKind::Award => {
+            let body = AWARD_BODIES[rng.gen_range(0..AWARD_BODIES.len())];
+            let cat = AWARD_CATEGORIES[rng.gen_range(0..AWARD_CATEGORIES.len())];
+            let name = title_case(&format!("{body} award for {cat}"));
+            let aliases = vec![name.clone(), title_case(cat)];
+            GeneratedName { name, aliases }
+        }
+        NameKind::Word => {
+            let w = WORDS[(rng.gen::<usize>() ^ salt) % WORDS.len()];
+            let name = title_case(w);
+            GeneratedName { aliases: vec![name.clone()], name }
+        }
+        NameKind::Edition => {
+            let stem = EVENT_STEMS[rng.gen_range(0..EVENT_STEMS.len())];
+            let n = rng.gen_range(1..60);
+            let name = title_case(&format!("{} {stem}", ordinal(n)));
+            let aliases = vec![name.clone(), ordinal(n)];
+            GeneratedName { name, aliases }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ordinal_suffixes() {
+        assert_eq!(ordinal(1), "1st");
+        assert_eq!(ordinal(2), "2nd");
+        assert_eq!(ordinal(3), "3rd");
+        assert_eq!(ordinal(4), "4th");
+        assert_eq!(ordinal(11), "11th");
+        assert_eq!(ordinal(12), "12th");
+        assert_eq!(ordinal(13), "13th");
+        assert_eq!(ordinal(21), "21st");
+    }
+
+    #[test]
+    fn person_names_have_surname_alias() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = generate_name(NameKind::Person, &mut rng, 3);
+        assert_eq!(g.aliases.len(), 3);
+        assert!(g.name.contains(' '));
+        assert!(g.name.ends_with(g.aliases[1].as_str()), "{:?}", g);
+    }
+
+    #[test]
+    fn surname_collisions_occur() {
+        // With 25 surnames, 200 people must collide on surname aliases.
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut surnames = std::collections::HashSet::new();
+        let mut collided = false;
+        for i in 0..200 {
+            let g = generate_name(NameKind::Person, &mut rng, i);
+            if !surnames.insert(g.aliases[1].clone()) {
+                collided = true;
+            }
+        }
+        assert!(collided, "expected ambiguous surnames");
+    }
+
+    #[test]
+    fn editions_expose_short_ordinal_alias() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = generate_name(NameKind::Edition, &mut rng, 0);
+        assert!(g.aliases[1].len() <= 4, "ordinal alias like '15th': {:?}", g.aliases);
+    }
+
+    #[test]
+    fn all_kinds_generate_nonempty() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for kind in [
+            NameKind::Person,
+            NameKind::Work,
+            NameKind::Place,
+            NameKind::Team,
+            NameKind::Award,
+            NameKind::Word,
+            NameKind::Edition,
+        ] {
+            let g = generate_name(kind, &mut rng, 7);
+            assert!(!g.name.is_empty());
+            assert!(!g.aliases.is_empty());
+            assert_eq!(g.aliases[0], g.name, "canonical name must be first alias");
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Evaluation metrics shared by TURL and the baselines: precision /
+//! recall / F1 (micro, over multi-label or linking decisions), average
+//! precision / MAP, and precision@k.
+
+/// Micro precision / recall / F1 accumulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PrfAccumulator {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl PrfAccumulator {
+    /// New empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one multi-label decision: predicted label set vs gold label set.
+    pub fn add_sets(&mut self, predicted: &[usize], gold: &[usize]) {
+        for p in predicted {
+            if gold.contains(p) {
+                self.tp += 1;
+            } else {
+                self.fp += 1;
+            }
+        }
+        for g in gold {
+            if !predicted.contains(g) {
+                self.fn_ += 1;
+            }
+        }
+    }
+
+    /// Add one linking decision: `prediction` (None = abstain) vs gold.
+    ///
+    /// Follows the paper's §6.2 convention: an abstention counts as a false
+    /// negative but not a false positive.
+    pub fn add_linking(&mut self, prediction: Option<u32>, gold: u32) {
+        match prediction {
+            Some(p) if p == gold => self.tp += 1,
+            Some(_) => {
+                self.fp += 1;
+                self.fn_ += 1;
+            }
+            None => self.fn_ += 1,
+        }
+    }
+
+    /// Precision.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// F1.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Average precision of a ranked list against a gold set.
+///
+/// `ranked` is best-first; `gold` is the set of relevant items.
+pub fn average_precision<T: PartialEq>(ranked: &[T], gold: &[T]) -> f64 {
+    if gold.is_empty() {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut sum = 0.0;
+    for (i, item) in ranked.iter().enumerate() {
+        if gold.contains(item) {
+            hits += 1;
+            sum += hits as f64 / (i + 1) as f64;
+        }
+    }
+    sum / gold.len() as f64
+}
+
+/// Mean average precision over queries.
+pub fn mean_average_precision(aps: &[f64]) -> f64 {
+    if aps.is_empty() {
+        0.0
+    } else {
+        aps.iter().sum::<f64>() / aps.len() as f64
+    }
+}
+
+/// Precision@k: whether any of the top-`k` ranked items is the gold item,
+/// averaged over instances by the caller (the paper's cell-filling P@K).
+pub fn hit_at_k<T: PartialEq>(ranked: &[T], gold: &T, k: usize) -> bool {
+    ranked.iter().take(k).any(|x| x == gold)
+}
+
+/// Recall of a candidate set against a gold set.
+pub fn candidate_recall<T: PartialEq>(candidates: &[T], gold: &[T]) -> f64 {
+    if gold.is_empty() {
+        return 0.0;
+    }
+    let hit = gold.iter().filter(|g| candidates.contains(g)).count();
+    hit as f64 / gold.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prf_multilabel() {
+        let mut acc = PrfAccumulator::new();
+        acc.add_sets(&[1, 2, 3], &[2, 3, 4]);
+        assert_eq!(acc.tp, 2);
+        assert_eq!(acc.fp, 1);
+        assert_eq!(acc.fn_, 1);
+        assert!((acc.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((acc.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((acc.f1() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prf_linking_abstain_only_hurts_recall() {
+        let mut acc = PrfAccumulator::new();
+        acc.add_linking(Some(1), 1); // tp
+        acc.add_linking(Some(2), 3); // fp + fn
+        acc.add_linking(None, 4); // fn only
+        assert_eq!((acc.tp, acc.fp, acc.fn_), (1, 1, 2));
+        assert!((acc.precision() - 0.5).abs() < 1e-12);
+        assert!((acc.recall() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_perfect_ranking_is_one() {
+        assert!((average_precision(&[1, 2, 3], &[1, 2, 3]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_worst_case_known_value() {
+        // gold at positions 2 and 4 (1-indexed): (1/2 + 2/4) / 2 = 0.5
+        let ap = average_precision(&[9, 1, 8, 2], &[1, 2]);
+        assert!((ap - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_empty_gold_zero() {
+        assert_eq!(average_precision::<u32>(&[1, 2], &[]), 0.0);
+    }
+
+    #[test]
+    fn map_averages() {
+        assert!((mean_average_precision(&[1.0, 0.0]) - 0.5).abs() < 1e-12);
+        assert_eq!(mean_average_precision(&[]), 0.0);
+    }
+
+    #[test]
+    fn hit_at_k_boundaries() {
+        assert!(hit_at_k(&[5, 6, 7], &6, 2));
+        assert!(!hit_at_k(&[5, 6, 7], &7, 2));
+        assert!(hit_at_k(&[5, 6, 7], &7, 3));
+    }
+
+    #[test]
+    fn candidate_recall_fraction() {
+        assert!((candidate_recall(&[1, 2, 3], &[2, 9]) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,24 @@
+//! TUBE: dataset builders for the six table-understanding benchmark tasks
+//! (§6 of the paper), plus the shared evaluation metrics.
+//!
+//! Every builder derives supervision exactly the way the paper does —
+//! entity-linking candidates from the lookup service, column types as the
+//! common KB types of the column's entities, relations shared by more than
+//! half of the entity pairs, and so on — but against the synthetic KB.
+
+pub mod cell_filling;
+pub mod column_type;
+pub mod entity_linking;
+pub mod metrics;
+pub mod relation_extraction;
+pub mod row_population;
+pub mod schema_augmentation;
+
+pub use cell_filling::{build_cell_filling, CellFillingExample};
+pub use column_type::{build_column_type_task, ColumnTypeExample, ColumnTypeTask};
+pub use entity_linking::{build_entity_linking, ElMention, EntityLinkingDataset};
+pub use relation_extraction::{build_relation_task, RelationExample, RelationTask};
+pub use row_population::{build_row_population, RowPopulationExample};
+pub use schema_augmentation::{
+    build_header_vocab, build_schema_augmentation, HeaderVocab, SchemaAugExample,
+};

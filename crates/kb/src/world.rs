@@ -1,0 +1,437 @@
+//! Synthetic knowledge-base generation.
+
+use crate::names::generate_name;
+use crate::schema::{RelationId, Schema, TypeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use turl_data::EntityId;
+
+/// Configuration for [`KnowledgeBase::generate`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorldConfig {
+    /// RNG seed; everything downstream is deterministic in this.
+    pub seed: u64,
+    /// Approximate total number of entities.
+    pub n_entities: usize,
+    /// Zipf exponent for within-type entity popularity (higher = more skew).
+    pub zipf_exponent: f64,
+    /// Probability that a subject carries a given applicable relation.
+    pub fact_density: f64,
+}
+
+impl WorldConfig {
+    /// A tiny world for unit tests (~300 entities).
+    pub fn tiny(seed: u64) -> Self {
+        Self { seed, n_entities: 300, zipf_exponent: 1.0, fact_density: 0.9 }
+    }
+
+    /// A small world for experiments (~3000 entities).
+    pub fn small(seed: u64) -> Self {
+        Self { seed, n_entities: 3000, zipf_exponent: 1.0, fact_density: 0.85 }
+    }
+}
+
+/// A synthetic entity: identity, surface forms, description and types.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EntityMeta {
+    /// Entity id (dense, 0-based).
+    pub id: EntityId,
+    /// Canonical name.
+    pub name: String,
+    /// Mention aliases (canonical name first).
+    pub aliases: Vec<String>,
+    /// Short textual description (built from the entity's facts).
+    pub description: String,
+    /// Fine-grained type.
+    pub fine_type: TypeId,
+    /// All types: fine type plus ancestors.
+    pub types: Vec<TypeId>,
+    /// Unnormalized popularity weight (Zipf within type).
+    pub popularity: f64,
+}
+
+/// The synthetic knowledge base: schema, entities and facts.
+#[derive(Debug, Clone)]
+pub struct KnowledgeBase {
+    /// The world schema (types and relations).
+    pub schema: Schema,
+    /// Entity catalogue, indexed by [`EntityId`].
+    pub entities: Vec<EntityMeta>,
+    facts: Vec<(EntityId, RelationId, EntityId)>,
+    by_type: Vec<Vec<EntityId>>,
+    facts_by_subject: HashMap<EntityId, Vec<(RelationId, EntityId)>>,
+    subjects_by_rel_object: HashMap<(RelationId, EntityId), Vec<EntityId>>,
+    fact_set: HashSet<(EntityId, RelationId, EntityId)>,
+}
+
+/// Per-leaf-type share of the entity budget (name, relative weight).
+fn type_weights(schema: &Schema) -> Vec<(TypeId, f64)> {
+    let w: &[(&str, f64)] = &[
+        ("pro_athlete", 0.14),
+        ("actor", 0.12),
+        ("director", 0.07),
+        ("musician", 0.08),
+        ("citytown", 0.08),
+        ("country", 0.02),
+        ("sports_team", 0.07),
+        ("record_label", 0.03),
+        ("film", 0.16),
+        ("album", 0.08),
+        ("tv_series", 0.05),
+        ("award", 0.02),
+        ("award_edition", 0.06),
+        ("language", 0.02),
+    ];
+    w.iter()
+        .map(|(name, weight)| {
+            (schema.type_by_name(name).unwrap_or_else(|| panic!("type {name}")), *weight)
+        })
+        .collect()
+}
+
+impl KnowledgeBase {
+    /// Generate a world from a configuration.
+    pub fn generate(cfg: &WorldConfig) -> Self {
+        let schema = Schema::standard();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let weights = type_weights(&schema);
+        let total_w: f64 = weights.iter().map(|(_, w)| w).sum();
+
+        let mut entities: Vec<EntityMeta> = Vec::new();
+        for &(t, w) in &weights {
+            let count = ((cfg.n_entities as f64) * w / total_w).round().max(5.0) as usize;
+            for rank in 0..count {
+                let id = entities.len() as EntityId;
+                let g = generate_name(schema.types[t].name_kind, &mut rng, rank);
+                let mut types = vec![t];
+                let mut cur = schema.types[t].parent;
+                while let Some(p) = cur {
+                    types.push(p);
+                    cur = schema.types[p].parent;
+                }
+                entities.push(EntityMeta {
+                    id,
+                    name: g.name,
+                    aliases: g.aliases,
+                    description: String::new(),
+                    fine_type: t,
+                    types,
+                    popularity: 1.0 / ((rank + 1) as f64).powf(cfg.zipf_exponent),
+                });
+            }
+        }
+
+        let mut by_type: Vec<Vec<EntityId>> = vec![Vec::new(); schema.types.len()];
+        for e in &entities {
+            for &t in &e.types {
+                by_type[t].push(e.id);
+            }
+        }
+
+        // Facts.
+        let mut facts = Vec::new();
+        let mut fact_set = HashSet::new();
+        for (rid, rel) in schema.relations.iter().enumerate() {
+            let objects = &by_type[rel.object_type];
+            if objects.is_empty() {
+                continue;
+            }
+            let obj_weights: Vec<f64> =
+                objects.iter().map(|&o| entities[o as usize].popularity).collect();
+            let cum: Vec<f64> = obj_weights
+                .iter()
+                .scan(0.0, |acc, w| {
+                    *acc += w;
+                    Some(*acc)
+                })
+                .collect();
+            let total = *cum.last().expect("nonempty");
+            let subjects = by_type[rel.subject_type].clone();
+            for s in subjects {
+                if rng.gen::<f64>() > cfg.fact_density {
+                    continue;
+                }
+                let n_objs = if rel.functional { 1 } else { rng.gen_range(1..=3) };
+                for _ in 0..n_objs {
+                    let x = rng.gen::<f64>() * total;
+                    let idx = cum.partition_point(|&c| c < x).min(objects.len() - 1);
+                    let o = objects[idx];
+                    if o != s && fact_set.insert((s, rid, o)) {
+                        facts.push((s, rid, o));
+                    }
+                }
+            }
+        }
+
+        let mut facts_by_subject: HashMap<EntityId, Vec<(RelationId, EntityId)>> = HashMap::new();
+        let mut subjects_by_rel_object: HashMap<(RelationId, EntityId), Vec<EntityId>> =
+            HashMap::new();
+        for &(s, r, o) in &facts {
+            facts_by_subject.entry(s).or_default().push((r, o));
+            subjects_by_rel_object.entry((r, o)).or_default().push(s);
+        }
+
+        // Descriptions from type + facts (mirrors Wikidata descriptions
+        // used for entity-linking disambiguation). Incoming facts matter
+        // most: "director of The Silent River" is what disambiguates a
+        // surname inside a film table, because the related work sits in
+        // the same row.
+        let mut facts_by_object: HashMap<EntityId, Vec<(RelationId, EntityId)>> = HashMap::new();
+        for &(s, r, o) in &facts {
+            facts_by_object.entry(o).or_default().push((r, s));
+        }
+        let descriptions: Vec<String> = entities
+            .iter()
+            .map(|e| {
+                let tname = schema.types[e.fine_type].name.replace('_', " ");
+                let mut d = format!("a {tname}");
+                if let Some(fs) = facts_by_object.get(&e.id) {
+                    for &(r, s) in fs.iter().take(4) {
+                        let rel_word = schema.relations[r]
+                            .headers
+                            .first()
+                            .map(String::as_str)
+                            .unwrap_or("related to");
+                        d.push_str(&format!(" ; {rel_word} of {}", entities[s as usize].name));
+                    }
+                }
+                if let Some(fs) = facts_by_subject.get(&e.id) {
+                    for &(r, o) in fs.iter().take(2) {
+                        let rel_word = schema.relations[r]
+                            .headers
+                            .first()
+                            .map(String::as_str)
+                            .unwrap_or("related to");
+                        d.push_str(&format!(" ; {rel_word} {}", entities[o as usize].name));
+                    }
+                }
+                d
+            })
+            .collect();
+        for (e, d) in entities.iter_mut().zip(descriptions) {
+            e.description = d;
+        }
+
+        Self {
+            schema,
+            entities,
+            facts,
+            by_type,
+            facts_by_subject,
+            subjects_by_rel_object,
+            fact_set,
+        }
+    }
+
+    /// Number of entities.
+    pub fn n_entities(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Entity metadata by id.
+    pub fn entity(&self, id: EntityId) -> &EntityMeta {
+        &self.entities[id as usize]
+    }
+
+    /// All entities having type `t` (including subtype members).
+    pub fn entities_of_type(&self, t: TypeId) -> &[EntityId] {
+        &self.by_type[t]
+    }
+
+    /// All facts as `(subject, relation, object)` triples.
+    pub fn facts(&self) -> &[(EntityId, RelationId, EntityId)] {
+        &self.facts
+    }
+
+    /// Objects of a given subject under a given relation.
+    pub fn objects_of(&self, subject: EntityId, rel: RelationId) -> Vec<EntityId> {
+        self.facts_by_subject
+            .get(&subject)
+            .map(|fs| fs.iter().filter(|(r, _)| *r == rel).map(|&(_, o)| o).collect())
+            .unwrap_or_default()
+    }
+
+    /// All `(relation, object)` facts of a subject.
+    pub fn facts_of(&self, subject: EntityId) -> &[(RelationId, EntityId)] {
+        self.facts_by_subject.get(&subject).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Subjects having fact `(*, rel, object)`.
+    pub fn subjects_with(&self, rel: RelationId, object: EntityId) -> &[EntityId] {
+        self.subjects_by_rel_object.get(&(rel, object)).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Whether the triple holds.
+    pub fn has_fact(&self, s: EntityId, r: RelationId, o: EntityId) -> bool {
+        self.fact_set.contains(&(s, r, o))
+    }
+
+    /// Relations `r` such that `(s, r, o)` holds for more than half of the
+    /// given pairs (the paper's relation-extraction labeling rule, §6.4).
+    pub fn shared_relations(&self, pairs: &[(EntityId, EntityId)]) -> Vec<RelationId> {
+        if pairs.is_empty() {
+            return Vec::new();
+        }
+        let mut counts: HashMap<RelationId, usize> = HashMap::new();
+        for &(s, o) in pairs {
+            if let Some(fs) = self.facts_by_subject.get(&s) {
+                for &(r, obj) in fs {
+                    if obj == o {
+                        *counts.entry(r).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        let mut out: Vec<RelationId> =
+            counts.into_iter().filter(|&(_, c)| 2 * c > pairs.len()).map(|(r, _)| r).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Common types shared by all the given entities (the paper's
+    /// column-type labeling rule, §6.3).
+    pub fn common_types(&self, entities: &[EntityId]) -> Vec<TypeId> {
+        let Some((&first, rest)) = entities.split_first() else {
+            return Vec::new();
+        };
+        let mut common: HashSet<TypeId> =
+            self.entity(first).types.iter().copied().collect();
+        for &e in rest {
+            let ts: HashSet<TypeId> = self.entity(e).types.iter().copied().collect();
+            common.retain(|t| ts.contains(t));
+        }
+        let mut out: Vec<TypeId> = common.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Sample an entity of type `t`, weighted by popularity.
+    pub fn sample_of_type<R: Rng>(&self, rng: &mut R, t: TypeId) -> Option<EntityId> {
+        let pool = self.entities_of_type(t);
+        if pool.is_empty() {
+            return None;
+        }
+        let total: f64 = pool.iter().map(|&e| self.entity(e).popularity).sum();
+        let mut x = rng.gen::<f64>() * total;
+        for &e in pool {
+            x -= self.entity(e).popularity;
+            if x <= 0.0 {
+                return Some(e);
+            }
+        }
+        pool.last().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kb() -> KnowledgeBase {
+        KnowledgeBase::generate(&WorldConfig::tiny(42))
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = KnowledgeBase::generate(&WorldConfig::tiny(7));
+        let b = KnowledgeBase::generate(&WorldConfig::tiny(7));
+        assert_eq!(a.n_entities(), b.n_entities());
+        assert_eq!(a.facts().len(), b.facts().len());
+        assert_eq!(a.entity(0).name, b.entity(0).name);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = KnowledgeBase::generate(&WorldConfig::tiny(1));
+        let b = KnowledgeBase::generate(&WorldConfig::tiny(2));
+        let diff = a
+            .entities
+            .iter()
+            .zip(b.entities.iter())
+            .filter(|(x, y)| x.name != y.name)
+            .count();
+        assert!(diff > 0);
+    }
+
+    #[test]
+    fn every_entity_has_coarse_type() {
+        let kb = kb();
+        for e in &kb.entities {
+            let coarse = kb.schema.coarse_of(e.fine_type);
+            assert!(e.types.contains(&coarse), "{:?}", e.types);
+        }
+    }
+
+    #[test]
+    fn facts_respect_schema_types() {
+        let kb = kb();
+        for &(s, r, o) in kb.facts() {
+            let rel = &kb.schema.relations[r];
+            assert!(
+                kb.entity(s).types.contains(&rel.subject_type)
+                    || kb.schema.is_subtype(kb.entity(s).fine_type, rel.subject_type)
+            );
+            assert!(kb.schema.is_subtype(kb.entity(o).fine_type, rel.object_type));
+        }
+    }
+
+    #[test]
+    fn reverse_index_consistent() {
+        let kb = kb();
+        for &(s, r, o) in kb.facts().iter().take(50) {
+            assert!(kb.subjects_with(r, o).contains(&s));
+            assert!(kb.objects_of(s, r).contains(&o));
+            assert!(kb.has_fact(s, r, o));
+        }
+    }
+
+    #[test]
+    fn shared_relations_majority_rule() {
+        let kb = kb();
+        // take a relation with >= 3 facts and check its own pairs come back
+        let mut per_rel: HashMap<RelationId, Vec<(EntityId, EntityId)>> = HashMap::new();
+        for &(s, r, o) in kb.facts() {
+            per_rel.entry(r).or_default().push((s, o));
+        }
+        let (&rid, pairs) =
+            per_rel.iter().find(|(_, v)| v.len() >= 3).expect("some relation with 3+ facts");
+        let found = kb.shared_relations(&pairs[..3]);
+        assert!(found.contains(&rid), "relation {rid} not recovered: {found:?}");
+    }
+
+    #[test]
+    fn common_types_intersect() {
+        let kb = kb();
+        let schema = &kb.schema;
+        let film_t = schema.type_by_name("film").unwrap();
+        let films = kb.entities_of_type(film_t);
+        let common = kb.common_types(&films[..3.min(films.len())]);
+        assert!(common.contains(&film_t));
+    }
+
+    #[test]
+    fn popularity_sampling_prefers_head() {
+        let kb = kb();
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = kb.schema.type_by_name("film").unwrap();
+        let mut counts: HashMap<EntityId, usize> = HashMap::new();
+        for _ in 0..2000 {
+            let e = kb.sample_of_type(&mut rng, t).unwrap();
+            *counts.entry(e).or_insert(0) += 1;
+        }
+        // most popular film (rank 0 within the film block) should be sampled
+        // far more often than a uniform share
+        let films = kb.entities_of_type(t);
+        let max_count = counts.values().copied().max().unwrap();
+        assert!(max_count as f64 > 2000.0 / films.len() as f64 * 3.0);
+    }
+
+    #[test]
+    fn descriptions_mention_type_words() {
+        let kb = kb();
+        let e = kb.entity(0);
+        assert!(e.description.starts_with("a "), "{}", e.description);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the synthetic world and §5.1 pipeline:
+//! schema/fact invariants hold for arbitrary seeds and generator knobs.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use turl_kb::{
+    generate_corpus, identify_relational, partition, CorpusConfig, KnowledgeBase,
+    LookupIndex, PipelineConfig, WorldConfig,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn kb_invariants_hold_for_any_seed(seed in 0u64..1000) {
+        let kb = KnowledgeBase::generate(&WorldConfig::tiny(seed));
+        prop_assert!(kb.n_entities() > 50);
+        for e in &kb.entities {
+            prop_assert!(!e.name.is_empty());
+            prop_assert_eq!(e.aliases[0].as_str(), e.name.as_str());
+            prop_assert!(e.types.contains(&e.fine_type));
+            prop_assert!(e.popularity > 0.0);
+        }
+        // facts type-check against the schema
+        for &(s, r, o) in kb.facts() {
+            let rel = &kb.schema.relations[r];
+            prop_assert!(kb.schema.is_subtype(kb.entity(s).fine_type, rel.subject_type));
+            prop_assert!(kb.schema.is_subtype(kb.entity(o).fine_type, rel.object_type));
+            prop_assert!(s != o);
+        }
+    }
+
+    #[test]
+    fn corpus_tables_are_rectangular_and_grounded(seed in 0u64..500) {
+        let kb = KnowledgeBase::generate(&WorldConfig::tiny(seed));
+        let tables = generate_corpus(
+            &kb,
+            &CorpusConfig { n_tables: 25, ..CorpusConfig::tiny(seed.wrapping_add(1)) },
+        );
+        for t in &tables {
+            for row in &t.rows {
+                prop_assert_eq!(row.len(), t.headers.len());
+            }
+            for (_, _, e) in t.linked_entities() {
+                prop_assert!((e.id as usize) < kb.n_entities());
+                // the mention is one of the entity's surface forms
+                prop_assert!(kb.entity(e.id).aliases.contains(&e.mention));
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_filters_are_sound(seed in 0u64..500) {
+        let kb = KnowledgeBase::generate(&WorldConfig::tiny(seed));
+        let raw = generate_corpus(
+            &kb,
+            &CorpusConfig { n_tables: 40, ..CorpusConfig::tiny(seed.wrapping_add(7)) },
+        );
+        let n_raw = raw.len();
+        let cfg = PipelineConfig::default();
+        let kept = identify_relational(raw, &cfg);
+        prop_assert!(kept.len() <= n_raw);
+        for t in &kept {
+            prop_assert!(t.subject_column < 2);
+            prop_assert!(t.n_linked_entities() >= cfg.min_entities);
+            let subj: Vec<u32> = t.subject_entities().iter().map(|e| e.id).collect();
+            let uniq: HashSet<u32> = subj.iter().copied().collect();
+            prop_assert_eq!(uniq.len(), subj.len());
+        }
+    }
+
+    #[test]
+    fn partition_preserves_and_separates(seed in 0u64..500) {
+        let kb = KnowledgeBase::generate(&WorldConfig::tiny(seed));
+        let cfg = PipelineConfig { max_eval_tables: 15, seed, ..Default::default() };
+        let kept = identify_relational(
+            generate_corpus(
+                &kb,
+                &CorpusConfig { n_tables: 60, ..CorpusConfig::tiny(seed.wrapping_add(3)) },
+            ),
+            &cfg,
+        );
+        let n = kept.len();
+        let splits = partition(kept, &cfg);
+        prop_assert_eq!(splits.total(), n);
+        prop_assert!(splits.validation.len() + splits.test.len() <= 15);
+        let ids = |v: &[turl_data::Table]| {
+            v.iter().map(|t| t.id.clone()).collect::<HashSet<_>>()
+        };
+        prop_assert!(ids(&splits.train).is_disjoint(&ids(&splits.validation)));
+        prop_assert!(ids(&splits.train).is_disjoint(&ids(&splits.test)));
+        prop_assert!(ids(&splits.validation).is_disjoint(&ids(&splits.test)));
+    }
+
+    #[test]
+    fn lookup_candidates_bounded_and_gold_findable_without_drop(seed in 0u64..200) {
+        let kb = KnowledgeBase::generate(&WorldConfig::tiny(seed));
+        let idx = LookupIndex::build(&kb);
+        for e in kb.entities.iter().take(30) {
+            for alias in &e.aliases {
+                let res = idx.lookup(alias, 10);
+                prop_assert!(res.candidates.len() <= 10);
+                let res_full = idx.lookup(alias, kb.n_entities());
+                prop_assert!(res_full.contains(e.id), "alias {alias} lost entity {}", e.id);
+            }
+        }
+    }
+}

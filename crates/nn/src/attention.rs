@@ -1,0 +1,185 @@
+//! Multi-head self-attention with an additive mask (Eqn. 4 of the paper).
+//!
+//! The mask slot is where TURL's *visibility matrix* plugs in: a `[n, n]`
+//! additive tensor with `0` for visible pairs and a large negative value for
+//! invisible pairs, broadcast over attention heads.
+
+use crate::layers::{Dropout, Linear};
+use crate::params::{Forward, ParamStore};
+use rand::Rng;
+use turl_tensor::{Tensor, Var};
+
+/// Multi-head scaled-dot-product self-attention.
+#[derive(Debug, Clone)]
+pub struct MultiHeadAttention {
+    /// Query projection.
+    pub wq: Linear,
+    /// Key projection.
+    pub wk: Linear,
+    /// Value projection.
+    pub wv: Linear,
+    /// Output projection.
+    pub wo: Linear,
+    /// Number of attention heads.
+    pub n_heads: usize,
+    /// Model dimension (must be divisible by `n_heads`).
+    pub d_model: usize,
+    /// Attention-probability dropout.
+    pub dropout: Dropout,
+}
+
+impl MultiHeadAttention {
+    /// Create the four projections.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        name: &str,
+        d_model: usize,
+        n_heads: usize,
+        dropout: f32,
+    ) -> Self {
+        assert_eq!(d_model % n_heads, 0, "d_model {d_model} not divisible by heads {n_heads}");
+        Self {
+            wq: Linear::new(store, rng, &format!("{name}.wq"), d_model, d_model, true),
+            wk: Linear::new(store, rng, &format!("{name}.wk"), d_model, d_model, true),
+            wv: Linear::new(store, rng, &format!("{name}.wv"), d_model, d_model, true),
+            wo: Linear::new(store, rng, &format!("{name}.wo"), d_model, d_model, true),
+            n_heads,
+            d_model,
+            dropout: Dropout::new(dropout),
+        }
+    }
+
+    /// Self-attention over `x: [n, d_model]` with an additive mask
+    /// `[n, n]` (use `0`/`-1e9`; pass `None` for full visibility).
+    pub fn forward<R: Rng>(
+        &self,
+        f: &mut Forward,
+        store: &ParamStore,
+        rng: &mut R,
+        x: Var,
+        mask: Option<&Tensor>,
+    ) -> Var {
+        let n = f.graph.value(x).shape()[0];
+        let dh = self.d_model / self.n_heads;
+        let q = self.wq.forward(f, store, x);
+        let k = self.wk.forward(f, store, x);
+        let v = self.wv.forward(f, store, x);
+        // [n, d] -> [n, heads, dh] -> [heads, n, dh]
+        let split = |f: &mut Forward, t: Var| {
+            let r = f.graph.reshape(t, vec![n, self.n_heads, dh]);
+            f.graph.permute(r, &[1, 0, 2])
+        };
+        let qh = split(f, q);
+        let kh = split(f, k);
+        let vh = split(f, v);
+        let scores = f.graph.bmm_nt(qh, kh); // [heads, n, n]
+        let scaled = f.graph.scale(scores, 1.0 / (dh as f32).sqrt());
+        let masked = match mask {
+            Some(m) => {
+                assert_eq!(m.shape(), &[n, n], "attention mask must be [n, n]");
+                let mv = f.graph.constant(m.clone());
+                f.graph.add(scaled, mv) // broadcast over heads
+            }
+            None => scaled,
+        };
+        let probs = f.graph.softmax_last(masked);
+        let probs = self.dropout.forward(f, rng, probs);
+        let ctx = f.graph.bmm(probs, vh); // [heads, n, dh]
+        let merged = f.graph.permute(ctx, &[1, 0, 2]); // [n, heads, dh]
+        let flat = f.graph.reshape(merged, vec![n, self.d_model]);
+        self.wo.forward(f, store, flat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(d: usize, h: usize) -> (ParamStore, MultiHeadAttention, StdRng) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut s = ParamStore::new();
+        let att = MultiHeadAttention::new(&mut s, &mut rng, "att", d, h, 0.0);
+        (s, att, rng)
+    }
+
+    #[test]
+    fn output_shape_matches_input() {
+        let (s, att, mut rng) = setup(8, 2);
+        let mut f = Forward::inference(&s);
+        let x = f.graph.constant(turl_tensor::normal_init(&mut rng, vec![5, 8], 0.0, 1.0));
+        let y = att.forward(&mut f, &s, &mut rng, x, None);
+        assert_eq!(f.graph.value(y).shape(), &[5, 8]);
+    }
+
+    #[test]
+    fn mask_blocks_information_flow() {
+        // With a mask where position 0 sees only itself, changing position 1's
+        // input must not change position 0's output.
+        let (s, att, mut rng) = setup(8, 2);
+        let mut mask = Tensor::full(vec![3, 3], -1e9);
+        for i in 0..3 {
+            mask.set2(i, i, 0.0);
+        }
+        mask.set2(0, 0, 0.0);
+        // rows 1,2 can also see each other
+        mask.set2(1, 2, 0.0);
+        mask.set2(2, 1, 0.0);
+        let base = turl_tensor::normal_init(&mut rng, vec![3, 8], 0.0, 1.0);
+        let mut pert = base.clone();
+        for j in 0..8 {
+            pert.set2(1, j, pert.at2(1, j) + 5.0);
+        }
+        let run = |inp: &Tensor| {
+            let mut f = Forward::inference(&s);
+            let x = f.graph.constant(inp.clone());
+            let mut r2 = StdRng::seed_from_u64(0);
+            let y = att.forward(&mut f, &s, &mut r2, x, Some(&mask));
+            f.graph.value(y).row(0).to_vec()
+        };
+        let out_base = run(&base);
+        let out_pert = run(&pert);
+        for (a, b) in out_base.iter().zip(out_pert.iter()) {
+            assert!((a - b).abs() < 1e-5, "masked position leaked information");
+        }
+    }
+
+    #[test]
+    fn unmasked_attention_does_mix_positions() {
+        let (s, att, mut rng) = setup(8, 2);
+        let base = turl_tensor::normal_init(&mut rng, vec![3, 8], 0.0, 1.0);
+        let mut pert = base.clone();
+        for j in 0..8 {
+            pert.set2(1, j, pert.at2(1, j) + 5.0);
+        }
+        let run = |inp: &Tensor| {
+            let mut f = Forward::inference(&s);
+            let x = f.graph.constant(inp.clone());
+            let mut r2 = StdRng::seed_from_u64(0);
+            let y = att.forward(&mut f, &s, &mut r2, x, None);
+            f.graph.value(y).row(0).to_vec()
+        };
+        let da: f32 = run(&base)
+            .iter()
+            .zip(run(&pert).iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(da > 1e-4, "unmasked attention should propagate perturbations");
+    }
+
+    #[test]
+    fn gradients_flow_to_all_projections() {
+        let (mut s, att, mut rng) = setup(4, 2);
+        let mut f = Forward::new(&s);
+        let x = f.graph.constant(turl_tensor::normal_init(&mut rng, vec![3, 4], 0.0, 1.0));
+        let y = att.forward(&mut f, &s, &mut rng, x, None);
+        let l = f.graph.sum_all(y);
+        f.backprop(l, &mut s);
+        for name in ["att.wq.weight", "att.wk.weight", "att.wv.weight", "att.wo.weight"] {
+            let id = s.find(name).unwrap();
+            assert!(s.grad(id).norm() > 0.0, "no gradient at {name}");
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Adam optimizer (Kingma & Ba, as cited by the paper) and gradient clipping.
+
+use crate::params::ParamStore;
+
+/// Adam hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdamConfig {
+    /// Learning rate (the paper uses `1e-4` for pre-training).
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// Decoupled weight decay (0 disables).
+    pub weight_decay: f32,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        Self { lr: 1e-3, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0 }
+    }
+}
+
+impl AdamConfig {
+    /// The paper's pre-training setting (initial learning rate `1e-4`).
+    pub fn paper_pretrain() -> Self {
+        Self { lr: 1e-4, ..Self::default() }
+    }
+}
+
+/// Adam optimizer operating on a [`ParamStore`].
+#[derive(Debug)]
+pub struct Adam {
+    /// Current hyper-parameters (mutate `lr` for scheduling).
+    pub config: AdamConfig,
+    t: u64,
+}
+
+impl Adam {
+    /// Create an optimizer.
+    pub fn new(config: AdamConfig) -> Self {
+        Self { config, t: 0 }
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Apply one update to every touched, unfrozen parameter and zero grads.
+    pub fn step(&mut self, store: &mut ParamStore) {
+        self.t += 1;
+        let c = self.config;
+        let bc1 = 1.0 - c.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - c.beta2.powi(self.t as i32);
+        for e in store.entries_mut() {
+            if !e.touched || e.frozen {
+                continue;
+            }
+            let vd = e.value.data_mut();
+            let gd = e.grad.data();
+            let md = e.m.data_mut();
+            let sd = e.v.data_mut();
+            for i in 0..vd.len() {
+                let g = gd[i] + c.weight_decay * vd[i];
+                md[i] = c.beta1 * md[i] + (1.0 - c.beta1) * g;
+                sd[i] = c.beta2 * sd[i] + (1.0 - c.beta2) * g * g;
+                let mhat = md[i] / bc1;
+                let vhat = sd[i] / bc2;
+                vd[i] -= c.lr * mhat / (vhat.sqrt() + c.eps);
+            }
+        }
+        store.zero_grads();
+    }
+}
+
+/// Scale all touched gradients so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+pub fn clip_grad_norm(store: &mut ParamStore, max_norm: f32) -> f32 {
+    let norm = store.grad_norm();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for e in store.entries_mut() {
+            if e.touched {
+                e.grad.scale_inplace(scale);
+            }
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Forward;
+    use turl_tensor::Tensor;
+
+    /// Minimize f(w) = (w - 3)^2 elementwise.
+    fn quadratic_step(store: &mut ParamStore, id: crate::ParamId) {
+        let mut f = Forward::new(store);
+        let w = f.param(store, id);
+        let target = f.graph.constant(Tensor::full(vec![2], 3.0));
+        let d = f.graph.sub(w, target);
+        let sq = f.graph.mul(d, d);
+        let l = f.graph.sum_all(sq);
+        f.backprop(l, store);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Tensor::zeros(vec![2]));
+        let mut opt = Adam::new(AdamConfig { lr: 0.2, ..AdamConfig::default() });
+        for _ in 0..200 {
+            quadratic_step(&mut store, id);
+            opt.step(&mut store);
+        }
+        for &v in store.value(id).data() {
+            assert!((v - 3.0).abs() < 0.05, "w = {v}");
+        }
+        assert_eq!(opt.steps(), 200);
+    }
+
+    #[test]
+    fn frozen_params_do_not_move() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Tensor::zeros(vec![2]));
+        store.set_frozen(id, true);
+        let mut opt = Adam::new(AdamConfig::default());
+        quadratic_step(&mut store, id);
+        opt.step(&mut store);
+        assert_eq!(store.value(id).data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn clip_reduces_norm() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Tensor::zeros(vec![2]));
+        quadratic_step(&mut store, id); // grad = 2*(0-3) = -6 per element
+        let pre = clip_grad_norm(&mut store, 1.0);
+        assert!(pre > 1.0);
+        assert!((store.grad_norm() - 1.0).abs() < 1e-4);
+        let _ = id;
+    }
+
+    #[test]
+    fn untouched_grads_skip_update() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Tensor::ones(vec![2]));
+        let mut opt = Adam::new(AdamConfig::default());
+        opt.step(&mut store); // no grads accumulated
+        assert_eq!(store.value(id).data(), &[1.0, 1.0]);
+    }
+}

@@ -1,0 +1,65 @@
+//! Learning-rate schedules.
+
+/// Linearly decaying learning rate with optional warmup, as used by the
+/// paper ("Adam optimizer with a linearly decreasing learning rate").
+#[derive(Debug, Clone, Copy)]
+pub struct LinearDecaySchedule {
+    /// Peak learning rate.
+    pub base_lr: f32,
+    /// Number of linear warmup steps from 0 to `base_lr`.
+    pub warmup_steps: u64,
+    /// Total number of training steps (decay reaches 0 here).
+    pub total_steps: u64,
+}
+
+impl LinearDecaySchedule {
+    /// Create a schedule.
+    pub fn new(base_lr: f32, warmup_steps: u64, total_steps: u64) -> Self {
+        assert!(total_steps > 0, "total_steps must be positive");
+        Self { base_lr, warmup_steps, total_steps }
+    }
+
+    /// Learning rate at a (0-based) step.
+    pub fn lr_at(&self, step: u64) -> f32 {
+        if self.warmup_steps > 0 && step < self.warmup_steps {
+            return self.base_lr * (step + 1) as f32 / self.warmup_steps as f32;
+        }
+        let remaining = self.total_steps.saturating_sub(step) as f32;
+        let span = self.total_steps.saturating_sub(self.warmup_steps).max(1) as f32;
+        self.base_lr * (remaining / span).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_then_decay() {
+        let s = LinearDecaySchedule::new(1.0, 10, 110);
+        assert!(s.lr_at(0) < 0.2);
+        assert!((s.lr_at(9) - 1.0).abs() < 1e-6);
+        assert!(s.lr_at(60) < 1.0);
+        assert!(s.lr_at(60) > 0.0);
+        assert_eq!(s.lr_at(110), 0.0);
+        assert_eq!(s.lr_at(10_000), 0.0);
+    }
+
+    #[test]
+    fn no_warmup_starts_at_peak() {
+        let s = LinearDecaySchedule::new(0.5, 0, 100);
+        assert!((s.lr_at(0) - 0.5).abs() < 1e-6);
+        assert!(s.lr_at(50) < 0.5);
+    }
+
+    #[test]
+    fn monotonically_decreasing_after_warmup() {
+        let s = LinearDecaySchedule::new(1.0, 5, 50);
+        let mut prev = f32::INFINITY;
+        for step in 5..50 {
+            let lr = s.lr_at(step);
+            assert!(lr <= prev);
+            prev = lr;
+        }
+    }
+}

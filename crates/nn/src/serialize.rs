@@ -1,0 +1,114 @@
+//! Checkpointing: save and load a [`ParamStore`] as JSON.
+
+use crate::params::ParamStore;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+use turl_tensor::Tensor;
+
+/// Error produced while saving or loading a checkpoint.
+#[derive(Debug)]
+pub enum SerializeError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// JSON encoding/decoding failure.
+    Json(serde_json::Error),
+}
+
+impl fmt::Display for SerializeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SerializeError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            SerializeError::Json(e) => write!(f, "checkpoint JSON error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SerializeError {}
+
+impl From<std::io::Error> for SerializeError {
+    fn from(e: std::io::Error) -> Self {
+        SerializeError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for SerializeError {
+    fn from(e: serde_json::Error) -> Self {
+        SerializeError::Json(e)
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct Checkpoint {
+    params: Vec<(String, Tensor)>,
+}
+
+/// Write every parameter value (not optimizer state) to a JSON file.
+pub fn save_store(store: &ParamStore, path: &Path) -> Result<(), SerializeError> {
+    let params = store
+        .entries()
+        .iter()
+        .map(|e| (e.name.clone(), e.value.clone()))
+        .collect();
+    let f = BufWriter::new(File::create(path)?);
+    serde_json::to_writer(f, &Checkpoint { params })?;
+    Ok(())
+}
+
+/// Load a checkpoint into a fresh store (parameters in saved order).
+pub fn load_store(path: &Path) -> Result<ParamStore, SerializeError> {
+    let f = BufReader::new(File::open(path)?);
+    let ckpt: Checkpoint = serde_json::from_reader(f)?;
+    let mut store = ParamStore::new();
+    for (name, value) in ckpt.params {
+        store.register(name, value);
+    }
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let mut store = ParamStore::new();
+        store.register("a", Tensor::from_vec(vec![2, 2], vec![1., 2., 3., 4.]));
+        store.register("b", Tensor::from_vec(vec![3], vec![-1., 0., 1.]));
+        let dir = std::env::temp_dir().join("turl_nn_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        save_store(&store, &path).unwrap();
+        let loaded = load_store(&path).unwrap();
+        assert_eq!(loaded.len(), 2);
+        let a = loaded.find("a").unwrap();
+        assert_eq!(loaded.value(a).data(), &[1., 2., 3., 4.]);
+        let b = loaded.find("b").unwrap();
+        assert_eq!(loaded.value(b).shape(), &[3]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_error() {
+        let err = load_store(Path::new("/nonexistent/turl.ckpt")).err().expect("must fail");
+        assert!(matches!(err, SerializeError::Io(_)));
+    }
+
+    #[test]
+    fn loaded_store_feeds_load_matching() {
+        let mut src = ParamStore::new();
+        src.register("w", Tensor::full(vec![2], 7.0));
+        let dir = std::env::temp_dir().join("turl_nn_ckpt_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        save_store(&src, &path).unwrap();
+        let loaded = load_store(&path).unwrap();
+        let mut dst = ParamStore::new();
+        dst.register("w", Tensor::zeros(vec![2]));
+        assert_eq!(dst.load_matching(&loaded), 1);
+        assert_eq!(dst.value(dst.find("w").unwrap()).data(), &[7.0, 7.0]);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,108 @@
+//! Finite-difference gradient checking.
+//!
+//! Used throughout the workspace's test suites to validate every autograd
+//! op and every composite layer against numerical derivatives.
+
+use crate::graph::{Graph, Var};
+use crate::tensor::Tensor;
+
+/// Outcome of a [`gradcheck`] run.
+#[derive(Debug, Clone)]
+pub struct GradCheckReport {
+    /// Largest absolute difference between analytic and numeric gradient.
+    pub max_abs_diff: f32,
+    /// Largest relative difference (normalized by magnitudes).
+    pub max_rel_diff: f32,
+    /// Flat index where the worst difference occurred.
+    pub worst_index: usize,
+}
+
+impl GradCheckReport {
+    /// True when the analytic gradient matches within tolerance.
+    pub fn passes(&self, tol: f32) -> bool {
+        self.max_abs_diff < tol || self.max_rel_diff < tol
+    }
+}
+
+/// Numerically estimate `d loss / d input` with central differences.
+///
+/// `build` must construct a fresh graph from the given input tensor and
+/// return the scalar loss value.
+pub fn finite_difference_grad(
+    input: &Tensor,
+    eps: f32,
+    mut build: impl FnMut(&Tensor) -> f32,
+) -> Tensor {
+    let mut grad = Tensor::zeros(input.shape().to_vec());
+    let mut probe = input.clone();
+    for i in 0..input.len() {
+        let orig = probe.data()[i];
+        probe.data_mut()[i] = orig + eps;
+        let up = build(&probe);
+        probe.data_mut()[i] = orig - eps;
+        let down = build(&probe);
+        probe.data_mut()[i] = orig;
+        grad.data_mut()[i] = (up - down) / (2.0 * eps);
+    }
+    grad
+}
+
+/// Compare the analytic gradient of a scalar-valued graph against central
+/// differences.
+///
+/// `build` constructs the graph from an input tensor and returns
+/// `(graph, input_var, loss_var)`.
+pub fn gradcheck(
+    input: &Tensor,
+    eps: f32,
+    mut build: impl FnMut(&Tensor) -> (Graph, Var, Var),
+) -> GradCheckReport {
+    let (mut g, x, loss) = build(input);
+    g.backward(loss);
+    let analytic = g.grad(x).cloned().unwrap_or_else(|| Tensor::zeros(input.shape().to_vec()));
+    let numeric = finite_difference_grad(input, eps, |t| {
+        let (g2, _, l2) = build(t);
+        g2.value(l2).item()
+    });
+    let mut report = GradCheckReport { max_abs_diff: 0.0, max_rel_diff: 0.0, worst_index: 0 };
+    for i in 0..input.len() {
+        let a = analytic.data()[i];
+        let n = numeric.data()[i];
+        let abs = (a - n).abs();
+        let rel = abs / (a.abs() + n.abs()).max(1e-4);
+        if abs > report.max_abs_diff {
+            report.max_abs_diff = abs;
+            report.worst_index = i;
+        }
+        report.max_rel_diff = report.max_rel_diff.max(rel);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_difference_on_quadratic() {
+        // f(x) = sum(x^2) => df/dx = 2x
+        let x = Tensor::from_vec(vec![3], vec![1.0, -2.0, 0.5]);
+        let g = finite_difference_grad(&x, 1e-3, |t| t.data().iter().map(|v| v * v).sum());
+        for (a, b) in g.data().iter().zip([2.0, -4.0, 1.0]) {
+            assert!((a - b).abs() < 1e-2, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn gradcheck_catches_matching_grads() {
+        let x = Tensor::from_vec(vec![2, 2], vec![0.3, -0.7, 1.1, 0.05]);
+        let report = gradcheck(&x, 1e-3, |t| {
+            let mut g = Graph::new();
+            let v = g.leaf(t.clone(), true);
+            let y = g.tanh(v);
+            let l = g.sum_all(y);
+            (g, v, l)
+        });
+        assert!(report.passes(1e-2), "{report:?}");
+    }
+}

@@ -1,0 +1,841 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Graph`] is a single forward pass: leaves are created from parameter
+//! or input tensors, operations append nodes in topological order, and
+//! [`Graph::backward`] walks the tape in reverse accumulating gradients.
+//! The op vocabulary is exactly what a structure-aware Transformer needs.
+
+use crate::ops;
+use crate::tensor::Tensor;
+
+/// Handle to a node in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) usize);
+
+type BackFn = Box<dyn Fn(&Tensor, &Tensor, &[&Tensor]) -> Vec<Tensor>>;
+
+struct Node {
+    value: Tensor,
+    grad: Option<Tensor>,
+    parents: Vec<Var>,
+    needs_grad: bool,
+    backward: Option<BackFn>,
+}
+
+/// A dynamic computation graph (autograd tape).
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self { nodes: Vec::new() }
+    }
+
+    /// Number of nodes currently on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Add a leaf node. `requires_grad` marks trainable parameters.
+    pub fn leaf(&mut self, value: Tensor, requires_grad: bool) -> Var {
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            parents: Vec::new(),
+            needs_grad: requires_grad,
+            backward: None,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Add a constant (non-differentiable) leaf.
+    pub fn constant(&mut self, value: Tensor) -> Var {
+        self.leaf(value, false)
+    }
+
+    /// Value of a node.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// Gradient accumulated at a node after [`Graph::backward`].
+    pub fn grad(&self, v: Var) -> Option<&Tensor> {
+        self.nodes[v.0].grad.as_ref()
+    }
+
+    /// Take (move out) the gradient at a node, leaving `None`.
+    pub fn take_grad(&mut self, v: Var) -> Option<Tensor> {
+        self.nodes[v.0].grad.take()
+    }
+
+    fn push(&mut self, value: Tensor, parents: Vec<Var>, backward: BackFn) -> Var {
+        let needs_grad = parents.iter().any(|p| self.nodes[p.0].needs_grad);
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            parents,
+            needs_grad,
+            backward: if needs_grad { Some(backward) } else { None },
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Run reverse-mode differentiation from `root` (seeded with ones).
+    ///
+    /// Existing gradients on the tape are cleared first.
+    pub fn backward(&mut self, root: Var) {
+        for node in &mut self.nodes {
+            node.grad = None;
+        }
+        let shape = self.nodes[root.0].value.shape().to_vec();
+        self.nodes[root.0].grad = Some(Tensor::ones(shape));
+        for i in (0..=root.0).rev() {
+            if self.nodes[i].backward.is_none() || self.nodes[i].grad.is_none() {
+                continue;
+            }
+            let grads = {
+                let node = &self.nodes[i];
+                let pvals: Vec<&Tensor> =
+                    node.parents.iter().map(|p| &self.nodes[p.0].value).collect();
+                let f = node.backward.as_ref().expect("checked above");
+                f(node.grad.as_ref().expect("checked above"), &node.value, &pvals)
+            };
+            let parents = self.nodes[i].parents.clone();
+            debug_assert_eq!(parents.len(), grads.len(), "backward arity mismatch at node {i}");
+            for (p, g) in parents.into_iter().zip(grads) {
+                let target = &mut self.nodes[p.0];
+                if !target.needs_grad {
+                    continue;
+                }
+                debug_assert_eq!(
+                    g.shape(),
+                    target.value.shape(),
+                    "gradient shape mismatch flowing into node {}",
+                    p.0
+                );
+                match &mut target.grad {
+                    Some(acc) => acc.add_assign(&g),
+                    slot @ None => *slot = Some(g),
+                }
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // Elementwise arithmetic (NumPy broadcasting)
+    // ---------------------------------------------------------------------
+
+    /// Elementwise `a + b` with broadcasting.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).broadcast_zip(self.value(b), |x, y| x + y).expect("add shapes");
+        self.push(
+            value,
+            vec![a, b],
+            Box::new(|g, _, pv| {
+                vec![g.reduce_to_shape(pv[0].shape()), g.reduce_to_shape(pv[1].shape())]
+            }),
+        )
+    }
+
+    /// Elementwise `a - b` with broadcasting.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).broadcast_zip(self.value(b), |x, y| x - y).expect("sub shapes");
+        self.push(
+            value,
+            vec![a, b],
+            Box::new(|g, _, pv| {
+                let gb = g.map(|x| -x).reduce_to_shape(pv[1].shape());
+                vec![g.reduce_to_shape(pv[0].shape()), gb]
+            }),
+        )
+    }
+
+    /// Elementwise `a * b` with broadcasting.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).broadcast_zip(self.value(b), |x, y| x * y).expect("mul shapes");
+        self.push(
+            value,
+            vec![a, b],
+            Box::new(|g, _, pv| {
+                let ga = g.broadcast_zip(pv[1], |x, y| x * y).expect("mul back");
+                let gb = g.broadcast_zip(pv[0], |x, y| x * y).expect("mul back");
+                vec![ga.reduce_to_shape(pv[0].shape()), gb.reduce_to_shape(pv[1].shape())]
+            }),
+        )
+    }
+
+    /// `a * c` for scalar constant `c`.
+    pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let value = self.value(a).map(|x| x * c);
+        self.push(value, vec![a], Box::new(move |g, _, _| vec![g.map(|x| x * c)]))
+    }
+
+    /// `a + c` for scalar constant `c`.
+    pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
+        let value = self.value(a).map(|x| x + c);
+        self.push(value, vec![a], Box::new(|g, _, _| vec![g.clone()]))
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&mut self, a: Var) -> Var {
+        self.scale(a, -1.0)
+    }
+
+    // ---------------------------------------------------------------------
+    // Linear algebra
+    // ---------------------------------------------------------------------
+
+    /// 2-D matrix product `A · B`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = ops::matmul(self.value(a), self.value(b));
+        self.push(
+            value,
+            vec![a, b],
+            Box::new(|g, _, pv| vec![ops::matmul_nt(g, pv[1]), ops::matmul_tn(pv[0], g)]),
+        )
+    }
+
+    /// 2-D product against a transposed rhs: `A · Bᵀ`.
+    ///
+    /// This is the row-scoring primitive: `scores[i, j] = ⟨a_i, b_j⟩`.
+    pub fn matmul_nt(&mut self, a: Var, b: Var) -> Var {
+        let value = ops::matmul_nt(self.value(a), self.value(b));
+        self.push(
+            value,
+            vec![a, b],
+            Box::new(|g, _, pv| vec![ops::matmul(g, pv[1]), ops::matmul_tn(g, pv[0])]),
+        )
+    }
+
+    /// Batched 3-D matrix product.
+    pub fn bmm(&mut self, a: Var, b: Var) -> Var {
+        let value = ops::bmm(self.value(a), self.value(b));
+        self.push(
+            value,
+            vec![a, b],
+            Box::new(|g, _, pv| vec![ops::bmm_nt(g, pv[1]), ops::bmm_tn(pv[0], g)]),
+        )
+    }
+
+    /// Batched product against transposed rhs: per batch `A · Bᵀ`.
+    pub fn bmm_nt(&mut self, a: Var, b: Var) -> Var {
+        let value = ops::bmm_nt(self.value(a), self.value(b));
+        self.push(
+            value,
+            vec![a, b],
+            Box::new(|g, _, pv| vec![ops::bmm(g, pv[1]), ops::bmm_tn(g, pv[0])]),
+        )
+    }
+
+    /// Permute tensor axes.
+    pub fn permute(&mut self, a: Var, axes: &[usize]) -> Var {
+        let value = self.value(a).permute(axes);
+        let mut inverse = vec![0usize; axes.len()];
+        for (i, &ax) in axes.iter().enumerate() {
+            inverse[ax] = i;
+        }
+        self.push(value, vec![a], Box::new(move |g, _, _| vec![g.permute(&inverse)]))
+    }
+
+    /// Reshape to a new shape with the same element count.
+    pub fn reshape(&mut self, a: Var, shape: Vec<usize>) -> Var {
+        let value = self.value(a).reshape(shape).expect("reshape element count");
+        self.push(
+            value,
+            vec![a],
+            Box::new(|g, _, pv| vec![g.reshape(pv[0].shape().to_vec()).expect("reshape back")]),
+        )
+    }
+
+    // ---------------------------------------------------------------------
+    // Activations
+    // ---------------------------------------------------------------------
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|x| x.max(0.0));
+        self.push(
+            value,
+            vec![a],
+            Box::new(|g, _, pv| {
+                vec![g.broadcast_zip(pv[0], |gv, x| if x > 0.0 { gv } else { 0.0 }).unwrap()]
+            }),
+        )
+    }
+
+    /// GELU activation (tanh approximation, as used by BERT-family models).
+    pub fn gelu(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(gelu_fwd);
+        self.push(
+            value,
+            vec![a],
+            Box::new(|g, _, pv| vec![g.broadcast_zip(pv[0], |gv, x| gv * gelu_grad(x)).unwrap()]),
+        )
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(f32::tanh);
+        self.push(
+            value,
+            vec![a],
+            Box::new(|g, out, _| vec![g.broadcast_zip(out, |gv, y| gv * (1.0 - y * y)).unwrap()]),
+        )
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(
+            value,
+            vec![a],
+            Box::new(|g, out, _| {
+                vec![g.broadcast_zip(out, |gv, y| gv * y * (1.0 - y)).unwrap()]
+            }),
+        )
+    }
+
+    // ---------------------------------------------------------------------
+    // Normalization / softmax
+    // ---------------------------------------------------------------------
+
+    /// Softmax along the last axis (stabilized; tolerates `-inf` masking).
+    pub fn softmax_last(&mut self, a: Var) -> Var {
+        let value = self.value(a).softmax_last();
+        self.push(
+            value,
+            vec![a],
+            Box::new(|g, out, _| {
+                let w = *out.shape().last().expect("softmax rank");
+                let mut dx = g.clone();
+                {
+                    let dxd = dx.data_mut();
+                    let y = out.data();
+                    for r in 0..y.len() / w {
+                        let row = r * w;
+                        let mut dot = 0.0f32;
+                        for j in 0..w {
+                            dot += dxd[row + j] * y[row + j];
+                        }
+                        for j in 0..w {
+                            dxd[row + j] = (dxd[row + j] - dot) * y[row + j];
+                        }
+                    }
+                }
+                vec![dx]
+            }),
+        )
+    }
+
+    /// Layer normalization over the last axis with affine parameters.
+    ///
+    /// `x` has shape `[..., d]`, `gamma` and `beta` have shape `[d]`.
+    pub fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var, eps: f32) -> Var {
+        let xv = self.value(x);
+        let d = *xv.shape().last().expect("layer_norm rank");
+        let gv = self.value(gamma).data().to_vec();
+        let bv = self.value(beta).data().to_vec();
+        let mut out = xv.clone();
+        {
+            let data = out.data_mut();
+            for chunk in data.chunks_mut(d) {
+                let mean = chunk.iter().sum::<f32>() / d as f32;
+                let var = chunk.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / d as f32;
+                let inv = 1.0 / (var + eps).sqrt();
+                for (j, v) in chunk.iter_mut().enumerate() {
+                    *v = (*v - mean) * inv * gv[j] + bv[j];
+                }
+            }
+        }
+        self.push(
+            out,
+            vec![x, gamma, beta],
+            Box::new(move |g, _, pv| {
+                let xval = pv[0];
+                let gamma = pv[1].data();
+                let d = *xval.shape().last().unwrap();
+                let rows = xval.len() / d;
+                let mut dx = Tensor::zeros(xval.shape().to_vec());
+                let mut dgamma = vec![0.0f32; d];
+                let mut dbeta = vec![0.0f32; d];
+                let xd = xval.data();
+                let gd = g.data();
+                let dxd = dx.data_mut();
+                for r in 0..rows {
+                    let o = r * d;
+                    let row = &xd[o..o + d];
+                    let grow = &gd[o..o + d];
+                    let mean = row.iter().sum::<f32>() / d as f32;
+                    let var = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / d as f32;
+                    let inv = 1.0 / (var + eps).sqrt();
+                    // xhat and dy*gamma statistics
+                    let mut sum_dyg = 0.0f32;
+                    let mut sum_dyg_xhat = 0.0f32;
+                    for j in 0..d {
+                        let xhat = (row[j] - mean) * inv;
+                        let dyg = grow[j] * gamma[j];
+                        sum_dyg += dyg;
+                        sum_dyg_xhat += dyg * xhat;
+                        dgamma[j] += grow[j] * xhat;
+                        dbeta[j] += grow[j];
+                    }
+                    let m1 = sum_dyg / d as f32;
+                    let m2 = sum_dyg_xhat / d as f32;
+                    for j in 0..d {
+                        let xhat = (row[j] - mean) * inv;
+                        let dyg = grow[j] * gamma[j];
+                        dxd[o + j] = inv * (dyg - m1 - xhat * m2);
+                    }
+                }
+                vec![
+                    dx,
+                    Tensor::from_vec(vec![d], dgamma),
+                    Tensor::from_vec(vec![d], dbeta),
+                ]
+            }),
+        )
+    }
+
+    // ---------------------------------------------------------------------
+    // Gather / structure
+    // ---------------------------------------------------------------------
+
+    /// Gather rows along axis 0 (embedding lookup).
+    pub fn index_select0(&mut self, a: Var, indices: &[usize]) -> Var {
+        let value = self.value(a).index_select0(indices);
+        let idx = indices.to_vec();
+        self.push(
+            value,
+            vec![a],
+            Box::new(move |g, _, pv| {
+                let mut out = Tensor::zeros(pv[0].shape().to_vec());
+                let row_len: usize = pv[0].shape()[1..].iter().product();
+                let gd = g.data();
+                let od = out.data_mut();
+                for (r, &i) in idx.iter().enumerate() {
+                    let src = &gd[r * row_len..(r + 1) * row_len];
+                    let dst = &mut od[i * row_len..(i + 1) * row_len];
+                    for (d, s) in dst.iter_mut().zip(src.iter()) {
+                        *d += s;
+                    }
+                }
+                vec![out]
+            }),
+        )
+    }
+
+    /// Mean over rows of a 2-D tensor, producing a 1-D vector.
+    pub fn mean_rows(&mut self, a: Var) -> Var {
+        let av = self.value(a);
+        assert_eq!(av.rank(), 2, "mean_rows expects a 2-D tensor");
+        let (n, d) = (av.shape()[0], av.shape()[1]);
+        let mut out = vec![0.0f32; d];
+        for r in 0..n {
+            for (o, &x) in out.iter_mut().zip(av.row(r).iter()) {
+                *o += x;
+            }
+        }
+        let inv = 1.0 / n.max(1) as f32;
+        out.iter_mut().for_each(|x| *x *= inv);
+        self.push(
+            Tensor::from_vec(vec![d], out),
+            vec![a],
+            Box::new(move |g, _, pv| {
+                let (n, d) = (pv[0].shape()[0], pv[0].shape()[1]);
+                let inv = 1.0 / n.max(1) as f32;
+                let mut dx = Tensor::zeros(vec![n, d]);
+                for r in 0..n {
+                    for (o, &gv) in dx.row_mut(r).iter_mut().zip(g.data().iter()) {
+                        *o = gv * inv;
+                    }
+                }
+                vec![dx]
+            }),
+        )
+    }
+
+    /// Sum of all elements (scalar of shape `[1]`).
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let value = Tensor::scalar(self.value(a).sum());
+        self.push(
+            value,
+            vec![a],
+            Box::new(|g, _, pv| vec![Tensor::full(pv[0].shape().to_vec(), g.item())]),
+        )
+    }
+
+    /// Mean of all elements (scalar of shape `[1]`).
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let n = self.value(a).len().max(1) as f32;
+        let s = self.sum_all(a);
+        self.scale(s, 1.0 / n)
+    }
+
+    /// Concatenate 2-D tensors along the column axis.
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        let tensors: Vec<&Tensor> = parts.iter().map(|&v| self.value(v)).collect();
+        let value = Tensor::concat_cols(&tensors);
+        let widths: Vec<usize> = tensors.iter().map(|t| t.shape()[1]).collect();
+        self.push(
+            value,
+            parts.to_vec(),
+            Box::new(move |g, _, pv| {
+                let rows = pv[0].shape()[0];
+                let total: usize = widths.iter().sum();
+                let mut grads: Vec<Tensor> =
+                    widths.iter().map(|&w| Tensor::zeros(vec![rows, w])).collect();
+                for r in 0..rows {
+                    let mut off = 0usize;
+                    for (gi, &w) in grads.iter_mut().zip(widths.iter()) {
+                        gi.row_mut(r).copy_from_slice(&g.data()[r * total + off..r * total + off + w]);
+                        off += w;
+                    }
+                }
+                grads
+            }),
+        )
+    }
+
+    /// Concatenate 2-D tensors along the row axis (vertical stack).
+    pub fn concat_rows(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_rows needs at least one part");
+        let tensors: Vec<&Tensor> = parts.iter().map(|&v| self.value(v)).collect();
+        let w = tensors[0].shape()[1];
+        let mut data = Vec::new();
+        let mut heights = Vec::with_capacity(tensors.len());
+        for t in &tensors {
+            assert_eq!(t.rank(), 2, "concat_rows expects 2-D tensors");
+            assert_eq!(t.shape()[1], w, "concat_rows width mismatch");
+            heights.push(t.shape()[0]);
+            data.extend_from_slice(t.data());
+        }
+        let total: usize = heights.iter().sum();
+        self.push(
+            Tensor::from_vec(vec![total, w], data),
+            parts.to_vec(),
+            Box::new(move |g, _, _| {
+                let mut out = Vec::with_capacity(heights.len());
+                let mut off = 0usize;
+                for &h in &heights {
+                    out.push(Tensor::from_vec(
+                        vec![h, w],
+                        g.data()[off * w..(off + h) * w].to_vec(),
+                    ));
+                    off += h;
+                }
+                out
+            }),
+        )
+    }
+
+    /// Stack 1-D tensors of equal length into a 2-D tensor (one per row).
+    pub fn stack_rows(&mut self, parts: &[Var]) -> Var {
+        let tensors: Vec<&Tensor> = parts.iter().map(|&v| self.value(v)).collect();
+        let value = Tensor::stack_rows(&tensors);
+        self.push(
+            value,
+            parts.to_vec(),
+            Box::new(|g, _, pv| {
+                let w = pv[0].len();
+                (0..pv.len())
+                    .map(|r| Tensor::from_vec(vec![w], g.data()[r * w..(r + 1) * w].to_vec()))
+                    .collect()
+            }),
+        )
+    }
+
+    // ---------------------------------------------------------------------
+    // Fused losses
+    // ---------------------------------------------------------------------
+
+    /// Mean cross-entropy of row-wise softmax over `logits` (shape `[n, c]`)
+    /// against integer `targets` (length `n`).
+    ///
+    /// Rows may be padded with very negative logits (≈ −1e30); such classes
+    /// receive vanishing probability and gradient.
+    pub fn cross_entropy(&mut self, logits: Var, targets: &[usize]) -> Var {
+        let lv = self.value(logits);
+        assert_eq!(lv.rank(), 2, "cross_entropy expects [n, c] logits");
+        let (n, c) = (lv.shape()[0], lv.shape()[1]);
+        assert_eq!(n, targets.len(), "cross_entropy target count");
+        let probs = lv.softmax_last();
+        let mut loss = 0.0f32;
+        for (r, &t) in targets.iter().enumerate() {
+            assert!(t < c, "target {t} out of range {c}");
+            loss -= probs.at2(r, t).max(1e-12).ln();
+        }
+        loss /= n.max(1) as f32;
+        let tgt = targets.to_vec();
+        self.push(
+            Tensor::scalar(loss),
+            vec![logits],
+            Box::new(move |g, _, pv| {
+                let n = pv[0].shape()[0];
+                let scale = g.item() / n.max(1) as f32;
+                let mut dx = pv[0].softmax_last();
+                for (r, &t) in tgt.iter().enumerate() {
+                    let v = dx.at2(r, t);
+                    dx.set2(r, t, v - 1.0);
+                }
+                dx.scale_inplace(scale);
+                vec![dx]
+            }),
+        )
+    }
+
+    /// Mean binary-cross-entropy with logits against a `0/1` target tensor
+    /// of the same shape.
+    pub fn bce_with_logits(&mut self, logits: Var, targets: Tensor) -> Var {
+        let lv = self.value(logits);
+        assert_eq!(lv.shape(), targets.shape(), "bce target shape");
+        let n = lv.len().max(1) as f32;
+        let mut loss = 0.0f32;
+        for (&x, &t) in lv.data().iter().zip(targets.data().iter()) {
+            // max(x,0) - x*t + ln(1 + exp(-|x|)) : stable BCE
+            loss += x.max(0.0) - x * t + (1.0 + (-x.abs()).exp()).ln();
+        }
+        loss /= n;
+        self.push(
+            Tensor::scalar(loss),
+            vec![logits],
+            Box::new(move |g, _, pv| {
+                let n = pv[0].len().max(1) as f32;
+                let scale = g.item() / n;
+                let mut dx = pv[0].clone();
+                for (x, &t) in dx.data_mut().iter_mut().zip(targets.data().iter()) {
+                    let s = 1.0 / (1.0 + (-*x).exp());
+                    *x = (s - t) * scale;
+                }
+                vec![dx]
+            }),
+        )
+    }
+}
+
+fn gelu_fwd(x: f32) -> f32 {
+    const C: f32 = 0.797_884_56; // sqrt(2/pi)
+    0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+fn gelu_grad(x: f32) -> f32 {
+    const C: f32 = 0.797_884_56;
+    let inner = C * (x + 0.044715 * x * x * x);
+    let t = inner.tanh();
+    let dinner = C * (1.0 + 3.0 * 0.044715 * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * dinner
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t2(shape: &[usize], data: &[f32]) -> Tensor {
+        Tensor::from_vec(shape.to_vec(), data.to_vec())
+    }
+
+    #[test]
+    fn add_backward_broadcast() {
+        let mut g = Graph::new();
+        let a = g.leaf(t2(&[2, 2], &[1., 2., 3., 4.]), true);
+        let b = g.leaf(t2(&[2], &[10., 20.]), true);
+        let y = g.add(a, b);
+        let s = g.sum_all(y);
+        g.backward(s);
+        assert_eq!(g.grad(a).unwrap().data(), &[1., 1., 1., 1.]);
+        assert_eq!(g.grad(b).unwrap().data(), &[2., 2.]);
+    }
+
+    #[test]
+    fn mul_backward_uses_other_operand() {
+        let mut g = Graph::new();
+        let a = g.leaf(t2(&[2], &[3., 5.]), true);
+        let b = g.leaf(t2(&[2], &[7., 11.]), true);
+        let y = g.mul(a, b);
+        let s = g.sum_all(y);
+        g.backward(s);
+        assert_eq!(g.grad(a).unwrap().data(), &[7., 11.]);
+        assert_eq!(g.grad(b).unwrap().data(), &[3., 5.]);
+    }
+
+    #[test]
+    fn matmul_backward_shapes() {
+        let mut g = Graph::new();
+        let a = g.leaf(t2(&[2, 3], &[0.1; 6]), true);
+        let b = g.leaf(t2(&[3, 4], &[0.2; 12]), true);
+        let y = g.matmul(a, b);
+        let s = g.sum_all(y);
+        g.backward(s);
+        assert_eq!(g.grad(a).unwrap().shape(), &[2, 3]);
+        assert_eq!(g.grad(b).unwrap().shape(), &[3, 4]);
+    }
+
+    #[test]
+    fn grad_accumulates_over_multiple_uses() {
+        let mut g = Graph::new();
+        let a = g.leaf(t2(&[2], &[1., 2.]), true);
+        let y1 = g.scale(a, 2.0);
+        let y2 = g.scale(a, 3.0);
+        let y = g.add(y1, y2);
+        let s = g.sum_all(y);
+        g.backward(s);
+        assert_eq!(g.grad(a).unwrap().data(), &[5., 5.]);
+    }
+
+    #[test]
+    fn constants_get_no_grad() {
+        let mut g = Graph::new();
+        let a = g.leaf(t2(&[2], &[1., 2.]), true);
+        let c = g.constant(t2(&[2], &[5., 5.]));
+        let y = g.mul(a, c);
+        let s = g.sum_all(y);
+        g.backward(s);
+        assert!(g.grad(c).is_none());
+        assert_eq!(g.grad(a).unwrap().data(), &[5., 5.]);
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_low_loss() {
+        let mut g = Graph::new();
+        let logits = g.leaf(t2(&[1, 3], &[100., 0., 0.]), true);
+        let l = g.cross_entropy(logits, &[0]);
+        assert!(g.value(l).item() < 1e-3);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_direction() {
+        let mut g = Graph::new();
+        let logits = g.leaf(t2(&[1, 3], &[0., 0., 0.]), true);
+        let l = g.cross_entropy(logits, &[1]);
+        g.backward(l);
+        let grad = g.grad(logits).unwrap();
+        assert!(grad.at2(0, 1) < 0.0, "target logit grad must be negative");
+        assert!(grad.at2(0, 0) > 0.0 && grad.at2(0, 2) > 0.0);
+    }
+
+    #[test]
+    fn cross_entropy_ignores_padded_classes() {
+        let mut g = Graph::new();
+        let logits = g.leaf(t2(&[1, 3], &[1.0, 2.0, -1e30]), true);
+        let l = g.cross_entropy(logits, &[0]);
+        g.backward(l);
+        let grad = g.grad(logits).unwrap();
+        assert!(g.value(l).item().is_finite());
+        assert!(grad.at2(0, 2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bce_matches_manual() {
+        let mut g = Graph::new();
+        let logits = g.leaf(t2(&[2], &[0.0, 0.0]), true);
+        let l = g.bce_with_logits(logits, t2(&[2], &[1.0, 0.0]));
+        // -ln(0.5) each
+        assert!((g.value(l).item() - std::f32::consts::LN_2).abs() < 1e-6);
+        g.backward(l);
+        let grad = g.grad(logits).unwrap();
+        assert!((grad.data()[0] + 0.25).abs() < 1e-6);
+        assert!((grad.data()[1] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_masked_attention_pattern() {
+        // scores [1,3] with middle masked: softmax ignores it, grads flow to rest.
+        let mut g = Graph::new();
+        let s = g.leaf(t2(&[1, 3], &[1.0, 1.0, 1.0]), true);
+        let mask = g.constant(t2(&[1, 3], &[0.0, -1e9, 0.0]));
+        let m = g.add(s, mask);
+        let p = g.softmax_last(m);
+        assert!((g.value(p).at2(0, 0) - 0.5).abs() < 1e-4);
+        assert!(g.value(p).at2(0, 1) < 1e-6);
+        let w = g.constant(t2(&[1, 3], &[1.0, 0.0, 0.0]));
+        let y = g.mul(p, w);
+        let l = g.sum_all(y);
+        g.backward(l);
+        assert!(g.grad(s).unwrap().data()[1].abs() < 1e-6);
+    }
+
+    #[test]
+    fn index_select_backward_scatter_adds() {
+        let mut g = Graph::new();
+        let w = g.leaf(t2(&[3, 2], &[0.; 6]), true);
+        let y = g.index_select0(w, &[1, 1, 2]);
+        let s = g.sum_all(y);
+        g.backward(s);
+        assert_eq!(g.grad(w).unwrap().data(), &[0., 0., 2., 2., 1., 1.]);
+    }
+
+    #[test]
+    fn layer_norm_output_standardized() {
+        let mut g = Graph::new();
+        let x = g.leaf(t2(&[2, 4], &[1., 2., 3., 4., -2., 0., 2., 4.]), true);
+        let gamma = g.leaf(Tensor::ones(vec![4]), true);
+        let beta = g.leaf(Tensor::zeros(vec![4]), true);
+        let y = g.layer_norm(x, gamma, beta, 1e-5);
+        for r in 0..2 {
+            let row = g.value(y).row(r);
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            let var: f32 = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5, "row {r} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "row {r} var {var}");
+        }
+    }
+
+    #[test]
+    fn mean_rows_backward_uniform() {
+        let mut g = Graph::new();
+        let x = g.leaf(t2(&[4, 2], &[1.; 8]), true);
+        let m = g.mean_rows(x);
+        let s = g.sum_all(m);
+        g.backward(s);
+        assert!(g.grad(x).unwrap().data().iter().all(|&v| (v - 0.25).abs() < 1e-7));
+    }
+
+    #[test]
+    fn stack_and_concat_backward() {
+        let mut g = Graph::new();
+        let a = g.leaf(t2(&[2], &[1., 2.]), true);
+        let b = g.leaf(t2(&[2], &[3., 4.]), true);
+        let st = g.stack_rows(&[a, b]); // [2,2]
+        let c = g.leaf(t2(&[2, 1], &[10., 20.]), true);
+        let cat = g.concat_cols(&[st, c]); // [2,3]
+        let s = g.sum_all(cat);
+        g.backward(s);
+        assert_eq!(g.grad(a).unwrap().data(), &[1., 1.]);
+        assert_eq!(g.grad(b).unwrap().data(), &[1., 1.]);
+        assert_eq!(g.grad(c).unwrap().data(), &[1., 1.]);
+    }
+
+    #[test]
+    fn concat_rows_backward_splits() {
+        let mut g = Graph::new();
+        let a = g.leaf(t2(&[2, 2], &[1., 2., 3., 4.]), true);
+        let b = g.leaf(t2(&[1, 2], &[5., 6.]), true);
+        let cat = g.concat_rows(&[a, b]);
+        assert_eq!(g.value(cat).shape(), &[3, 2]);
+        assert_eq!(g.value(cat).data(), &[1., 2., 3., 4., 5., 6.]);
+        let w = g.constant(t2(&[3, 2], &[1., 0., 0., 1., 2., 2.]));
+        let y = g.mul(cat, w);
+        let s = g.sum_all(y);
+        g.backward(s);
+        assert_eq!(g.grad(a).unwrap().data(), &[1., 0., 0., 1.]);
+        assert_eq!(g.grad(b).unwrap().data(), &[2., 2.]);
+    }
+
+    #[test]
+    fn permute_reshape_roundtrip_grad() {
+        let mut g = Graph::new();
+        let x = g.leaf(t2(&[2, 3], &[1., 2., 3., 4., 5., 6.]), true);
+        let r = g.reshape(x, vec![3, 2]);
+        let p = g.permute(r, &[1, 0]);
+        let s = g.sum_all(p);
+        g.backward(s);
+        assert_eq!(g.grad(x).unwrap().data(), &[1.; 6]);
+    }
+}

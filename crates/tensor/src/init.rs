@@ -1,0 +1,78 @@
+//! Random weight initializers.
+//!
+//! All initializers take an explicit RNG so every model in the workspace is
+//! reproducible from a single seed.
+
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Uniform initialization in `[-bound, bound]`.
+pub fn uniform_init<R: Rng>(rng: &mut R, shape: Vec<usize>, bound: f32) -> Tensor {
+    let n: usize = shape.iter().product();
+    let data = (0..n).map(|_| rng.gen_range(-bound..=bound)).collect();
+    Tensor::from_vec(shape, data)
+}
+
+/// Gaussian initialization with the given mean and standard deviation
+/// (Box–Muller; no external distribution crate needed here).
+pub fn normal_init<R: Rng>(rng: &mut R, shape: Vec<usize>, mean: f32, std: f32) -> Tensor {
+    let n: usize = shape.iter().product();
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(mean + std * r * theta.cos());
+        if data.len() < n {
+            data.push(mean + std * r * theta.sin());
+        }
+    }
+    Tensor::from_vec(shape, data)
+}
+
+/// Kaiming-style uniform initialization for a `[fan_out, fan_in]` weight
+/// matrix: `U(-1/sqrt(fan_in), 1/sqrt(fan_in))`.
+pub fn kaiming_uniform<R: Rng>(rng: &mut R, fan_out: usize, fan_in: usize) -> Tensor {
+    let bound = 1.0 / (fan_in.max(1) as f32).sqrt();
+    uniform_init(rng, vec![fan_out, fan_in], bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = uniform_init(&mut rng, vec![100], 0.5);
+        assert!(t.data().iter().all(|&x| (-0.5..=0.5).contains(&x)));
+    }
+
+    #[test]
+    fn normal_moments_roughly_match() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = normal_init(&mut rng, vec![20000], 1.0, 2.0);
+        let mean = t.mean();
+        let var = t.data().iter().map(|x| (x - mean).powi(2)).sum::<f32>() / t.len() as f32;
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn seeded_init_is_deterministic() {
+        let a = normal_init(&mut StdRng::seed_from_u64(42), vec![16], 0.0, 1.0);
+        let b = normal_init(&mut StdRng::seed_from_u64(42), vec![16], 0.0, 1.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn kaiming_bound_scales_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = kaiming_uniform(&mut rng, 8, 64);
+        assert_eq!(t.shape(), &[8, 64]);
+        assert!(t.data().iter().all(|&x| x.abs() <= 0.125 + 1e-6));
+    }
+}

@@ -1,0 +1,232 @@
+//! Matrix-multiplication kernels.
+//!
+//! Three 2-D kernels are provided so that autograd backward passes never
+//! materialize transposed operands:
+//!
+//! * [`matmul`]    — `C = A · B`
+//! * [`matmul_nt`] — `C = A · Bᵀ` (dot products of contiguous rows)
+//! * [`matmul_tn`] — `C = Aᵀ · B` (rank-1 updates)
+//!
+//! All use the cache-friendly `i-k-j` loop order over row-major data, which
+//! the compiler auto-vectorizes at `opt-level >= 2`.
+
+use crate::tensor::Tensor;
+
+/// `C[m,n] = A[m,k] · B[k,n]`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 2, "matmul lhs must be 2-D");
+    assert_eq!(b.rank(), 2, "matmul rhs must be 2-D");
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "matmul inner dims: {:?} x {:?}", a.shape(), b.shape());
+    let mut out = Tensor::zeros(vec![m, n]);
+    matmul_into(a.data(), b.data(), out.data_mut(), m, k, n);
+    out
+}
+
+/// `C[m,n] = A[m,k] · B[n,k]ᵀ`.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 2);
+    assert_eq!(b.rank(), 2);
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (n, k2) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "matmul_nt inner dims: {:?} x {:?}", a.shape(), b.shape());
+    let mut out = Tensor::zeros(vec![m, n]);
+    matmul_nt_into(a.data(), b.data(), out.data_mut(), m, k, n);
+    out
+}
+
+/// `C[m,n] = A[k,m]ᵀ · B[k,n]`.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 2);
+    assert_eq!(b.rank(), 2);
+    let (k, m) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "matmul_tn inner dims: {:?} x {:?}", a.shape(), b.shape());
+    let mut out = Tensor::zeros(vec![m, n]);
+    matmul_tn_into(a.data(), b.data(), out.data_mut(), m, k, n);
+    out
+}
+
+/// Batched `C[b,m,n] = A[b,m,k] · B[b,k,n]`.
+pub fn bmm(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 3, "bmm lhs must be 3-D");
+    assert_eq!(b.rank(), 3, "bmm rhs must be 3-D");
+    let (bs, m, k) = (a.shape()[0], a.shape()[1], a.shape()[2]);
+    let (bs2, k2, n) = (b.shape()[0], b.shape()[1], b.shape()[2]);
+    assert_eq!(bs, bs2, "bmm batch dims differ");
+    assert_eq!(k, k2, "bmm inner dims: {:?} x {:?}", a.shape(), b.shape());
+    let mut out = Tensor::zeros(vec![bs, m, n]);
+    for i in 0..bs {
+        matmul_into(
+            &a.data()[i * m * k..(i + 1) * m * k],
+            &b.data()[i * k * n..(i + 1) * k * n],
+            &mut out.data_mut()[i * m * n..(i + 1) * m * n],
+            m,
+            k,
+            n,
+        );
+    }
+    out
+}
+
+/// Batched `C[b,m,n] = A[b,m,k] · B[b,n,k]ᵀ`.
+pub fn bmm_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 3);
+    assert_eq!(b.rank(), 3);
+    let (bs, m, k) = (a.shape()[0], a.shape()[1], a.shape()[2]);
+    let (bs2, n, k2) = (b.shape()[0], b.shape()[1], b.shape()[2]);
+    assert_eq!(bs, bs2, "bmm_nt batch dims differ");
+    assert_eq!(k, k2, "bmm_nt inner dims: {:?} x {:?}", a.shape(), b.shape());
+    let mut out = Tensor::zeros(vec![bs, m, n]);
+    for i in 0..bs {
+        matmul_nt_into(
+            &a.data()[i * m * k..(i + 1) * m * k],
+            &b.data()[i * n * k..(i + 1) * n * k],
+            &mut out.data_mut()[i * m * n..(i + 1) * m * n],
+            m,
+            k,
+            n,
+        );
+    }
+    out
+}
+
+/// Batched `C[b,m,n] = A[b,k,m]ᵀ · B[b,k,n]`.
+pub fn bmm_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 3);
+    assert_eq!(b.rank(), 3);
+    let (bs, k, m) = (a.shape()[0], a.shape()[1], a.shape()[2]);
+    let (bs2, k2, n) = (b.shape()[0], b.shape()[1], b.shape()[2]);
+    assert_eq!(bs, bs2, "bmm_tn batch dims differ");
+    assert_eq!(k, k2, "bmm_tn inner dims: {:?} x {:?}", a.shape(), b.shape());
+    let mut out = Tensor::zeros(vec![bs, m, n]);
+    for i in 0..bs {
+        matmul_tn_into(
+            &a.data()[i * k * m..(i + 1) * k * m],
+            &b.data()[i * k * n..(i + 1) * k * n],
+            &mut out.data_mut()[i * m * n..(i + 1) * m * n],
+            m,
+            k,
+            n,
+        );
+    }
+    out
+}
+
+pub(crate) fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+pub(crate) fn matmul_nt_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (j, o) in orow.iter_mut().enumerate() {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (x, y) in arow.iter().zip(brow.iter()) {
+                acc += x * y;
+            }
+            *o = acc;
+        }
+    }
+}
+
+pub(crate) fn matmul_tn_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    // a is [k, m], b is [k, n]; out[i, j] = sum_kk a[kk, i] * b[kk, j]
+    for kk in 0..k {
+        let arow = &a[kk * m..(kk + 1) * m];
+        let brow = &b[kk * n..(kk + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(shape: &[usize], data: &[f32]) -> Tensor {
+        Tensor::from_vec(shape.to_vec(), data.to_vec())
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = t(&[2, 3], &[1., 2., 3., 4., 5., 6.]);
+        let b = t(&[3, 2], &[7., 8., 9., 10., 11., 12.]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = t(&[2, 2], &[1., 2., 3., 4.]);
+        let i = t(&[2, 2], &[1., 0., 0., 1.]);
+        assert_eq!(matmul(&a, &i), a);
+    }
+
+    #[test]
+    fn nt_matches_explicit_transpose() {
+        let a = t(&[2, 3], &[1., 2., 3., 4., 5., 6.]);
+        let b = t(&[4, 3], &(0..12).map(|x| x as f32).collect::<Vec<_>>());
+        let c1 = matmul_nt(&a, &b);
+        let c2 = matmul(&a, &b.transpose2());
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn tn_matches_explicit_transpose() {
+        let a = t(&[3, 2], &[1., 2., 3., 4., 5., 6.]);
+        let b = t(&[3, 4], &(0..12).map(|x| x as f32).collect::<Vec<_>>());
+        let c1 = matmul_tn(&a, &b);
+        let c2 = matmul(&a.transpose2(), &b);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn bmm_matches_per_batch_matmul() {
+        let a = t(&[2, 2, 3], &(0..12).map(|x| x as f32).collect::<Vec<_>>());
+        let b = t(&[2, 3, 2], &(0..12).map(|x| (x as f32) * 0.5).collect::<Vec<_>>());
+        let c = bmm(&a, &b);
+        for i in 0..2 {
+            let ai = t(&[2, 3], &a.data()[i * 6..(i + 1) * 6]);
+            let bi = t(&[3, 2], &b.data()[i * 6..(i + 1) * 6]);
+            let ci = matmul(&ai, &bi);
+            assert_eq!(&c.data()[i * 4..(i + 1) * 4], ci.data());
+        }
+    }
+
+    #[test]
+    fn bmm_nt_and_tn_consistent() {
+        let a = t(&[2, 2, 3], &(0..12).map(|x| x as f32 * 0.1).collect::<Vec<_>>());
+        let b = t(&[2, 4, 3], &(0..24).map(|x| x as f32 * 0.2).collect::<Vec<_>>());
+        let c = bmm_nt(&a, &b); // [2,2,4]
+        assert_eq!(c.shape(), &[2, 2, 4]);
+        // bmm_tn: aT (per batch [3,2]) x [3,4]
+        let a2 = t(&[2, 3, 2], &(0..12).map(|x| x as f32 * 0.1).collect::<Vec<_>>());
+        let b2 = t(&[2, 3, 4], &(0..24).map(|x| x as f32 * 0.2).collect::<Vec<_>>());
+        let c2 = bmm_tn(&a2, &b2);
+        assert_eq!(c2.shape(), &[2, 2, 4]);
+    }
+}

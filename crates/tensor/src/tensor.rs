@@ -1,0 +1,486 @@
+//! The dense row-major `f32` tensor.
+
+use crate::shape::{broadcast_shape, broadcast_strides, num_elements, strides_for, ShapeError};
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major, heap-allocated `f32` tensor of arbitrary rank.
+///
+/// All operations allocate fresh output tensors; in-place variants are
+/// provided where they matter for hot loops (gradient accumulation,
+/// optimizer updates).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Build a tensor from a shape and backing data (length must match).
+    ///
+    /// # Panics
+    /// Panics if `data.len() != product(shape)`.
+    pub fn from_vec(shape: Vec<usize>, data: Vec<f32>) -> Self {
+        assert_eq!(
+            num_elements(&shape),
+            data.len(),
+            "data length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        Self { shape, data }
+    }
+
+    /// A tensor filled with zeros.
+    pub fn zeros(shape: Vec<usize>) -> Self {
+        let n = num_elements(&shape);
+        Self { shape, data: vec![0.0; n] }
+    }
+
+    /// A tensor filled with ones.
+    pub fn ones(shape: Vec<usize>) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// A tensor filled with a constant value.
+    pub fn full(shape: Vec<usize>, value: f32) -> Self {
+        let n = num_elements(&shape);
+        Self { shape, data: vec![value; n] }
+    }
+
+    /// A rank-0-like scalar represented as shape `[1]`.
+    pub fn scalar(value: f32) -> Self {
+        Self { shape: vec![1], data: vec![value] }
+    }
+
+    /// The tensor shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Rank (number of dimensions).
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only view of the backing buffer (row-major).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing buffer (row-major).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume the tensor, returning its backing buffer.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Extract the single element of a scalar-like tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor has more than one element.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.data.len(), 1, "item() on tensor with shape {:?}", self.shape);
+        self.data[0]
+    }
+
+    /// Element at a 2-D index.
+    pub fn at2(&self, i: usize, j: usize) -> f32 {
+        debug_assert_eq!(self.rank(), 2);
+        self.data[i * self.shape[1] + j]
+    }
+
+    /// Set element at a 2-D index.
+    pub fn set2(&mut self, i: usize, j: usize, v: f32) {
+        debug_assert_eq!(self.rank(), 2);
+        self.data[i * self.shape[1] + j] = v;
+    }
+
+    /// Row `i` of a 2-D tensor as a slice.
+    pub fn row(&self, i: usize) -> &[f32] {
+        debug_assert_eq!(self.rank(), 2);
+        let w = self.shape[1];
+        &self.data[i * w..(i + 1) * w]
+    }
+
+    /// Mutable row `i` of a 2-D tensor.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        debug_assert_eq!(self.rank(), 2);
+        let w = self.shape[1];
+        &mut self.data[i * w..(i + 1) * w]
+    }
+
+    /// Reinterpret with a new shape of identical element count.
+    pub fn reshape(&self, shape: Vec<usize>) -> Result<Tensor, ShapeError> {
+        if num_elements(&shape) != self.data.len() {
+            return Err(ShapeError::new(format!(
+                "cannot reshape {:?} ({} elems) to {:?}",
+                self.shape,
+                self.data.len(),
+                shape
+            )));
+        }
+        Ok(Tensor { shape, data: self.data.clone() })
+    }
+
+    /// Apply a function elementwise, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// Apply a function elementwise in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// `self += other` (shapes must match exactly).
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// `self += alpha * other` (shapes must match exactly).
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "axpy shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Multiply every element by a scalar, in place.
+    pub fn scale_inplace(&mut self, alpha: f32) {
+        for x in &mut self.data {
+            *x *= alpha;
+        }
+    }
+
+    /// Fill with zeros, keeping the allocation.
+    pub fn zero_(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// Elementwise binary op with NumPy broadcasting.
+    pub fn broadcast_zip(
+        &self,
+        other: &Tensor,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Tensor, ShapeError> {
+        if self.shape == other.shape {
+            let data =
+                self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect();
+            return Ok(Tensor { shape: self.shape.clone(), data });
+        }
+        let out_shape = broadcast_shape(&self.shape, &other.shape)?;
+        let sa = broadcast_strides(&self.shape, &out_shape);
+        let sb = broadcast_strides(&other.shape, &out_shape);
+        let n = num_elements(&out_shape);
+        let mut data = Vec::with_capacity(n);
+        let mut idx = vec![0usize; out_shape.len()];
+        let mut off_a = 0usize;
+        let mut off_b = 0usize;
+        for _ in 0..n {
+            data.push(f(self.data[off_a], other.data[off_b]));
+            // advance multi-index (row-major)
+            for d in (0..out_shape.len()).rev() {
+                idx[d] += 1;
+                off_a += sa[d];
+                off_b += sb[d];
+                if idx[d] < out_shape[d] {
+                    break;
+                }
+                idx[d] = 0;
+                off_a -= sa[d] * out_shape[d];
+                off_b -= sb[d] * out_shape[d];
+            }
+        }
+        Ok(Tensor { shape: out_shape, data })
+    }
+
+    /// Sum a gradient tensor down to `target` shape (undoes broadcasting).
+    pub fn reduce_to_shape(&self, target: &[usize]) -> Tensor {
+        if self.shape == target {
+            return self.clone();
+        }
+        let out_n = num_elements(target);
+        let mut out = Tensor::zeros(target.to_vec());
+        let st = broadcast_strides(target, &self.shape);
+        let mut idx = vec![0usize; self.shape.len()];
+        let mut off_t = 0usize;
+        for i in 0..self.data.len() {
+            out.data[off_t] += self.data[i];
+            for d in (0..self.shape.len()).rev() {
+                idx[d] += 1;
+                off_t += st[d];
+                if idx[d] < self.shape[d] {
+                    break;
+                }
+                idx[d] = 0;
+                off_t -= st[d] * self.shape[d];
+            }
+        }
+        debug_assert!(out.data.len() == out_n);
+        out
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element (negative infinity for empty tensors).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Index of the maximum element.
+    pub fn argmax(&self) -> usize {
+        let mut best = 0;
+        let mut best_v = f32::NEG_INFINITY;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > best_v {
+                best_v = v;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// L2 norm of the whole tensor.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// True if every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Permute axes (generic rank). `axes` must be a permutation of `0..rank`.
+    pub fn permute(&self, axes: &[usize]) -> Tensor {
+        assert_eq!(axes.len(), self.rank(), "permute axes rank mismatch");
+        let mut seen = vec![false; axes.len()];
+        for &a in axes {
+            assert!(a < axes.len() && !seen[a], "invalid permutation {axes:?}");
+            seen[a] = true;
+        }
+        let old_strides = strides_for(&self.shape);
+        let new_shape: Vec<usize> = axes.iter().map(|&a| self.shape[a]).collect();
+        let read_strides: Vec<usize> = axes.iter().map(|&a| old_strides[a]).collect();
+        let n = self.data.len();
+        let mut data = Vec::with_capacity(n);
+        let mut idx = vec![0usize; new_shape.len()];
+        let mut off = 0usize;
+        for _ in 0..n {
+            data.push(self.data[off]);
+            for d in (0..new_shape.len()).rev() {
+                idx[d] += 1;
+                off += read_strides[d];
+                if idx[d] < new_shape[d] {
+                    break;
+                }
+                idx[d] = 0;
+                off -= read_strides[d] * new_shape[d];
+            }
+        }
+        Tensor { shape: new_shape, data }
+    }
+
+    /// Transpose of a 2-D tensor.
+    pub fn transpose2(&self) -> Tensor {
+        assert_eq!(self.rank(), 2);
+        self.permute(&[1, 0])
+    }
+
+    /// Select rows of a 2-D tensor (gather along axis 0).
+    pub fn index_select0(&self, indices: &[usize]) -> Tensor {
+        assert!(self.rank() >= 1);
+        let row_len: usize = self.shape[1..].iter().product();
+        let mut data = Vec::with_capacity(indices.len() * row_len);
+        for &i in indices {
+            assert!(i < self.shape[0], "index {} out of bounds for dim0 {}", i, self.shape[0]);
+            data.extend_from_slice(&self.data[i * row_len..(i + 1) * row_len]);
+        }
+        let mut shape = vec![indices.len()];
+        shape.extend_from_slice(&self.shape[1..]);
+        Tensor { shape, data }
+    }
+
+    /// Concatenate 2-D tensors along the last axis.
+    pub fn concat_cols(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty());
+        let rows = parts[0].shape[0];
+        for p in parts {
+            assert_eq!(p.rank(), 2);
+            assert_eq!(p.shape[0], rows, "concat_cols row mismatch");
+        }
+        let total: usize = parts.iter().map(|p| p.shape[1]).sum();
+        let mut data = Vec::with_capacity(rows * total);
+        for r in 0..rows {
+            for p in parts {
+                data.extend_from_slice(p.row(r));
+            }
+        }
+        Tensor { shape: vec![rows, total], data }
+    }
+
+    /// Stack 1-D tensors of equal length into a 2-D tensor (one per row).
+    pub fn stack_rows(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty());
+        let w = parts[0].len();
+        let mut data = Vec::with_capacity(parts.len() * w);
+        for p in parts {
+            assert_eq!(p.len(), w, "stack_rows length mismatch");
+            data.extend_from_slice(p.data());
+        }
+        Tensor { shape: vec![parts.len(), w], data }
+    }
+
+    /// Softmax along the last axis, numerically stabilized.
+    pub fn softmax_last(&self) -> Tensor {
+        let mut out = self.clone();
+        let w = *self.shape.last().expect("softmax on rank-0 tensor");
+        for chunk in out.data.chunks_mut(w) {
+            let m = chunk.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for x in chunk.iter_mut() {
+                *x = (*x - m).exp();
+                sum += *x;
+            }
+            if sum > 0.0 {
+                for x in chunk.iter_mut() {
+                    *x /= sum;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construct_and_access() {
+        let t = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.at2(1, 2), 6.0);
+        assert_eq!(t.row(0), &[1., 2., 3.]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_length_panics() {
+        let _ = Tensor::from_vec(vec![2, 2], vec![1.0]);
+    }
+
+    #[test]
+    fn broadcast_add_bias() {
+        let x = Tensor::from_vec(vec![2, 3], vec![0., 0., 0., 1., 1., 1.]);
+        let b = Tensor::from_vec(vec![3], vec![10., 20., 30.]);
+        let y = x.broadcast_zip(&b, |a, b| a + b).unwrap();
+        assert_eq!(y.data(), &[10., 20., 30., 11., 21., 31.]);
+    }
+
+    #[test]
+    fn broadcast_3d_mask() {
+        // [2,2,2] + [2,2] broadcasts the mask over the leading (head) dim.
+        let s = Tensor::from_vec(vec![2, 2, 2], vec![1.; 8]);
+        let m = Tensor::from_vec(vec![2, 2], vec![0., -1., -1., 0.]);
+        let y = s.broadcast_zip(&m, |a, b| a + b).unwrap();
+        assert_eq!(y.data(), &[1., 0., 0., 1., 1., 0., 0., 1.]);
+    }
+
+    #[test]
+    fn reduce_to_shape_sums_broadcast_dims() {
+        let g = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let r = g.reduce_to_shape(&[3]);
+        assert_eq!(r.data(), &[5., 7., 9.]);
+        let r0 = g.reduce_to_shape(&[2, 1]);
+        assert_eq!(r0.data(), &[6., 15.]);
+    }
+
+    #[test]
+    fn permute_roundtrip() {
+        let t = Tensor::from_vec(vec![2, 3, 4], (0..24).map(|x| x as f32).collect());
+        let p = t.permute(&[2, 0, 1]);
+        assert_eq!(p.shape(), &[4, 2, 3]);
+        let back = p.permute(&[1, 2, 0]);
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn transpose2_matches_manual() {
+        let t = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let tt = t.transpose2();
+        assert_eq!(tt.shape(), &[3, 2]);
+        assert_eq!(tt.data(), &[1., 4., 2., 5., 3., 6.]);
+    }
+
+    #[test]
+    fn index_select_gathers_rows() {
+        let t = Tensor::from_vec(vec![3, 2], vec![1., 2., 3., 4., 5., 6.]);
+        let s = t.index_select0(&[2, 0, 2]);
+        assert_eq!(s.shape(), &[3, 2]);
+        assert_eq!(s.data(), &[5., 6., 1., 2., 5., 6.]);
+    }
+
+    #[test]
+    fn concat_cols_works() {
+        let a = Tensor::from_vec(vec![2, 1], vec![1., 2.]);
+        let b = Tensor::from_vec(vec![2, 2], vec![3., 4., 5., 6.]);
+        let c = Tensor::concat_cols(&[&a, &b]);
+        assert_eq!(c.shape(), &[2, 3]);
+        assert_eq!(c.data(), &[1., 3., 4., 2., 5., 6.]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., -1., 0., 1.]);
+        let s = t.softmax_last();
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_neg_inf_mask() {
+        let t = Tensor::from_vec(vec![1, 3], vec![0., f32::NEG_INFINITY, 0.]);
+        let s = t.softmax_last();
+        assert!((s.data()[0] - 0.5).abs() < 1e-6);
+        assert_eq!(s.data()[1], 0.0);
+    }
+
+    #[test]
+    fn argmax_and_norm() {
+        let t = Tensor::from_vec(vec![4], vec![0., 3., -5., 1.]);
+        assert_eq!(t.argmax(), 1);
+        assert!((t.norm() - (35.0f32).sqrt()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Fill EXPERIMENTS.md's MEASURED_* placeholders with fenced excerpts from
+quick_results.log (the output of the exp_* suite)."""
+import re
+import sys
+
+LOG = "quick_results.log"
+MD = "EXPERIMENTS.md"
+
+SECTIONS = {
+    "MEASURED_TABLE3": "exp_table3",
+    "MEASURED_TABLE4": "exp_table4",
+    "MEASURED_TABLE5": "exp_table5",
+    "MEASURED_TABLE6": "exp_table6",
+    "MEASURED_TABLE7": "exp_table7",
+    "MEASURED_FIG6": "exp_fig6",
+    "MEASURED_TABLE8": "exp_table8",
+    "MEASURED_TABLE9": "exp_table9",
+    "MEASURED_TABLE10": "exp_table10",
+    "MEASURED_TABLE11": "exp_table11",
+    "MEASURED_FIG7A": "exp_fig7a",
+    "MEASURED_FIG7B": "exp_fig7b",
+    "MEASURED_ABL_CAND": "exp_ablate_candidates",
+    "MEASURED_ABL_MENT": "exp_ablate_mention",
+    "MEASURED_EXT_KB": "exp_ext_kb",
+}
+
+
+def extract(log: str, binary: str) -> str:
+    pat = re.compile(
+        r"^######## " + re.escape(binary) + r" ########$(.*?)^\[" + re.escape(binary),
+        re.S | re.M,
+    )
+    m = pat.search(log)
+    if not m:
+        return "(run the suite to populate)"
+    body = m.group(1)
+    lines = [
+        l.rstrip()
+        for l in body.splitlines()
+        if l.strip()
+        and not l.startswith("+ ")
+        and not l.startswith("[pretrain")
+        and not l.startswith("[cache]")
+        and not l.startswith("warning")
+    ]
+    return "\n```text\n" + "\n".join(lines) + "\n```\n"
+
+
+def main() -> int:
+    log = open(LOG).read()
+    md = open(MD).read()
+    for placeholder, binary in SECTIONS.items():
+        md = md.replace(placeholder, extract(log, binary))
+    open(MD, "w").write(md)
+    print("EXPERIMENTS.md filled from", LOG)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,88 @@
+//! Smoke tests for the `turl` CLI binary: every subcommand runs end-to-end
+//! on a miniature world and produces the expected artifacts.
+
+use std::process::Command;
+
+// The CLI lives in a separate crate; invoke it through cargo instead of
+// CARGO_BIN_EXE (which only works for bins of the same package).
+fn run_turl(args: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO"))
+        .args(["run", "-q", "-p", "turl-cli", "--"])
+        .args(args)
+        .output()
+        .expect("cargo run turl-cli");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+#[test]
+fn cli_world_and_corpus_and_pipeline_roundtrip() {
+    let (ok, text) = run_turl(&["world", "--entities", "300", "--seed", "3"]);
+    assert!(ok, "world failed: {text}");
+    assert!(text.contains("relations"), "{text}");
+
+    let dir = std::env::temp_dir().join("turl_cli_smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    let corpus = dir.join("corpus.json");
+    let (ok, text) = run_turl(&[
+        "corpus",
+        "--entities",
+        "300",
+        "--tables",
+        "80",
+        "--seed",
+        "3",
+        "--out",
+        corpus.to_str().unwrap(),
+    ]);
+    assert!(ok, "corpus failed: {text}");
+    assert!(corpus.exists());
+
+    let ckpt = dir.join("model.json");
+    let (ok, text) = run_turl(&[
+        "pretrain",
+        "--entities",
+        "300",
+        "--tables",
+        "80",
+        "--epochs",
+        "1",
+        "--seed",
+        "3",
+        "--out",
+        ckpt.to_str().unwrap(),
+    ]);
+    assert!(ok, "pretrain failed: {text}");
+    assert!(ckpt.exists());
+
+    // probe can reuse the checkpoint without re-training
+    let (ok, text) = run_turl(&[
+        "probe",
+        "--entities",
+        "300",
+        "--tables",
+        "80",
+        "--seed",
+        "3",
+        "--ckpt",
+        ckpt.to_str().unwrap(),
+    ]);
+    assert!(ok, "probe failed: {text}");
+    assert!(text.contains("accuracy"), "{text}");
+
+    std::fs::remove_file(&corpus).ok();
+    std::fs::remove_file(&ckpt).ok();
+}
+
+#[test]
+fn cli_rejects_bad_arguments() {
+    let (ok, text) = run_turl(&["world", "--entities", "many"]);
+    assert!(!ok);
+    assert!(text.contains("integer"), "{text}");
+    let (ok, _) = run_turl(&["no-such-command"]);
+    assert!(!ok);
+}
