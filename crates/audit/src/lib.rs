@@ -1,0 +1,35 @@
+//! `turl-audit`: static analysis for the TURL workspace.
+//!
+//! Three auditors, all allocation-free with respect to model state:
+//!
+//! * [`ShapeFlow`] ([`shape`]) — a symbolic twin of the autograd graph
+//!   that pushes *shapes* through every op the runtime supports, and
+//!   [`check_model_plan`] ([`plan`]) which replays an entire TURL forward
+//!   pass (embeddings → masked Transformer stack → MLM/MER heads) from a
+//!   [`ModelPlan`] without allocating a single model-sized tensor.
+//! * [`audit_tape`] ([`tape`]) — walks a built `turl_tensor::Graph` and
+//!   verifies the invariants backprop relies on: topological parent
+//!   order, gradient/value shape agreement, no orphaned grad leaves, and
+//!   (optionally) all-finite leaf values.
+//! * [`lint_visibility`] / [`validate_masking_config`] ([`visibility`])
+//!   — re-derive the §4.3 visibility relation independently and compare
+//!   a concrete matrix pair-by-pair; validate the §4.4 MLM/MER masking
+//!   ratios and derive the MER branch fractions (10/63/27 at defaults).
+//!
+//! Every violation is a typed [`AuditError`] naming the op or structure
+//! and the offending dimensions, suitable both for test assertions and
+//! for the `turl audit` CLI gate.
+
+pub mod error;
+pub mod plan;
+pub mod shape;
+pub mod tape;
+pub mod visibility;
+
+pub use error::AuditError;
+pub use plan::{check_model_plan, ModelPlan, PlanReport};
+pub use shape::{SVar, ShapeFlow};
+pub use tape::{audit_tape, TapeReport};
+pub use visibility::{
+    lint_additive_mask, lint_visibility, validate_masking_config, MaskingRatios, VisibilityReport,
+};

@@ -1,0 +1,270 @@
+//! Symbolic validation of a full TURL forward plan.
+//!
+//! [`check_model_plan`] replays the entire `TurlModel` computation —
+//! embedding layer (Eqns. 1–3), `N` visibility-masked Transformer blocks,
+//! and the MLM/MER heads (Eqns. 5–6) — on a [`ShapeFlow`] tape. Only
+//! shapes move; no model-sized tensor is ever allocated, so a
+//! misconfigured model fails in microseconds with a typed error instead
+//! of panicking deep inside a training step.
+
+use crate::error::AuditError;
+use crate::shape::ShapeFlow;
+
+/// Structural description of one forward pass, independent of weights.
+///
+/// `turl-core` adapts a `TurlConfig` plus corpus statistics into this
+/// struct; keeping it plain data avoids a dependency cycle between the
+/// model crate and the auditor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelPlan {
+    /// Encoder depth `N`.
+    pub n_layers: usize,
+    /// Hidden size `d`.
+    pub d_model: usize,
+    /// Feed-forward inner size `d_i`.
+    pub d_intermediate: usize,
+    /// Attention heads `h`.
+    pub n_heads: usize,
+    /// Word vocabulary size.
+    pub n_words: usize,
+    /// Entity vocabulary size (excluding the `[MASK]` row).
+    pub n_entities: usize,
+    /// Position embedding table size.
+    pub max_position: usize,
+    /// Token elements in the sequence being planned.
+    pub n_tokens: usize,
+    /// Entity elements in the sequence being planned.
+    pub n_seq_entities: usize,
+    /// Total mention tokens across the sequence's entities.
+    pub n_mention_tokens: usize,
+    /// Whether the §4.3 visibility mask is applied.
+    pub use_visibility: bool,
+    /// MLM target positions.
+    pub n_mlm_targets: usize,
+    /// MER target positions.
+    pub n_mer_targets: usize,
+    /// MER candidate-set size.
+    pub n_candidates: usize,
+}
+
+/// Outcome of a clean plan check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanReport {
+    /// Linearized sequence length.
+    pub seq_len: usize,
+    /// Symbolic ops replayed.
+    pub n_ops: usize,
+    /// Largest intermediate tensor, in elements (not allocated).
+    pub peak_elements: usize,
+}
+
+fn bad(field: &'static str, detail: String) -> AuditError {
+    AuditError::BadConfig { field, detail }
+}
+
+/// Validate the plan's scalar fields before replaying any ops.
+fn check_plan_fields(p: &ModelPlan) -> Result<(), AuditError> {
+    if p.n_layers == 0 {
+        return Err(bad("n_layers", "encoder needs at least one block".into()));
+    }
+    if p.d_model == 0 || p.d_intermediate == 0 {
+        return Err(bad("d_model/d_intermediate", "hidden sizes must be positive".into()));
+    }
+    if p.n_heads == 0 || !p.d_model.is_multiple_of(p.n_heads) {
+        return Err(bad(
+            "d_model % n_heads",
+            format!("d_model {} not divisible by n_heads {}", p.d_model, p.n_heads),
+        ));
+    }
+    if p.n_words == 0 {
+        return Err(bad("n_words", "empty word vocabulary".into()));
+    }
+    if p.max_position == 0 {
+        return Err(bad("max_position", "position table cannot be empty".into()));
+    }
+    if p.n_tokens + p.n_seq_entities == 0 {
+        return Err(bad("sequence", "a plan needs tokens or entities".into()));
+    }
+    if p.n_mlm_targets > p.n_tokens {
+        return Err(bad(
+            "n_mlm_targets",
+            format!("{} MLM targets but only {} tokens", p.n_mlm_targets, p.n_tokens),
+        ));
+    }
+    if p.n_mer_targets > p.n_seq_entities {
+        return Err(bad(
+            "n_mer_targets",
+            format!("{} MER targets but only {} entities", p.n_mer_targets, p.n_seq_entities),
+        ));
+    }
+    if p.n_mer_targets > 0 && p.n_candidates == 0 {
+        return Err(bad("n_candidates", "MER targets need a non-empty candidate set".into()));
+    }
+    Ok(())
+}
+
+/// Symbolically execute the full forward pass described by `plan`.
+///
+/// Mirrors `TurlModel::embed` / `encode` / `mlm_logits` / `mer_logits`
+/// op for op; any dimension that the runtime would assert on surfaces
+/// here as a typed [`AuditError`] naming the op and the offending dims.
+pub fn check_model_plan(plan: &ModelPlan) -> Result<PlanReport, AuditError> {
+    check_plan_fields(plan)?;
+    let p = *plan;
+    let d = p.d_model;
+    let n = p.n_tokens + p.n_seq_entities;
+    let mut f = ShapeFlow::new();
+
+    // Embedding tables, as shapes only.
+    let word_emb = f.source(vec![p.n_words, d]);
+    let token_type_emb = f.source(vec![2, d]);
+    let pos_emb = f.source(vec![p.max_position, d]);
+    let ent_emb = f.source(vec![p.n_entities + 1, d]);
+    let ent_type_emb = f.source(vec![3, d]);
+
+    let mut parts = Vec::new();
+    if p.n_tokens > 0 {
+        // Worst-case gather indices exercise the upper bound of each table.
+        let w = f.index_select0(word_emb, &vec![p.n_words - 1; p.n_tokens])?;
+        let t = f.index_select0(token_type_emb, &vec![1; p.n_tokens])?;
+        // Runtime clamps positions to max_position - 1; mirror the clamp.
+        let pos = f.index_select0(pos_emb, &vec![p.max_position - 1; p.n_tokens])?;
+        let wt = f.add(w, t)?;
+        parts.push(f.add(wt, pos)?);
+    }
+    if p.n_seq_entities > 0 {
+        let ee = f.index_select0(ent_emb, &vec![p.n_entities; p.n_seq_entities])?;
+        let em = if p.n_mention_tokens > 0 {
+            let rows = f.index_select0(word_emb, &vec![p.n_words - 1; p.n_mention_tokens])?;
+            let avg = f.source(vec![p.n_seq_entities, p.n_mention_tokens]);
+            f.matmul(avg, rows)?
+        } else {
+            f.source(vec![p.n_seq_entities, d])
+        };
+        let cat = f.concat_cols(&[ee, em])?;
+        let fused = f.linear(cat, 2 * d, d)?;
+        let te = f.index_select0(ent_type_emb, &vec![2; p.n_seq_entities])?;
+        parts.push(f.add(fused, te)?);
+    }
+    let x = if parts.len() == 1 { parts[0] } else { f.concat_rows(&parts)? };
+    let gamma = f.source(vec![d]);
+    let beta = f.source(vec![d]);
+    let mut h = f.layer_norm(x, gamma, beta)?;
+
+    let mask = if p.use_visibility { Some(f.source(vec![n, n])) } else { None };
+    for _ in 0..p.n_layers {
+        let att = f.masked_attention(h, p.n_heads, mask)?;
+        let res1 = f.add(h, att)?;
+        let (g1, b1) = (f.source(vec![d]), f.source(vec![d]));
+        let h1 = f.layer_norm(res1, g1, b1)?;
+        let ff1 = f.linear(h1, d, p.d_intermediate)?;
+        let act = f.unary("gelu", ff1);
+        let ff2 = f.linear(act, p.d_intermediate, d)?;
+        let res2 = f.add(h1, ff2)?;
+        let (g2, b2) = (f.source(vec![d]), f.source(vec![d]));
+        h = f.layer_norm(res2, g2, b2)?;
+    }
+
+    if p.n_mlm_targets > 0 {
+        // MLM rows index token positions (< n_tokens ≤ n).
+        let sel = f.index_select0(h, &vec![p.n_tokens - 1; p.n_mlm_targets])?;
+        let proj = f.linear(sel, d, d)?;
+        let logits = f.matmul_nt(proj, word_emb)?;
+        f.cross_entropy(logits, p.n_mlm_targets, Some(p.n_words - 1))?;
+    }
+    if p.n_mer_targets > 0 {
+        // MER rows index entity positions (≥ n_tokens, < n).
+        let sel = f.index_select0(h, &vec![n - 1; p.n_mer_targets])?;
+        let proj = f.linear(sel, d, d)?;
+        // Candidate ids are shifted by one past the [MASK] row.
+        let cand = f.index_select0(ent_emb, &vec![p.n_entities; p.n_candidates])?;
+        let logits = f.matmul_nt(proj, cand)?;
+        f.cross_entropy(logits, p.n_mer_targets, Some(p.n_candidates - 1))?;
+    }
+
+    Ok(PlanReport { seq_len: n, n_ops: f.n_ops(), peak_elements: f.peak_elements() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's TinyBERT configuration at a realistic sequence size.
+    fn paper_plan() -> ModelPlan {
+        ModelPlan {
+            n_layers: 4,
+            d_model: 312,
+            d_intermediate: 1200,
+            n_heads: 12,
+            n_words: 30522,
+            n_entities: 926135,
+            max_position: 64,
+            n_tokens: 24,
+            n_seq_entities: 20,
+            n_mention_tokens: 40,
+            use_visibility: true,
+            n_mlm_targets: 5,
+            n_mer_targets: 12,
+            n_candidates: 64,
+        }
+    }
+
+    #[test]
+    fn paper_configuration_checks_clean() {
+        let report = check_model_plan(&paper_plan()).expect("paper config is valid");
+        assert_eq!(report.seq_len, 44);
+        // Four blocks plus embedding and both heads: a real tape.
+        assert!(report.n_ops > 50);
+        // The entity table [926136, 312] dominates the symbolic peak.
+        assert!(report.peak_elements >= (926135 + 1) * 312);
+    }
+
+    #[test]
+    fn indivisible_heads_fail_before_any_ops() {
+        let plan = ModelPlan { n_heads: 5, ..paper_plan() };
+        match check_model_plan(&plan).expect_err("312 % 5 != 0") {
+            AuditError::BadConfig { field, .. } => assert_eq!(field, "d_model % n_heads"),
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn too_many_targets_fail() {
+        let plan = ModelPlan { n_mlm_targets: 25, ..paper_plan() };
+        assert!(matches!(
+            check_model_plan(&plan),
+            Err(AuditError::BadConfig { field: "n_mlm_targets", .. })
+        ));
+        let plan = ModelPlan { n_mer_targets: 21, ..paper_plan() };
+        assert!(matches!(
+            check_model_plan(&plan),
+            Err(AuditError::BadConfig { field: "n_mer_targets", .. })
+        ));
+    }
+
+    #[test]
+    fn mer_without_candidates_fails() {
+        let plan = ModelPlan { n_candidates: 0, ..paper_plan() };
+        assert!(matches!(
+            check_model_plan(&plan),
+            Err(AuditError::BadConfig { field: "n_candidates", .. })
+        ));
+    }
+
+    #[test]
+    fn token_only_and_entity_only_sequences_check() {
+        let t =
+            ModelPlan { n_seq_entities: 0, n_mention_tokens: 0, n_mer_targets: 0, ..paper_plan() };
+        assert!(check_model_plan(&t).is_ok());
+        let e = ModelPlan { n_tokens: 0, n_mlm_targets: 0, ..paper_plan() };
+        assert!(check_model_plan(&e).is_ok());
+        let empty = ModelPlan { n_tokens: 0, n_seq_entities: 0, ..t };
+        assert!(check_model_plan(&empty).is_err());
+    }
+
+    #[test]
+    fn empty_mentions_are_tolerated() {
+        let plan = ModelPlan { n_mention_tokens: 0, ..paper_plan() };
+        assert!(check_model_plan(&plan).is_ok());
+    }
+}

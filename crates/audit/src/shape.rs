@@ -1,0 +1,592 @@
+//! Symbolic shape-flow checking.
+//!
+//! [`ShapeFlow`] is a zero-allocation twin of `turl_tensor::Graph`: it
+//! carries only *shapes* through the same op vocabulary, so an entire
+//! model forward pass can be validated from a config without touching a
+//! single `f32`. Each mirrored op enforces exactly the precondition the
+//! runtime op asserts, but returns a typed [`AuditError`] instead of
+//! panicking mid-training.
+
+use crate::error::AuditError;
+use turl_tensor::broadcast_shape;
+
+/// Symbolic variable: a handle to a shape on a [`ShapeFlow`] tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SVar(usize);
+
+/// One symbolic node: the op that produced it and its inferred shape.
+#[derive(Debug, Clone)]
+struct SNode {
+    op: &'static str,
+    shape: Vec<usize>,
+}
+
+/// A symbolic tape of shapes mirroring `turl_tensor::Graph`.
+///
+/// Every method corresponds 1:1 to a `Graph` op and performs the same
+/// shape validation that op's runtime asserts would, without allocating
+/// tensor storage.
+#[derive(Debug, Default)]
+pub struct ShapeFlow {
+    nodes: Vec<SNode>,
+}
+
+impl ShapeFlow {
+    /// Empty symbolic tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of symbolic ops recorded so far.
+    pub fn n_ops(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Inferred shape of a symbolic variable.
+    pub fn shape(&self, v: SVar) -> &[usize] {
+        &self.nodes[v.0].shape
+    }
+
+    /// Name of the op that produced `v`.
+    pub fn op(&self, v: SVar) -> &'static str {
+        self.nodes[v.0].op
+    }
+
+    /// Largest single-tensor element count appearing anywhere on the tape.
+    ///
+    /// This is the symbolic analogue of peak per-tensor memory; it lets a
+    /// plan report state how big the intermediates would be without ever
+    /// allocating them.
+    pub fn peak_elements(&self) -> usize {
+        self.nodes.iter().map(|n| n.shape.iter().product::<usize>()).max().unwrap_or(0)
+    }
+
+    fn push(&mut self, op: &'static str, shape: Vec<usize>) -> SVar {
+        self.nodes.push(SNode { op, shape });
+        SVar(self.nodes.len() - 1)
+    }
+
+    fn mismatch(&self, op: &'static str, vars: &[SVar], detail: String) -> AuditError {
+        AuditError::ShapeMismatch {
+            op,
+            shapes: vars.iter().map(|&v| self.shape(v).to_vec()).collect(),
+            detail,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Sources
+    // ------------------------------------------------------------------
+
+    /// Introduce a tensor of the given shape (leaf or constant alike —
+    /// gradient flow is irrelevant to shape inference).
+    pub fn source(&mut self, shape: Vec<usize>) -> SVar {
+        self.push("source", shape)
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise (broadcasting)
+    // ------------------------------------------------------------------
+
+    fn broadcast_op(&mut self, op: &'static str, a: SVar, b: SVar) -> Result<SVar, AuditError> {
+        match broadcast_shape(self.shape(a), self.shape(b)) {
+            Ok(shape) => Ok(self.push(op, shape)),
+            Err(e) => Err(self.mismatch(op, &[a, b], e.to_string())),
+        }
+    }
+
+    /// Mirror of `Graph::add` (broadcasting elementwise sum).
+    pub fn add(&mut self, a: SVar, b: SVar) -> Result<SVar, AuditError> {
+        self.broadcast_op("add", a, b)
+    }
+
+    /// Mirror of `Graph::sub`.
+    pub fn sub(&mut self, a: SVar, b: SVar) -> Result<SVar, AuditError> {
+        self.broadcast_op("sub", a, b)
+    }
+
+    /// Mirror of `Graph::mul`.
+    pub fn mul(&mut self, a: SVar, b: SVar) -> Result<SVar, AuditError> {
+        self.broadcast_op("mul", a, b)
+    }
+
+    /// Mirror of `Graph::scale` / `add_scalar` / `neg` and all unary
+    /// activations (`relu`, `gelu`, `tanh`, `sigmoid`): shape-preserving.
+    pub fn unary(&mut self, op: &'static str, a: SVar) -> SVar {
+        let shape = self.shape(a).to_vec();
+        self.push(op, shape)
+    }
+
+    // ------------------------------------------------------------------
+    // Linear algebra
+    // ------------------------------------------------------------------
+
+    fn require_rank(&self, op: &'static str, v: SVar, rank: usize) -> Result<&[usize], AuditError> {
+        let s = self.shape(v);
+        if s.len() != rank {
+            return Err(self.mismatch(op, &[v], format!("expected rank {rank}, got {:?}", s)));
+        }
+        Ok(s)
+    }
+
+    /// Mirror of `Graph::matmul`: `[m, k] · [k, n] -> [m, n]`.
+    pub fn matmul(&mut self, a: SVar, b: SVar) -> Result<SVar, AuditError> {
+        let sa = self.require_rank("matmul", a, 2)?.to_vec();
+        let sb = self.require_rank("matmul", b, 2)?.to_vec();
+        if sa[1] != sb[0] {
+            return Err(self.mismatch(
+                "matmul",
+                &[a, b],
+                format!("inner dims {} vs {}", sa[1], sb[0]),
+            ));
+        }
+        Ok(self.push("matmul", vec![sa[0], sb[1]]))
+    }
+
+    /// Mirror of `Graph::matmul_nt`: `[m, k] · [n, k]ᵀ -> [m, n]`.
+    pub fn matmul_nt(&mut self, a: SVar, b: SVar) -> Result<SVar, AuditError> {
+        let sa = self.require_rank("matmul_nt", a, 2)?.to_vec();
+        let sb = self.require_rank("matmul_nt", b, 2)?.to_vec();
+        if sa[1] != sb[1] {
+            return Err(self.mismatch(
+                "matmul_nt",
+                &[a, b],
+                format!("inner dims {} vs {}", sa[1], sb[1]),
+            ));
+        }
+        Ok(self.push("matmul_nt", vec![sa[0], sb[0]]))
+    }
+
+    /// Mirror of `Graph::bmm`: `[b, m, k] · [b, k, n] -> [b, m, n]`.
+    pub fn bmm(&mut self, a: SVar, b: SVar) -> Result<SVar, AuditError> {
+        let sa = self.require_rank("bmm", a, 3)?.to_vec();
+        let sb = self.require_rank("bmm", b, 3)?.to_vec();
+        if sa[0] != sb[0] {
+            return Err(self.mismatch(
+                "bmm",
+                &[a, b],
+                format!("batch dims {} vs {}", sa[0], sb[0]),
+            ));
+        }
+        if sa[2] != sb[1] {
+            return Err(self.mismatch(
+                "bmm",
+                &[a, b],
+                format!("inner dims {} vs {}", sa[2], sb[1]),
+            ));
+        }
+        Ok(self.push("bmm", vec![sa[0], sa[1], sb[2]]))
+    }
+
+    /// Mirror of `Graph::bmm_nt`: `[b, m, k] · [b, n, k]ᵀ -> [b, m, n]`.
+    pub fn bmm_nt(&mut self, a: SVar, b: SVar) -> Result<SVar, AuditError> {
+        let sa = self.require_rank("bmm_nt", a, 3)?.to_vec();
+        let sb = self.require_rank("bmm_nt", b, 3)?.to_vec();
+        if sa[0] != sb[0] {
+            return Err(self.mismatch(
+                "bmm_nt",
+                &[a, b],
+                format!("batch dims {} vs {}", sa[0], sb[0]),
+            ));
+        }
+        if sa[2] != sb[2] {
+            return Err(self.mismatch(
+                "bmm_nt",
+                &[a, b],
+                format!("inner dims {} vs {}", sa[2], sb[2]),
+            ));
+        }
+        Ok(self.push("bmm_nt", vec![sa[0], sa[1], sb[1]]))
+    }
+
+    /// Mirror of `Graph::permute`: `axes` must be a permutation of `0..rank`.
+    pub fn permute(&mut self, a: SVar, axes: &[usize]) -> Result<SVar, AuditError> {
+        let s = self.shape(a).to_vec();
+        let mut seen = vec![false; s.len()];
+        let valid = axes.len() == s.len()
+            && axes.iter().all(|&ax| {
+                if ax >= s.len() || seen[ax] {
+                    false
+                } else {
+                    seen[ax] = true;
+                    true
+                }
+            });
+        if !valid {
+            return Err(self.mismatch(
+                "permute",
+                &[a],
+                format!("axes {axes:?} is not a permutation of 0..{}", s.len()),
+            ));
+        }
+        let shape = axes.iter().map(|&ax| s[ax]).collect();
+        Ok(self.push("permute", shape))
+    }
+
+    /// Mirror of `Graph::reshape`: element counts must agree.
+    pub fn reshape(&mut self, a: SVar, shape: Vec<usize>) -> Result<SVar, AuditError> {
+        let old: usize = self.shape(a).iter().product();
+        let new: usize = shape.iter().product();
+        if old != new {
+            return Err(self.mismatch(
+                "reshape",
+                &[a],
+                format!("cannot reshape {} elements into {:?} ({} elements)", old, shape, new),
+            ));
+        }
+        Ok(self.push("reshape", shape))
+    }
+
+    // ------------------------------------------------------------------
+    // Normalisation / reductions
+    // ------------------------------------------------------------------
+
+    /// Mirror of `Graph::softmax_last` (shape-preserving, rank ≥ 1).
+    pub fn softmax_last(&mut self, a: SVar) -> Result<SVar, AuditError> {
+        if self.shape(a).is_empty() {
+            return Err(self.mismatch("softmax_last", &[a], "rank 0 tensor".into()));
+        }
+        Ok(self.unary("softmax_last", a))
+    }
+
+    /// Mirror of `Graph::layer_norm`: `gamma`/`beta` must be `[d]` where
+    /// `d` is the last dim of `x`.
+    pub fn layer_norm(&mut self, x: SVar, gamma: SVar, beta: SVar) -> Result<SVar, AuditError> {
+        let sx = self.shape(x).to_vec();
+        let Some(&d) = sx.last() else {
+            return Err(self.mismatch("layer_norm", &[x], "rank 0 input".into()));
+        };
+        for (name, v) in [("gamma", gamma), ("beta", beta)] {
+            let s = self.shape(v);
+            if s != [d] {
+                return Err(self.mismatch(
+                    "layer_norm",
+                    &[x, v],
+                    format!("{name} shape {s:?} != [{d}]"),
+                ));
+            }
+        }
+        Ok(self.push("layer_norm", sx))
+    }
+
+    /// Mirror of `Graph::index_select0`: gathers rows of a rank ≥ 1 tensor.
+    pub fn index_select0(&mut self, a: SVar, indices: &[usize]) -> Result<SVar, AuditError> {
+        let s = self.shape(a).to_vec();
+        if s.is_empty() {
+            return Err(self.mismatch("index_select0", &[a], "rank 0 input".into()));
+        }
+        if let Some(&bad) = indices.iter().find(|&&i| i >= s[0]) {
+            return Err(AuditError::IndexOutOfRange { op: "index_select0", index: bad, len: s[0] });
+        }
+        let mut shape = s;
+        shape[0] = indices.len();
+        Ok(self.push("index_select0", shape))
+    }
+
+    /// Mirror of `Graph::mean_rows`: `[n, d] -> [d]`.
+    pub fn mean_rows(&mut self, a: SVar) -> Result<SVar, AuditError> {
+        let s = self.require_rank("mean_rows", a, 2)?.to_vec();
+        Ok(self.push("mean_rows", vec![s[1]]))
+    }
+
+    /// Mirror of `Graph::sum_all` / `mean_all`: any shape to scalar `[1]`.
+    pub fn reduce_all(&mut self, op: &'static str, _a: SVar) -> SVar {
+        self.push(op, vec![1])
+    }
+
+    /// Mirror of `Graph::concat_cols`: 2-D parts, equal row counts.
+    pub fn concat_cols(&mut self, parts: &[SVar]) -> Result<SVar, AuditError> {
+        let first = self.require_rank("concat_cols", parts[0], 2)?.to_vec();
+        let mut width = first[1];
+        for &p in &parts[1..] {
+            let s = self.require_rank("concat_cols", p, 2)?;
+            if s[0] != first[0] {
+                return Err(self.mismatch(
+                    "concat_cols",
+                    parts,
+                    format!("row counts {} vs {}", first[0], s[0]),
+                ));
+            }
+            width += s[1];
+        }
+        Ok(self.push("concat_cols", vec![first[0], width]))
+    }
+
+    /// Mirror of `Graph::concat_rows`: 2-D parts, equal widths.
+    pub fn concat_rows(&mut self, parts: &[SVar]) -> Result<SVar, AuditError> {
+        let first = self.require_rank("concat_rows", parts[0], 2)?.to_vec();
+        let mut rows = first[0];
+        for &p in &parts[1..] {
+            let s = self.require_rank("concat_rows", p, 2)?;
+            if s[1] != first[1] {
+                return Err(self.mismatch(
+                    "concat_rows",
+                    parts,
+                    format!("widths {} vs {}", first[1], s[1]),
+                ));
+            }
+            rows += s[0];
+        }
+        Ok(self.push("concat_rows", vec![rows, first[1]]))
+    }
+
+    /// Mirror of `Graph::stack_rows`: 1-D parts of equal length to `[n, d]`.
+    pub fn stack_rows(&mut self, parts: &[SVar]) -> Result<SVar, AuditError> {
+        let first = self.require_rank("stack_rows", parts[0], 1)?.to_vec();
+        for &p in &parts[1..] {
+            let s = self.require_rank("stack_rows", p, 1)?;
+            if s[0] != first[0] {
+                return Err(self.mismatch(
+                    "stack_rows",
+                    parts,
+                    format!("lengths {} vs {}", first[0], s[0]),
+                ));
+            }
+        }
+        Ok(self.push("stack_rows", vec![parts.len(), first[0]]))
+    }
+
+    // ------------------------------------------------------------------
+    // Losses
+    // ------------------------------------------------------------------
+
+    /// Mirror of `Graph::cross_entropy`: `[n, c]` logits vs `n` class
+    /// targets, each `< c`; yields a scalar `[1]`.
+    pub fn cross_entropy(
+        &mut self,
+        logits: SVar,
+        n_targets: usize,
+        max_target: Option<usize>,
+    ) -> Result<SVar, AuditError> {
+        let s = self.require_rank("cross_entropy", logits, 2)?.to_vec();
+        if s[0] != n_targets {
+            return Err(self.mismatch(
+                "cross_entropy",
+                &[logits],
+                format!("{} logit rows vs {} targets", s[0], n_targets),
+            ));
+        }
+        if let Some(t) = max_target {
+            if t >= s[1] {
+                return Err(AuditError::IndexOutOfRange {
+                    op: "cross_entropy",
+                    index: t,
+                    len: s[1],
+                });
+            }
+        }
+        Ok(self.push("cross_entropy", vec![1]))
+    }
+
+    /// Mirror of `Graph::bce_with_logits`: targets must match logits' shape.
+    pub fn bce_with_logits(
+        &mut self,
+        logits: SVar,
+        target_shape: &[usize],
+    ) -> Result<SVar, AuditError> {
+        if self.shape(logits) != target_shape {
+            let detail = format!("target shape {target_shape:?} != logits");
+            return Err(self.mismatch("bce_with_logits", &[logits], detail));
+        }
+        Ok(self.push("bce_with_logits", vec![1]))
+    }
+
+    // ------------------------------------------------------------------
+    // Composites mirroring turl-nn layers
+    // ------------------------------------------------------------------
+
+    /// Mirror of `turl_nn::Linear::forward`: `[n, d_in] · W[d_in, d_out] + b`.
+    pub fn linear(&mut self, x: SVar, d_in: usize, d_out: usize) -> Result<SVar, AuditError> {
+        let w = self.source(vec![d_in, d_out]);
+        let b = self.source(vec![d_out]);
+        let y = self.matmul(x, w)?;
+        self.add(y, b)
+    }
+
+    /// Mirror of `turl_nn::MultiHeadAttention::forward` with an optional
+    /// additive `[n, n]` mask: the exact reshape/permute/bmm pipeline.
+    pub fn masked_attention(
+        &mut self,
+        x: SVar,
+        n_heads: usize,
+        mask: Option<SVar>,
+    ) -> Result<SVar, AuditError> {
+        let s = self.require_rank("attention", x, 2)?.to_vec();
+        let (n, d) = (s[0], s[1]);
+        if n_heads == 0 || d % n_heads != 0 {
+            return Err(AuditError::BadConfig {
+                field: "d_model % n_heads",
+                detail: format!("d_model {d} not divisible by n_heads {n_heads}"),
+            });
+        }
+        let dh = d / n_heads;
+        // q/k/v projections, then split heads: [n, d] -> [n, h, dh] -> [h, n, dh].
+        let mut heads = Vec::with_capacity(3);
+        for _ in 0..3 {
+            let proj = self.linear(x, d, d)?;
+            let split = self.reshape(proj, vec![n, n_heads, dh])?;
+            heads.push(self.permute(split, &[1, 0, 2])?);
+        }
+        let (q, k, v) = (heads[0], heads[1], heads[2]);
+        let scores = self.bmm_nt(q, k)?; // [h, n, n]
+        let scaled = self.unary("scale", scores);
+        let attended = match mask {
+            Some(m) => {
+                let sm = self.shape(m);
+                if sm != [n, n] {
+                    return Err(self.mismatch(
+                        "attention_mask",
+                        &[m],
+                        format!("mask shape {sm:?} != [{n}, {n}]"),
+                    ));
+                }
+                // [n, n] broadcasts over the head axis of [h, n, n].
+                self.add(scaled, m)?
+            }
+            None => scaled,
+        };
+        let weights = self.softmax_last(attended)?;
+        let ctx = self.bmm(weights, v)?; // [h, n, dh]
+        let merged = self.permute(ctx, &[1, 0, 2])?;
+        let flat = self.reshape(merged, vec![n, d])?;
+        self.linear(flat, d, d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_infers_product_shape() {
+        let mut f = ShapeFlow::new();
+        let a = f.source(vec![4, 312]);
+        let b = f.source(vec![312, 1200]);
+        let c = f.matmul(a, b).expect("shapes compatible");
+        assert_eq!(f.shape(c), &[4, 1200]);
+    }
+
+    #[test]
+    fn matmul_rejects_inner_dim_mismatch() {
+        let mut f = ShapeFlow::new();
+        let a = f.source(vec![4, 312]);
+        let b = f.source(vec![300, 1200]);
+        let err = f.matmul(a, b).expect_err("inner dims differ");
+        match err {
+            AuditError::ShapeMismatch { op, shapes, detail } => {
+                assert_eq!(op, "matmul");
+                assert_eq!(shapes, vec![vec![4, 312], vec![300, 1200]]);
+                assert!(detail.contains("312") && detail.contains("300"));
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn broadcast_add_follows_numpy_rules() {
+        let mut f = ShapeFlow::new();
+        let a = f.source(vec![12, 8, 8]);
+        let b = f.source(vec![8, 8]);
+        let c = f.add(a, b).expect("broadcastable");
+        assert_eq!(f.shape(c), &[12, 8, 8]);
+
+        let bad = f.source(vec![7, 8]);
+        assert!(f.add(a, bad).is_err());
+    }
+
+    #[test]
+    fn permute_validates_axes() {
+        let mut f = ShapeFlow::new();
+        let a = f.source(vec![2, 3, 4]);
+        let p = f.permute(a, &[1, 0, 2]).expect("valid permutation");
+        assert_eq!(f.shape(p), &[3, 2, 4]);
+        assert!(f.permute(a, &[0, 0, 2]).is_err());
+        assert!(f.permute(a, &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn reshape_checks_element_count() {
+        let mut f = ShapeFlow::new();
+        let a = f.source(vec![6, 4]);
+        assert!(f.reshape(a, vec![8, 3]).is_ok());
+        assert!(f.reshape(a, vec![5, 5]).is_err());
+    }
+
+    #[test]
+    fn index_select_rejects_out_of_range_rows() {
+        let mut f = ShapeFlow::new();
+        let a = f.source(vec![10, 312]);
+        let ok = f.index_select0(a, &[0, 9, 3]).expect("in range");
+        assert_eq!(f.shape(ok), &[3, 312]);
+        match f.index_select0(a, &[0, 10]).expect_err("row 10 invalid") {
+            AuditError::IndexOutOfRange { index, len, .. } => {
+                assert_eq!((index, len), (10, 10));
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn attention_matches_runtime_pipeline_shape() {
+        let mut f = ShapeFlow::new();
+        let x = f.source(vec![20, 312]);
+        let m = f.source(vec![20, 20]);
+        let y = f.masked_attention(x, 12, Some(m)).expect("valid attention");
+        assert_eq!(f.shape(y), &[20, 312]);
+    }
+
+    #[test]
+    fn attention_rejects_indivisible_heads() {
+        let mut f = ShapeFlow::new();
+        let x = f.source(vec![20, 312]);
+        match f.masked_attention(x, 5, None).expect_err("312 % 5 != 0") {
+            AuditError::BadConfig { field, .. } => assert_eq!(field, "d_model % n_heads"),
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn attention_rejects_wrong_mask_shape() {
+        let mut f = ShapeFlow::new();
+        let x = f.source(vec![20, 312]);
+        let m = f.source(vec![19, 20]);
+        assert!(f.masked_attention(x, 12, Some(m)).is_err());
+    }
+
+    #[test]
+    fn cross_entropy_checks_rows_and_target_range() {
+        let mut f = ShapeFlow::new();
+        let logits = f.source(vec![5, 100]);
+        assert!(f.cross_entropy(logits, 5, Some(99)).is_ok());
+        assert!(f.cross_entropy(logits, 4, None).is_err());
+        assert!(f.cross_entropy(logits, 5, Some(100)).is_err());
+    }
+
+    #[test]
+    fn concat_and_stack_validate_partner_dims() {
+        let mut f = ShapeFlow::new();
+        let a = f.source(vec![4, 8]);
+        let b = f.source(vec![4, 3]);
+        let cat = f.concat_cols(&[a, b]).expect("same rows");
+        assert_eq!(f.shape(cat), &[4, 11]);
+
+        let c = f.source(vec![5, 8]);
+        assert!(f.concat_cols(&[a, c]).is_err());
+        let rows = f.concat_rows(&[a, c]).expect("same width");
+        assert_eq!(f.shape(rows), &[9, 8]);
+
+        let v1 = f.source(vec![8]);
+        let v2 = f.source(vec![8]);
+        let st = f.stack_rows(&[v1, v2]).expect("same length");
+        assert_eq!(f.shape(st), &[2, 8]);
+    }
+
+    #[test]
+    fn peak_elements_tracks_largest_intermediate() {
+        let mut f = ShapeFlow::new();
+        let x = f.source(vec![20, 312]);
+        f.masked_attention(x, 12, None).expect("valid");
+        // Largest intermediate in attention at n=20, h=12 is [12, 20, 20].
+        assert!(f.peak_elements() >= 12 * 20 * 20);
+    }
+}

@@ -64,10 +64,21 @@ impl BertStyleRe {
         let word_emb = Embedding::new(&mut store, &mut rng, "bert.word_emb", vocab.len(), d);
         let pos_emb = Embedding::new(&mut store, &mut rng, "bert.pos_emb", cfg.max_tokens, d);
         let blocks = (0..cfg.encoder.n_layers)
-            .map(|i| TransformerBlock::new(&mut store, &mut rng, &format!("bert.b{i}"), &cfg.encoder))
+            .map(|i| {
+                TransformerBlock::new(&mut store, &mut rng, &format!("bert.b{i}"), &cfg.encoder)
+            })
             .collect();
         let head = Linear::new(&mut store, &mut rng, "bert.head", d, n_labels, true);
-        Self { cfg, store, word_emb, pos_emb, blocks, head, n_labels, cls_id: vocab.cls_id() as usize }
+        Self {
+            cfg,
+            store,
+            word_emb,
+            pos_emb,
+            blocks,
+            head,
+            n_labels,
+            cls_id: vocab.cls_id() as usize,
+        }
     }
 
     /// `[CLS] caption subject-header object-header` token ids.
@@ -145,7 +156,7 @@ impl BertStyleRe {
                 self.store = store;
                 step_count += 1;
                 if let Some((eval_tables, eval_ex, every)) = curve_eval {
-                    if step_count % every == 0 {
+                    if step_count.is_multiple_of(every) {
                         curve.push(self.map(vocab, eval_tables, eval_ex));
                     }
                 }
@@ -173,8 +184,7 @@ impl BertStyleRe {
         let mut acc = PrfAccumulator::new();
         for ex in examples {
             let scores = self.score(vocab, tables, ex);
-            let mut pred: Vec<usize> =
-                (0..scores.len()).filter(|&i| scores[i] > 0.0).collect();
+            let mut pred: Vec<usize> = (0..scores.len()).filter(|&i| scores[i] > 0.0).collect();
             if pred.is_empty() {
                 let best = scores
                     .iter()
@@ -238,7 +248,8 @@ mod tests {
         let vocab = Vocab::build(texts.iter().map(String::as_str), 1);
         let task = build_relation_task(&kb, &splits.train, &splits.validation, &splits.test, 3, 2);
         assert!(!task.train.is_empty());
-        let mut model = BertStyleRe::new(BertReConfig::default(), &vocab, task.label_relations.len());
+        let mut model =
+            BertStyleRe::new(BertReConfig::default(), &vocab, task.label_relations.len());
         let n = task.train.len().min(60);
         let map_before = model.map(&vocab, &splits.train, &task.train[..n]);
         model.train_with_curve(&vocab, &splits.train, &task.train[..n], 8, None);

@@ -17,8 +17,7 @@ fn rank_by<F: Fn(&str) -> f64>(ex: &CellFillingExample, sim: F) -> Vec<EntityId>
         .candidates
         .iter()
         .map(|(e, headers)| {
-            let best =
-                headers.iter().map(|h| sim(h)).fold(f64::NEG_INFINITY, f64::max);
+            let best = headers.iter().map(|h| sim(h)).fold(f64::NEG_INFINITY, f64::max);
             (*e, best)
         })
         .collect();
@@ -128,10 +127,8 @@ mod tests {
         };
         let cooccur = CooccurrenceIndex::build(&[t("a", "director"), t("b", "directed by")]);
         let mut ex = example();
-        ex.candidates = vec![
-            (9, vec!["language".to_string()]),
-            (11, vec!["directed by".to_string()]),
-        ];
+        ex.candidates =
+            vec![(9, vec!["language".to_string()]), (11, vec!["directed by".to_string()])];
         let ranked = rank_h2h(&ex, &cooccur);
         assert_eq!(ranked[0], 11, "synonym header should win via P(h'|h)");
     }
@@ -160,8 +157,10 @@ mod tests {
             tables.push(t(&format!("a{i}"), &["film", "director", "language"]));
             tables.push(t(&format!("b{i}"), &["player", "team", "city"]));
         }
-        let space =
-            HeaderSpace::train(&tables, &SkipGramConfig { dim: 16, epochs: 6, ..Default::default() });
+        let space = HeaderSpace::train(
+            &tables,
+            &SkipGramConfig { dim: 16, epochs: 6, ..Default::default() },
+        );
         let same_domain = space.similarity("film", "director");
         let cross_domain = space.similarity("film", "team");
         assert!(

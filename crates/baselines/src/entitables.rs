@@ -52,14 +52,8 @@ impl EntiTables {
     /// `P(term | entity)` with Dirichlet smoothing against the background
     /// caption language model.
     fn p_term(&self, e: EntityId, term: &str) -> f64 {
-        let bg = self.background.get(term).copied().unwrap_or(0.0)
-            / self.background_total.max(1.0);
-        let cnt = self
-            .term_counts
-            .get(&e)
-            .and_then(|c| c.get(term))
-            .copied()
-            .unwrap_or(0.0);
+        let bg = self.background.get(term).copied().unwrap_or(0.0) / self.background_total.max(1.0);
+        let cnt = self.term_counts.get(&e).and_then(|c| c.get(term)).copied().unwrap_or(0.0);
         let total = self.term_totals.get(&e).copied().unwrap_or(0.0);
         (cnt + self.mu * bg) / (total + self.mu)
     }

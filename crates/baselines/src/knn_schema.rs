@@ -33,8 +33,7 @@ impl<'a> KnnSchema<'a> {
     /// Rank vocabulary headers for a query.
     pub fn rank(&self, vocab: &HeaderVocab, ex: &SchemaAugExample) -> KnnSchemaResult {
         let hits = self.search.query_caption(&ex.caption, self.k);
-        let seed_headers: Vec<&str> =
-            ex.seeds.iter().map(|&s| vocab.header(s)).collect();
+        let seed_headers: Vec<&str> = ex.seeds.iter().map(|&s| vocab.header(s)).collect();
         let mut scores: HashMap<usize, f64> = HashMap::new();
         let mut best: Option<(usize, f64)> = None;
         for (ti, sim) in hits {
@@ -96,7 +95,11 @@ mod tests {
             topic_entity: None,
             headers: headers.iter().map(|s| s.to_string()).collect(),
             subject_column: 0,
-            rows: vec![headers.iter().enumerate().map(|(i, _)| Cell::linked(i as u32, "x")).collect()],
+            rows: vec![headers
+                .iter()
+                .enumerate()
+                .map(|(i, _)| Cell::linked(i as u32, "x"))
+                .collect()],
         }
     }
 

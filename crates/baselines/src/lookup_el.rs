@@ -24,11 +24,7 @@ pub fn lookup_top1_prf(mentions: &[ElMention]) -> PrfAccumulator {
 pub fn lookup_oracle_prf(mentions: &[ElMention]) -> PrfAccumulator {
     let mut acc = PrfAccumulator::new();
     for m in mentions {
-        let pred = if m.candidates.contains(&m.gold) {
-            Some(m.gold)
-        } else {
-            lookup_top1(m)
-        };
+        let pred = if m.candidates.contains(&m.gold) { Some(m.gold) } else { lookup_top1(m) };
         acc.add_linking(pred, m.gold);
     }
     acc
@@ -51,10 +47,10 @@ mod tests {
     #[test]
     fn oracle_dominates_top1() {
         let mentions = vec![
-            mention(1, vec![1, 2]),   // both correct
-            mention(2, vec![1, 2]),   // top1 wrong, oracle right
-            mention(3, vec![4, 5]),   // both wrong
-            mention(6, vec![]),       // both abstain
+            mention(1, vec![1, 2]), // both correct
+            mention(2, vec![1, 2]), // top1 wrong, oracle right
+            mention(3, vec![4, 5]), // both wrong
+            mention(6, vec![]),     // both abstain
         ];
         let top1 = lookup_top1_prf(&mentions);
         let oracle = lookup_oracle_prf(&mentions);

@@ -24,8 +24,7 @@ pub fn extract_column_features(values: &[&str]) -> Vec<f32> {
     }
     let n = values.len() as f32;
     let lengths: Vec<f32> = values.iter().map(|v| v.len() as f32).collect();
-    let words: Vec<f32> =
-        values.iter().map(|v| v.split_whitespace().count() as f32).collect();
+    let words: Vec<f32> = values.iter().map(|v| v.split_whitespace().count() as f32).collect();
     let mean = |xs: &[f32]| xs.iter().sum::<f32>() / n;
     let std = |xs: &[f32], m: f32| (xs.iter().map(|x| (x - m).powi(2)).sum::<f32>() / n).sqrt();
     let lmean = mean(&lengths);
@@ -74,11 +73,10 @@ pub fn extract_column_features(values: &[&str]) -> Vec<f32> {
     f[13] = values.iter().filter(|v| !v.is_empty() && v.chars().all(|c| c.is_ascii_digit())).count()
         as f32
         / n;
-    f[14] = values
-        .iter()
-        .filter(|v| v.chars().next().map(char::is_uppercase).unwrap_or(false))
-        .count() as f32
-        / n;
+    f[14] =
+        values.iter().filter(|v| v.chars().next().map(char::is_uppercase).unwrap_or(false)).count()
+            as f32
+            / n;
     f[15] = values.iter().filter(|v| v.is_empty()).count() as f32 / n;
     // ordinal suffix marker ("15th"-style values)
     f[16] = values

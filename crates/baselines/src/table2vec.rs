@@ -56,11 +56,10 @@ impl SkipGram {
                 for (i, &center) in seq.iter().enumerate() {
                     let lo = i.saturating_sub(cfg.window);
                     let hi = (i + cfg.window + 1).min(seq.len());
-                    for j in lo..hi {
+                    for (j, &context) in seq.iter().enumerate().take(hi).skip(lo) {
                         if j == i {
                             continue;
                         }
-                        let context = seq[j];
                         grad.iter_mut().for_each(|g| *g = 0.0);
                         // positive pair + negatives
                         for k in 0..=cfg.negatives {
@@ -224,9 +223,7 @@ mod tests {
             subject_column: 0,
             rows: ents
                 .chunks(2)
-                .map(|c| {
-                    c.iter().map(|&e| Cell::linked(e, format!("e{e}"))).collect::<Vec<_>>()
-                })
+                .map(|c| c.iter().map(|&e| Cell::linked(e, format!("e{e}"))).collect::<Vec<_>>())
                 .collect(),
         };
         let mut tables = Vec::new();
@@ -234,7 +231,8 @@ mod tests {
             tables.push(mk(&format!("x{i}"), &[1, 2, 3, 4]));
             tables.push(mk(&format!("y{i}"), &[10, 11, 12, 13]));
         }
-        let t2v = Table2Vec::train(&tables, &SkipGramConfig { dim: 16, epochs: 4, ..Default::default() });
+        let t2v =
+            Table2Vec::train(&tables, &SkipGramConfig { dim: 16, epochs: 4, ..Default::default() });
         let ranked = t2v.rank(&[1], &[12, 3]);
         assert_eq!(ranked[0], 3, "entity from the same cluster should rank first");
         assert!(t2v.knows(1));

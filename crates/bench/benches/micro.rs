@@ -96,9 +96,7 @@ fn bench_visibility(c: &mut Criterion) {
         .map(|t| TableInstance::from_table(t, &vocab, &LinearizeConfig::default()))
         .collect();
     c.bench_function("visibility_matrix_build_20_tables", |bch| {
-        bch.iter(|| {
-            insts.iter().map(|i| VisibilityMatrix::build(i).density()).sum::<f64>()
-        })
+        bch.iter(|| insts.iter().map(|i| VisibilityMatrix::build(i).density()).sum::<f64>())
     });
 }
 
@@ -110,9 +108,7 @@ fn bench_corpus_and_lookup(c: &mut Criterion) {
     let lookup = LookupIndex::build(&kb);
     let mentions: Vec<String> = kb.entities.iter().take(50).map(|e| e.name.clone()).collect();
     c.bench_function("lookup_50_mentions", |bch| {
-        bch.iter(|| {
-            mentions.iter().map(|m| lookup.lookup(m, 50).candidates.len()).sum::<usize>()
-        })
+        bch.iter(|| mentions.iter().map(|m| lookup.lookup(m, 50).candidates.len()).sum::<usize>())
     });
 }
 

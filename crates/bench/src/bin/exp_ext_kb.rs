@@ -58,7 +58,8 @@ fn main() {
             probe_cells,
         );
         let filler = CellFiller::new(&pt.model, &pt.store);
-        let p1 = filler.precision_at(&world.vocab, &world.kb, &world.splits.test, &cf_eval, &[1])[0];
+        let p1 =
+            filler.precision_at(&world.vocab, &world.kb, &world.splits.test, &cf_eval, &[1])[0];
         let rel_acc = pt
             .take_aux_relations()
             .map(|aux| {

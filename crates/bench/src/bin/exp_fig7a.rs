@@ -48,13 +48,10 @@ fn main() {
         }
         curves.push(curve);
     }
-    for e in 0..epochs {
-        println!("{e:>5} | {:>15.3} | {:>14.3}", curves[0][e], curves[1][e]);
+    for (e, (with_vis, without)) in curves[0].iter().zip(curves[1].iter()).enumerate() {
+        println!("{e:>5} | {with_vis:>15.3} | {without:>14.3}");
     }
     let last = epochs - 1;
-    println!(
-        "\nfinal: with visibility {:.3} vs without {:.3}",
-        curves[0][last], curves[1][last]
-    );
+    println!("\nfinal: with visibility {:.3} vs without {:.3}", curves[0][last], curves[1][last]);
     println!("(paper: the visibility matrix clearly dominates throughout pre-training)");
 }

@@ -40,16 +40,14 @@ fn main() {
         println!("target headers: {gold_names:?}");
         let res = knn.rank(&headers, ex);
         let knn_ap = average_precision(&res.ranked, &ex.gold);
-        let knn_top: Vec<&str> =
-            res.ranked.iter().take(5).map(|&h| headers.header(h)).collect();
+        let knn_top: Vec<&str> = res.ranked.iter().take(5).map(|&h| headers.header(h)).collect();
         println!("  kNN  AP {knn_ap:.2} predicted: {knn_top:?}");
         if let Some(sup) = res.support_table {
             println!("       support caption: {}", world.search.caption(sup));
         }
         let turl_ranked = turl.rank(&world.vocab, &headers, ex);
         let turl_ap = average_precision(&turl_ranked, &ex.gold);
-        let turl_top: Vec<&str> =
-            turl_ranked.iter().take(5).map(|&h| headers.header(h)).collect();
+        let turl_top: Vec<&str> = turl_ranked.iter().take(5).map(|&h| headers.header(h)).collect();
         println!("  TURL AP {turl_ap:.2} predicted: {turl_top:?}\n");
     }
     println!("(paper: kNN wins when a near-duplicate source table exists; TURL's");

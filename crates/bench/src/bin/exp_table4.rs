@@ -32,8 +32,10 @@ fn main() {
 
     // two candidate-generation services: degraded (WikiGS-like) and full
     let degraded = LookupIndex::build_with(&world.kb, 0.3, 99);
-    let settings: [(&str, &LookupIndex); 2] =
-        [("WikiGS-like (degraded lookup)", &degraded), ("Our testing (full lookup)", &world.lookup)];
+    let settings: [(&str, &LookupIndex); 2] = [
+        ("WikiGS-like (degraded lookup)", &degraded),
+        ("Our testing (full lookup)", &world.lookup),
+    ];
 
     let ft = FinetuneConfig { epochs: scale.finetune_epochs(), ..Default::default() };
     println!("== Table 4: entity linking ==\n");
@@ -42,7 +44,11 @@ fn main() {
         let eval: EntityLinkingDataset =
             build_entity_linking(&world.splits.test, lookup, 50, false);
         let n_train = train.mentions.len().min(world.scale.max_task_examples() * 4);
-        println!("-- {label}: {} train mentions, {} eval mentions --", n_train, eval.mentions.len());
+        println!(
+            "-- {label}: {} train mentions, {} eval mentions --",
+            n_train,
+            eval.mentions.len()
+        );
 
         row("Wikidata Lookup (top-1)", &turl_baselines::lookup_top1_prf(&eval.mentions));
 
@@ -51,7 +57,8 @@ fn main() {
             ("  w/o entity description", false, true),
             ("  w/o entity type", true, false),
         ] {
-            let (model, store) = clone_pretrained(cfg, world.vocab.len(), world.kb.n_entities(), &pt.store);
+            let (model, store) =
+                clone_pretrained(cfg, world.vocab.len(), world.kb.n_entities(), &pt.store);
             let mut el = EntityLinkingModel::new(model, store, catalog.n_types, use_desc, use_type);
             el.train(&world.splits.train, &world.vocab, &catalog, &train.mentions[..n_train], &ft);
             let acc = el.evaluate(&world.splits.test, &world.vocab, &catalog, &eval.mentions);

@@ -3,8 +3,8 @@
 //! Methods: Sherlock (feature-engineered baseline), TURL fine-tuned with
 //! the full input, and the five input-channel ablations of the paper.
 
-use turl_bench::{pretrained, ExperimentWorld, Scale};
 use turl_baselines::{extract_column_features, Sherlock};
+use turl_bench::{pretrained, ExperimentWorld, Scale};
 use turl_core::tasks::column_type::ColumnTypeModel;
 use turl_core::tasks::{clone_pretrained, InputChannels};
 use turl_core::FinetuneConfig;
@@ -66,7 +66,8 @@ fn main() {
     sherlock.train(&train_feats, &val_feats, 100, 10, 12);
     let mut sher_acc = PrfAccumulator::new();
     for ex in &task.test {
-        let pred = sherlock.predict(&extract_column_features(&column_values(&world.splits.test, ex)));
+        let pred =
+            sherlock.predict(&extract_column_features(&column_values(&world.splits.test, ex)));
         sher_acc.add_sets(&pred, &ex.labels);
     }
     row("Sherlock", &sher_acc);

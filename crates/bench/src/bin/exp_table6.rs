@@ -2,8 +2,8 @@
 //! for five selected types (coarse `person`/`location` vs fine-grained
 //! `pro_athlete`/`actor`/`citytown`), across the input-channel variants.
 
-use turl_bench::{pretrained, ExperimentWorld, Scale};
 use turl_baselines::{extract_column_features, Sherlock};
+use turl_bench::{pretrained, ExperimentWorld, Scale};
 use turl_core::tasks::column_type::ColumnTypeModel;
 use turl_core::tasks::{clone_pretrained, InputChannels};
 use turl_core::FinetuneConfig;
@@ -62,21 +62,26 @@ fn main() {
     // Sherlock per-type
     let train_feats: Vec<(Vec<f32>, Vec<usize>)> = task.train[..n_train]
         .iter()
-        .map(|ex| (extract_column_features(&column_values(&world.splits.train, ex)), ex.labels.clone()))
+        .map(|ex| {
+            (extract_column_features(&column_values(&world.splits.train, ex)), ex.labels.clone())
+        })
         .collect();
     let val_feats: Vec<(Vec<f32>, Vec<usize>)> = task
         .validation
         .iter()
         .map(|ex| {
-            (extract_column_features(&column_values(&world.splits.validation, ex)), ex.labels.clone())
+            (
+                extract_column_features(&column_values(&world.splits.validation, ex)),
+                ex.labels.clone(),
+            )
         })
         .collect();
     let mut sherlock = Sherlock::new(task.label_types.len(), 21);
     sherlock.train(&train_feats, &val_feats, 100, 10, 22);
     let mut accs = vec![PrfAccumulator::new(); selected.len()];
     for ex in &task.validation {
-        let pred =
-            sherlock.predict(&extract_column_features(&column_values(&world.splits.validation, ex)));
+        let pred = sherlock
+            .predict(&extract_column_features(&column_values(&world.splits.validation, ex)));
         for (ai, &l) in selected.iter().enumerate() {
             let p: Vec<usize> = pred.iter().copied().filter(|&x| x == l).collect();
             let g: Vec<usize> = ex.labels.iter().copied().filter(|&x| x == l).collect();
@@ -98,9 +103,12 @@ fn main() {
             clone_pretrained(cfg, world.vocab.len(), world.kb.n_entities(), &pt.store);
         let mut ct = ColumnTypeModel::new(model, store, task.label_types.len(), channels);
         ct.train(&world.splits.train, &world.vocab, &task.train[..n_train], &ft);
-        let f1s = ct.per_label_f1(&world.splits.validation, &world.vocab, &task.validation, &selected);
+        let f1s =
+            ct.per_label_f1(&world.splits.validation, &world.vocab, &task.validation, &selected);
         print_row(name, &f1s);
     }
     println!("\n(paper: coarse types like person/location are easy for everyone;");
-    println!(" fine-grained actor/citytown need table metadata — 'only metadata' beats 'only mention')");
+    println!(
+        " fine-grained actor/citytown need table metadata — 'only metadata' beats 'only mention')"
+    );
 }

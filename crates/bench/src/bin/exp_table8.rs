@@ -14,8 +14,7 @@ fn eval_ranker(
     examples: &[RowPopulationExample],
     mut rank: impl FnMut(&RowPopulationExample) -> Vec<u32>,
 ) -> f64 {
-    let aps: Vec<f64> =
-        examples.iter().map(|ex| average_precision(&rank(ex), &ex.gold)).collect();
+    let aps: Vec<f64> = examples.iter().map(|ex| average_precision(&rank(ex), &ex.gold)).collect();
     mean_average_precision(&aps)
 }
 
@@ -53,11 +52,13 @@ fn main() {
             eval.iter().map(|e| candidate_recall(&e.candidates, &e.gold)).sum::<f64>()
                 / eval.len() as f64
         };
-        println!("-- #seed = {n_seed} ({} queries, shared candidate recall {:.1}%) --",
-            eval.len(), 100.0 * recall);
-        let et_map = eval_ranker(&eval, |ex| {
-            entitables.rank(&ex.caption, &ex.seeds, &ex.candidates)
-        });
+        println!(
+            "-- #seed = {n_seed} ({} queries, shared candidate recall {:.1}%) --",
+            eval.len(),
+            100.0 * recall
+        );
+        let et_map =
+            eval_ranker(&eval, |ex| entitables.rank(&ex.caption, &ex.seeds, &ex.candidates));
         println!("{:<24} MAP {:>6.2}", "EntiTables", 100.0 * et_map);
         if n_seed == 0 {
             println!("{:<24} MAP      - (needs seed entities, as in the paper)", "Table2Vec");

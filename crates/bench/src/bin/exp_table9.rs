@@ -88,10 +88,7 @@ fn main() {
     fmt("Exact", &p_at_k(&filtered, rank_exact));
     fmt("H2H", &p_at_k(&filtered, |ex| rank_h2h(ex, &world.cooccur)));
     fmt("H2V", &p_at_k(&filtered, |ex| rank_h2v(ex, &space)));
-    fmt(
-        "TURL",
-        &filler.precision_at(&world.vocab, &world.kb, &world.splits.test, &filtered, &KS),
-    );
+    fmt("TURL", &filler.precision_at(&world.vocab, &world.kb, &world.splits.test, &filtered, &KS));
     println!("\n(paper: Exact 51.36 ≈ H2H 51.90 ≈ H2V 52.23 < TURL 54.80 at P@1,");
     println!(" with TURL's margin growing at P@3..P@10)");
 }

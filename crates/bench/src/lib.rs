@@ -11,8 +11,8 @@ use std::path::PathBuf;
 use turl_core::{EncodedInput, Pretrainer, TurlConfig};
 use turl_data::{CorpusStats, LinearizeConfig, TableInstance, Vocab};
 use turl_kb::{
-    generate_corpus, identify_relational, partition, CooccurrenceIndex, CorpusConfig,
-    CorpusSplits, KnowledgeBase, LookupIndex, PipelineConfig, TableSearchIndex, WorldConfig,
+    generate_corpus, identify_relational, partition, CooccurrenceIndex, CorpusConfig, CorpusSplits,
+    KnowledgeBase, LookupIndex, PipelineConfig, TableSearchIndex, WorldConfig,
 };
 use turl_nn::TransformerConfig;
 
@@ -122,7 +122,8 @@ impl ExperimentWorld {
             max_eval_tables: (scale.n_tables() / 8).max(20),
             ..Default::default()
         };
-        let splits = partition(identify_relational(generate_corpus(&kb, &corpus_cfg), &pcfg), &pcfg);
+        let splits =
+            partition(identify_relational(generate_corpus(&kb, &corpus_cfg), &pcfg), &pcfg);
         let texts: Vec<String> = splits
             .train
             .iter()
@@ -147,11 +148,7 @@ impl ExperimentWorld {
             Scale::Smoke => TransformerConfig::tiny(),
             _ => TransformerConfig::small(),
         };
-        TurlConfig {
-            encoder,
-            linearize: LinearizeConfig::default(),
-            ..TurlConfig::small(7)
-        }
+        TurlConfig { encoder, linearize: LinearizeConfig::default(), ..TurlConfig::small(7) }
     }
 
     /// Pre-encode a split for pre-training / probing.

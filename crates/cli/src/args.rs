@@ -17,8 +17,7 @@ impl Options {
             let Some(key) = a.strip_prefix("--") else {
                 return Err(format!("expected --flag, got `{a}`"));
             };
-            let value =
-                it.next().ok_or_else(|| format!("flag --{key} is missing a value"))?;
+            let value = it.next().ok_or_else(|| format!("flag --{key} is missing a value"))?;
             flags.insert(key.to_string(), value.clone());
         }
         Ok(Self { flags })

@@ -9,8 +9,8 @@ use turl_core::{probe as probe_mod, EncodedInput, Pretrainer, TurlConfig};
 use turl_data::{CorpusStats, LinearizeConfig, TableInstance, Vocab};
 use turl_kb::tasks::build_cell_filling;
 use turl_kb::{
-    generate_corpus, identify_relational, partition, CooccurrenceIndex, CorpusConfig,
-    CorpusSplits, KnowledgeBase, PipelineConfig, WorldConfig,
+    generate_corpus, identify_relational, partition, CooccurrenceIndex, CorpusConfig, CorpusSplits,
+    KnowledgeBase, PipelineConfig, WorldConfig,
 };
 
 /// Top-level usage text.
@@ -22,6 +22,12 @@ USAGE:
   turl pretrain [--entities N] [--tables N] [--epochs E] [--seed S] [--out model.json]
   turl probe    [--entities N] [--tables N] [--epochs E] [--seed S] [--ckpt model.json]
   turl fill     [--entities N] [--tables N] [--epochs E] [--seed S] [--ckpt model.json]
+  turl audit    [--entities N] [--tables N] [--seed S]
+
+`audit` statically checks the configuration (§4.4 masking ratios), the
+symbolic model forward plan (shape-flow, no tensors allocated), every
+table's §4.3 visibility matrix, and the autograd tape of one real
+training step; it exits non-zero if any invariant is violated.
 
 Defaults: --entities 800, --tables 400, --epochs 6, --seed 0.
 All commands regenerate the deterministic synthetic world from the seed;
@@ -39,14 +45,15 @@ fn setup(opts: &Options) -> Result<Setup, String> {
     let entities = opts.get_usize("entities", 800)?;
     let tables = opts.get_usize("tables", 400)?;
     let seed = opts.get_u64("seed", 0)?;
-    let kb = KnowledgeBase::generate(&WorldConfig {
-        n_entities: entities,
-        ..WorldConfig::small(seed)
-    });
+    let kb =
+        KnowledgeBase::generate(&WorldConfig { n_entities: entities, ..WorldConfig::small(seed) });
     let pcfg = PipelineConfig { max_eval_tables: (tables / 8).max(10), ..Default::default() };
     let splits = partition(
         identify_relational(
-            generate_corpus(&kb, &CorpusConfig { n_tables: tables, ..CorpusConfig::small(seed + 1) }),
+            generate_corpus(
+                &kb,
+                &CorpusConfig { n_tables: tables, ..CorpusConfig::small(seed + 1) },
+            ),
             &pcfg,
         ),
         &pcfg,
@@ -80,12 +87,8 @@ fn encode(s: &Setup, tables: &[turl_data::Table]) -> Vec<(TableInstance, Encoded
 }
 
 fn make_pretrainer(s: &Setup, opts: &Options) -> Result<Pretrainer, String> {
-    let mut pt = Pretrainer::new(
-        s.cfg,
-        s.vocab.len(),
-        s.kb.n_entities(),
-        s.vocab.mask_id() as usize,
-    );
+    let mut pt =
+        Pretrainer::new(s.cfg, s.vocab.len(), s.kb.n_entities(), s.vocab.mask_id() as usize);
     let ckpt = opts.get("ckpt", "");
     if !ckpt.is_empty() {
         let loaded = turl_nn::load_store(Path::new(&ckpt)).map_err(|e| e.to_string())?;
@@ -133,11 +136,9 @@ pub fn world(opts: &Options) -> Result<(), String> {
 /// `turl corpus`: generate, partition, summarize (and optionally save).
 pub fn corpus(opts: &Options) -> Result<(), String> {
     let s = setup(opts)?;
-    for (name, split) in [
-        ("train", &s.splits.train),
-        ("dev", &s.splits.validation),
-        ("test", &s.splits.test),
-    ] {
+    for (name, split) in
+        [("train", &s.splits.train), ("dev", &s.splits.validation), ("test", &s.splits.test)]
+    {
         let st = CorpusStats::compute(split);
         println!(
             "{name:>5}: {} tables | rows mean {:.1} | entity-cols mean {:.1} | entities mean {:.1}",
@@ -179,6 +180,77 @@ pub fn probe(opts: &Options) -> Result<(), String> {
     );
     println!("object-entity prediction accuracy (validation): {acc:.3}");
     Ok(())
+}
+
+/// `turl audit`: static invariant checks over config, model plan, corpus
+/// visibility matrices, and one real autograd tape. Exits non-zero (via
+/// `Err`) if any §4.3/§4.4 or structural invariant is violated.
+pub fn audit(opts: &Options) -> Result<(), String> {
+    let s = setup(opts)?;
+    let mut violations: Vec<String> = Vec::new();
+
+    // 1. Configuration ratios + symbolic forward plan (no tensors).
+    match turl_core::audit::validate_config(&s.cfg, s.vocab.len(), s.kb.n_entities()) {
+        Ok(report) => println!(
+            "plan: ok — {} symbolic ops, probe seq {}, peak intermediate {} elements",
+            report.n_ops, report.seq_len, report.peak_elements
+        ),
+        Err(e) => violations.push(format!("config/plan: {e}")),
+    }
+
+    // 2. §4.3 visibility matrices for every table in every split.
+    let mut n_tables = 0usize;
+    for split in [&s.splits.train, &s.splits.validation, &s.splits.test] {
+        for t in split.iter() {
+            let inst = TableInstance::from_table(t, &s.vocab, &LinearizeConfig::default());
+            let m = turl_data::VisibilityMatrix::build(&inst);
+            if let Err(errs) = turl_audit::lint_visibility(&inst, &m) {
+                for e in errs {
+                    violations.push(format!("table {}: {e}", t.id));
+                }
+            }
+            if let Err(errs) = turl_audit::lint_additive_mask(&m.to_additive_mask(-1e9), m.n()) {
+                for e in errs {
+                    violations.push(format!("table {} (additive mask): {e}", t.id));
+                }
+            }
+            n_tables += 1;
+        }
+    }
+    println!("visibility: linted {n_tables} tables across all splits");
+
+    // 3. One real forward/backward pass, then audit the autograd tape.
+    let pt = Pretrainer::new(s.cfg, s.vocab.len(), s.kb.n_entities(), s.vocab.mask_id() as usize);
+    let data = encode(&s, &s.splits.train[..1.min(s.splits.train.len())]);
+    if let Some((_, enc)) = data.first() {
+        let mut rng = StdRng::seed_from_u64(s.cfg.seed);
+        let mut store = pt.store;
+        let mut f = turl_nn::Forward::new(&store);
+        let h = pt.model.encode(&mut f, &store, &mut rng, enc);
+        let loss = f.graph.mean_all(h);
+        f.backprop(loss, &mut store);
+        match turl_audit::audit_tape(&f.graph, true) {
+            Ok(report) => println!(
+                "tape: ok — {} nodes, {} leaves, {} grad nodes",
+                report.n_nodes, report.n_leaves, report.n_grad_nodes
+            ),
+            Err(errs) => {
+                for e in errs {
+                    violations.push(format!("tape: {e}"));
+                }
+            }
+        }
+    }
+
+    if violations.is_empty() {
+        println!("audit: all invariants hold");
+        Ok(())
+    } else {
+        for v in violations.iter().take(20) {
+            eprintln!("violation: {v}");
+        }
+        Err(format!("audit found {} violation(s)", violations.len()))
+    }
 }
 
 /// `turl fill`: zero-shot cell filling on the test split.

@@ -6,6 +6,7 @@
 //! turl pretrain [--tables N] [--epochs E] [--out F]  pre-train and checkpoint
 //! turl probe    [--ckpt F] [...]                     object-entity prediction probe
 //! turl fill     [--ckpt F] [...]                     zero-shot cell filling demo
+//! turl audit    [--entities N] [--tables N] [--seed S]  static invariant checks
 //! ```
 //!
 //! All commands are deterministic in `--seed` and run on one CPU core.
@@ -36,6 +37,7 @@ fn main() -> ExitCode {
         "pretrain" => commands::pretrain(&opts),
         "probe" => commands::probe(&opts),
         "fill" => commands::fill(&opts),
+        "audit" => commands::audit(&opts),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

@@ -1,0 +1,117 @@
+//! Adapters between [`TurlConfig`] and the `turl-audit` static analyzers.
+//!
+//! `turl-audit` deliberately knows nothing about this crate (the model
+//! crate depends on the auditor, not vice versa), so this module
+//! translates a [`TurlConfig`] plus corpus statistics into the plain
+//! [`ModelPlan`] the symbolic checker consumes, and bundles the §4.4
+//! ratio validation that every constructed model must pass.
+
+use crate::config::TurlConfig;
+use turl_audit::{check_model_plan, validate_masking_config, AuditError, ModelPlan, PlanReport};
+
+/// Shape of the probe sequence used by [`validate_config`]'s plan check.
+///
+/// Small on purpose: the symbolic check is shape-generic, so a compact
+/// sequence exercises every op without slowing model construction.
+const PROBE_TOKENS: usize = 8;
+const PROBE_ENTITIES: usize = 4;
+const PROBE_MENTION_TOKENS: usize = 6;
+const PROBE_MLM_TARGETS: usize = 2;
+const PROBE_MER_TARGETS: usize = 2;
+const PROBE_CANDIDATES: usize = 8;
+
+/// Build the symbolic forward plan for `cfg` at an explicit sequence
+/// shape. `n_entities` excludes the `[MASK]` row, matching
+/// `TurlModel::new`.
+#[allow(clippy::too_many_arguments)]
+pub fn model_plan(
+    cfg: &TurlConfig,
+    n_words: usize,
+    n_entities: usize,
+    n_tokens: usize,
+    n_seq_entities: usize,
+    n_mention_tokens: usize,
+    n_mlm_targets: usize,
+    n_mer_targets: usize,
+    n_candidates: usize,
+) -> ModelPlan {
+    ModelPlan {
+        n_layers: cfg.encoder.n_layers,
+        d_model: cfg.encoder.d_model,
+        d_intermediate: cfg.encoder.d_intermediate,
+        n_heads: cfg.encoder.n_heads,
+        n_words,
+        n_entities,
+        max_position: cfg.max_position,
+        n_tokens,
+        n_seq_entities,
+        n_mention_tokens,
+        use_visibility: cfg.use_visibility,
+        n_mlm_targets,
+        n_mer_targets,
+        n_candidates,
+    }
+}
+
+/// Statically validate `cfg` for a vocabulary of `n_words` words and
+/// `n_entities` entities: the §4.4 masking ratios must be well-formed and
+/// a full symbolic forward pass (both pre-training heads included) must
+/// type-check. Runs in microseconds and allocates no tensors.
+pub fn validate_config(
+    cfg: &TurlConfig,
+    n_words: usize,
+    n_entities: usize,
+) -> Result<PlanReport, AuditError> {
+    validate_masking_config(
+        cfg.pretrain.mlm_select_ratio,
+        cfg.pretrain.mer_select_ratio,
+        cfg.pretrain.mer_mention_keep_share,
+    )?;
+    let plan = model_plan(
+        cfg,
+        n_words,
+        n_entities,
+        PROBE_TOKENS,
+        PROBE_ENTITIES,
+        PROBE_MENTION_TOKENS,
+        PROBE_MLM_TARGETS,
+        PROBE_MER_TARGETS,
+        PROBE_CANDIDATES.min(n_entities.max(1)),
+    );
+    check_model_plan(&plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_stock_config_validates() {
+        for cfg in [TurlConfig::paper(), TurlConfig::small(1), TurlConfig::tiny(1)] {
+            let report = validate_config(&cfg, 1000, 500).expect("stock config must validate");
+            assert_eq!(report.seq_len, PROBE_TOKENS + PROBE_ENTITIES);
+        }
+    }
+
+    #[test]
+    fn corrupted_ratio_is_caught() {
+        let mut cfg = TurlConfig::tiny(1);
+        cfg.pretrain.mer_select_ratio = 1.5;
+        match validate_config(&cfg, 1000, 500) {
+            Err(AuditError::RatioOutOfRange { field, .. }) => {
+                assert_eq!(field, "mer_select_ratio");
+            }
+            other => panic!("expected ratio error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_head_count_is_caught() {
+        let mut cfg = TurlConfig::tiny(1);
+        cfg.encoder.n_heads = 3; // tiny d_model = 16, not divisible
+        assert!(matches!(
+            validate_config(&cfg, 1000, 500),
+            Err(AuditError::BadConfig { field: "d_model % n_heads", .. })
+        ));
+    }
+}

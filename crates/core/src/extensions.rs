@@ -47,20 +47,21 @@ impl AuxRelationObjective {
         let mut positives = Vec::new();
         let mut negatives = Vec::new();
         for (i, a) in inst.entities.iter().enumerate() {
-            let EntityPosition::Cell { row: ra, .. } = a.position else { continue };
+            let EntityPosition::Cell { row: ra, .. } = a.position else {
+                continue;
+            };
             if !a.is_subject {
                 continue;
             }
             for (j, b) in inst.entities.iter().enumerate() {
-                let EntityPosition::Cell { row: rb, .. } = b.position else { continue };
+                let EntityPosition::Cell { row: rb, .. } = b.position else {
+                    continue;
+                };
                 if i == j || b.is_subject || ra != rb {
                     continue;
                 }
-                let label = kb
-                    .facts_of(a.entity)
-                    .iter()
-                    .find(|&&(_, o)| o == b.entity)
-                    .map(|&(r, _)| r);
+                let label =
+                    kb.facts_of(a.entity).iter().find(|&&(_, o)| o == b.entity).map(|&(r, _)| r);
                 match label {
                     Some(r) => positives.push((i, j, r)),
                     None => negatives.push((i, j, no_rel)),
@@ -238,16 +239,9 @@ mod tests {
     fn aux_objective_trains_and_improves_relation_accuracy() {
         let (kb, vocab, data, cooccur) = setup();
         let cfg = TurlConfig::tiny(703);
-        let mut pt =
-            Pretrainer::new(cfg, vocab.len(), kb.n_entities(), vocab.mask_id() as usize);
-        let aux = AuxRelationObjective::build(
-            &mut pt.store,
-            pt.model.d_model(),
-            &kb,
-            &data,
-            0.5,
-            704,
-        );
+        let mut pt = Pretrainer::new(cfg, vocab.len(), kb.n_entities(), vocab.mask_id() as usize);
+        let aux =
+            AuxRelationObjective::build(&mut pt.store, pt.model.d_model(), &kb, &data, 0.5, 704);
         assert!(aux.coverage(data.len()) > 0.3, "coverage {}", aux.coverage(data.len()));
         let mut rng = StdRng::seed_from_u64(2);
         let acc0 = aux.accuracy(&pt, &kb, &data, &mut rng, 100);

@@ -21,6 +21,7 @@
 
 #![deny(missing_docs)]
 
+pub mod audit;
 mod config;
 mod extensions;
 mod finetune;

@@ -46,6 +46,11 @@ impl TurlModel {
         n_words: usize,
         n_entities: usize,
     ) -> Self {
+        // Fail fast on structurally invalid configs: the symbolic plan
+        // check catches shape bugs before any parameter is allocated.
+        if let Err(e) = crate::audit::validate_config(&cfg, n_words, n_entities) {
+            panic!("TurlModel::new rejected by static audit: {e}");
+        }
         let d = cfg.encoder.d_model;
         let blocks = (0..cfg.encoder.n_layers)
             .map(|i| TransformerBlock::new(store, rng, &format!("turl.block{i}"), &cfg.encoder))
@@ -106,12 +111,7 @@ impl TurlModel {
 
     /// Mean mention embedding `e^m` (Eqn. 3) for a batch of mentions,
     /// computed as an averaging matrix over gathered word embeddings.
-    fn mention_means(
-        &self,
-        f: &mut Forward,
-        store: &ParamStore,
-        mentions: &[Vec<usize>],
-    ) -> Var {
+    fn mention_means(&self, f: &mut Forward, store: &ParamStore, mentions: &[Vec<usize>]) -> Var {
         let flat: Vec<usize> = mentions.iter().flatten().copied().collect();
         let total = flat.len();
         let rows = self.word_emb.forward(f, store, &flat); // [total, d]
@@ -187,13 +187,7 @@ impl TurlModel {
 
     /// MLM logits (Eqn. 5) for the given sequence rows: scores over the
     /// whole word vocabulary.
-    pub fn mlm_logits(
-        &self,
-        f: &mut Forward,
-        store: &ParamStore,
-        h: Var,
-        rows: &[usize],
-    ) -> Var {
+    pub fn mlm_logits(&self, f: &mut Forward, store: &ParamStore, h: Var, rows: &[usize]) -> Var {
         let sel = f.graph.index_select0(h, rows);
         let proj = self.mlm_proj.forward(f, store, sel);
         let words = f.param(store, self.word_emb.weight);

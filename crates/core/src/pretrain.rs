@@ -9,9 +9,9 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
+use turl_data::TableInstance;
 use turl_kb::CooccurrenceIndex;
 use turl_nn::{clip_grad_norm, Adam, AdamConfig, Forward, LinearDecaySchedule, ParamStore};
-use turl_data::TableInstance;
 
 /// The masking decisions for one table: which positions were selected and
 /// what their recovery targets are.
@@ -113,7 +113,8 @@ pub fn build_candidates<R: Rng>(
     }
     let mut guard = 0;
     let mut added = 0;
-    while added < cfg.candidates.n_random_negatives && guard < 10 * cfg.candidates.n_random_negatives
+    while added < cfg.candidates.n_random_negatives
+        && guard < 10 * cfg.candidates.n_random_negatives
     {
         guard += 1;
         let e = rng.gen_range(0..n_entities);
@@ -231,8 +232,7 @@ impl Pretrainer {
                 losses.push(f.graph.cross_entropy(logits, &targets));
             }
             if !plan.mer.is_empty() {
-                let rows: Vec<usize> =
-                    plan.mer.iter().map(|&(c, _)| enc.entity_row(c)).collect();
+                let rows: Vec<usize> = plan.mer.iter().map(|&(c, _)| enc.entity_row(c)).collect();
                 let targets: Vec<usize> = plan
                     .mer
                     .iter()
@@ -255,6 +255,12 @@ impl Pretrainer {
             total += f.graph.value(loss).item();
             counted += 1;
             f.backprop(loss, &mut self.store);
+            // Debug builds audit the full autograd tape every step: node
+            // order, grad shapes, orphaned leaves, finite leaf values.
+            #[cfg(debug_assertions)]
+            if let Err(errs) = turl_audit::audit_tape(&f.graph, true) {
+                panic!("tape audit failed after backprop: {}", errs[0]);
+            }
         }
         if counted == 0 {
             return 0.0;
@@ -342,8 +348,14 @@ mod tests {
         let mut kept_mentions = 0usize;
         for (_, clean) in &data {
             let mut enc = clean.clone();
-            let plan =
-                apply_mask_plan(&mut rng, &mut enc, &cfg, vocab.mask_id() as usize, vocab.len(), 100);
+            let plan = apply_mask_plan(
+                &mut rng,
+                &mut enc,
+                &cfg,
+                vocab.mask_id() as usize,
+                vocab.len(),
+                100,
+            );
             sel_tok += plan.mlm.len();
             tot_tok += enc.token_ids.len();
             sel_ent += plan.mer.len();

@@ -30,22 +30,23 @@ pub fn object_entity_accuracy(
     let mut correct = 0usize;
     let mut total = 0usize;
     'outer: for (inst, clean) in data {
-        let candidates =
-            build_candidates(&mut rng, inst, cooccur, &model.cfg, model.n_entities());
+        let candidates = build_candidates(&mut rng, inst, cooccur, &model.cfg, model.n_entities());
         for (i, item) in inst.entities.iter().enumerate() {
             // object entities only: non-subject content cells
-            let is_object = matches!(item.position, EntityPosition::Cell { .. }) && !item.is_subject;
+            let is_object =
+                matches!(item.position, EntityPosition::Cell { .. }) && !item.is_subject;
             if !is_object {
                 continue;
             }
             let gold = item.entity as usize;
-            let Some(gold_pos) = candidates.iter().position(|&c| c == gold) else { continue };
+            let Some(gold_pos) = candidates.iter().position(|&c| c == gold) else {
+                continue;
+            };
             let mut enc = clean.clone();
             enc.mask_entity(i, true, mask_word_id);
             let mut f = Forward::inference(store);
             let h = model.encode(&mut f, store, &mut rng, &enc);
-            let logits =
-                model.mer_logits(&mut f, store, h, &[enc.entity_row(i)], &candidates);
+            let logits = model.mer_logits(&mut f, store, h, &[enc.entity_row(i)], &candidates);
             let pred = f.graph.value(logits).argmax();
             if pred == gold_pos {
                 correct += 1;
@@ -101,8 +102,7 @@ mod tests {
             })
             .collect();
         let cooccur = CooccurrenceIndex::build(&tables);
-        let mut pt =
-            Pretrainer::new(cfg, vocab.len(), kb.n_entities(), vocab.mask_id() as usize);
+        let mut pt = Pretrainer::new(cfg, vocab.len(), kb.n_entities(), vocab.mask_id() as usize);
         let acc_before = object_entity_accuracy(
             &pt.model,
             &pt.store,

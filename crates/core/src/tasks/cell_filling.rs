@@ -41,11 +41,8 @@ impl<'a> CellFiller<'a> {
         let mut token_ids = Vec::new();
         let mut token_types = Vec::new();
         let mut token_pos = Vec::new();
-        for (pos, id) in vocab
-            .encode(&table.full_caption())
-            .into_iter()
-            .take(lin.max_caption_tokens)
-            .enumerate()
+        for (pos, id) in
+            vocab.encode(&table.full_caption()).into_iter().take(lin.max_caption_tokens).enumerate()
         {
             token_ids.push(id as usize);
             token_types.push(0);
@@ -105,8 +102,7 @@ impl<'a> CellFiller<'a> {
         let h = self.model.encode(&mut f, self.store, &mut rng, &enc);
         let cands: Vec<usize> = ex.candidates.iter().map(|(e, _)| *e as usize).collect();
         let logits =
-            self.model
-                .mer_logits(&mut f, self.store, h, &[enc.entity_row(mask_cell)], &cands);
+            self.model.mer_logits(&mut f, self.store, h, &[enc.entity_row(mask_cell)], &cands);
         let scores = f.graph.value(logits).data().to_vec();
         let mut order: Vec<usize> = (0..scores.len()).collect();
         order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite").then(a.cmp(&b)));
@@ -184,7 +180,13 @@ mod tests {
         let cfg = TurlConfig::tiny(10);
         let pt = Pretrainer::new(cfg, vocab.len(), kb.n_entities(), vocab.mask_id() as usize);
         let filler = CellFiller::new(&pt.model, &pt.store);
-        let ps = filler.precision_at(&vocab, &kb, &splits.test, &examples[..40.min(examples.len())], &[1, 3, 5, 10]);
+        let ps = filler.precision_at(
+            &vocab,
+            &kb,
+            &splits.test,
+            &examples[..40.min(examples.len())],
+            &[1, 3, 5, 10],
+        );
         assert_eq!(ps.len(), 4);
         // P@K must be monotone in K
         for w in ps.windows(2) {

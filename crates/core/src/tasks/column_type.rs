@@ -1,9 +1,7 @@
 //! Column type annotation (§6.3): multi-label classification of entity
 //! columns with the Eqn. 9/10 head.
 
-use super::{
-    column_repr, encode_table_with_channels, multi_hot, predict_labels, InputChannels,
-};
+use super::{column_repr, encode_table_with_channels, multi_hot, predict_labels, InputChannels};
 use crate::finetune::{train_batched, FinetuneConfig, FinetuneStats};
 use crate::model::TurlModel;
 use rand::rngs::StdRng;
@@ -84,12 +82,7 @@ impl ColumnTypeModel {
     }
 
     /// Predicted label indices for one column.
-    pub fn predict(
-        &self,
-        tables: &[Table],
-        vocab: &Vocab,
-        ex: &ColumnTypeExample,
-    ) -> Vec<usize> {
+    pub fn predict(&self, tables: &[Table], vocab: &Vocab, ex: &ColumnTypeExample) -> Vec<usize> {
         let mut rng = StdRng::seed_from_u64(0);
         let mut f = Forward::inference(&self.store);
         let logits = self.logits(&mut f, &self.store, &mut rng, tables, vocab, ex);
@@ -166,7 +159,8 @@ mod tests {
             })
             .collect();
         let vocab = Vocab::build(texts.iter().map(String::as_str), 1);
-        let task = build_column_type_task(&kb, &splits.train, &splits.validation, &splits.test, 3, 3);
+        let task =
+            build_column_type_task(&kb, &splits.train, &splits.validation, &splits.test, 3, 3);
         assert!(!task.train.is_empty() && !task.test.is_empty());
 
         let cfg = TurlConfig::tiny(5);

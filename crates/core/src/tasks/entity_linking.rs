@@ -122,27 +122,22 @@ impl EntityLinkingModel {
         vocab: &Vocab,
     ) -> (TableInstance, crate::input::EncodedInput) {
         let inst = TableInstance::from_table(table, vocab, &self.model.cfg.linearize);
-        let mut enc = crate::input::EncodedInput::from_instance(
-            &inst,
-            vocab,
-            self.model.cfg.use_visibility,
-        );
+        let mut enc =
+            crate::input::EncodedInput::from_instance(&inst, vocab, self.model.cfg.use_visibility);
         for e in &mut enc.entities {
             e.emb_index = 0;
         }
         (inst, enc)
     }
 
-    fn resolve<'a>(
-        inst: &TableInstance,
-        mentions: &[&'a ElMention],
-    ) -> Vec<ResolvedMention<'a>> {
+    fn resolve<'a>(inst: &TableInstance, mentions: &[&'a ElMention]) -> Vec<ResolvedMention<'a>> {
         mentions
             .iter()
             .filter_map(|m| {
-                let entity_index = inst.entities.iter().position(|e| {
-                    e.position == EntityPosition::Cell { row: m.row, col: m.col }
-                })?;
+                let entity_index = inst
+                    .entities
+                    .iter()
+                    .position(|e| e.position == EntityPosition::Cell { row: m.row, col: m.col })?;
                 Some(ResolvedMention { mention: m, entity_index })
             })
             .collect()
@@ -235,9 +230,11 @@ impl EntityLinkingModel {
                 if m.candidates.is_empty() {
                     continue;
                 }
-                let Some(entity_index) = inst.entities.iter().position(|e| {
-                    e.position == EntityPosition::Cell { row: m.row, col: m.col }
-                }) else {
+                let Some(entity_index) = inst
+                    .entities
+                    .iter()
+                    .position(|e| e.position == EntityPosition::Cell { row: m.row, col: m.col })
+                else {
                     // cell truncated by linearization limits: fall back to
                     // the lookup service's top candidate
                     out[orig_idx] = m.candidates.first().copied();
@@ -246,8 +243,7 @@ impl EntityLinkingModel {
                 let row = inst.entity_seq_index(entity_index);
                 let sel = f.graph.index_select0(h, &[row]);
                 let q = self.proj.forward(&mut f, &self.store, sel);
-                let cand =
-                    self.candidate_reprs(&mut f, &self.store, catalog, &m.candidates, d);
+                let cand = self.candidate_reprs(&mut f, &self.store, catalog, &m.candidates, d);
                 let logits = f.graph.matmul_nt(q, cand);
                 let best = f.graph.value(logits).argmax();
                 out[orig_idx] = Some(m.candidates[best]);
@@ -308,8 +304,8 @@ mod tests {
     use crate::tasks::clone_pretrained;
     use turl_kb::tasks::build_entity_linking;
     use turl_kb::{
-        generate_corpus, identify_relational, partition, CorpusConfig, KnowledgeBase,
-        LookupIndex, PipelineConfig, WorldConfig,
+        generate_corpus, identify_relational, partition, CorpusConfig, KnowledgeBase, LookupIndex,
+        PipelineConfig, WorldConfig,
     };
 
     #[test]

@@ -115,13 +115,7 @@ pub fn encode_table_with_channels(
 /// Aggregated column representation `h_c` (Eqn. 9): mean header-token
 /// representation concatenated with mean entity-cell representation, shape
 /// `[1, 2 d]`. Missing channels contribute zero vectors.
-pub fn column_repr(
-    f: &mut Forward,
-    h: Var,
-    inst: &TableInstance,
-    col: usize,
-    d: usize,
-) -> Var {
+pub fn column_repr(f: &mut Forward, h: Var, inst: &TableInstance, col: usize, d: usize) -> Var {
     let header_rows = inst.header_tokens_of(col);
     let ent_rows: Vec<usize> =
         inst.entities_in_column(col).iter().map(|&i| inst.entity_seq_index(i)).collect();
@@ -155,8 +149,7 @@ pub fn multi_hot(labels: &[usize], n_labels: usize) -> Tensor {
 /// logit > 0), falling back to the argmax so every example predicts at
 /// least one label (each column/pair has at least one gold type).
 pub fn predict_labels(logits: &Tensor) -> Vec<usize> {
-    let mut out: Vec<usize> =
-        (0..logits.len()).filter(|&i| logits.data()[i] > 0.0).collect();
+    let mut out: Vec<usize> = (0..logits.len()).filter(|&i| logits.data()[i] > 0.0).collect();
     if out.is_empty() {
         out.push(logits.argmax());
     }
@@ -200,7 +193,8 @@ mod tests {
         );
         let lin = turl_data::LinearizeConfig::default();
 
-        let (_, full) = encode_table_with_channels(&table, &vocab, &lin, true, InputChannels::full());
+        let (_, full) =
+            encode_table_with_channels(&table, &vocab, &lin, true, InputChannels::full());
         assert!(!full.token_ids.is_empty());
         assert_eq!(full.entities.len(), 3);
         assert!(full.entities.iter().all(|e| e.emb_index > 0));
@@ -210,13 +204,23 @@ mod tests {
         assert!(only_meta.entities.is_empty());
         assert!(!only_meta.token_ids.is_empty());
 
-        let (_, no_meta) =
-            encode_table_with_channels(&table, &vocab, &lin, true, InputChannels::without_metadata());
+        let (_, no_meta) = encode_table_with_channels(
+            &table,
+            &vocab,
+            &lin,
+            true,
+            InputChannels::without_metadata(),
+        );
         assert!(no_meta.token_ids.is_empty());
         assert_eq!(no_meta.entities.len(), 3);
 
-        let (_, no_emb) =
-            encode_table_with_channels(&table, &vocab, &lin, true, InputChannels::without_embedding());
+        let (_, no_emb) = encode_table_with_channels(
+            &table,
+            &vocab,
+            &lin,
+            true,
+            InputChannels::without_embedding(),
+        );
         assert!(no_emb.entities.iter().all(|e| e.emb_index == 0), "embeddings masked");
         assert!(no_emb.entities.iter().any(|e| e.mention != vec![vocab.mask_id() as usize]));
 

@@ -1,9 +1,7 @@
 //! Relation extraction (§6.4): multi-label classification of subject–
 //! object column pairs with the Eqn. 12 head.
 
-use super::{
-    column_repr, encode_table_with_channels, multi_hot, predict_labels, InputChannels,
-};
+use super::{column_repr, encode_table_with_channels, multi_hot, predict_labels, InputChannels};
 use crate::finetune::{train_batched, FinetuneConfig, FinetuneStats};
 use crate::model::TurlModel;
 use rand::rngs::StdRng;
@@ -88,12 +86,7 @@ impl RelationModel {
     }
 
     /// Raw logits for one example (used by MAP evaluation).
-    pub fn score(
-        &self,
-        tables: &[Table],
-        vocab: &Vocab,
-        ex: &RelationExample,
-    ) -> Vec<f32> {
+    pub fn score(&self, tables: &[Table], vocab: &Vocab, ex: &RelationExample) -> Vec<f32> {
         let mut rng = StdRng::seed_from_u64(0);
         let mut f = Forward::inference(&self.store);
         let logits = self.logits(&mut f, &self.store, &mut rng, tables, vocab, ex);

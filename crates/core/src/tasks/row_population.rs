@@ -135,12 +135,7 @@ impl RowPopulationModel {
     }
 
     /// Rank an example's candidates (best first).
-    pub fn rank(
-        &self,
-        vocab: &Vocab,
-        kb: &KnowledgeBase,
-        ex: &RowPopulationExample,
-    ) -> Vec<u32> {
+    pub fn rank(&self, vocab: &Vocab, kb: &KnowledgeBase, ex: &RowPopulationExample) -> Vec<u32> {
         if ex.candidates.is_empty() {
             return Vec::new();
         }

@@ -125,29 +125,18 @@ impl SchemaAugModel {
     }
 
     /// Rank the header vocabulary for a query (seeds excluded).
-    pub fn rank(
-        &self,
-        vocab: &Vocab,
-        headers: &HeaderVocab,
-        ex: &SchemaAugExample,
-    ) -> Vec<usize> {
+    pub fn rank(&self, vocab: &Vocab, headers: &HeaderVocab, ex: &SchemaAugExample) -> Vec<usize> {
         let mut rng = StdRng::seed_from_u64(0);
         let mut f = Forward::inference(&self.store);
         let logits = self.logits(&mut f, &self.store, &mut rng, vocab, headers, ex);
         let scores = f.graph.value(logits).data().to_vec();
-        let mut order: Vec<usize> =
-            (0..scores.len()).filter(|i| !ex.seeds.contains(i)).collect();
+        let mut order: Vec<usize> = (0..scores.len()).filter(|i| !ex.seeds.contains(i)).collect();
         order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite").then(a.cmp(&b)));
         order
     }
 
     /// MAP over a split (Table 10).
-    pub fn map(
-        &self,
-        vocab: &Vocab,
-        headers: &HeaderVocab,
-        examples: &[SchemaAugExample],
-    ) -> f64 {
+    pub fn map(&self, vocab: &Vocab, headers: &HeaderVocab, examples: &[SchemaAugExample]) -> f64 {
         let aps: Vec<f64> = examples
             .iter()
             .map(|ex| average_precision(&self.rank(vocab, headers, ex), &ex.gold))
@@ -207,9 +196,6 @@ mod tests {
             &FinetuneConfig { epochs: 8, ..Default::default() },
         );
         let trained_map = sa.map(&vocab, &headers, &eval_ex);
-        assert!(
-            trained_map > random_map,
-            "training did not help: {random_map} -> {trained_map}"
-        );
+        assert!(trained_map > random_map, "training did not help: {random_map} -> {trained_map}");
     }
 }

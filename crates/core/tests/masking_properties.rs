@@ -13,7 +13,9 @@ fn table_with(n_rows: usize, n_cols: usize) -> (TableInstance, Vocab) {
     let headers: Vec<String> = (0..n_cols).map(|c| format!("h{c}")).collect();
     let rows: Vec<Vec<Cell>> = (0..n_rows)
         .map(|r| {
-            (0..n_cols).map(|c| Cell::linked((r * n_cols + c) as u32, format!("e{r}x{c}"))).collect()
+            (0..n_cols)
+                .map(|c| Cell::linked((r * n_cols + c) as u32, format!("e{r}x{c}")))
+                .collect()
         })
         .collect();
     let t = Table {

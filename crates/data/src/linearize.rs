@@ -112,7 +112,8 @@ impl TableInstance {
             tokens.push(TokenItem { token: id, scope: TokenScope::Caption, position: pos });
         }
         for (col, header) in table.headers.iter().enumerate() {
-            for (pos, id) in vocab.encode(header).into_iter().take(cfg.max_header_tokens).enumerate()
+            for (pos, id) in
+                vocab.encode(header).into_iter().take(cfg.max_header_tokens).enumerate()
             {
                 tokens.push(TokenItem { token: id, scope: TokenScope::Header(col), position: pos });
             }

@@ -68,8 +68,7 @@ impl Vocab {
 
     /// Rebuild the token → id index (needed after deserialization).
     pub fn rebuild_index(&mut self) {
-        self.index =
-            self.tokens.iter().enumerate().map(|(i, t)| (t.clone(), i as u32)).collect();
+        self.index = self.tokens.iter().enumerate().map(|(i, t)| (t.clone(), i as u32)).collect();
     }
 
     /// Vocabulary size including special tokens.

@@ -118,10 +118,7 @@ mod tests {
                 vec![Cell::linked(3, "c"), Cell::linked(4, "d")],
             ],
         };
-        let v = Vocab::build(
-            ["films year director topic a b c d"].iter().map(|s| &**s),
-            1,
-        );
+        let v = Vocab::build(["films year director topic a b c d"].iter().map(|s| &**s), 1);
         TableInstance::from_table(&t, &v, &LinearizeConfig::default())
     }
 

@@ -29,7 +29,7 @@ fn arb_table() -> impl Strategy<Value = Table> {
                     (0..n_cols)
                         .map(|c| {
                             let id = (r * n_cols + c) as u32;
-                            if flag.next().unwrap() {
+                            if flag.next().expect("cycled iterator never ends") {
                                 Cell::linked(id, format!("ent{id}"))
                             } else {
                                 Cell::text(format!("txt{id}"))

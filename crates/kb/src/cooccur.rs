@@ -50,7 +50,9 @@ impl CooccurrenceIndex {
                         }
                     }
                 }
-                let Some(&(_, subj)) = linked.iter().find(|&&(c, _)| c == sc) else { continue };
+                let Some(&(_, subj)) = linked.iter().find(|&&(c, _)| c == sc) else {
+                    continue;
+                };
                 for &(c, obj) in &linked {
                     if c == sc {
                         continue;

@@ -224,13 +224,12 @@ fn generate_table(
             headers.push(jh);
         }
     }
-    let subject_column = if headers.first().map(String::as_str).map_or(false, |h| {
-        JUNK_HEADERS.contains(&h)
-    }) {
-        1
-    } else {
-        0
-    };
+    let subject_column =
+        if headers.first().map(String::as_str).is_some_and(|h| JUNK_HEADERS.contains(&h)) {
+            1
+        } else {
+            0
+        };
 
     // Metadata.
     let type_word = kb.schema.types[st].name.replace('_', " ");
@@ -249,10 +248,7 @@ fn generate_table(
         page_title,
         section_title,
         caption,
-        topic_entity: topic.map(|o| EntityRef {
-            id: o,
-            mention: kb.entity(o).name.clone(),
-        }),
+        topic_entity: topic.map(|o| EntityRef { id: o, mention: kb.entity(o).name.clone() }),
         headers,
         rows,
         subject_column,
@@ -314,15 +310,16 @@ mod tests {
         for t in &tables {
             let subj_col = t.subject_column;
             for row in &t.rows {
-                let Some(s) = row.get(subj_col).and_then(|c| c.entity.as_ref()) else { continue };
+                let Some(s) = row.get(subj_col).and_then(|c| c.entity.as_ref()) else {
+                    continue;
+                };
                 for (ci, cell) in row.iter().enumerate() {
                     if ci == subj_col {
                         continue;
                     }
                     if let Some(o) = &cell.entity {
                         // the object must be connected to the subject by some relation
-                        let connected =
-                            kb.facts_of(s.id).iter().any(|&(_, obj)| obj == o.id);
+                        let connected = kb.facts_of(s.id).iter().any(|&(_, obj)| obj == o.id);
                         assert!(connected, "cell entity not a KB fact object");
                         checked += 1;
                     }

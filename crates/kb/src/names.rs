@@ -20,8 +20,21 @@ const LAST_NAMES: &[&str] = &[
 ];
 
 const TITLE_ADJS: &[&str] = &[
-    "silent", "golden", "broken", "distant", "hidden", "burning", "frozen", "scarlet", "midnight",
-    "wandering", "lost", "eternal", "crimson", "quiet", "savage",
+    "silent",
+    "golden",
+    "broken",
+    "distant",
+    "hidden",
+    "burning",
+    "frozen",
+    "scarlet",
+    "midnight",
+    "wandering",
+    "lost",
+    "eternal",
+    "crimson",
+    "quiet",
+    "savage",
 ];
 
 const TITLE_NOUNS: &[&str] = &[
@@ -30,29 +43,52 @@ const TITLE_NOUNS: &[&str] = &[
 ];
 
 const PLACE_PREFIX: &[&str] = &[
-    "spring", "north", "east", "west", "south", "oak", "maple", "stone", "clear", "silver",
-    "iron", "green", "black", "white", "red",
+    "spring", "north", "east", "west", "south", "oak", "maple", "stone", "clear", "silver", "iron",
+    "green", "black", "white", "red",
 ];
 
 const PLACE_SUFFIX: &[&str] =
     &["field", "ville", "burg", "port", "ford", "haven", "mouth", "stad", "pur", "grad"];
 
 const MASCOTS: &[&str] = &[
-    "tigers", "rovers", "united", "falcons", "wolves", "mariners", "comets", "dynamos",
-    "wanderers", "athletic",
+    "tigers",
+    "rovers",
+    "united",
+    "falcons",
+    "wolves",
+    "mariners",
+    "comets",
+    "dynamos",
+    "wanderers",
+    "athletic",
 ];
 
 const AWARD_CATEGORIES: &[&str] = &[
-    "best direction", "best film", "best screenplay", "best score", "lifetime achievement",
-    "best performance", "best design",
+    "best direction",
+    "best film",
+    "best screenplay",
+    "best score",
+    "lifetime achievement",
+    "best performance",
+    "best design",
 ];
 
 const AWARD_BODIES: &[&str] =
     &["national film", "continental music", "federation sports", "metropolitan arts"];
 
 const WORDS: &[&str] = &[
-    "bengali", "hindi", "castellan", "norsk", "kappan", "tirolean", "maric", "soluna", "veshti",
-    "quore", "ellish", "tandri",
+    "bengali",
+    "hindi",
+    "castellan",
+    "norsk",
+    "kappan",
+    "tirolean",
+    "maric",
+    "soluna",
+    "veshti",
+    "quore",
+    "ellish",
+    "tandri",
 ];
 
 const EVENT_STEMS: &[&str] =

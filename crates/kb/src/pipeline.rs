@@ -93,9 +93,8 @@ pub fn identify_relational(tables: Vec<Table>, cfg: &PipelineConfig) -> Vec<Tabl
             // Drop illegal-header columns from entity consideration by
             // unlinking their cells (the paper filters such columns out of
             // the entity-column set).
-            let illegal: Vec<usize> = (0..t.n_cols())
-                .filter(|&c| is_illegal_header(cfg, &t.headers[c]))
-                .collect();
+            let illegal: Vec<usize> =
+                (0..t.n_cols()).filter(|&c| is_illegal_header(cfg, &t.headers[c])).collect();
             for row in &mut t.rows {
                 for &c in &illegal {
                     if let Some(cell) = row.get_mut(c) {
@@ -224,8 +223,11 @@ mod tests {
             rows: (0..4)
                 .map(|i| {
                     vec![
-                        Cell { text: format!("{i}"), entity: Some(EntityRef { id: 90 + i, mention: format!("{i}") }) },
-                        Cell::linked(i as u32, format!("f{i}")),
+                        Cell {
+                            text: format!("{i}"),
+                            entity: Some(EntityRef { id: 90 + i, mention: format!("{i}") }),
+                        },
+                        Cell::linked(i, format!("f{i}")),
                     ]
                 })
                 .collect(),
@@ -263,7 +265,10 @@ mod tests {
         let s1 = partition(tables.clone(), &cfg);
         let s2 = partition(tables, &cfg);
         assert_eq!(s1.total(), n);
-        assert_eq!(s1.validation.len() + s1.test.len(), 20.min(s1.validation.len() + s1.test.len()));
+        assert_eq!(
+            s1.validation.len() + s1.test.len(),
+            20.min(s1.validation.len() + s1.test.len())
+        );
         assert!(s1.validation.len() <= s1.test.len() + 1);
         let ids = |v: &[Table]| v.iter().map(|t| t.id.clone()).collect::<HashSet<_>>();
         assert!(ids(&s1.train).is_disjoint(&ids(&s1.validation)));

@@ -252,9 +252,7 @@ impl Schema {
     /// All fine-grained types (leaves of the hierarchy) suitable for
     /// entity generation.
     pub fn leaf_types(&self) -> Vec<TypeId> {
-        (0..self.types.len())
-            .filter(|&t| !self.types.iter().any(|o| o.parent == Some(t)))
-            .collect()
+        (0..self.types.len()).filter(|&t| !self.types.iter().any(|o| o.parent == Some(t))).collect()
     }
 
     /// Relations whose subject type accepts entities of type `t`.

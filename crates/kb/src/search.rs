@@ -63,8 +63,10 @@ impl TableSearchIndex {
             }
             subject_entities.push(subj);
         }
-        let headers =
-            tables.iter().map(|t| t.headers.iter().map(|h| normalize_header(h)).collect()).collect();
+        let headers = tables
+            .iter()
+            .map(|t| t.headers.iter().map(|h| normalize_header(h)).collect())
+            .collect();
         let captions = tables.iter().map(|t| t.full_caption()).collect();
         Self { vectors, idf, entity_postings, subject_entities, headers, captions }
     }
@@ -117,10 +119,7 @@ impl TableSearchIndex {
             .enumerate()
             .filter_map(|(i, v)| {
                 let (small, large) = if q.len() < v.len() { (&q, v) } else { (v, &q) };
-                let s: f64 = small
-                    .iter()
-                    .filter_map(|(t, w)| large.get(t).map(|w2| w * w2))
-                    .sum();
+                let s: f64 = small.iter().filter_map(|(t, w)| large.get(t).map(|w2| w * w2)).sum();
                 (s > 0.0).then_some((i, s))
             })
             .collect();
@@ -156,8 +155,10 @@ mod tests {
 
     fn index() -> (Vec<Table>, TableSearchIndex) {
         let kb = KnowledgeBase::generate(&WorldConfig::tiny(41));
-        let tables =
-            identify_relational(generate_corpus(&kb, &CorpusConfig::tiny(42)), &PipelineConfig::default());
+        let tables = identify_relational(
+            generate_corpus(&kb, &CorpusConfig::tiny(42)),
+            &PipelineConfig::default(),
+        );
         let idx = TableSearchIndex::build(&tables);
         (tables, idx)
     }
@@ -190,7 +191,7 @@ mod tests {
     }
 
     #[test]
-    fn scores_descend(){
+    fn scores_descend() {
         let (tables, idx) = index();
         let hits = idx.query_caption(&tables[3].full_caption(), 20);
         for w in hits.windows(2) {

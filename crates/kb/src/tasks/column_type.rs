@@ -89,7 +89,12 @@ pub fn build_column_type_task(
             .filter_map(|(table_idx, col, entities, types)| {
                 let labels: Vec<usize> =
                     types.iter().filter_map(|t| label_index.get(t).copied()).collect();
-                (!labels.is_empty()).then_some(ColumnTypeExample { table_idx, col, labels, entities })
+                (!labels.is_empty()).then_some(ColumnTypeExample {
+                    table_idx,
+                    col,
+                    labels,
+                    entities,
+                })
             })
             .collect()
     };
@@ -155,10 +160,7 @@ mod tests {
             for &l in &ex.labels {
                 let ty = t.label_types[l];
                 for &e in &ex.entities {
-                    assert!(
-                        kb.entity(e).types.contains(&ty),
-                        "entity {e} lacks labeled type {ty}"
-                    );
+                    assert!(kb.entity(e).types.contains(&ty), "entity {e} lacks labeled type {ty}");
                 }
             }
         }

@@ -37,11 +37,11 @@ pub struct RelationTask {
     pub test: Vec<RelationExample>,
 }
 
-fn raw_pairs(
-    kb: &KnowledgeBase,
-    tables: &[Table],
-    min_pairs: usize,
-) -> Vec<(usize, usize, usize, Vec<(EntityId, EntityId)>, Vec<RelationId>)> {
+/// `(table index, subject column, object column, entity pairs, relations)`
+/// — one candidate column pair before label filtering.
+type RawPair = (usize, usize, usize, Vec<(EntityId, EntityId)>, Vec<RelationId>);
+
+fn raw_pairs(kb: &KnowledgeBase, tables: &[Table], min_pairs: usize) -> Vec<RawPair> {
     let mut out = Vec::new();
     for (ti, t) in tables.iter().enumerate() {
         let sc = t.subject_column;
@@ -95,7 +95,7 @@ pub fn build_relation_task(
     let label_names =
         label_relations.iter().map(|&r| kb.schema.relations[r].name.clone()).collect();
 
-    let project = |raw: Vec<(usize, usize, usize, Vec<(EntityId, EntityId)>, Vec<RelationId>)>| {
+    let project = |raw: Vec<RawPair>| {
         raw.into_iter()
             .filter_map(|(table_idx, subj_col, obj_col, pairs, rels)| {
                 let labels: Vec<usize> =
@@ -152,8 +152,7 @@ mod tests {
         for ex in t.train.iter().take(40) {
             for &l in &ex.labels {
                 let rid = t.label_relations[l];
-                let holding =
-                    ex.pairs.iter().filter(|&&(s, o)| kb.has_fact(s, rid, o)).count();
+                let holding = ex.pairs.iter().filter(|&&(s, o)| kb.has_fact(s, rid, o)).count();
                 assert!(
                     2 * holding > ex.pairs.len(),
                     "relation {rid} not shared by majority ({holding}/{})",

@@ -56,11 +56,8 @@ pub fn build_header_vocab(tables: &[Table], min_tables: usize) -> HeaderVocab {
             }
         }
     }
-    let mut headers: Vec<String> = counts
-        .into_iter()
-        .filter(|&(_, c)| c >= min_tables)
-        .map(|(h, _)| h)
-        .collect();
+    let mut headers: Vec<String> =
+        counts.into_iter().filter(|&(_, c)| c >= min_tables).map(|(h, _)| h).collect();
     headers.sort();
     let index = headers.iter().enumerate().map(|(i, h)| (h.clone(), i)).collect();
     HeaderVocab { headers, index }

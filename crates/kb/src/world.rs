@@ -296,8 +296,7 @@ impl KnowledgeBase {
         let Some((&first, rest)) = entities.split_first() else {
             return Vec::new();
         };
-        let mut common: HashSet<TypeId> =
-            self.entity(first).types.iter().copied().collect();
+        let mut common: HashSet<TypeId> = self.entity(first).types.iter().copied().collect();
         for &e in rest {
             let ts: HashSet<TypeId> = self.entity(e).types.iter().copied().collect();
             common.retain(|t| ts.contains(t));
@@ -346,12 +345,8 @@ mod tests {
     fn different_seeds_differ() {
         let a = KnowledgeBase::generate(&WorldConfig::tiny(1));
         let b = KnowledgeBase::generate(&WorldConfig::tiny(2));
-        let diff = a
-            .entities
-            .iter()
-            .zip(b.entities.iter())
-            .filter(|(x, y)| x.name != y.name)
-            .count();
+        let diff =
+            a.entities.iter().zip(b.entities.iter()).filter(|(x, y)| x.name != y.name).count();
         assert!(diff > 0);
     }
 

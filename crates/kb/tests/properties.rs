@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 use std::collections::HashSet;
 use turl_kb::{
-    generate_corpus, identify_relational, partition, CorpusConfig, KnowledgeBase,
-    LookupIndex, PipelineConfig, WorldConfig,
+    generate_corpus, identify_relational, partition, CorpusConfig, KnowledgeBase, LookupIndex,
+    PipelineConfig, WorldConfig,
 };
 
 proptest! {

@@ -161,11 +161,7 @@ mod tests {
             let y = att.forward(&mut f, &s, &mut r2, x, None);
             f.graph.value(y).row(0).to_vec()
         };
-        let da: f32 = run(&base)
-            .iter()
-            .zip(run(&pert).iter())
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let da: f32 = run(&base).iter().zip(run(&pert).iter()).map(|(a, b)| (a - b).abs()).sum();
         assert!(da > 1e-4, "unmasked attention should propagate perturbations");
     }
 

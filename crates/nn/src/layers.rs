@@ -133,8 +133,7 @@ impl Dropout {
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
         let n: usize = shape.iter().product();
-        let mask_data =
-            (0..n).map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 }).collect();
+        let mask_data = (0..n).map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 }).collect();
         let mask = f.graph.constant(Tensor::from_vec(shape, mask_data));
         f.graph.mul(x, mask)
     }

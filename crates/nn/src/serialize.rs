@@ -47,11 +47,7 @@ struct Checkpoint {
 
 /// Write every parameter value (not optimizer state) to a JSON file.
 pub fn save_store(store: &ParamStore, path: &Path) -> Result<(), SerializeError> {
-    let params = store
-        .entries()
-        .iter()
-        .map(|e| (e.name.clone(), e.value.clone()))
-        .collect();
+    let params = store.entries().iter().map(|e| (e.name.clone(), e.value.clone())).collect();
     let f = BufWriter::new(File::create(path)?);
     serde_json::to_writer(f, &Checkpoint { params })?;
     Ok(())

@@ -69,13 +69,7 @@ impl FeedForward {
     }
 
     /// Apply to `[n, d_model]`.
-    pub fn forward<R: Rng>(
-        &self,
-        f: &mut Forward,
-        store: &ParamStore,
-        rng: &mut R,
-        x: Var,
-    ) -> Var {
+    pub fn forward<R: Rng>(&self, f: &mut Forward, store: &ParamStore, rng: &mut R, x: Var) -> Var {
         let h = self.lin1.forward(f, store, x);
         let a = f.graph.gelu(h);
         let y = self.lin2.forward(f, store, a);

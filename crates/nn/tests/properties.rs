@@ -6,8 +6,8 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use turl_nn::{
-    clip_grad_norm, Adam, AdamConfig, Embedding, Forward, LayerNorm, Linear,
-    MultiHeadAttention, ParamStore,
+    clip_grad_norm, Adam, AdamConfig, Embedding, Forward, LayerNorm, Linear, MultiHeadAttention,
+    ParamStore,
 };
 use turl_tensor::Tensor;
 

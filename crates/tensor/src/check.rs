@@ -93,6 +93,88 @@ mod tests {
         }
     }
 
+    /// Deterministic pseudo-random weights for reproducible gradchecks.
+    fn det_weights(shape: Vec<usize>, salt: f32) -> Tensor {
+        let n: usize = shape.iter().product();
+        Tensor::from_vec(shape, (0..n).map(|i| ((i as f32) * 0.7 + salt).sin() * 0.5).collect())
+    }
+
+    #[test]
+    fn gradcheck_masked_attention_with_visibility_matrix() {
+        // Full multi-head attention (the §4.3 masked-encoder primitive):
+        // q/k/v projections, head split, scaled bmm scores, an additive
+        // visibility mask, softmax, context, merge, output projection.
+        //
+        // The mask is a hand-built §4.3-style matrix over six elements:
+        // [0]=caption, [1]=header(col 0), [2]=header(col 1), [3]=topic,
+        // [4]=cell(0,0), [5]=cell(0,1). Everything is mutually visible
+        // except header(0)↔cell(0,1) and header(1)↔cell(0,0) — a
+        // non-trivial asymmetric-looking pattern that is still symmetric.
+        let (n, d, heads) = (6usize, 4usize, 2usize);
+        let dh = d / heads;
+        let mut mask = Tensor::zeros(vec![n, n]);
+        for (i, j) in [(1, 5), (5, 1), (2, 4), (4, 2)] {
+            mask.data_mut()[i * n + j] = -1e9;
+        }
+        let x = det_weights(vec![n, d], 0.3);
+        let report = gradcheck(&x, 1e-2, |t| {
+            let mut g = Graph::new();
+            let xv = g.leaf(t.clone(), true);
+            let m = g.constant(mask.clone());
+            let wq = g.constant(det_weights(vec![d, d], 1.0));
+            let wk = g.constant(det_weights(vec![d, d], 2.0));
+            let wv = g.constant(det_weights(vec![d, d], 3.0));
+            let wo = g.constant(det_weights(vec![d, d], 4.0));
+            let split = |g: &mut Graph, t: Var| {
+                let r = g.reshape(t, vec![n, heads, dh]);
+                g.permute(r, &[1, 0, 2])
+            };
+            let q = g.matmul(xv, wq);
+            let k = g.matmul(xv, wk);
+            let v = g.matmul(xv, wv);
+            let (qh, kh, vh) = (split(&mut g, q), split(&mut g, k), split(&mut g, v));
+            let scores = g.bmm_nt(qh, kh);
+            let scaled = g.scale(scores, 1.0 / (dh as f32).sqrt());
+            let masked = g.add(scaled, m);
+            let weights = g.softmax_last(masked);
+            let ctx = g.bmm(weights, vh);
+            let merged = g.permute(ctx, &[1, 0, 2]);
+            let flat = g.reshape(merged, vec![n, d]);
+            let out = g.matmul(flat, wo);
+            let l = g.sum_all(out);
+            (g, xv, l)
+        });
+        assert!(report.passes(5e-2), "masked attention gradcheck failed: {report:?}");
+    }
+
+    #[test]
+    fn masked_attention_gradient_is_insensitive_to_masked_pairs() {
+        // The gradient w.r.t. the mask-blocked logits must be exactly the
+        // softmax of -1e9 rows: adding the mask twice changes nothing.
+        let (n, d, heads) = (4usize, 4usize, 1usize);
+        let x = det_weights(vec![n, d], 0.9);
+        let run = |strength: f32| {
+            let mut g = Graph::new();
+            let xv = g.leaf(x.clone(), true);
+            let mut mask = Tensor::zeros(vec![n, n]);
+            mask.data_mut()[1] = strength; // (0,1) masked
+            mask.data_mut()[n] = strength; // (1,0) masked
+            let m = g.constant(mask);
+            let r = g.reshape(xv, vec![heads, n, d]);
+            let scores = g.bmm_nt(r, r);
+            let masked = g.add(scores, m);
+            let w = g.softmax_last(masked);
+            let l = g.sum_all(w);
+            g.backward(l);
+            g.grad(xv).cloned().expect("leaf grad")
+        };
+        let g1 = run(-1e9);
+        let g2 = run(-2e9);
+        for (a, b) in g1.data().iter().zip(g2.data().iter()) {
+            assert!((a - b).abs() < 1e-6, "mask strength leaked into gradients");
+        }
+    }
+
     #[test]
     fn gradcheck_catches_matching_grads() {
         let x = Tensor::from_vec(vec![2, 2], vec![0.3, -0.7, 1.1, 0.05]);

@@ -12,6 +12,17 @@ use crate::tensor::Tensor;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Var(pub(crate) usize);
 
+impl Var {
+    /// Position of this node on its graph's tape.
+    ///
+    /// Nodes are appended in topological order, so for any node its
+    /// parents always have a strictly smaller index — the invariant the
+    /// tape auditor in `turl-audit` verifies.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
 type BackFn = Box<dyn Fn(&Tensor, &Tensor, &[&Tensor]) -> Vec<Tensor>>;
 
 struct Node {
@@ -74,6 +85,37 @@ impl Graph {
     /// Take (move out) the gradient at a node, leaving `None`.
     pub fn take_grad(&mut self, v: Var) -> Option<Tensor> {
         self.nodes[v.0].grad.take()
+    }
+
+    // ---------------------------------------------------------------------
+    // Tape introspection (read-only; used by static analysis / auditing)
+    // ---------------------------------------------------------------------
+
+    /// Handles of all nodes in tape (topological) order.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        (0..self.nodes.len()).map(Var)
+    }
+
+    /// The input nodes of `v` (empty for leaves).
+    pub fn parents(&self, v: Var) -> &[Var] {
+        &self.nodes[v.0].parents
+    }
+
+    /// Whether `v` participates in gradient computation.
+    pub fn needs_grad(&self, v: Var) -> bool {
+        self.nodes[v.0].needs_grad
+    }
+
+    /// Whether `v` is a leaf: it was created directly from a tensor rather
+    /// than by an operation.
+    pub fn is_leaf(&self, v: Var) -> bool {
+        self.nodes[v.0].parents.is_empty() && self.nodes[v.0].backward.is_none()
+    }
+
+    /// Whether `v` recorded a backward closure (differentiable interior
+    /// node on a grad-requiring path).
+    pub fn has_backward(&self, v: Var) -> bool {
+        self.nodes[v.0].backward.is_some()
     }
 
     fn push(&mut self, value: Tensor, parents: Vec<Var>, backward: BackFn) -> Var {
@@ -266,7 +308,9 @@ impl Graph {
             value,
             vec![a],
             Box::new(|g, _, pv| {
-                vec![g.broadcast_zip(pv[0], |gv, x| if x > 0.0 { gv } else { 0.0 }).unwrap()]
+                vec![g
+                    .broadcast_zip(pv[0], |gv, x| if x > 0.0 { gv } else { 0.0 })
+                    .expect("relu back")]
             }),
         )
     }
@@ -277,7 +321,9 @@ impl Graph {
         self.push(
             value,
             vec![a],
-            Box::new(|g, _, pv| vec![g.broadcast_zip(pv[0], |gv, x| gv * gelu_grad(x)).unwrap()]),
+            Box::new(|g, _, pv| {
+                vec![g.broadcast_zip(pv[0], |gv, x| gv * gelu_grad(x)).expect("gelu back")]
+            }),
         )
     }
 
@@ -287,7 +333,9 @@ impl Graph {
         self.push(
             value,
             vec![a],
-            Box::new(|g, out, _| vec![g.broadcast_zip(out, |gv, y| gv * (1.0 - y * y)).unwrap()]),
+            Box::new(|g, out, _| {
+                vec![g.broadcast_zip(out, |gv, y| gv * (1.0 - y * y)).expect("tanh back")]
+            }),
         )
     }
 
@@ -298,7 +346,7 @@ impl Graph {
             value,
             vec![a],
             Box::new(|g, out, _| {
-                vec![g.broadcast_zip(out, |gv, y| gv * y * (1.0 - y)).unwrap()]
+                vec![g.broadcast_zip(out, |gv, y| gv * y * (1.0 - y)).expect("sigmoid back")]
             }),
         )
     }
@@ -361,7 +409,7 @@ impl Graph {
             Box::new(move |g, _, pv| {
                 let xval = pv[0];
                 let gamma = pv[1].data();
-                let d = *xval.shape().last().unwrap();
+                let d = *xval.shape().last().expect("layer_norm rank");
                 let rows = xval.len() / d;
                 let mut dx = Tensor::zeros(xval.shape().to_vec());
                 let mut dgamma = vec![0.0f32; d];
@@ -395,11 +443,7 @@ impl Graph {
                         dxd[o + j] = inv * (dyg - m1 - xhat * m2);
                     }
                 }
-                vec![
-                    dx,
-                    Tensor::from_vec(vec![d], dgamma),
-                    Tensor::from_vec(vec![d], dbeta),
-                ]
+                vec![dx, Tensor::from_vec(vec![d], dgamma), Tensor::from_vec(vec![d], dbeta)]
             }),
         )
     }
@@ -495,7 +539,8 @@ impl Graph {
                 for r in 0..rows {
                     let mut off = 0usize;
                     for (gi, &w) in grads.iter_mut().zip(widths.iter()) {
-                        gi.row_mut(r).copy_from_slice(&g.data()[r * total + off..r * total + off + w]);
+                        gi.row_mut(r)
+                            .copy_from_slice(&g.data()[r * total + off..r * total + off + w]);
                         off += w;
                     }
                 }
@@ -621,12 +666,12 @@ impl Graph {
 }
 
 fn gelu_fwd(x: f32) -> f32 {
-    const C: f32 = 0.797_884_56; // sqrt(2/pi)
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
     0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
 }
 
 fn gelu_grad(x: f32) -> f32 {
-    const C: f32 = 0.797_884_56;
+    const C: f32 = 0.797_884_6;
     let inner = C * (x + 0.044715 * x * x * x);
     let t = inner.tanh();
     let dinner = C * (1.0 + 3.0 * 0.044715 * x * x);

@@ -182,8 +182,7 @@ impl Tensor {
         f: impl Fn(f32, f32) -> f32,
     ) -> Result<Tensor, ShapeError> {
         if self.shape == other.shape {
-            let data =
-                self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect();
+            let data = self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect();
             return Ok(Tensor { shape: self.shape.clone(), data });
         }
         let out_shape = broadcast_shape(&self.shape, &other.shape)?;

@@ -69,8 +69,7 @@ fn main() {
         };
         let data = encode(&splits.train);
         let val = encode(&splits.validation);
-        let mut pt =
-            Pretrainer::new(cfg, vocab.len(), kb.n_entities(), vocab.mask_id() as usize);
+        let mut pt = Pretrainer::new(cfg, vocab.len(), kb.n_entities(), vocab.mask_id() as usize);
         print!("{name:<34}");
         for _ in 0..epochs {
             pt.train(&data, &cooccur, 1);

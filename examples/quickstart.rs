@@ -73,19 +73,31 @@ fn main() {
     let mut pt = Pretrainer::new(cfg, vocab.len(), kb.n_entities(), vocab.mask_id() as usize);
     println!("\npre-training ({} tables, {} parameters)...", data.len(), pt.store.num_scalars());
     let acc0 = probe::object_entity_accuracy(
-        &pt.model, &pt.store, &val, &cooccur, vocab.mask_id() as usize, 0, 150,
+        &pt.model,
+        &pt.store,
+        &val,
+        &cooccur,
+        vocab.mask_id() as usize,
+        0,
+        150,
     );
     let stats = pt.train(&data, &cooccur, 10);
     println!(
         "loss: {:.3} -> {:.3} over {} epochs",
         stats.epoch_losses[0],
-        stats.epoch_losses.last().unwrap(),
+        stats.epoch_losses.last().expect("at least one epoch"),
         stats.epoch_losses.len()
     );
 
     // 3. What did it learn? ------------------------------------------------
     let acc1 = probe::object_entity_accuracy(
-        &pt.model, &pt.store, &val, &cooccur, vocab.mask_id() as usize, 0, 150,
+        &pt.model,
+        &pt.store,
+        &val,
+        &cooccur,
+        vocab.mask_id() as usize,
+        0,
+        150,
     );
     println!("object-entity prediction probe: {acc0:.3} (random init) -> {acc1:.3} (pre-trained)");
 

@@ -5,9 +5,9 @@
 //! Run with `cargo run -p turl-examples --bin table_augmentation`.
 
 use turl_core::tasks::cell_filling::CellFiller;
+use turl_core::tasks::clone_pretrained;
 use turl_core::tasks::row_population::RowPopulationModel;
 use turl_core::tasks::schema_augmentation::SchemaAugModel;
-use turl_core::tasks::clone_pretrained;
 use turl_core::{EncodedInput, FinetuneConfig, Pretrainer, TurlConfig};
 use turl_data::{LinearizeConfig, TableInstance, Vocab};
 use turl_kb::tasks::{
@@ -73,7 +73,11 @@ fn main() {
         rp_eval.len()
     );
     if let Some(q) = rp_eval.iter().find(|q| !q.candidates.is_empty()) {
-        println!("  query: \"{}\", seed {:?}", q.caption, q.seeds.iter().map(|&e| kb.entity(e).name.clone()).collect::<Vec<_>>());
+        println!(
+            "  query: \"{}\", seed {:?}",
+            q.caption,
+            q.seeds.iter().map(|&e| kb.entity(e).name.clone()).collect::<Vec<_>>()
+        );
         let top: Vec<String> =
             rp.rank(&vocab, &kb, q).iter().take(3).map(|&e| kb.entity(e).name.clone()).collect();
         println!("  suggested next subject entities: {top:?}");

@@ -80,7 +80,8 @@ fn main() {
     );
 
     // --- column type annotation -------------------------------------------
-    let ct_task = build_column_type_task(&kb, &splits.train, &splits.validation, &splits.test, 3, 3);
+    let ct_task =
+        build_column_type_task(&kb, &splits.train, &splits.validation, &splits.test, 3, 3);
     let (m, s) = clone_pretrained(cfg, vocab.len(), kb.n_entities(), &pt.store);
     let mut ct = ColumnTypeModel::new(m, s, ct_task.label_types.len(), InputChannels::full());
     let n = ct_task.train.len().min(250);
@@ -113,10 +114,8 @@ fn main() {
         println!("\n=== interpreting table \"{}\" ===", t.full_caption());
         println!("headers: {:?}", t.headers);
         let pred = ct.predict(&splits.test, &vocab, ex);
-        let names: Vec<&str> =
-            pred.iter().map(|&l| ct_task.label_names[l].as_str()).collect();
-        let gold: Vec<&str> =
-            ex.labels.iter().map(|&l| ct_task.label_names[l].as_str()).collect();
+        let names: Vec<&str> = pred.iter().map(|&l| ct_task.label_names[l].as_str()).collect();
+        let gold: Vec<&str> = ex.labels.iter().map(|&l| ct_task.label_names[l].as_str()).collect();
         println!("column {} predicted types {:?} (gold {:?})", ex.col, names, gold);
     }
     if let Some(ex) = re_task.test.first() {

@@ -11,11 +11,8 @@ fn run_turl(args: &[&str]) -> (bool, String) {
         .args(args)
         .output()
         .expect("cargo run turl-cli");
-    let text = format!(
-        "{}{}",
-        String::from_utf8_lossy(&out.stdout),
-        String::from_utf8_lossy(&out.stderr)
-    );
+    let text =
+        format!("{}{}", String::from_utf8_lossy(&out.stdout), String::from_utf8_lossy(&out.stderr));
     (out.status.success(), text)
 }
 

@@ -4,8 +4,8 @@
 use turl_core::{probe, EncodedInput, Pretrainer, TurlConfig};
 use turl_data::{LinearizeConfig, TableInstance, Vocab};
 use turl_kb::{
-    generate_corpus, identify_relational, partition, CooccurrenceIndex, CorpusConfig,
-    CorpusSplits, KnowledgeBase, PipelineConfig, WorldConfig,
+    generate_corpus, identify_relational, partition, CooccurrenceIndex, CorpusConfig, CorpusSplits,
+    KnowledgeBase, PipelineConfig, WorldConfig,
 };
 use turl_nn::{load_store, save_store, Forward};
 
@@ -78,8 +78,7 @@ fn checkpoint_roundtrip_preserves_predictions() {
     let w = world(200);
     let cfg = TurlConfig::tiny(6);
     let data = encode(&w, &w.splits.train[..20.min(w.splits.train.len())], &cfg);
-    let mut pt =
-        Pretrainer::new(cfg, w.vocab.len(), w.kb.n_entities(), w.vocab.mask_id() as usize);
+    let mut pt = Pretrainer::new(cfg, w.vocab.len(), w.kb.n_entities(), w.vocab.mask_id() as usize);
     pt.train(&data, &w.cooccur, 2);
 
     let dir = std::env::temp_dir().join("turl_integration_ckpt");
@@ -115,10 +114,10 @@ fn pretraining_improves_object_entity_probe() {
     let cfg = TurlConfig::tiny(7);
     let train = encode(&w, &w.splits.train, &cfg);
     let val = encode(&w, &w.splits.validation, &cfg);
-    let mut pt =
-        Pretrainer::new(cfg, w.vocab.len(), w.kb.n_entities(), w.vocab.mask_id() as usize);
+    let mut pt = Pretrainer::new(cfg, w.vocab.len(), w.kb.n_entities(), w.vocab.mask_id() as usize);
     let mask = w.vocab.mask_id() as usize;
-    let before = probe::object_entity_accuracy(&pt.model, &pt.store, &val, &w.cooccur, mask, 0, 100);
+    let before =
+        probe::object_entity_accuracy(&pt.model, &pt.store, &val, &w.cooccur, mask, 0, 100);
     pt.train(&train, &w.cooccur, 8);
     let after = probe::object_entity_accuracy(&pt.model, &pt.store, &val, &w.cooccur, mask, 0, 100);
     assert!(

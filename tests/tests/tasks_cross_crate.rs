@@ -2,9 +2,7 @@
 //! `turl-kb`, heads from `turl-core`, baselines from `turl-baselines`,
 //! all over one shared world.
 
-use turl_baselines::{
-    rank_exact, rank_h2h, EntiTables, KnnSchema, SkipGramConfig, Table2Vec,
-};
+use turl_baselines::{rank_exact, rank_h2h, EntiTables, KnnSchema, SkipGramConfig, Table2Vec};
 use turl_core::tasks::cell_filling::CellFiller;
 use turl_core::tasks::clone_pretrained;
 use turl_core::tasks::row_population::RowPopulationModel;
@@ -15,8 +13,8 @@ use turl_kb::tasks::{
     build_cell_filling, build_header_vocab, build_row_population, build_schema_augmentation,
 };
 use turl_kb::{
-    generate_corpus, identify_relational, partition, CooccurrenceIndex, CorpusConfig,
-    CorpusSplits, KnowledgeBase, PipelineConfig, TableSearchIndex, WorldConfig,
+    generate_corpus, identify_relational, partition, CooccurrenceIndex, CorpusConfig, CorpusSplits,
+    KnowledgeBase, PipelineConfig, TableSearchIndex, WorldConfig,
 };
 
 fn setup() -> (KnowledgeBase, CorpusSplits, Vocab, CooccurrenceIndex, TableSearchIndex) {
@@ -150,10 +148,8 @@ fn fine_tuning_from_pretrained_beats_from_scratch_on_row_population() {
         let (m, s) = clone_pretrained(cfg, vocab.len(), kb.n_entities(), init_store);
         let mut rp = RowPopulationModel::new(m, s);
         rp.train(&vocab, &kb, &train_ex, &ft);
-        let aps: Vec<f64> = eval
-            .iter()
-            .map(|ex| average_precision(&rp.rank(&vocab, &kb, ex), &ex.gold))
-            .collect();
+        let aps: Vec<f64> =
+            eval.iter().map(|ex| average_precision(&rp.rank(&vocab, &kb, ex), &ex.gold)).collect();
         mean_average_precision(&aps)
     };
     let scratch_store = Pretrainer::new(

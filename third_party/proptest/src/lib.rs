@@ -1,0 +1,592 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a minimal deterministic property-testing harness with the
+//! same spelling as proptest: the [`proptest!`] macro, [`Strategy`] with
+//! `prop_map`, [`collection::vec`], [`any`], numeric-range strategies,
+//! string strategies from a small regex subset (`[a-z]{1,8}`, `\PC{0,40}`),
+//! and the `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Differences from upstream: cases are generated from a seed derived
+//! from the test name (fully deterministic across runs), there is no
+//! shrinking, and failing cases report the assertion message only.
+
+#![deny(missing_docs)]
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Everything a property test file needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// RNG + config
+// ---------------------------------------------------------------------------
+
+/// Deterministic RNG used to generate test cases (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG seeded directly from a 64-bit value.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    /// RNG seeded from a test name (FNV-1a hash), so every named test
+    /// has its own reproducible stream.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self::new(h)
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Runner configuration; only the case count is configurable.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Why a generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered the input; the case is not counted.
+    Reject(String),
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy over empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy over empty range");
+                let span = self.end.wrapping_sub(self.start) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_signed_range_strategy!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy over empty range");
+                self.start + rng.unit_f64() as $t * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+)),*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!(
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+);
+
+// ---------------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`: any representable value.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+// ---------------------------------------------------------------------------
+// String strategies from a regex subset
+// ---------------------------------------------------------------------------
+
+enum Atom {
+    /// Characters listed explicitly (from a `[...]` class).
+    Class(Vec<char>),
+    /// `\PC`: any non-control character (sampled from a fixed pool that
+    /// includes non-ASCII, uppercase and punctuation to exercise unicode
+    /// handling).
+    NonControl,
+    /// A literal character.
+    Literal(char),
+}
+
+struct Quantified {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_class(chars: &[char], mut pos: usize) -> (Vec<char>, usize) {
+    let mut set = Vec::new();
+    while pos < chars.len() && chars[pos] != ']' {
+        if pos + 2 < chars.len() && chars[pos + 1] == '-' && chars[pos + 2] != ']' {
+            let (lo, hi) = (chars[pos], chars[pos + 2]);
+            assert!(lo <= hi, "bad regex class range {lo}-{hi}");
+            for c in lo..=hi {
+                set.push(c);
+            }
+            pos += 3;
+        } else {
+            set.push(chars[pos]);
+            pos += 1;
+        }
+    }
+    assert!(pos < chars.len(), "unterminated character class in regex strategy");
+    (set, pos + 1)
+}
+
+fn parse_quantifier(chars: &[char], pos: usize) -> (usize, usize, usize) {
+    if chars.get(pos) != Some(&'{') {
+        return (1, 1, pos);
+    }
+    let close = chars[pos..]
+        .iter()
+        .position(|&c| c == '}')
+        .map(|i| pos + i)
+        .expect("unterminated {} quantifier in regex strategy");
+    let inner: String = chars[pos + 1..close].iter().collect();
+    let (min, max) = match inner.split_once(',') {
+        Some((lo, hi)) => (
+            lo.parse().expect("bad quantifier lower bound"),
+            hi.parse().expect("bad quantifier upper bound"),
+        ),
+        None => {
+            let n = inner.parse().expect("bad quantifier count");
+            (n, n)
+        }
+    };
+    (min, max, close + 1)
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Quantified> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut pos = 0usize;
+    while pos < chars.len() {
+        let (atom, next) = match chars[pos] {
+            '[' => {
+                let (set, next) = parse_class(&chars, pos + 1);
+                (Atom::Class(set), next)
+            }
+            '\\' => match chars.get(pos + 1) {
+                Some('P') if chars.get(pos + 2) == Some(&'C') => (Atom::NonControl, pos + 3),
+                Some(&c) => (Atom::Literal(c), pos + 2),
+                None => panic!("dangling backslash in regex strategy"),
+            },
+            c => (Atom::Literal(c), pos + 1),
+        };
+        let (min, max, next) = parse_quantifier(&chars, next);
+        atoms.push(Quantified { atom, min, max });
+        pos = next;
+    }
+    atoms
+}
+
+/// Sampling pool for `\PC`: printable ASCII plus assorted non-ASCII
+/// (accented letters, CJK, symbols) to exercise unicode code paths.
+const NON_CONTROL_POOL: &[char] = &[
+    'a', 'b', 'z', 'A', 'Q', 'Z', '0', '5', '9', ' ', '.', ',', '-', '_', '!', '?', '#', '/',
+    '(', ')', '"', '\'', 'é', 'ß', 'Ä', 'ø', 'ñ', '日', '本', '語', '中', 'π', 'Σ', '²', '½',
+    '€', '→', '★',
+];
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Class(set) => set[rng.below(set.len() as u64) as usize],
+        Atom::NonControl => NON_CONTROL_POOL[rng.below(NON_CONTROL_POOL.len() as u64) as usize],
+        Atom::Literal(c) => *c,
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for q in parse_pattern(self) {
+            let count = q.min + rng.below((q.max - q.min + 1) as u64) as usize;
+            for _ in 0..count {
+                out.push(sample_atom(&q.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Acceptable vector-length specifications: an exact length or a
+    /// half-open range of lengths.
+    pub trait SizeRange {
+        /// `(min, max)` inclusive bounds on the length.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl SizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty vec size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    /// Strategy for vectors with element strategy `S`.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// A vector whose length is drawn from `size` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl SizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.min + rng.below((self.max - self.min + 1) as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_each! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_each! { @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: one test per munch step.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_each {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::from_name(stringify!($name));
+            let mut __passed: u32 = 0;
+            let mut __attempts: u32 = 0;
+            let __max_attempts = __cfg.cases.saturating_mul(20).max(100);
+            while __passed < __cfg.cases {
+                assert!(
+                    __attempts < __max_attempts,
+                    "proptest: too many rejected cases in {} ({} attempts, {} passed)",
+                    stringify!($name), __attempts, __passed,
+                );
+                __attempts += 1;
+                $(let $arg = $crate::Strategy::generate(&$strat, &mut __rng);)+
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => __passed += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
+                        panic!("proptest case failed in {}: {}", stringify!($name), __msg);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_each! { @cfg($cfg) $($rest)* }
+    };
+}
+
+/// Assert a condition inside a property test (fails the whole test).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($lhs), stringify!($rhs), __l, __r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)*), __l, __r
+            )));
+        }
+    }};
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: {} != {} (both {:?})",
+            stringify!($lhs), stringify!($rhs), __l
+        );
+    }};
+}
+
+/// Discard the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::Strategy as _;
+
+    #[test]
+    fn regex_class_respects_bounds() {
+        let mut rng = crate::TestRng::new(1);
+        let strat = "[a-z]{1,8}";
+        for _ in 0..200 {
+            let s = crate::Strategy::generate(&strat, &mut rng);
+            assert!((1..=8).contains(&s.chars().count()), "len {}", s.len());
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn regex_nc_has_no_controls() {
+        let mut rng = crate::TestRng::new(2);
+        let strat = "\\PC{0,40}";
+        let mut max_len = 0;
+        for _ in 0..200 {
+            let s = crate::Strategy::generate(&strat, &mut rng);
+            let n = s.chars().count();
+            assert!(n <= 40);
+            max_len = max_len.max(n);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+        assert!(max_len > 20, "quantifier never stretched: max {max_len}");
+    }
+
+    #[test]
+    fn vec_and_map_compose() {
+        let mut rng = crate::TestRng::new(3);
+        let strat = crate::collection::vec(0usize..10, 2..5).prop_map(|v| v.len());
+        for _ in 0..100 {
+            let n = crate::Strategy::generate(&strat, &mut rng);
+            assert!((2..=4).contains(&n));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_runs_and_assumes(x in 0u64..100, flip in any::<bool>()) {
+            prop_assume!(x != 3);
+            prop_assert!(x < 100);
+            prop_assert_eq!(x, x);
+            if flip {
+                prop_assert_ne!(x, x + 1);
+            }
+        }
+
+        #[test]
+        fn tuple_strategies_generate(pair in (0usize..4, -1.0f32..1.0)) {
+            prop_assert!(pair.0 < 4);
+            prop_assert!((-1.0..1.0).contains(&pair.1));
+        }
+    }
+}

@@ -1,0 +1,442 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Generates `Serialize`/`Deserialize` impls (the simplified `Value`-based
+//! traits of the vendored `serde` crate) for non-generic structs and enums.
+//! Supports named-field structs, tuple structs, and enums with unit, tuple
+//! and struct variants, plus the `#[serde(skip)]` field attribute.
+//!
+//! Implemented directly on `proc_macro::TokenStream` — the offline build
+//! has no `syn`/`quote`, so parsing walks raw token trees and code is
+//! emitted as strings.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    emit_serialize(&item).parse().expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// Derive the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    emit_deserialize(&item).parse().expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// A tiny item model
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    NamedStruct { name: String, fields: Vec<Field> },
+    TupleStruct { name: String, arity: usize },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// True when an attribute group's tokens are exactly `serde(skip)`.
+fn is_skip_attr(group: &TokenStream) -> bool {
+    let toks: Vec<TokenTree> = group.clone().into_iter().collect();
+    match toks.as_slice() {
+        [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+/// Consume leading `#[...]` attributes; report whether any was `serde(skip)`.
+fn take_attrs(toks: &[TokenTree], mut pos: usize) -> (usize, bool) {
+    let mut skip = false;
+    while pos + 1 < toks.len() {
+        let (TokenTree::Punct(p), TokenTree::Group(g)) = (&toks[pos], &toks[pos + 1]) else {
+            break;
+        };
+        if p.as_char() != '#' || g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        skip |= is_skip_attr(&g.stream());
+        pos += 2;
+    }
+    (pos, skip)
+}
+
+/// Consume an optional `pub` / `pub(...)` visibility.
+fn take_vis(toks: &[TokenTree], mut pos: usize) -> usize {
+    if matches!(&toks.get(pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        pos += 1;
+        if matches!(
+            &toks.get(pos),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            pos += 1;
+        }
+    }
+    pos
+}
+
+/// Advance past a type, stopping at a top-level `,` (generic angle brackets
+/// are depth-tracked; `->` is not a closing bracket).
+fn skip_type(toks: &[TokenTree], mut pos: usize) -> usize {
+    let mut depth = 0i32;
+    let mut prev_dash = false;
+    while pos < toks.len() {
+        match &toks[pos] {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == ',' && depth == 0 {
+                    return pos;
+                }
+                if c == '<' {
+                    depth += 1;
+                }
+                if c == '>' && !prev_dash {
+                    depth -= 1;
+                }
+                prev_dash = c == '-';
+            }
+            _ => prev_dash = false,
+        }
+        pos += 1;
+    }
+    pos
+}
+
+/// Parse the contents of a named-field brace group.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0usize;
+    while pos < toks.len() {
+        let (p, skip) = take_attrs(&toks, pos);
+        let p = take_vis(&toks, p);
+        let TokenTree::Ident(name) = &toks[p] else {
+            panic!("serde_derive: expected field name, got {:?}", toks[p].to_string());
+        };
+        fields.push(Field { name: name.to_string(), skip });
+        assert!(
+            matches!(&toks[p + 1], TokenTree::Punct(c) if c.as_char() == ':'),
+            "serde_derive: expected `:` after field `{name}`"
+        );
+        pos = skip_type(&toks, p + 2);
+        if pos < toks.len() {
+            pos += 1; // consume the comma
+        }
+    }
+    fields
+}
+
+/// Count the fields of a tuple group (top-level commas + 1).
+fn tuple_arity(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut arity = 0usize;
+    let mut pos = 0usize;
+    while pos < toks.len() {
+        let (p, _) = take_attrs(&toks, pos);
+        let p = take_vis(&toks, p);
+        arity += 1;
+        pos = skip_type(&toks, p);
+        if pos < toks.len() {
+            pos += 1;
+        }
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0usize;
+    while pos < toks.len() {
+        let (p, _) = take_attrs(&toks, pos);
+        let TokenTree::Ident(name) = &toks[p] else {
+            panic!("serde_derive: expected variant name, got {:?}", toks[p].to_string());
+        };
+        let name = name.to_string();
+        let mut p = p + 1;
+        let kind = match toks.get(p) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let k = VariantKind::Tuple(tuple_arity(g.stream()));
+                p += 1;
+                k
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let k = VariantKind::Struct(parse_named_fields(g.stream()));
+                p += 1;
+                k
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // skip an optional `= discriminant` and the trailing comma
+        while p < toks.len()
+            && !matches!(&toks[p], TokenTree::Punct(c) if c.as_char() == ',')
+        {
+            p += 1;
+        }
+        pos = p + 1;
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let (pos, _) = take_attrs(&toks, 0);
+    let pos = take_vis(&toks, pos);
+    let TokenTree::Ident(kw) = &toks[pos] else {
+        panic!("serde_derive: expected `struct` or `enum`");
+    };
+    let kw = kw.to_string();
+    let TokenTree::Ident(name) = &toks[pos + 1] else {
+        panic!("serde_derive: expected type name after `{kw}`");
+    };
+    let name = name.to_string();
+    if matches!(&toks.get(pos + 2), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic type `{name}` is not supported by the offline stub");
+    }
+    let body = &toks[pos + 2];
+    match (kw.as_str(), body) {
+        ("struct", TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Item::NamedStruct { name, fields: parse_named_fields(g.stream()) }
+        }
+        ("struct", TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Item::TupleStruct { name, arity: tuple_arity(g.stream()) }
+        }
+        ("struct", _) => Item::TupleStruct { name, arity: 0 },
+        ("enum", TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Item::Enum { name, variants: parse_variants(g.stream()) }
+        }
+        _ => panic!("serde_derive: unsupported item `{kw} {name}`"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn fields_to_obj(fields: &[Field], accessor: impl Fn(&str) -> String) -> String {
+    let mut out = String::from(
+        "{ let mut __pairs: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n",
+    );
+    for f in fields.iter().filter(|f| !f.skip) {
+        out.push_str(&format!(
+            "__pairs.push((\"{n}\".to_string(), ::serde::Serialize::to_value({a})));\n",
+            n = f.name,
+            a = accessor(&f.name),
+        ));
+    }
+    out.push_str("::serde::Value::Obj(__pairs) }");
+    out
+}
+
+fn fields_from_obj(
+    ty: &str,
+    ctor: &str,
+    fields: &[Field],
+    src: &str,
+) -> String {
+    let mut out = format!("{ctor} {{\n");
+    for f in fields {
+        if f.skip {
+            out.push_str(&format!("{}: ::std::default::Default::default(),\n", f.name));
+        } else {
+            out.push_str(&format!(
+                "{n}: ::serde::Deserialize::from_value({src}.get(\"{n}\").ok_or_else(|| \
+                 ::serde::DeError::new(\"missing field `{n}` in {ty}\"))?)?,\n",
+                n = f.name,
+            ));
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn emit_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let body = fields_to_obj(fields, |f| format!("&self.{f}"));
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {body}\n}}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ \
+                 ::serde::Value::Arr(vec![{}]) }}\n}}",
+                items.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "Self::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> =
+                            (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let payload = if *arity == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Arr(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "Self::{vn}({}) => ::serde::Value::Obj(vec![(\"{vn}\"\
+                             .to_string(), {payload})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let obj = fields_to_obj(fields, |f| f.to_string());
+                        arms.push_str(&format!(
+                            "Self::{vn} {{ {} }} => ::serde::Value::Obj(vec![(\"{vn}\"\
+                             .to_string(), {obj})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ match self {{\n{arms}}} }}\n}}"
+            )
+        }
+    }
+}
+
+fn emit_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let build = fields_from_obj(name, "Self", fields, "__v");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match __v {{\n\
+                 ::serde::Value::Obj(_) => ::std::result::Result::Ok({build}),\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::expected(\
+                 \"an object for struct {name}\", __other)),\n\
+                 }} }}\n}}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match __v {{\n\
+                 ::serde::Value::Arr(__items) if __items.len() == {arity} => \
+                 ::std::result::Result::Ok(Self({})),\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::expected(\
+                 \"an array for tuple struct {name}\", __other)),\n\
+                 }} }}\n}}",
+                items.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut keyed_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok(Self::{vn}),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        if *arity == 1 {
+                            keyed_arms.push_str(&format!(
+                                "\"{vn}\" => ::std::result::Result::Ok(Self::{vn}(\
+                                 ::serde::Deserialize::from_value(__val)?)),\n"
+                            ));
+                        } else {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__items[{i}])?")
+                                })
+                                .collect();
+                            keyed_arms.push_str(&format!(
+                                "\"{vn}\" => match __val {{\n\
+                                 ::serde::Value::Arr(__items) if __items.len() == {arity} => \
+                                 ::std::result::Result::Ok(Self::{vn}({items})),\n\
+                                 __other => ::std::result::Result::Err(\
+                                 ::serde::DeError::expected(\"an array for variant \
+                                 {name}::{vn}\", __other)),\n}},\n",
+                                items = items.join(", ")
+                            ));
+                        }
+                    }
+                    VariantKind::Struct(fields) => {
+                        let build =
+                            fields_from_obj(&format!("{name}::{vn}"), &format!("Self::{vn}"), fields, "__val");
+                        keyed_arms.push_str(&format!(
+                            "\"{vn}\" => match __val {{\n\
+                             ::serde::Value::Obj(_) => ::std::result::Result::Ok({build}),\n\
+                             __other => ::std::result::Result::Err(\
+                             ::serde::DeError::expected(\"an object for variant \
+                             {name}::{vn}\", __other)),\n}},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::new(\
+                 format!(\"unknown variant `{{__other}}` of {name}\"))),\n}},\n\
+                 ::serde::Value::Obj(__pairs) if __pairs.len() == 1 => {{\n\
+                 let (__key, __val) = &__pairs[0];\n\
+                 match __key.as_str() {{\n{keyed_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::new(\
+                 format!(\"unknown variant `{{__other}}` of {name}\"))),\n}}\n}},\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::expected(\
+                 \"a variant of {name}\", __other)),\n\
+                 }} }}\n}}"
+            )
+        }
+    }
+}
