@@ -1,6 +1,7 @@
 //! `turl-audit`: static analysis for the TURL workspace.
 //!
-//! Three auditors, all allocation-free with respect to model state:
+//! Four auditors, allocation-free with respect to model state (the
+//! parity auditor only reads gradients already held by the stores):
 //!
 //! * [`ShapeFlow`] ([`shape`]) — a symbolic twin of the autograd graph
 //!   that pushes *shapes* through every op the runtime supports, and
@@ -15,18 +16,23 @@
 //!   — re-derive the §4.3 visibility relation independently and compare
 //!   a concrete matrix pair-by-pair; validate the §4.4 MLM/MER masking
 //!   ratios and derive the MER branch fractions (10/63/27 at defaults).
+//! * [`check_grad_parity`] ([`parallel`]) — compares the gradients left
+//!   by a serial (1-thread) and a parallel seeded training step parameter
+//!   by parameter, enforcing the pool's split-invariance guarantee.
 //!
 //! Every violation is a typed [`AuditError`] naming the op or structure
 //! and the offending dimensions, suitable both for test assertions and
 //! for the `turl audit` CLI gate.
 
 pub mod error;
+pub mod parallel;
 pub mod plan;
 pub mod shape;
 pub mod tape;
 pub mod visibility;
 
 pub use error::AuditError;
+pub use parallel::{check_grad_parity, ParityReport};
 pub use plan::{check_model_plan, ModelPlan, PlanReport};
 pub use shape::{SVar, ShapeFlow};
 pub use tape::{audit_tape, TapeReport};

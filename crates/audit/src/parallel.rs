@@ -1,0 +1,134 @@
+//! Parallel-training parity auditor.
+//!
+//! The data-parallel pre-training path (`turl_tensor::pool`) is designed
+//! to be *split-invariant*: every output element is owned by exactly one
+//! task and accumulated in a fixed order, so gradients must not depend on
+//! the worker count. This module compares the gradient state of two
+//! parameter stores — one produced by a serial (1-thread) training step,
+//! one by a parallel run of the identical seeded step — and reports any
+//! divergence in parameter sets, gradient shapes, or gradient values.
+
+use crate::error::AuditError;
+use turl_nn::ParamStore;
+
+/// Summary of a successful parity check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParityReport {
+    /// Number of parameters compared.
+    pub n_params: usize,
+    /// Total scalars compared across all gradients.
+    pub n_scalars: usize,
+    /// Largest absolute element-wise gradient difference observed
+    /// (0.0 when the parallel path is bit-identical, as designed).
+    pub max_abs_diff: f32,
+}
+
+/// Compare the gradients of `serial` and `parallel` stores parameter by
+/// parameter. Both stores must hold the same parameters (matched by
+/// name); every gradient must match its value's shape, the two gradients
+/// must agree in shape, and element-wise differ by at most `tol`
+/// (pass `0.0` to require bit-identical results).
+pub fn check_grad_parity(
+    serial: &ParamStore,
+    parallel: &ParamStore,
+    tol: f32,
+) -> Result<ParityReport, Vec<AuditError>> {
+    let mut errors = Vec::new();
+    if serial.len() != parallel.len() {
+        errors.push(AuditError::BadConfig {
+            field: "grad_parity.params",
+            detail: format!("stores hold {} vs {} parameters", serial.len(), parallel.len()),
+        });
+        return Err(errors);
+    }
+    let mut n_scalars = 0usize;
+    let mut max_abs_diff = 0.0f32;
+    for id in serial.ids() {
+        let name = serial.name(id);
+        if parallel.name(id) != name {
+            errors.push(AuditError::BadConfig {
+                field: "grad_parity.names",
+                detail: format!("param {id:?}: `{name}` vs `{}`", parallel.name(id)),
+            });
+            continue;
+        }
+        let (gs, gp) = (serial.grad(id), parallel.grad(id));
+        let value_shape = serial.value(id).shape();
+        if gs.shape() != value_shape {
+            errors.push(AuditError::GradShapeMismatch {
+                node: id.index(),
+                value: value_shape.to_vec(),
+                grad: gs.shape().to_vec(),
+            });
+            continue;
+        }
+        if gs.shape() != gp.shape() {
+            errors.push(AuditError::ShapeMismatch {
+                op: "grad_parity",
+                shapes: vec![gs.shape().to_vec(), gp.shape().to_vec()],
+                detail: format!("`{name}`: serial vs parallel gradient shapes differ"),
+            });
+            continue;
+        }
+        for (i, (a, b)) in gs.data().iter().zip(gp.data().iter()).enumerate() {
+            let d = (a - b).abs();
+            if d > tol || !d.is_finite() {
+                errors.push(AuditError::BadConfig {
+                    field: "grad_parity.values",
+                    detail: format!(
+                        "`{name}` element {i}: serial {a} vs parallel {b} (|Δ| = {d} > {tol})"
+                    ),
+                });
+                break;
+            }
+            max_abs_diff = max_abs_diff.max(d);
+        }
+        n_scalars += gs.len();
+    }
+    if errors.is_empty() {
+        Ok(ParityReport { n_params: serial.len(), n_scalars, max_abs_diff })
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turl_tensor::Tensor;
+
+    fn store_with_grad(g: Vec<f32>) -> ParamStore {
+        let mut s = ParamStore::new();
+        let id = s.register("w", Tensor::zeros(vec![g.len()]));
+        s.accumulate(vec![(id, Tensor::from_vec(vec![g.len()], g))]);
+        s
+    }
+
+    #[test]
+    fn identical_stores_pass_with_zero_tolerance() {
+        let a = store_with_grad(vec![1.0, -2.0, 3.5]);
+        let b = store_with_grad(vec![1.0, -2.0, 3.5]);
+        let r = check_grad_parity(&a, &b, 0.0).expect("identical grads must pass");
+        assert_eq!(r.n_params, 1);
+        assert_eq!(r.n_scalars, 3);
+        assert_eq!(r.max_abs_diff, 0.0);
+    }
+
+    #[test]
+    fn diverging_values_are_reported() {
+        let a = store_with_grad(vec![1.0, 2.0]);
+        let b = store_with_grad(vec![1.0, 2.5]);
+        let errs = check_grad_parity(&a, &b, 1e-6).unwrap_err();
+        assert!(errs[0].to_string().contains("element 1"), "{}", errs[0]);
+        // but a loose tolerance accepts the same pair
+        assert!(check_grad_parity(&a, &b, 1.0).is_ok());
+    }
+
+    #[test]
+    fn parameter_count_mismatch_is_fatal() {
+        let a = store_with_grad(vec![1.0]);
+        let mut b = store_with_grad(vec![1.0]);
+        b.register("extra", Tensor::zeros(vec![2]));
+        assert!(check_grad_parity(&a, &b, 0.0).is_err());
+    }
+}

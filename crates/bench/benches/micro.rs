@@ -34,9 +34,13 @@ fn bench_autograd(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
     let x0 = normal_init(&mut rng, vec![64, 64], 0.0, 1.0);
     let w0 = normal_init(&mut rng, vec![64, 64], 0.0, 0.1);
+    // One graph reused across iterations: `reset` keeps the tape's
+    // allocation while clearing the nodes, as `Pretrainer::train_step`
+    // does with its recycled `Forward` contexts.
+    let mut g = Graph::new();
     c.bench_function("graph_matmul_softmax_backward", |bch| {
         bch.iter(|| {
-            let mut g = Graph::new();
+            g.reset();
             let x = g.leaf(x0.clone(), true);
             let w = g.leaf(w0.clone(), true);
             let y = g.matmul(x, w);

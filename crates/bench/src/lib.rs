@@ -7,6 +7,8 @@
 //! Set `TURL_SCALE=full` for the larger configuration, `TURL_SCALE=smoke`
 //! for a seconds-level sanity run (the default is `quick`).
 
+pub mod throughput;
+
 use std::path::PathBuf;
 use turl_core::{EncodedInput, Pretrainer, TurlConfig};
 use turl_data::{CorpusStats, LinearizeConfig, TableInstance, Vocab};

@@ -1,0 +1,356 @@
+//! Throughput driver behind `turl bench`.
+//!
+//! Times the matmul kernel family, the structure-aware encoder
+//! forward/backward, and full data-parallel pre-training steps across a
+//! sweep of thread counts, and serializes the measurements to
+//! `BENCH_pretrain.json` so the performance trajectory is tracked in-repo
+//! from PR to PR.
+//!
+//! JSON schema (one array of objects):
+//!
+//! ```json
+//! {"op": "encoder_fwd_bwd", "size": "seq=94,d=64,layers=2",
+//!  "threads": 4, "ns_per_iter": 1234567, "tokens_per_sec": 76123.4}
+//! ```
+//!
+//! `tokens_per_sec` is sequence rows (tokens + entity cells) per second
+//! for model-level ops, and output rows per second for raw kernels.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use turl_core::{EncodedInput, Pretrainer, TurlConfig};
+use turl_data::{LinearizeConfig, TableInstance, Vocab};
+use turl_kb::{
+    generate_corpus, identify_relational, CooccurrenceIndex, CorpusConfig, KnowledgeBase,
+    PipelineConfig, WorldConfig,
+};
+use turl_nn::Forward;
+use turl_tensor::{normal_init, ops, pool, Tensor};
+
+/// One measurement row of `BENCH_pretrain.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchEntry {
+    /// What was measured (e.g. `matmul`, `encoder_fwd_bwd`, `pretrain_step`).
+    pub op: String,
+    /// Problem-size descriptor, e.g. `m=192,k=192,n=192`.
+    pub size: String,
+    /// Pool width the measurement ran with.
+    pub threads: usize,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: u64,
+    /// Work rate: sequence rows per second for model ops, output rows per
+    /// second for kernels.
+    pub tokens_per_sec: f64,
+}
+
+/// Time `f` and return mean ns/iter: one warmup call, then iterations
+/// until `min_total` elapses (at least 3).
+fn time_ns<F: FnMut()>(mut f: F, min_total_ms: u64) -> u64 {
+    f(); // warmup
+    let min_total = std::time::Duration::from_millis(min_total_ms);
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed() < min_total || iters < 3 {
+        f();
+        iters += 1;
+    }
+    (start.elapsed().as_nanos() / u128::from(iters)) as u64
+}
+
+fn entry(op: &str, size: String, threads: usize, ns: u64, rows_per_iter: usize) -> BenchEntry {
+    BenchEntry {
+        op: op.to_string(),
+        size,
+        threads,
+        ns_per_iter: ns,
+        tokens_per_sec: rows_per_iter as f64 * 1e9 / ns.max(1) as f64,
+    }
+}
+
+/// Deterministic micro-world used by the encoder / pretrain benchmarks.
+struct BenchWorld {
+    pt: Pretrainer,
+    data: Vec<(TableInstance, EncodedInput)>,
+    cooccur: CooccurrenceIndex,
+    /// Sequence rows (tokens + entity cells) per table.
+    rows: Vec<usize>,
+}
+
+fn build_world(quick: bool) -> BenchWorld {
+    let kb = KnowledgeBase::generate(&WorldConfig::tiny(5));
+    let n_tables = if quick { 40 } else { 120 };
+    let tables = identify_relational(
+        generate_corpus(&kb, &CorpusConfig { n_tables, ..CorpusConfig::tiny(6) }),
+        &PipelineConfig::default(),
+    );
+    let texts: Vec<String> = tables
+        .iter()
+        .flat_map(|t| {
+            let mut v = vec![t.full_caption()];
+            v.extend(t.headers.clone());
+            v.extend(t.rows.iter().flatten().map(|c| c.text.clone()));
+            v
+        })
+        .collect();
+    let vocab = Vocab::build(texts.iter().map(String::as_str), 1);
+    let cfg = TurlConfig::small(3);
+    let data: Vec<(TableInstance, EncodedInput)> = tables
+        .iter()
+        .map(|t| {
+            let inst = TableInstance::from_table(t, &vocab, &LinearizeConfig::default());
+            let enc = EncodedInput::from_instance(&inst, &vocab, cfg.use_visibility);
+            (inst, enc)
+        })
+        .collect();
+    let cooccur = CooccurrenceIndex::build(&tables);
+    let rows = data.iter().map(|(_, e)| e.token_ids.len() + e.entities.len()).collect::<Vec<_>>();
+    let pt = Pretrainer::new(cfg, vocab.len(), kb.n_entities(), vocab.mask_id() as usize);
+    BenchWorld { pt, data, cooccur, rows }
+}
+
+/// Run the full suite across `thread_counts`, returning all measurements.
+///
+/// `quick` trims problem sizes and timing windows to a seconds-level run
+/// for CI smoke jobs; the default profile is the tracked baseline.
+pub fn run_suite(quick: bool, thread_counts: &[usize]) -> Vec<BenchEntry> {
+    let saved_threads = pool::n_threads();
+    let window_ms: u64 = if quick { 60 } else { 300 };
+    let mm_dim: usize = if quick { 128 } else { 256 };
+    let heads: usize = 8;
+    let hd: usize = if quick { 96 } else { 160 };
+
+    let mut rng = StdRng::seed_from_u64(11);
+    let a = normal_init(&mut rng, vec![mm_dim, mm_dim], 0.0, 1.0);
+    let b = normal_init(&mut rng, vec![mm_dim, mm_dim], 0.0, 1.0);
+    let ba = normal_init(&mut rng, vec![heads, hd, hd], 0.0, 1.0);
+    let bb = normal_init(&mut rng, vec![heads, hd, hd], 0.0, 1.0);
+
+    let mut world = build_world(quick);
+    let batch: Vec<(TableInstance, EncodedInput)> = world.data.iter().take(8).cloned().collect();
+    let batch_rows: usize = world.rows.iter().take(8).sum();
+    let enc_input = world.data[0].1.clone();
+    let enc_rows = world.rows[0];
+    let cfg = world.pt.cfg;
+
+    let mut out = Vec::new();
+    for &t in thread_counts {
+        pool::set_threads(t);
+        let kernel_size = format!("m={mm_dim},k={mm_dim},n={mm_dim}");
+        type Kern = fn(&Tensor, &Tensor) -> Tensor;
+        let kernels: [(&str, Kern); 3] =
+            [("matmul", ops::matmul), ("matmul_nt", ops::matmul_nt), ("matmul_tn", ops::matmul_tn)];
+        for (name, kern) in kernels {
+            let ns = time_ns(
+                || {
+                    std::hint::black_box(kern(&a, &b));
+                },
+                window_ms,
+            );
+            out.push(entry(name, kernel_size.clone(), t, ns, mm_dim));
+        }
+        let bmm_size = format!("b={heads},m={hd},k={hd},n={hd}");
+        let bkernels: [(&str, Kern); 3] =
+            [("bmm", ops::bmm), ("bmm_nt", ops::bmm_nt), ("bmm_tn", ops::bmm_tn)];
+        for (name, kern) in bkernels {
+            let ns = time_ns(
+                || {
+                    std::hint::black_box(kern(&ba, &bb));
+                },
+                window_ms,
+            );
+            out.push(entry(name, bmm_size.clone(), t, ns, heads * hd));
+        }
+
+        // Encoder forward (inference) and forward+backward (training).
+        let enc_size =
+            format!("seq={enc_rows},d={},layers={}", cfg.encoder.d_model, cfg.encoder.n_layers);
+        let store = &world.pt.store;
+        let model = &world.pt.model;
+        let ns = time_ns(
+            || {
+                let mut f = Forward::inference(store);
+                let mut r = StdRng::seed_from_u64(2);
+                let h = model.encode(&mut f, store, &mut r, &enc_input);
+                std::hint::black_box(f.graph.value(h).sum());
+            },
+            window_ms,
+        );
+        out.push(entry("encoder_fwd", enc_size.clone(), t, ns, enc_rows));
+        let ns = time_ns(
+            || {
+                let mut f = Forward::new(store);
+                let mut r = StdRng::seed_from_u64(2);
+                let h = model.encode(&mut f, store, &mut r, &enc_input);
+                let l = f.graph.mean_all(h);
+                f.graph.backward(l);
+                std::hint::black_box(f.take_param_grads().len());
+            },
+            window_ms,
+        );
+        out.push(entry("encoder_fwd_bwd", enc_size, t, ns, enc_rows));
+
+        // Full data-parallel pre-training step over an 8-table batch.
+        let step_size = format!("batch={},d={}", batch.len(), cfg.encoder.d_model);
+        let pt = &mut world.pt;
+        let cooccur = &world.cooccur;
+        let ns = time_ns(
+            || {
+                std::hint::black_box(pt.train_step(&batch, cooccur));
+            },
+            window_ms,
+        );
+        out.push(entry("pretrain_step", step_size, t, ns, batch_rows));
+    }
+    pool::set_threads(saved_threads);
+    out
+}
+
+/// Serialize entries to the tracked JSON file.
+pub fn write_json(path: &std::path::Path, entries: &[BenchEntry]) -> Result<(), String> {
+    // The vendored serde implements Serialize for Vec, not bare slices.
+    let json = serde_json::to_string(&entries.to_vec()).map_err(|e| e.to_string())?;
+    std::fs::write(path, json + "\n").map_err(|e| format!("write {}: {e}", path.display()))
+}
+
+/// Load and validate a benchmark JSON file (errors on malformed schema).
+pub fn read_json(path: &std::path::Path) -> Result<Vec<BenchEntry>, String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let entries: Vec<BenchEntry> =
+        serde_json::from_str(&raw).map_err(|e| format!("malformed {}: {e}", path.display()))?;
+    for e in &entries {
+        if e.op.is_empty() || e.threads == 0 || e.ns_per_iter == 0 {
+            return Err(format!(
+                "malformed {}: entry {:?} has empty op or zero threads/ns",
+                path.display(),
+                e
+            ));
+        }
+    }
+    Ok(entries)
+}
+
+/// Compare a fresh run against a tracked baseline: any op/size/threads
+/// cell slower than `factor`× its baseline is a regression. Entries
+/// missing from either side are ignored (sizes legitimately change as the
+/// suite evolves).
+pub fn check_regressions(
+    new: &[BenchEntry],
+    baseline: &[BenchEntry],
+    factor: f64,
+) -> Result<usize, Vec<String>> {
+    let mut compared = 0usize;
+    let mut errors = Vec::new();
+    for n in new {
+        let Some(b) =
+            baseline.iter().find(|b| b.op == n.op && b.size == n.size && b.threads == n.threads)
+        else {
+            continue;
+        };
+        compared += 1;
+        let ratio = n.ns_per_iter as f64 / b.ns_per_iter.max(1) as f64;
+        if ratio > factor {
+            errors.push(format!(
+                "{} [{}] @{}t regressed {ratio:.2}x ({} -> {} ns/iter)",
+                n.op, n.size, n.threads, b.ns_per_iter, n.ns_per_iter
+            ));
+        }
+    }
+    if errors.is_empty() {
+        Ok(compared)
+    } else {
+        Err(errors)
+    }
+}
+
+/// Human-readable speedup table: for each op, ns/iter per thread count
+/// and the speedup of the widest setting over 1 thread.
+pub fn summarize(entries: &[BenchEntry]) -> String {
+    let mut ops: Vec<(&str, &str)> = Vec::new();
+    for e in entries {
+        if !ops.iter().any(|&(o, s)| o == e.op && s == e.size) {
+            ops.push((&e.op, &e.size));
+        }
+    }
+    let mut s = String::new();
+    for (op, size) in ops {
+        let mut cells: Vec<(usize, u64, f64)> = entries
+            .iter()
+            .filter(|e| e.op == op && e.size == size)
+            .map(|e| (e.threads, e.ns_per_iter, e.tokens_per_sec))
+            .collect();
+        cells.sort_unstable_by_key(|&(t, _, _)| t);
+        let base = cells.iter().find(|&&(t, _, _)| t == 1).map(|&(_, ns, _)| ns);
+        s.push_str(&format!("{op:>16} [{size}]"));
+        for (t, ns, _) in &cells {
+            s.push_str(&format!("  {t}t: {:.2}ms", *ns as f64 / 1e6));
+        }
+        if let (Some(b), Some(&(tmax, ns, _))) = (base, cells.last()) {
+            if tmax > 1 {
+                s.push_str(&format!("  ({:.2}x @ {tmax}t)", b as f64 / ns as f64));
+            }
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(op: &str, threads: usize, ns: u64) -> BenchEntry {
+        BenchEntry {
+            op: op.into(),
+            size: "s".into(),
+            threads,
+            ns_per_iter: ns,
+            tokens_per_sec: 1.0,
+        }
+    }
+
+    #[test]
+    fn regression_check_flags_slowdowns() {
+        let base = vec![e("matmul", 1, 100)];
+        let ok = vec![e("matmul", 1, 150)];
+        let bad = vec![e("matmul", 1, 250)];
+        assert_eq!(check_regressions(&ok, &base, 2.0), Ok(1));
+        assert!(check_regressions(&bad, &base, 2.0).is_err());
+        // unmatched entries are ignored, not errors
+        assert_eq!(check_regressions(&[e("other", 1, 9)], &base, 2.0), Ok(0));
+    }
+
+    #[test]
+    fn json_roundtrip_and_validation() {
+        let dir = std::env::temp_dir().join("turl-bench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        let entries = vec![e("matmul", 2, 123)];
+        write_json(&path, &entries).unwrap();
+        let back = read_json(&path).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].op, "matmul");
+        std::fs::write(&path, "{not json").unwrap();
+        assert!(read_json(&path).unwrap_err().contains("malformed"));
+    }
+
+    #[test]
+    fn quick_suite_produces_all_ops_per_thread_count() {
+        let entries = run_suite(true, &[1]);
+        let ops = [
+            "matmul",
+            "matmul_nt",
+            "matmul_tn",
+            "bmm",
+            "bmm_nt",
+            "bmm_tn",
+            "encoder_fwd",
+            "encoder_fwd_bwd",
+            "pretrain_step",
+        ];
+        for op in ops {
+            assert!(entries.iter().any(|e| e.op == op && e.threads == 1), "missing op {op}");
+        }
+    }
+}

@@ -9,16 +9,20 @@ pub struct Options {
 }
 
 impl Options {
-    /// Parse `--key value` pairs.
+    /// Parse `--key value` pairs. A flag followed by another flag (or by
+    /// nothing) is a valueless boolean switch and stores `"true"`.
     pub fn parse(args: &[String]) -> Result<Self, String> {
         let mut flags = HashMap::new();
-        let mut it = args.iter();
+        let mut it = args.iter().peekable();
         while let Some(a) = it.next() {
             let Some(key) = a.strip_prefix("--") else {
                 return Err(format!("expected --flag, got `{a}`"));
             };
-            let value = it.next().ok_or_else(|| format!("flag --{key} is missing a value"))?;
-            flags.insert(key.to_string(), value.clone());
+            let value = match it.peek() {
+                Some(next) if !next.starts_with("--") => it.next().expect("peeked").clone(),
+                _ => "true".to_string(),
+            };
+            flags.insert(key.to_string(), value);
         }
         Ok(Self { flags })
     }
@@ -43,6 +47,15 @@ impl Options {
             Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got `{v}`")),
         }
     }
+
+    /// Boolean switch: present without a value (or `--key true`) is true.
+    pub fn get_bool(&self, key: &str) -> Result<bool, String> {
+        match self.flags.get(key).map(String::as_str) {
+            None | Some("false") => Ok(false),
+            Some("true") => Ok(true),
+            Some(v) => Err(format!("--{key} is a switch, got `{v}`")),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -62,9 +75,20 @@ mod tests {
     }
 
     #[test]
-    fn rejects_positional_and_dangling() {
+    fn rejects_positional() {
         assert!(Options::parse(&strs(&["seed"])).is_err());
-        assert!(Options::parse(&strs(&["--seed"])).is_err());
+        assert!(Options::parse(&strs(&["--seed", "1", "x"])).is_err());
+    }
+
+    #[test]
+    fn boolean_switches() {
+        let o = Options::parse(&strs(&["--quick", "--out", "b.json", "--strict"])).unwrap();
+        assert!(o.get_bool("quick").unwrap());
+        assert!(o.get_bool("strict").unwrap());
+        assert!(!o.get_bool("missing").unwrap());
+        assert_eq!(o.get("out", "-"), "b.json");
+        let bad = Options::parse(&strs(&["--quick", "maybe"])).unwrap();
+        assert!(bad.get_bool("quick").is_err());
     }
 
     #[test]

@@ -23,11 +23,23 @@ USAGE:
   turl probe    [--entities N] [--tables N] [--epochs E] [--seed S] [--ckpt model.json]
   turl fill     [--entities N] [--tables N] [--epochs E] [--seed S] [--ckpt model.json]
   turl audit    [--entities N] [--tables N] [--seed S]
+  turl bench    [--quick] [--threads 1,2,4] [--out BENCH_pretrain.json]
+                [--baseline FILE [--factor 2.0]]
+
+Every command also accepts a global `--threads N` to size the worker
+pool (default: TURL_THREADS, then the number of available cores).
 
 `audit` statically checks the configuration (§4.4 masking ratios), the
 symbolic model forward plan (shape-flow, no tensors allocated), every
-table's §4.3 visibility matrix, and the autograd tape of one real
-training step; it exits non-zero if any invariant is violated.
+table's §4.3 visibility matrix, the autograd tape of one real training
+step, and serial-vs-parallel gradient parity of the data-parallel
+training path; it exits non-zero if any invariant is violated.
+
+`bench` times the matmul kernel family, encoder forward/backward and
+full pre-training steps across the requested thread counts and writes
+JSON rows {op, size, threads, ns_per_iter, tokens_per_sec}. With
+--baseline it exits non-zero if any matching measurement regressed by
+more than --factor (default 2.0).
 
 Defaults: --entities 800, --tables 400, --epochs 6, --seed 0.
 All commands regenerate the deterministic synthetic world from the seed;
@@ -219,7 +231,44 @@ pub fn audit(opts: &Options) -> Result<(), String> {
     }
     println!("visibility: linted {n_tables} tables across all splits");
 
-    // 3. One real forward/backward pass, then audit the autograd tape.
+    // 3. Serial-vs-parallel gradient parity: the same seeded training
+    //    step on 1 worker and on 4 must leave bit-identical gradients
+    //    (the pool's split-invariance guarantee).
+    {
+        let saved = turl_tensor::pool::n_threads();
+        let data = encode(&s, &s.splits.train[..4.min(s.splits.train.len())]);
+        let run = |threads: usize| {
+            let mut pt = Pretrainer::new(
+                s.cfg,
+                s.vocab.len(),
+                s.kb.n_entities(),
+                s.vocab.mask_id() as usize,
+            );
+            turl_tensor::pool::set_threads(threads);
+            let loss = pt.train_step(&data, &s.cooccur);
+            (loss, pt.store)
+        };
+        let (loss_1, store_1) = run(1);
+        let (loss_4, store_4) = run(4);
+        turl_tensor::pool::set_threads(saved);
+        if loss_1.to_bits() != loss_4.to_bits() {
+            violations
+                .push(format!("grad parity: 1-thread loss {loss_1} != 4-thread loss {loss_4}"));
+        }
+        match turl_audit::check_grad_parity(&store_1, &store_4, 0.0) {
+            Ok(report) => println!(
+                "parity: ok — {} params / {} gradient scalars bit-identical across 1 vs 4 threads",
+                report.n_params, report.n_scalars
+            ),
+            Err(errs) => {
+                for e in errs.into_iter().take(5) {
+                    violations.push(format!("grad parity: {e}"));
+                }
+            }
+        }
+    }
+
+    // 4. One real forward/backward pass, then audit the autograd tape.
     let pt = Pretrainer::new(s.cfg, s.vocab.len(), s.kb.n_entities(), s.vocab.mask_id() as usize);
     let data = encode(&s, &s.splits.train[..1.min(s.splits.train.len())]);
     if let Some((_, enc)) = data.first() {
@@ -251,6 +300,59 @@ pub fn audit(opts: &Options) -> Result<(), String> {
         }
         Err(format!("audit found {} violation(s)", violations.len()))
     }
+}
+
+/// `turl bench`: throughput benchmark across thread counts, written as
+/// JSON rows `{op, size, threads, ns_per_iter, tokens_per_sec}`.
+pub fn bench(opts: &Options) -> Result<(), String> {
+    let quick = opts.get_bool("quick")?;
+    let spec = opts.get("threads", "1,2,4");
+    let thread_counts: Vec<usize> = spec
+        .split(',')
+        .map(|t| {
+            t.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("--threads expects integers like `1,2,4`, got `{spec}`"))
+        })
+        .collect::<Result<_, _>>()?;
+    if thread_counts.is_empty() {
+        return Err("--threads list is empty".to_string());
+    }
+    println!(
+        "benchmarking ({}) across {:?} threads on {} available core(s) ...",
+        if quick { "quick" } else { "full" },
+        thread_counts,
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+    let entries = turl_bench::throughput::run_suite(quick, &thread_counts);
+    print!("{}", turl_bench::throughput::summarize(&entries));
+
+    let out = opts.get("out", "BENCH_pretrain.json");
+    turl_bench::throughput::write_json(Path::new(&out), &entries)?;
+    println!("wrote {} measurements to {out}", entries.len());
+
+    let baseline = opts.get("baseline", "");
+    if !baseline.is_empty() {
+        let factor_s = opts.get("factor", "2.0");
+        let factor: f64 =
+            factor_s.parse().map_err(|_| format!("--factor expects a number, got `{factor_s}`"))?;
+        let base = turl_bench::throughput::read_json(Path::new(&baseline))?;
+        match turl_bench::throughput::check_regressions(&entries, &base, factor) {
+            Ok(compared) => {
+                println!("baseline {baseline}: {compared} measurements within {factor}x")
+            }
+            Err(regressions) => {
+                for r in &regressions {
+                    eprintln!("regression: {r}");
+                }
+                return Err(format!(
+                    "{} measurement(s) regressed more than {factor}x vs {baseline}",
+                    regressions.len()
+                ));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// `turl fill`: zero-shot cell filling on the test split.

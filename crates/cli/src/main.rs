@@ -7,9 +7,11 @@
 //! turl probe    [--ckpt F] [...]                     object-entity prediction probe
 //! turl fill     [--ckpt F] [...]                     zero-shot cell filling demo
 //! turl audit    [--entities N] [--tables N] [--seed S]  static invariant checks
+//! turl bench    [--quick] [--threads 1,2,4] [--out F]   throughput benchmark
 //! ```
 //!
-//! All commands are deterministic in `--seed` and run on one CPU core.
+//! All commands are deterministic in `--seed` regardless of the worker
+//! pool width, which is set by `--threads N` (or `TURL_THREADS`).
 
 #![deny(missing_docs)]
 
@@ -31,6 +33,20 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Global worker-pool width. `bench` interprets `--threads` itself
+    // (as a comma-separated sweep), every other command as one integer.
+    if cmd != "bench" {
+        match opts.get("threads", "").as_str() {
+            "" => {}
+            v => match v.parse::<usize>() {
+                Ok(n) => turl_tensor::pool::set_threads(n),
+                Err(_) => {
+                    eprintln!("error: --threads expects an integer, got `{v}`");
+                    return ExitCode::FAILURE;
+                }
+            },
+        }
+    }
     let result = match cmd.as_str() {
         "world" => commands::world(&opts),
         "corpus" => commands::corpus(&opts),
@@ -38,6 +54,7 @@ fn main() -> ExitCode {
         "probe" => commands::probe(&opts),
         "fill" => commands::fill(&opts),
         "audit" => commands::audit(&opts),
+        "bench" => commands::bench(&opts),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

@@ -179,8 +179,11 @@ impl TurlModel {
         input: &EncodedInput,
     ) -> Var {
         let mut h = self.embed(f, store, rng, input);
+        // One shared constant node for the visibility mask: every layer
+        // adds the same Var instead of cloning the [n, n] tensor per block.
+        let mask = input.mask.as_ref().map(|m| turl_nn::MultiHeadAttention::bind_mask(f, m));
         for block in &self.blocks {
-            h = block.forward(f, store, rng, h, input.mask.as_ref());
+            h = block.forward(f, store, rng, h, mask);
         }
         h
     }

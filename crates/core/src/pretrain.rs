@@ -12,6 +12,7 @@ use std::collections::HashSet;
 use turl_data::TableInstance;
 use turl_kb::CooccurrenceIndex;
 use turl_nn::{clip_grad_norm, Adam, AdamConfig, Forward, LinearDecaySchedule, ParamStore};
+use turl_tensor::pool;
 
 /// The masking decisions for one table: which positions were selected and
 /// what their recovery targets are.
@@ -151,6 +152,10 @@ pub struct Pretrainer {
     rng: StdRng,
     aux_relations: Option<AuxRelationObjective>,
     schedule: Option<LinearDecaySchedule>,
+    /// Reusable per-batch-slot forward contexts: tape storage and
+    /// parameter bindings are recycled across steps instead of
+    /// reallocated (see `Graph::reset`).
+    scratch: Vec<Forward>,
 }
 
 impl Pretrainer {
@@ -172,6 +177,7 @@ impl Pretrainer {
             rng,
             aux_relations: None,
             schedule: None,
+            scratch: Vec::new(),
         }
     }
 
@@ -193,14 +199,32 @@ impl Pretrainer {
     }
 
     /// One optimizer step over a batch of tables. Returns the mean loss.
+    ///
+    /// Data-parallel: masking decisions, candidate sets, and per-table RNG
+    /// seeds are drawn **serially** from the trainer RNG (so the random
+    /// stream is independent of the thread count), then each table's
+    /// forward/backward pass fans out to the [`pool`] workers, and the
+    /// per-table gradients are sum-reduced into the shared [`ParamStore`]
+    /// in batch order. The fixed reduction order keeps seeded runs
+    /// bit-identical across `--threads` settings.
     pub fn train_step(
         &mut self,
         batch: &[(TableInstance, EncodedInput)],
         cooccur: &CooccurrenceIndex,
     ) -> f32 {
-        let mut total = 0.0f32;
-        let mut counted = 0usize;
-        for (inst, clean) in batch {
+        struct Slot {
+            batch_idx: usize,
+            enc: EncodedInput,
+            plan: MaskPlan,
+            candidates: Vec<usize>,
+            seed: u64,
+            fwd: Forward,
+            out: Option<(f32, Vec<(turl_nn::ParamId, turl_tensor::Tensor)>)>,
+        }
+
+        // Serial phase: all randomness for the step, in batch order.
+        let mut prepared: Vec<(usize, EncodedInput, MaskPlan, Vec<usize>, u64)> = Vec::new();
+        for (batch_idx, (inst, clean)) in batch.iter().enumerate() {
             let mut enc = clean.clone();
             let plan = apply_mask_plan(
                 &mut self.rng,
@@ -222,29 +246,62 @@ impl Pretrainer {
                     candidates.push(gold);
                 }
             }
-            let mut f = Forward::new(&self.store);
-            let h = self.model.encode(&mut f, &self.store, &mut self.rng, &enc);
+            let seed = self.rng.gen::<u64>();
+            prepared.push((batch_idx, enc, plan, candidates, seed));
+        }
+        if prepared.is_empty() {
+            return 0.0;
+        }
+        while self.scratch.len() < prepared.len() {
+            self.scratch.push(Forward::new(&self.store));
+        }
+        let mut slots: Vec<Slot> = prepared
+            .into_iter()
+            .map(|(batch_idx, enc, plan, candidates, seed)| Slot {
+                batch_idx,
+                enc,
+                plan,
+                candidates,
+                seed,
+                fwd: self.scratch.pop().expect("scratch refilled above"),
+                out: None,
+            })
+            .collect();
+
+        // Parallel phase: one independent forward/backward per table.
+        let model = &self.model;
+        let store = &self.store;
+        let aux = self.aux_relations.as_ref();
+        pool::parallel_for_each_mut(&mut slots, |_, slot| {
+            let inst = &batch[slot.batch_idx].0;
+            let enc = &slot.enc;
+            let f = &mut slot.fwd;
+            f.reset(true);
+            let mut rng = StdRng::seed_from_u64(slot.seed);
+            let h = model.encode(f, store, &mut rng, enc);
             let mut losses: Vec<turl_tensor::Var> = Vec::new();
-            if !plan.mlm.is_empty() {
-                let rows: Vec<usize> = plan.mlm.iter().map(|&(p, _)| p).collect();
-                let targets: Vec<usize> = plan.mlm.iter().map(|&(_, t)| t).collect();
-                let logits = self.model.mlm_logits(&mut f, &self.store, h, &rows);
+            if !slot.plan.mlm.is_empty() {
+                let rows: Vec<usize> = slot.plan.mlm.iter().map(|&(p, _)| p).collect();
+                let targets: Vec<usize> = slot.plan.mlm.iter().map(|&(_, t)| t).collect();
+                let logits = model.mlm_logits(f, store, h, &rows);
                 losses.push(f.graph.cross_entropy(logits, &targets));
             }
-            if !plan.mer.is_empty() {
-                let rows: Vec<usize> = plan.mer.iter().map(|&(c, _)| enc.entity_row(c)).collect();
-                let targets: Vec<usize> = plan
+            if !slot.plan.mer.is_empty() {
+                let rows: Vec<usize> =
+                    slot.plan.mer.iter().map(|&(c, _)| enc.entity_row(c)).collect();
+                let targets: Vec<usize> = slot
+                    .plan
                     .mer
                     .iter()
                     .map(|&(_, e)| {
-                        candidates.iter().position(|&c| c == e).expect("gold in candidates")
+                        slot.candidates.iter().position(|&c| c == e).expect("gold in candidates")
                     })
                     .collect();
-                let logits = self.model.mer_logits(&mut f, &self.store, h, &rows, &candidates);
+                let logits = model.mer_logits(f, store, h, &rows, &slot.candidates);
                 losses.push(f.graph.cross_entropy(logits, &targets));
             }
-            if let Some(aux) = &self.aux_relations {
-                if let Some(l) = aux.loss(&mut f, &self.store, h, inst, &enc) {
+            if let Some(aux) = aux {
+                if let Some(l) = aux.loss(f, store, h, inst, enc) {
                     losses.push(l);
                 }
             }
@@ -252,18 +309,26 @@ impl Pretrainer {
             for &extra in &losses[1..] {
                 loss = f.graph.add(loss, extra);
             }
-            total += f.graph.value(loss).item();
-            counted += 1;
-            f.backprop(loss, &mut self.store);
+            let loss_value = f.graph.value(loss).item();
+            f.graph.backward(loss);
             // Debug builds audit the full autograd tape every step: node
             // order, grad shapes, orphaned leaves, finite leaf values.
             #[cfg(debug_assertions)]
             if let Err(errs) = turl_audit::audit_tape(&f.graph, true) {
                 panic!("tape audit failed after backprop: {}", errs[0]);
             }
-        }
-        if counted == 0 {
-            return 0.0;
+            slot.out = Some((loss_value, f.take_param_grads()));
+        });
+
+        // Serial reduction, in batch order, for thread-count-independent
+        // floating-point results.
+        let mut total = 0.0f32;
+        let counted = slots.len();
+        for slot in slots {
+            let (loss_value, grads) = slot.out.expect("worker filled every slot");
+            total += loss_value;
+            self.store.accumulate(grads);
+            self.scratch.push(slot.fwd);
         }
         if let Some(s) = &self.schedule {
             self.opt.config.lr = s.lr_at(self.opt.steps());
@@ -408,6 +473,46 @@ mod tests {
         pt.train(&data[..8], &cooccur, 4);
         assert!(pt.opt.config.lr < base_lr, "lr must have decayed");
         assert!(pt.opt.config.lr >= 0.0);
+    }
+
+    #[test]
+    fn training_is_deterministic_across_thread_counts() {
+        // Identical seeded runs at 1 and 4 worker threads must produce
+        // bit-identical loss curves and final parameters: all randomness
+        // is drawn serially in batch order and gradients are reduced in
+        // batch order, so the pool width cannot influence the numerics.
+        let (kb, vocab, data, cooccur) = setup();
+        let run = |threads: usize| {
+            let mut pt = Pretrainer::new(
+                TurlConfig::tiny(4),
+                vocab.len(),
+                kb.n_entities(),
+                vocab.mask_id() as usize,
+            );
+            pool::set_threads(threads);
+            let stats = pt.train(&data[..10.min(data.len())], &cooccur, 3);
+            (stats.epoch_losses, pt.store)
+        };
+        let saved = pool::n_threads();
+        let (losses_1, store_1) = run(1);
+        let (losses_4, store_4) = run(4);
+        pool::set_threads(saved);
+        assert_eq!(losses_1.len(), losses_4.len());
+        for (e, (a, b)) in losses_1.iter().zip(losses_4.iter()).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "epoch {e} loss diverged: {a} vs {b}");
+        }
+        for id in store_1.ids() {
+            let (v1, v4) = (store_1.value(id), store_4.value(id));
+            assert_eq!(v1.shape(), v4.shape());
+            for (i, (a, b)) in v1.data().iter().zip(v4.data().iter()).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "param `{}` element {i} diverged: {a} vs {b}",
+                    store_1.name(id)
+                );
+            }
+        }
     }
 
     #[test]

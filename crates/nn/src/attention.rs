@@ -52,13 +52,19 @@ impl MultiHeadAttention {
 
     /// Self-attention over `x: [n, d_model]` with an additive mask
     /// `[n, n]` (use `0`/`-1e9`; pass `None` for full visibility).
+    ///
+    /// The mask is an already-recorded graph node so an encoder stack can
+    /// build it **once** per forward pass and share it across every layer
+    /// — previously each layer cloned the `[n, n]` tensor into a fresh
+    /// `constant` node. Use [`MultiHeadAttention::bind_mask`] (or
+    /// `f.graph.constant`) to create it.
     pub fn forward<R: Rng>(
         &self,
         f: &mut Forward,
         store: &ParamStore,
         rng: &mut R,
         x: Var,
-        mask: Option<&Tensor>,
+        mask: Option<Var>,
     ) -> Var {
         let n = f.graph.value(x).shape()[0];
         let dh = self.d_model / self.n_heads;
@@ -76,9 +82,8 @@ impl MultiHeadAttention {
         let scores = f.graph.bmm_nt(qh, kh); // [heads, n, n]
         let scaled = f.graph.scale(scores, 1.0 / (dh as f32).sqrt());
         let masked = match mask {
-            Some(m) => {
-                assert_eq!(m.shape(), &[n, n], "attention mask must be [n, n]");
-                let mv = f.graph.constant(m.clone());
+            Some(mv) => {
+                assert_eq!(f.graph.value(mv).shape(), &[n, n], "attention mask must be [n, n]");
                 f.graph.add(scaled, mv) // broadcast over heads
             }
             None => scaled,
@@ -89,6 +94,13 @@ impl MultiHeadAttention {
         let merged = f.graph.permute(ctx, &[1, 0, 2]); // [n, heads, dh]
         let flat = f.graph.reshape(merged, vec![n, self.d_model]);
         self.wo.forward(f, store, flat)
+    }
+
+    /// Record an additive `[n, n]` mask tensor as a shared constant node,
+    /// suitable for passing to [`MultiHeadAttention::forward`] of every
+    /// layer in a stack.
+    pub fn bind_mask(f: &mut Forward, mask: &Tensor) -> Var {
+        f.graph.constant(mask.clone())
     }
 }
 
@@ -136,7 +148,8 @@ mod tests {
             let mut f = Forward::inference(&s);
             let x = f.graph.constant(inp.clone());
             let mut r2 = StdRng::seed_from_u64(0);
-            let y = att.forward(&mut f, &s, &mut r2, x, Some(&mask));
+            let mv = MultiHeadAttention::bind_mask(&mut f, &mask);
+            let y = att.forward(&mut f, &s, &mut r2, x, Some(mv));
             f.graph.value(y).row(0).to_vec()
         };
         let out_base = run(&base);

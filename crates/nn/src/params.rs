@@ -7,6 +7,13 @@ use turl_tensor::{Graph, Tensor, Var};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ParamId(pub(crate) usize);
 
+impl ParamId {
+    /// Stable index of this parameter within its store (registration order).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
 pub(crate) struct ParamEntry {
     pub name: String,
     pub value: Tensor,
@@ -193,6 +200,15 @@ impl Forward {
     /// Start a new inference pass (dropout disabled).
     pub fn inference(store: &ParamStore) -> Self {
         Self { training: false, ..Self::new(store) }
+    }
+
+    /// Reuse this context for a fresh pass: clears the tape (keeping its
+    /// allocation) and the parameter bindings. Equivalent to replacing
+    /// `self` with `Forward::new`, minus the tape-vector reallocation.
+    pub fn reset(&mut self, training: bool) {
+        self.graph.reset();
+        self.bound.clear();
+        self.training = training;
     }
 
     /// Bind a parameter into the graph (idempotent per pass).

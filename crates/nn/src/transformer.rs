@@ -5,7 +5,7 @@ use crate::layers::{Dropout, LayerNorm, Linear};
 use crate::params::{Forward, ParamStore};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use turl_tensor::{Tensor, Var};
+use turl_tensor::Var;
 
 /// Hyper-parameters of a Transformer encoder stack.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -122,14 +122,16 @@ impl TransformerBlock {
     }
 
     /// Apply the block to `x: [n, d_model]` with an optional additive
-    /// visibility mask `[n, n]`.
+    /// visibility mask `[n, n]`, pre-recorded on the graph (one shared
+    /// constant node per forward pass; see
+    /// [`MultiHeadAttention::bind_mask`]).
     pub fn forward<R: Rng>(
         &self,
         f: &mut Forward,
         store: &ParamStore,
         rng: &mut R,
         x: Var,
-        mask: Option<&Tensor>,
+        mask: Option<Var>,
     ) -> Var {
         let att = self.attention.forward(f, store, rng, x, mask);
         let res1 = f.graph.add(x, att);

@@ -76,7 +76,8 @@ proptest! {
             let mut f = Forward::inference(&store);
             let x = f.graph.constant(input.clone());
             let mut r = StdRng::seed_from_u64(0);
-            let y = att.forward(&mut f, &store, &mut r, x, Some(&mask));
+            let mv = MultiHeadAttention::bind_mask(&mut f, &mask);
+            let y = att.forward(&mut f, &store, &mut r, x, Some(mv));
             f.graph.value(y).row(0).to_vec()
         };
         for (a, b) in run(&base).iter().zip(run(&permuted).iter()) {

@@ -23,7 +23,8 @@ impl Var {
     }
 }
 
-type BackFn = Box<dyn Fn(&Tensor, &Tensor, &[&Tensor]) -> Vec<Tensor>>;
+// `Send` so a whole `Graph` can move between data-parallel train workers.
+type BackFn = Box<dyn Fn(&Tensor, &Tensor, &[&Tensor]) -> Vec<Tensor> + Send>;
 
 struct Node {
     value: Tensor,
@@ -48,6 +49,13 @@ impl Graph {
     /// Number of nodes currently on the tape.
     pub fn len(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Clear the tape while keeping its node storage allocated, so a
+    /// training loop can reuse one `Graph` across steps instead of
+    /// re-growing the tape vector from scratch every iteration.
+    pub fn reset(&mut self) {
+        self.nodes.clear();
     }
 
     /// True when no nodes have been recorded.

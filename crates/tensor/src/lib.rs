@@ -27,6 +27,7 @@ mod check;
 mod graph;
 mod init;
 pub mod ops;
+pub mod pool;
 mod shape;
 mod tensor;
 

@@ -7,10 +7,28 @@
 //! * [`matmul_nt`] — `C = A · Bᵀ` (dot products of contiguous rows)
 //! * [`matmul_tn`] — `C = Aᵀ · B` (rank-1 updates)
 //!
-//! All use the cache-friendly `i-k-j` loop order over row-major data, which
-//! the compiler auto-vectorizes at `opt-level >= 2`.
+//! All kernels are cache-blocked (tiles sized so the streamed `B` panel
+//! stays in L1/L2) and split their output rows across the [`crate::pool`]
+//! worker pool when the problem is large enough to amortize dispatch.
+//! Every output element is owned by exactly one task and accumulated in
+//! ascending-`k` order regardless of the split, so results are
+//! bit-identical for every thread count — the invariant the
+//! parallel-vs-serial equivalence tests pin down.
+//!
+//! The batched variants ([`bmm`], [`bmm_nt`], [`bmm_tn`]) parallelize over
+//! the batch (attention-head) dimension instead, so multi-head attention
+//! scales with the number of heads.
 
+use crate::pool;
 use crate::tensor::Tensor;
+
+/// `k`-tile: rows of `B` (or `A` in `tn`) kept hot per pass.
+const TILE_K: usize = 64;
+/// `j`-tile: output columns processed per pass; `TILE_K * TILE_J` floats
+/// of `B` (32 KiB) fit comfortably in L1/L2.
+const TILE_J: usize = 128;
+/// Minimum `m * k * n` volume before a 2-D kernel fans out to the pool.
+const PAR_MIN_VOLUME: usize = 32 * 1024;
 
 /// `C[m,n] = A[m,k] · B[k,n]`.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
@@ -20,7 +38,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (k2, n) = (b.shape()[0], b.shape()[1]);
     assert_eq!(k, k2, "matmul inner dims: {:?} x {:?}", a.shape(), b.shape());
     let mut out = Tensor::zeros(vec![m, n]);
-    matmul_into(a.data(), b.data(), out.data_mut(), m, k, n);
+    par_rows(a.data(), b.data(), out.data_mut(), m, k, n, matmul_rows);
     out
 }
 
@@ -32,7 +50,7 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
     let (n, k2) = (b.shape()[0], b.shape()[1]);
     assert_eq!(k, k2, "matmul_nt inner dims: {:?} x {:?}", a.shape(), b.shape());
     let mut out = Tensor::zeros(vec![m, n]);
-    matmul_nt_into(a.data(), b.data(), out.data_mut(), m, k, n);
+    par_rows(a.data(), b.data(), out.data_mut(), m, k, n, matmul_nt_rows);
     out
 }
 
@@ -44,7 +62,7 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
     let (k2, n) = (b.shape()[0], b.shape()[1]);
     assert_eq!(k, k2, "matmul_tn inner dims: {:?} x {:?}", a.shape(), b.shape());
     let mut out = Tensor::zeros(vec![m, n]);
-    matmul_tn_into(a.data(), b.data(), out.data_mut(), m, k, n);
+    par_rows(a.data(), b.data(), out.data_mut(), m, k, n, matmul_tn_rows);
     out
 }
 
@@ -57,16 +75,7 @@ pub fn bmm(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(bs, bs2, "bmm batch dims differ");
     assert_eq!(k, k2, "bmm inner dims: {:?} x {:?}", a.shape(), b.shape());
     let mut out = Tensor::zeros(vec![bs, m, n]);
-    for i in 0..bs {
-        matmul_into(
-            &a.data()[i * m * k..(i + 1) * m * k],
-            &b.data()[i * k * n..(i + 1) * k * n],
-            &mut out.data_mut()[i * m * n..(i + 1) * m * n],
-            m,
-            k,
-            n,
-        );
-    }
+    par_batch(a.data(), b.data(), out.data_mut(), bs, m, k, n, m * k, k * n, matmul_full);
     out
 }
 
@@ -79,16 +88,7 @@ pub fn bmm_nt(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(bs, bs2, "bmm_nt batch dims differ");
     assert_eq!(k, k2, "bmm_nt inner dims: {:?} x {:?}", a.shape(), b.shape());
     let mut out = Tensor::zeros(vec![bs, m, n]);
-    for i in 0..bs {
-        matmul_nt_into(
-            &a.data()[i * m * k..(i + 1) * m * k],
-            &b.data()[i * n * k..(i + 1) * n * k],
-            &mut out.data_mut()[i * m * n..(i + 1) * m * n],
-            m,
-            k,
-            n,
-        );
-    }
+    par_batch(a.data(), b.data(), out.data_mut(), bs, m, k, n, m * k, n * k, matmul_nt_full);
     out
 }
 
@@ -101,64 +101,212 @@ pub fn bmm_tn(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(bs, bs2, "bmm_tn batch dims differ");
     assert_eq!(k, k2, "bmm_tn inner dims: {:?} x {:?}", a.shape(), b.shape());
     let mut out = Tensor::zeros(vec![bs, m, n]);
-    for i in 0..bs {
-        matmul_tn_into(
-            &a.data()[i * k * m..(i + 1) * k * m],
-            &b.data()[i * k * n..(i + 1) * k * n],
-            &mut out.data_mut()[i * m * n..(i + 1) * m * n],
+    par_batch(a.data(), b.data(), out.data_mut(), bs, m, k, n, k * m, k * n, matmul_tn_full);
+    out
+}
+
+/// Signature shared by the three row-range microkernels: compute output
+/// rows `r0..r1` of `out[m,n]` given full operands.
+type RowKernel = fn(&[f32], &[f32], &mut [f32], usize, usize, usize, usize, usize);
+
+/// Dispatch a 2-D kernel: serial below [`PAR_MIN_VOLUME`], otherwise the
+/// output rows are split into one contiguous range per pool thread. Each
+/// range touches a disjoint slice of `out`, which is handed out through a
+/// raw base pointer (the ranges never alias).
+fn par_rows(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize, kern: RowKernel) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    if pool::n_threads() <= 1 || m * k * n < PAR_MIN_VOLUME {
+        kern(a, b, out, m, k, n, 0, m);
+        return;
+    }
+    let ranges = pool::split_ranges(m);
+    let base = out.as_mut_ptr() as usize;
+    let len = out.len();
+    pool::parallel_for(ranges.len(), |t| {
+        let (r0, r1) = ranges[t];
+        // SAFETY: each range writes only rows r0..r1 of `out`; ranges are
+        // disjoint and `parallel_for` joins before `out` is released.
+        let out_all = unsafe { std::slice::from_raw_parts_mut(base as *mut f32, len) };
+        kern(a, b, out_all, m, k, n, r0, r1);
+    });
+}
+
+/// A full (unsplit) 2-D kernel call: `out[m,n]` from one operand pair.
+type FullKernel = fn(&[f32], &[f32], &mut [f32], usize, usize, usize);
+
+fn matmul_full(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    matmul_rows(a, b, out, m, k, n, 0, m);
+}
+
+fn matmul_nt_full(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    matmul_nt_rows(a, b, out, m, k, n, 0, m);
+}
+
+fn matmul_tn_full(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    matmul_tn_rows(a, b, out, m, k, n, 0, m);
+}
+
+/// Dispatch a batched kernel across the batch dimension (one task per
+/// batch element, e.g. one attention head each). `m` is the number of
+/// output rows per batch element; operand strides are passed explicitly
+/// because the three layouts slice `a`/`b` differently.
+#[allow(clippy::too_many_arguments)]
+fn par_batch(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    bs: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    a_stride: usize,
+    b_stride: usize,
+    kern: FullKernel,
+) {
+    let run = |i: usize, out_i: &mut [f32]| {
+        kern(
+            &a[i * a_stride..(i + 1) * a_stride],
+            &b[i * b_stride..(i + 1) * b_stride],
+            out_i,
             m,
             k,
             n,
         );
-    }
-    out
-}
-
-pub(crate) fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (kk, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &b[kk * n..(kk + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                *o += av * bv;
-            }
+    };
+    if pool::n_threads() <= 1 || bs <= 1 || bs * m * k * n < PAR_MIN_VOLUME {
+        for i in 0..bs {
+            run(i, &mut out[i * m * n..(i + 1) * m * n]);
         }
+        return;
+    }
+    let base = out.as_mut_ptr() as usize;
+    pool::parallel_for(bs, |i| {
+        // SAFETY: each batch index owns a disjoint out slice.
+        let out_i =
+            unsafe { std::slice::from_raw_parts_mut((base as *mut f32).add(i * m * n), m * n) };
+        run(i, out_i);
+    });
+}
+
+/// `i-k-j` kernel over output rows `r0..r1`, blocked on `k` and `j` so the
+/// `B` tile stays cache-resident. The inner loop is branch-free (no
+/// zero-skip) and auto-vectorizes across `j`.
+#[allow(clippy::too_many_arguments)] // fixed by the RowKernel fn-pointer ABI
+fn matmul_rows(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    _m: usize,
+    k: usize,
+    n: usize,
+    r0: usize,
+    r1: usize,
+) {
+    let mut j0 = 0usize;
+    while j0 < n {
+        let j1 = (j0 + TILE_J).min(n);
+        let mut k0 = 0usize;
+        while k0 < k {
+            let k1 = (k0 + TILE_K).min(k);
+            for i in r0..r1 {
+                let arow = &a[i * k..(i + 1) * k];
+                let orow = &mut out[i * n + j0..i * n + j1];
+                for kk in k0..k1 {
+                    let av = arow[kk];
+                    let brow = &b[kk * n + j0..kk * n + j1];
+                    for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                        *o += av * bv;
+                    }
+                }
+            }
+            k0 = k1;
+        }
+        j0 = j1;
     }
 }
 
-pub(crate) fn matmul_nt_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    for i in 0..m {
+/// Row-dot-product kernel over output rows `r0..r1`, unrolled 4-wide
+/// across output columns: four independent accumulators share each load of
+/// the `A` row while each still sums in ascending-`k` order (bit-identical
+/// to the naive loop).
+#[allow(clippy::too_many_arguments)] // fixed by the RowKernel fn-pointer ABI
+fn matmul_nt_rows(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    _m: usize,
+    k: usize,
+    n: usize,
+    r0: usize,
+    r1: usize,
+) {
+    for i in r0..r1 {
         let arow = &a[i * k..(i + 1) * k];
         let orow = &mut out[i * n..(i + 1) * n];
-        for (j, o) in orow.iter_mut().enumerate() {
+        let mut j = 0usize;
+        while j + 4 <= n {
+            let b0 = &b[j * k..(j + 1) * k];
+            let b1 = &b[(j + 1) * k..(j + 2) * k];
+            let b2 = &b[(j + 2) * k..(j + 3) * k];
+            let b3 = &b[(j + 3) * k..(j + 4) * k];
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for (kk, &av) in arow.iter().enumerate() {
+                s0 += av * b0[kk];
+                s1 += av * b1[kk];
+                s2 += av * b2[kk];
+                s3 += av * b3[kk];
+            }
+            orow[j] = s0;
+            orow[j + 1] = s1;
+            orow[j + 2] = s2;
+            orow[j + 3] = s3;
+            j += 4;
+        }
+        while j < n {
             let brow = &b[j * k..(j + 1) * k];
             let mut acc = 0.0f32;
             for (x, y) in arow.iter().zip(brow.iter()) {
                 acc += x * y;
             }
-            *o = acc;
+            orow[j] = acc;
+            j += 1;
         }
     }
 }
 
-pub(crate) fn matmul_tn_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    // a is [k, m], b is [k, n]; out[i, j] = sum_kk a[kk, i] * b[kk, j]
-    for kk in 0..k {
-        let arow = &a[kk * m..(kk + 1) * m];
-        let brow = &b[kk * n..(kk + 1) * n];
-        for (i, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                *o += av * bv;
+/// Rank-1-update kernel restricted to output rows `r0..r1`.
+///
+/// `a` is `[k, m]`, `b` is `[k, n]`; `out[i, j] = Σ_kk a[kk, i] · b[kk, j]`.
+/// The `kk` loop stays outermost (ascending, fixed order) so results are
+/// independent of the row split; restricting `i` keeps writes disjoint.
+#[allow(clippy::too_many_arguments)] // fixed by the RowKernel fn-pointer ABI
+fn matmul_tn_rows(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    r0: usize,
+    r1: usize,
+) {
+    let mut k0 = 0usize;
+    while k0 < k {
+        let k1 = (k0 + TILE_K).min(k);
+        for kk in k0..k1 {
+            let arow = &a[kk * m..(kk + 1) * m];
+            let brow = &b[kk * n..(kk + 1) * n];
+            for i in r0..r1 {
+                let av = arow[i];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *o += av * bv;
+                }
             }
         }
+        k0 = k1;
     }
 }
 
