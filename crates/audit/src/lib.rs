@@ -19,6 +19,9 @@
 //! * [`check_grad_parity`] ([`parallel`]) — compares the gradients left
 //!   by a serial (1-thread) and a parallel seeded training step parameter
 //!   by parameter, enforcing the pool's split-invariance guarantee.
+//! * [`check_value_parity`] ([`resume`]) — compares parameter *values*
+//!   bit-for-bit between a reference run and an interrupted-and-resumed
+//!   run, enforcing the checkpoint subsystem's exact-resume guarantee.
 //!
 //! Every violation is a typed [`AuditError`] naming the op or structure
 //! and the offending dimensions, suitable both for test assertions and
@@ -27,6 +30,7 @@
 pub mod error;
 pub mod parallel;
 pub mod plan;
+pub mod resume;
 pub mod shape;
 pub mod tape;
 pub mod visibility;
@@ -34,6 +38,7 @@ pub mod visibility;
 pub use error::AuditError;
 pub use parallel::{check_grad_parity, ParityReport};
 pub use plan::{check_model_plan, ModelPlan, PlanReport};
+pub use resume::check_value_parity;
 pub use shape::{SVar, ShapeFlow};
 pub use tape::{audit_tape, TapeReport};
 pub use visibility::{

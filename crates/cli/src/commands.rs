@@ -3,9 +3,9 @@
 use crate::args::Options;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use turl_core::tasks::cell_filling::CellFiller;
-use turl_core::{probe as probe_mod, EncodedInput, Pretrainer, TurlConfig};
+use turl_core::{probe as probe_mod, CheckpointPolicy, EncodedInput, Pretrainer, TurlConfig};
 use turl_data::{CorpusStats, LinearizeConfig, TableInstance, Vocab};
 use turl_kb::tasks::build_cell_filling;
 use turl_kb::{
@@ -20,6 +20,8 @@ USAGE:
   turl world    [--entities N] [--seed S]
   turl corpus   [--entities N] [--tables N] [--seed S] [--out corpus.json]
   turl pretrain [--entities N] [--tables N] [--epochs E] [--seed S] [--out model.json]
+                [--checkpoint-dir DIR] [--checkpoint-every N] [--checkpoint-keep K]
+                [--resume]
   turl probe    [--entities N] [--tables N] [--epochs E] [--seed S] [--ckpt model.json]
   turl fill     [--entities N] [--tables N] [--epochs E] [--seed S] [--ckpt model.json]
   turl audit    [--entities N] [--tables N] [--seed S]
@@ -29,11 +31,22 @@ USAGE:
 Every command also accepts a global `--threads N` to size the worker
 pool (default: TURL_THREADS, then the number of available cores).
 
+`pretrain` with --checkpoint-dir writes a crash-safe trainer checkpoint
+(parameters, Adam state, RNG, epoch progress) every --checkpoint-every
+optimizer steps (default 25), keeping the newest --checkpoint-keep
+files (default 3). --resume restores the newest valid checkpoint from
+the directory — corrupt or truncated files are skipped with a warning —
+and continues until --epochs total epochs, bit-identical to a run that
+was never interrupted.
+
 `audit` statically checks the configuration (§4.4 masking ratios), the
 symbolic model forward plan (shape-flow, no tensors allocated), every
 table's §4.3 visibility matrix, the autograd tape of one real training
-step, and serial-vs-parallel gradient parity of the data-parallel
-training path; it exits non-zero if any invariant is violated.
+step, serial-vs-parallel gradient parity of the data-parallel training
+path, and checkpoint resume parity (interrupt + restore + continue must
+match the uninterrupted run bit-for-bit, even when the newest
+checkpoint file is corrupt); it exits non-zero if any invariant is
+violated.
 
 `bench` times the matmul kernel family, encoder forward/backward and
 full pre-training steps across the requested thread counts and writes
@@ -166,10 +179,63 @@ pub fn corpus(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-/// `turl pretrain`: pre-train and checkpoint.
+/// `turl pretrain`: pre-train and checkpoint, optionally crash-safe
+/// (periodic trainer checkpoints + exact resume).
 pub fn pretrain(opts: &Options) -> Result<(), String> {
     let s = setup(opts)?;
-    let pt = make_pretrainer(&s, opts)?;
+    let epochs = opts.get_usize("epochs", 6)?;
+    let mut pt =
+        Pretrainer::new(s.cfg, s.vocab.len(), s.kb.n_entities(), s.vocab.mask_id() as usize);
+
+    let ckpt_dir = opts.get("checkpoint-dir", "");
+    let resume = opts.get_bool("resume")?;
+    let policy = if ckpt_dir.is_empty() {
+        if resume {
+            return Err("--resume requires --checkpoint-dir".to_string());
+        }
+        None
+    } else {
+        Some(CheckpointPolicy {
+            dir: PathBuf::from(&ckpt_dir),
+            every_steps: opts.get_u64("checkpoint-every", 25)?,
+            keep_last: opts.get_usize("checkpoint-keep", 3)?,
+        })
+    };
+    if resume {
+        let rec = turl_nn::recover_latest(Path::new(&ckpt_dir)).map_err(|e| e.to_string())?;
+        for (path, err) in &rec.rejected {
+            eprintln!("warning: skipping corrupt checkpoint {}: {err}", path.display());
+        }
+        match rec.checkpoint {
+            Some((path, ckpt)) => {
+                pt.restore(&ckpt).map_err(|e| e.to_string())?;
+                println!(
+                    "resumed from {} (epoch {}, step {})",
+                    path.display(),
+                    ckpt.progress.epoch,
+                    ckpt.progress.steps
+                );
+            }
+            None => println!("no usable checkpoint in {ckpt_dir}; starting fresh"),
+        }
+    }
+
+    let data = encode(&s, &s.splits.train);
+    println!("pre-training: {} tables until {epochs} total epochs ...", data.len());
+    let stats =
+        pt.train_until(&data, &s.cooccur, epochs, policy.as_ref()).map_err(|e| e.to_string())?;
+    let first = stats.epoch_losses.first().copied().unwrap_or(f32::NAN);
+    let last = stats.epoch_losses.last().copied().unwrap_or(f32::NAN);
+    println!("loss {first:.3} -> {last:.3} over {} optimizer steps", stats.steps);
+    if stats.non_finite_skips > 0 {
+        eprintln!(
+            "warning: skipped {} batch(es) with non-finite gradients",
+            stats.non_finite_skips
+        );
+    }
+    // Machine-checkable summary for the CI resume-parity gate.
+    println!("final loss {last:.6} bits {:#010x}", last.to_bits());
+
     let out = opts.get("out", "turl-model.json");
     turl_nn::save_store(&pt.store, Path::new(&out)).map_err(|e| e.to_string())?;
     println!("wrote checkpoint to {out} ({} parameters)", pt.store.num_scalars());
@@ -245,15 +311,15 @@ pub fn audit(opts: &Options) -> Result<(), String> {
                 s.vocab.mask_id() as usize,
             );
             turl_tensor::pool::set_threads(threads);
-            let loss = pt.train_step(&data, &s.cooccur);
-            (loss, pt.store)
+            let outcome = pt.train_step(&data, &s.cooccur);
+            (outcome.loss(), pt.store)
         };
         let (loss_1, store_1) = run(1);
         let (loss_4, store_4) = run(4);
         turl_tensor::pool::set_threads(saved);
-        if loss_1.to_bits() != loss_4.to_bits() {
+        if loss_1.map(f32::to_bits) != loss_4.map(f32::to_bits) {
             violations
-                .push(format!("grad parity: 1-thread loss {loss_1} != 4-thread loss {loss_4}"));
+                .push(format!("grad parity: 1-thread loss {loss_1:?} != 4-thread loss {loss_4:?}"));
         }
         match turl_audit::check_grad_parity(&store_1, &store_4, 0.0) {
             Ok(report) => println!(
@@ -268,7 +334,77 @@ pub fn audit(opts: &Options) -> Result<(), String> {
         }
     }
 
-    // 4. One real forward/backward pass, then audit the autograd tape.
+    // 4. Checkpoint resume parity: train a reference run uninterrupted;
+    //    train a second run that checkpoints at every optimizer step,
+    //    corrupt its newest checkpoint (simulating a crash mid-write),
+    //    recover (must fall back to the previous file), restore into a
+    //    fresh trainer, and continue. Epoch losses and every parameter
+    //    must match the reference bit-for-bit.
+    {
+        let data = encode(&s, &s.splits.train[..6.min(s.splits.train.len())]);
+        let epochs = 2usize;
+        let fresh =
+            || Pretrainer::new(s.cfg, s.vocab.len(), s.kb.n_entities(), s.vocab.mask_id() as usize);
+        let dir = std::env::temp_dir().join(format!("turl-audit-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let result = (|| -> Result<(), String> {
+            let mut reference = fresh();
+            let ref_stats = reference
+                .train_until(&data, &s.cooccur, epochs, None)
+                .map_err(|e| e.to_string())?;
+            let policy = CheckpointPolicy { dir: dir.clone(), every_steps: 1, keep_last: 0 };
+            let mut interrupted = fresh();
+            interrupted
+                .train_until(&data, &s.cooccur, epochs, Some(&policy))
+                .map_err(|e| e.to_string())?;
+            let ckpts = turl_nn::list_checkpoints(&dir).map_err(|e| e.to_string())?;
+            let Some((_, newest)) = ckpts.last() else {
+                return Err("no checkpoints written".to_string());
+            };
+            let bytes = std::fs::read(newest).map_err(|e| e.to_string())?;
+            std::fs::write(newest, &bytes[..bytes.len() / 2]).map_err(|e| e.to_string())?;
+            let rec = turl_nn::recover_latest(&dir).map_err(|e| e.to_string())?;
+            if rec.rejected.len() != 1 {
+                return Err(format!(
+                    "expected exactly the truncated file to be rejected, got {} rejection(s)",
+                    rec.rejected.len()
+                ));
+            }
+            let Some((path, ckpt)) = rec.checkpoint else {
+                return Err("recovery found no usable fallback checkpoint".to_string());
+            };
+            let mut resumed = fresh();
+            resumed.restore(&ckpt).map_err(|e| e.to_string())?;
+            let res_stats =
+                resumed.train_until(&data, &s.cooccur, epochs, None).map_err(|e| e.to_string())?;
+            for (e, (a, b)) in
+                ref_stats.epoch_losses.iter().zip(res_stats.epoch_losses.iter()).enumerate()
+            {
+                if a.to_bits() != b.to_bits() {
+                    return Err(format!("epoch {e} loss diverged after resume: {a} vs {b}"));
+                }
+            }
+            let report = turl_audit::check_value_parity(&reference.store, &resumed.store).map_err(
+                |errs| {
+                    errs.into_iter().take(5).map(|e| e.to_string()).collect::<Vec<_>>().join("; ")
+                },
+            )?;
+            println!(
+                "resume: ok — fell back over corrupt {} and matched {} params / {} scalars \
+                 bit-for-bit",
+                path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default(),
+                report.n_params,
+                report.n_scalars
+            );
+            Ok(())
+        })();
+        let _ = std::fs::remove_dir_all(&dir);
+        if let Err(e) = result {
+            violations.push(format!("resume parity: {e}"));
+        }
+    }
+
+    // 5. One real forward/backward pass, then audit the autograd tape.
     let pt = Pretrainer::new(s.cfg, s.vocab.len(), s.kb.n_entities(), s.vocab.mask_id() as usize);
     let data = encode(&s, &s.splits.train[..1.min(s.splits.train.len())]);
     if let Some((_, enc)) = data.first() {

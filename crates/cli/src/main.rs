@@ -4,6 +4,9 @@
 //! turl world    [--entities N] [--seed S]            inspect a synthetic world
 //! turl corpus   [--tables N] [--seed S] [--out F]    generate + partition a corpus
 //! turl pretrain [--tables N] [--epochs E] [--out F]  pre-train and checkpoint
+//!               [--checkpoint-dir D] [--checkpoint-every N] [--resume]
+//!                                                    crash-safe periodic
+//!                                                    checkpoints, exact resume
 //! turl probe    [--ckpt F] [...]                     object-entity prediction probe
 //! turl fill     [--ckpt F] [...]                     zero-shot cell filling demo
 //! turl audit    [--entities N] [--tables N] [--seed S]  static invariant checks

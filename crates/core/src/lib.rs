@@ -36,4 +36,7 @@ pub use extensions::{AuxRelationObjective, RelationPair};
 pub use finetune::{FinetuneConfig, FinetuneStats};
 pub use input::EncodedInput;
 pub use model::TurlModel;
-pub use pretrain::{apply_mask_plan, build_candidates, MaskPlan, PretrainStats, Pretrainer};
+pub use pretrain::{
+    apply_mask_plan, build_candidates, random_entity_id, random_word_id, CheckpointPolicy,
+    MaskPlan, PretrainStats, Pretrainer, StepOutcome,
+};

@@ -9,9 +9,14 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
+use std::path::PathBuf;
 use turl_data::TableInstance;
 use turl_kb::CooccurrenceIndex;
-use turl_nn::{clip_grad_norm, Adam, AdamConfig, Forward, LinearDecaySchedule, ParamStore};
+use turl_nn::{
+    clip_grad_norm, prune_checkpoints, restore_params, save_trainer_checkpoint, snapshot_params,
+    Adam, AdamConfig, Forward, LinearDecaySchedule, ParamStore, ProgressState, RngStateRepr,
+    SerializeError, TrainerCheckpoint, CHECKPOINT_VERSION,
+};
 use turl_tensor::pool;
 
 /// The masking decisions for one table: which positions were selected and
@@ -22,6 +27,46 @@ pub struct MaskPlan {
     pub mlm: Vec<(usize, usize)>,
     /// `(entity cell index, original entity id)` pairs selected for MER.
     pub mer: Vec<(usize, usize)>,
+}
+
+/// First id after the reserved special tokens (`[PAD] [UNK] [MASK] [CLS]`
+/// occupy `0..4` in every [`turl_data::Vocab`]).
+const FIRST_NON_SPECIAL_WORD: usize = 4;
+
+/// Bounded resample attempts when a draw must avoid one excluded value.
+const RESAMPLE_TRIES: usize = 8;
+
+/// Draw a random non-special word id for the MLM 10% "random word" branch,
+/// resampling (bounded) away from `mask_word_id`. Returns `None` when the
+/// vocabulary has no usable id — callers keep the token unchanged then,
+/// never emit an id outside `0..n_words`.
+pub fn random_word_id<R: Rng>(rng: &mut R, n_words: usize, mask_word_id: usize) -> Option<usize> {
+    if n_words <= FIRST_NON_SPECIAL_WORD {
+        return None;
+    }
+    for _ in 0..RESAMPLE_TRIES {
+        let id = rng.gen_range(FIRST_NON_SPECIAL_WORD..n_words);
+        if id != mask_word_id {
+            return Some(id);
+        }
+    }
+    None
+}
+
+/// Draw a random entity id for the MER 10% noise branch, resampling
+/// (bounded) away from the gold entity so the noise case never collapses
+/// into a silent keep. `None` when no other entity exists.
+pub fn random_entity_id<R: Rng>(rng: &mut R, n_entities: usize, gold: usize) -> Option<usize> {
+    if n_entities <= 1 {
+        return None;
+    }
+    for _ in 0..RESAMPLE_TRIES {
+        let id = rng.gen_range(0..n_entities);
+        if id != gold {
+            return Some(id);
+        }
+    }
+    None
 }
 
 /// Apply the §4.4 masking mechanism to an encoded input, in place.
@@ -50,7 +95,9 @@ pub fn apply_mask_plan<R: Rng>(
         if roll < 0.8 {
             enc.token_ids[pos] = mask_word_id;
         } else if roll < 0.9 {
-            enc.token_ids[pos] = rng.gen_range(4..n_words.max(5));
+            if let Some(id) = random_word_id(rng, n_words, mask_word_id) {
+                enc.token_ids[pos] = id;
+            } // else: vocabulary has no non-special word — keep unchanged
         } // else: keep unchanged
     }
     for cell in 0..enc.entities.len() {
@@ -68,9 +115,14 @@ pub fn apply_mask_plan<R: Rng>(
         } else if roll < mask_both_upto {
             enc.mask_entity(cell, true, mask_word_id);
         } else {
-            // keep mention, mask entity; 10% random-entity noise
+            // keep mention, mask entity; 10% random-entity noise (which
+            // must not draw the gold entity back — that would silently
+            // turn the noise case into a keep)
             if rng.gen::<f64>() < 0.1 {
-                enc.replace_entity(cell, rng.gen_range(0..n_entities));
+                match random_entity_id(rng, n_entities, original) {
+                    Some(e) => enc.replace_entity(cell, e),
+                    None => enc.mask_entity(cell, false, mask_word_id),
+                }
             } else {
                 enc.mask_entity(cell, false, mask_word_id);
             }
@@ -130,10 +182,47 @@ pub fn build_candidates<R: Rng>(
 /// Aggregate statistics of a pre-training run.
 #[derive(Debug, Clone, Default)]
 pub struct PretrainStats {
-    /// Optimizer steps taken.
+    /// Optimizer steps taken (batches that actually updated parameters;
+    /// matches `opt.steps()`, which the LR schedule keys on).
     pub steps: u64,
     /// Mean combined loss per table, by epoch.
     pub epoch_losses: Vec<f32>,
+    /// Batches dropped because their gradient norm was non-finite.
+    pub non_finite_skips: u64,
+}
+
+/// What one call to [`Pretrainer::train_step`] did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StepOutcome {
+    /// The optimizer stepped; carries the mean loss over the batch.
+    Stepped(f32),
+    /// Masking selected nothing in any table — no forward pass, no step.
+    /// The batch must not be counted in loss means or step counters.
+    Empty,
+    /// The gradient norm was non-finite: gradients were zeroed and the
+    /// optimizer step skipped so one bad batch cannot poison Adam state.
+    SkippedNonFinite,
+}
+
+impl StepOutcome {
+    /// The batch loss, when a step was taken.
+    pub fn loss(self) -> Option<f32> {
+        match self {
+            StepOutcome::Stepped(l) => Some(l),
+            _ => None,
+        }
+    }
+}
+
+/// Where, how often, and how many trainer checkpoints to keep.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Directory for `ckpt-<step>.json` files (created on first save).
+    pub dir: PathBuf,
+    /// Save every N optimizer steps (0 = only at the end of training).
+    pub every_steps: u64,
+    /// Newest checkpoints retained after each save.
+    pub keep_last: usize,
 }
 
 /// The pre-training driver: owns the model, its parameters and optimizer.
@@ -152,6 +241,7 @@ pub struct Pretrainer {
     rng: StdRng,
     aux_relations: Option<AuxRelationObjective>,
     schedule: Option<LinearDecaySchedule>,
+    progress: ProgressState,
     /// Reusable per-batch-slot forward contexts: tape storage and
     /// parameter bindings are recycled across steps instead of
     /// reallocated (see `Graph::reset`).
@@ -177,8 +267,14 @@ impl Pretrainer {
             rng,
             aux_relations: None,
             schedule: None,
+            progress: ProgressState::default(),
             scratch: Vec::new(),
         }
+    }
+
+    /// Training-loop position (epochs/steps completed, loss history).
+    pub fn progress(&self) -> &ProgressState {
+        &self.progress
     }
 
     /// Use the paper's linearly decreasing learning rate over a planned
@@ -198,7 +294,11 @@ impl Pretrainer {
         self.aux_relations.take()
     }
 
-    /// One optimizer step over a batch of tables. Returns the mean loss.
+    /// One optimizer step over a batch of tables. Returns whether a step
+    /// was actually taken: a batch where masking selects nothing is
+    /// [`StepOutcome::Empty`] (no forward pass runs and the optimizer is
+    /// untouched, so callers must not count it), and a batch whose
+    /// gradient norm is non-finite is [`StepOutcome::SkippedNonFinite`].
     ///
     /// Data-parallel: masking decisions, candidate sets, and per-table RNG
     /// seeds are drawn **serially** from the trainer RNG (so the random
@@ -211,7 +311,7 @@ impl Pretrainer {
         &mut self,
         batch: &[(TableInstance, EncodedInput)],
         cooccur: &CooccurrenceIndex,
-    ) -> f32 {
+    ) -> StepOutcome {
         struct Slot {
             batch_idx: usize,
             enc: EncodedInput,
@@ -250,7 +350,7 @@ impl Pretrainer {
             prepared.push((batch_idx, enc, plan, candidates, seed));
         }
         if prepared.is_empty() {
-            return 0.0;
+            return StepOutcome::Empty;
         }
         while self.scratch.len() < prepared.len() {
             self.scratch.push(Forward::new(&self.store));
@@ -333,35 +433,160 @@ impl Pretrainer {
         if let Some(s) = &self.schedule {
             self.opt.config.lr = s.lr_at(self.opt.steps());
         }
-        clip_grad_norm(&mut self.store, self.cfg.pretrain.max_grad_norm);
+        let clip = clip_grad_norm(&mut self.store, self.cfg.pretrain.max_grad_norm);
+        if clip.non_finite {
+            // `clip_grad_norm` already zeroed the gradients; skipping the
+            // optimizer step keeps Adam's moments and the step counter
+            // untouched, so training survives one bad batch.
+            return StepOutcome::SkippedNonFinite;
+        }
         self.opt.step(&mut self.store);
-        total / counted as f32
+        StepOutcome::Stepped(total / counted as f32)
     }
 
-    /// Train for `epochs` passes over pre-encoded tables.
+    /// Train for `epochs` *additional* passes over pre-encoded tables.
     pub fn train(
         &mut self,
         data: &[(TableInstance, EncodedInput)],
         cooccur: &CooccurrenceIndex,
         epochs: usize,
     ) -> PretrainStats {
-        let mut stats = PretrainStats::default();
+        let target = self.progress.epoch as usize + epochs;
+        self.train_until(data, cooccur, target, None)
+            .expect("checkpoint I/O cannot fail without a policy")
+    }
+
+    /// Train until `total_epochs` epochs have been completed over the
+    /// run's lifetime (counting epochs restored from a checkpoint),
+    /// optionally saving crash-safe checkpoints along the way.
+    ///
+    /// Resume contract: restore a [`TrainerCheckpoint`] into a freshly
+    /// constructed `Pretrainer` with identical config/vocabulary, then
+    /// call this with the same `data` and target — the continued run is
+    /// bit-identical to one that was never interrupted, including
+    /// mid-epoch interruptions (the in-progress epoch's shuffled order
+    /// and loss accumulators travel in the checkpoint).
+    pub fn train_until(
+        &mut self,
+        data: &[(TableInstance, EncodedInput)],
+        cooccur: &CooccurrenceIndex,
+        total_epochs: usize,
+        policy: Option<&CheckpointPolicy>,
+    ) -> Result<PretrainStats, SerializeError> {
         let batch = self.cfg.pretrain.batch_size.max(1);
-        for _ in 0..epochs {
-            let mut order: Vec<usize> = (0..data.len()).collect();
-            order.shuffle(&mut self.rng);
-            let mut epoch_loss = 0.0f32;
-            let mut n_batches = 0usize;
-            for chunk in order.chunks(batch) {
-                let items: Vec<(TableInstance, EncodedInput)> =
-                    chunk.iter().map(|&i| data[i].clone()).collect();
-                epoch_loss += self.train_step(&items, cooccur);
-                n_batches += 1;
-                stats.steps += 1;
+        while (self.progress.epoch as usize) < total_epochs {
+            if self.progress.order.is_empty() {
+                let mut order: Vec<u64> = (0..data.len() as u64).collect();
+                order.shuffle(&mut self.rng);
+                self.progress.order = order;
+                self.progress.batch_in_epoch = 0;
+                self.progress.epoch_loss_sum = 0.0;
+                self.progress.epoch_batches = 0;
+            } else if self.progress.order.len() != data.len() {
+                return Err(SerializeError::InvalidState(format!(
+                    "resumed epoch order covers {} tables but the dataset has {} — \
+                     resume must use the same data as the interrupted run",
+                    self.progress.order.len(),
+                    data.len()
+                )));
             }
-            stats.epoch_losses.push(epoch_loss / n_batches.max(1) as f32);
+            let n = self.progress.order.len();
+            let n_batches = n.div_ceil(batch);
+            while (self.progress.batch_in_epoch as usize) < n_batches {
+                let start = self.progress.batch_in_epoch as usize * batch;
+                let end = (start + batch).min(n);
+                let items: Vec<(TableInstance, EncodedInput)> = self.progress.order[start..end]
+                    .iter()
+                    .map(|&i| data[i as usize].clone())
+                    .collect();
+                let outcome = self.train_step(&items, cooccur);
+                self.progress.batch_in_epoch += 1;
+                match outcome {
+                    StepOutcome::Stepped(loss) => {
+                        self.progress.epoch_loss_sum += loss;
+                        self.progress.epoch_batches += 1;
+                        self.progress.steps += 1;
+                        if let Some(p) = policy {
+                            if p.every_steps > 0
+                                && self.progress.steps.is_multiple_of(p.every_steps)
+                            {
+                                self.save_checkpoint(p)?;
+                            }
+                        }
+                    }
+                    StepOutcome::Empty => {}
+                    StepOutcome::SkippedNonFinite => self.progress.non_finite_skips += 1,
+                }
+            }
+            let mean = self.progress.epoch_loss_sum / self.progress.epoch_batches.max(1) as f32;
+            self.progress.epoch_losses.push(mean);
+            self.progress.epoch += 1;
+            self.progress.order.clear();
+            self.progress.batch_in_epoch = 0;
+            self.progress.epoch_loss_sum = 0.0;
+            self.progress.epoch_batches = 0;
         }
-        stats
+        if let Some(p) = policy {
+            self.save_checkpoint(p)?;
+        }
+        Ok(self.stats())
+    }
+
+    /// Statistics over the whole run so far (including restored history).
+    pub fn stats(&self) -> PretrainStats {
+        PretrainStats {
+            steps: self.progress.steps,
+            epoch_losses: self.progress.epoch_losses.clone(),
+            non_finite_skips: self.progress.non_finite_skips,
+        }
+    }
+
+    /// Capture the complete trainer state: parameters, Adam moments and
+    /// step counter, RNG, schedule, and training-loop progress.
+    pub fn snapshot(&self) -> TrainerCheckpoint {
+        TrainerCheckpoint {
+            version: CHECKPOINT_VERSION,
+            adam: self.opt.config,
+            adam_steps: self.opt.steps(),
+            rng: RngStateRepr::from_words(self.rng.state()),
+            schedule: self.schedule,
+            progress: self.progress.clone(),
+            params: snapshot_params(&self.store),
+        }
+    }
+
+    /// Restore a snapshot into this trainer. The checkpoint must match the
+    /// live model parameter-for-parameter (name, shape, order); on any
+    /// mismatch the trainer is left unchanged and a typed error returned.
+    pub fn restore(&mut self, ckpt: &TrainerCheckpoint) -> Result<(), SerializeError> {
+        if ckpt.version != CHECKPOINT_VERSION {
+            return Err(SerializeError::UnsupportedVersion {
+                found: ckpt.version,
+                supported: CHECKPOINT_VERSION,
+            });
+        }
+        let rng_words = ckpt.rng.to_words()?;
+        restore_params(&mut self.store, &ckpt.params)?;
+        self.opt.config = ckpt.adam;
+        self.opt.set_steps(ckpt.adam_steps);
+        self.rng = StdRng::from_state(rng_words);
+        if ckpt.schedule.is_some() {
+            self.schedule = ckpt.schedule;
+        }
+        self.progress = ckpt.progress.clone();
+        Ok(())
+    }
+
+    /// Atomically write `ckpt-<step>.json` under the policy directory and
+    /// prune checkpoints beyond the retention window.
+    pub fn save_checkpoint(&self, policy: &CheckpointPolicy) -> Result<(), SerializeError> {
+        std::fs::create_dir_all(&policy.dir)?;
+        let path = policy.dir.join(turl_nn::checkpoint_file_name(self.progress.steps));
+        save_trainer_checkpoint(&self.snapshot(), &path)?;
+        if policy.keep_last > 0 {
+            prune_checkpoints(&policy.dir, policy.keep_last)?;
+        }
+        Ok(())
     }
 }
 
@@ -513,6 +738,194 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn random_helpers_avoid_excluded_ids() {
+        let mut rng = StdRng::seed_from_u64(7);
+        // no non-special words -> no random word, for every tiny vocab size
+        for n_words in 0..=4 {
+            assert_eq!(random_word_id(&mut rng, n_words, 2), None);
+        }
+        // drawn ids are always in-bounds, non-special, and never [MASK]
+        for _ in 0..2000 {
+            if let Some(id) = random_word_id(&mut rng, 6, 4) {
+                assert!((4..6).contains(&id) && id != 4, "bad word id {id}");
+            }
+            if let Some(id) = random_word_id(&mut rng, 100, 2) {
+                assert!((4..100).contains(&id));
+            }
+        }
+        // a single-entity catalog has no possible noise entity
+        assert_eq!(random_entity_id(&mut rng, 1, 0), None);
+        for _ in 0..2000 {
+            if let Some(id) = random_entity_id(&mut rng, 5, 3) {
+                assert!(id < 5 && id != 3, "drew the gold entity");
+            }
+        }
+        // when only one alternative exists it is always found
+        for gold in 0..2 {
+            assert_eq!(random_entity_id(&mut rng, 2, gold), Some(1 - gold));
+        }
+    }
+
+    #[test]
+    fn tiny_vocab_mask_plan_stays_in_bounds() {
+        // Regression: `gen_range(4..n_words.max(5))` used to emit id 4 for
+        // vocabularies of size <= 4, indexing past the embedding table.
+        let (_, _, data, _) = setup();
+        let cfg = TurlConfig::tiny(1);
+        // n_words = 4 (specials only) and 5 are exactly the sizes the old
+        // `gen_range(4..n_words.max(5))` call went out of bounds on
+        for n_words in [4usize, 5, 6] {
+            let mut rng = StdRng::seed_from_u64(11);
+            for (_, clean) in data.iter().take(10) {
+                let mut enc = clean.clone();
+                // clamp the clean ids so "keep unchanged" stays in range
+                for t in enc.token_ids.iter_mut() {
+                    *t = (*t).min(n_words - 1);
+                }
+                apply_mask_plan(&mut rng, &mut enc, &cfg, 2, n_words, 50);
+                for (pos, &t) in enc.token_ids.iter().enumerate() {
+                    assert!(t < n_words, "token {pos} got id {t} >= n_words {n_words}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batches_are_not_counted() {
+        let (kb, vocab, _, cooccur) = setup();
+        let mut pt = Pretrainer::new(
+            TurlConfig::tiny(3),
+            vocab.len(),
+            kb.n_entities(),
+            vocab.mask_id() as usize,
+        );
+        let outcome = pt.train_step(&[], &cooccur);
+        assert_eq!(outcome, StepOutcome::Empty);
+        let stats = pt.train(&[], &cooccur, 2);
+        // no batch ever stepped: counters stay at zero and in sync with Adam,
+        // and the loss mean is not diluted by phantom steps
+        assert_eq!(stats.steps, 0);
+        assert_eq!(pt.opt.steps(), 0);
+        assert_eq!(stats.epoch_losses, vec![0.0, 0.0]);
+        assert_eq!(stats.non_finite_skips, 0);
+    }
+
+    #[test]
+    fn step_counter_matches_optimizer_steps() {
+        let (kb, vocab, data, cooccur) = setup();
+        let mut pt = Pretrainer::new(
+            TurlConfig::tiny(6),
+            vocab.len(),
+            kb.n_entities(),
+            vocab.mask_id() as usize,
+        );
+        let stats = pt.train(&data[..8.min(data.len())], &cooccur, 2);
+        assert_eq!(stats.steps, pt.opt.steps(), "stats.steps desynced from opt.steps()");
+        assert!(stats.steps > 0);
+    }
+
+    #[test]
+    fn resume_from_mid_run_checkpoint_is_bit_identical() {
+        // Mirrors `training_is_deterministic_across_thread_counts`: run A
+        // trains 3 epochs uninterrupted; run B trains the same seeded run
+        // but checkpoints at every optimizer step; run C starts fresh,
+        // restores a mid-run checkpoint file (crossing the full
+        // save -> fsync -> load -> validate path), and finishes the run.
+        // Losses and every parameter must match A bit-for-bit.
+        let (kb, vocab, data, cooccur) = setup();
+        let slice = &data[..10.min(data.len())];
+        let fresh = || {
+            Pretrainer::new(
+                TurlConfig::tiny(4),
+                vocab.len(),
+                kb.n_entities(),
+                vocab.mask_id() as usize,
+            )
+        };
+
+        let mut a = fresh();
+        let stats_a = a.train(slice, &cooccur, 3);
+
+        let dir = std::env::temp_dir().join(format!("turl_resume_test_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let policy = CheckpointPolicy { dir: dir.clone(), every_steps: 1, keep_last: 0 };
+        let mut b = fresh();
+        b.train_until(slice, &cooccur, 3, Some(&policy)).unwrap();
+
+        let mut ckpts = turl_nn::list_checkpoints(&dir).unwrap();
+        assert!(ckpts.len() > 3, "expected per-step checkpoints, got {}", ckpts.len());
+        // pick an arbitrary mid-run step (not the final one)
+        let (step, mid_path) = ckpts.swap_remove(ckpts.len() / 2);
+        assert!(step > 0);
+        let ckpt = turl_nn::load_trainer_checkpoint(&mid_path).unwrap();
+        let mut c = fresh();
+        c.restore(&ckpt).unwrap();
+        assert_eq!(c.opt.steps(), step);
+        let stats_c = c.train_until(slice, &cooccur, 3, None).unwrap();
+
+        assert_eq!(stats_a.epoch_losses.len(), stats_c.epoch_losses.len());
+        for (e, (x, y)) in stats_a.epoch_losses.iter().zip(stats_c.epoch_losses.iter()).enumerate()
+        {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "epoch {e} loss diverged after resume: {x} vs {y}"
+            );
+        }
+        assert_eq!(stats_a.steps, stats_c.steps);
+        for id in a.store.ids() {
+            let (va, vc) = (a.store.value(id), c.store.value(id));
+            assert_eq!(va.shape(), vc.shape());
+            for (i, (x, y)) in va.data().iter().zip(vc.data().iter()).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "param `{}` element {i} diverged after resume: {x} vs {y}",
+                    a.store.name(id)
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_falls_back_when_newest_checkpoint_is_truncated() {
+        let (kb, vocab, data, cooccur) = setup();
+        let slice = &data[..6.min(data.len())];
+        let dir = std::env::temp_dir().join(format!("turl_fallback_test_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let policy = CheckpointPolicy { dir: dir.clone(), every_steps: 1, keep_last: 0 };
+        let mut pt = Pretrainer::new(
+            TurlConfig::tiny(8),
+            vocab.len(),
+            kb.n_entities(),
+            vocab.mask_id() as usize,
+        );
+        pt.train_until(slice, &cooccur, 1, Some(&policy)).unwrap();
+        let ckpts = turl_nn::list_checkpoints(&dir).unwrap();
+        assert!(ckpts.len() >= 2);
+        // crash mid-write: newest file is cut in half
+        let (newest_step, newest) = ckpts.last().unwrap().clone();
+        let bytes = std::fs::read(&newest).unwrap();
+        std::fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+        let rec = turl_nn::recover_latest(&dir).unwrap();
+        let (path, ckpt) = rec.checkpoint.expect("must fall back to an older checkpoint");
+        assert_ne!(path, newest);
+        assert_eq!(rec.rejected.len(), 1);
+        assert!(ckpt.progress.steps < newest_step);
+        // and the fallback checkpoint restores cleanly
+        let mut resumed = Pretrainer::new(
+            TurlConfig::tiny(8),
+            vocab.len(),
+            kb.n_entities(),
+            vocab.mask_id() as usize,
+        );
+        resumed.restore(&ckpt).unwrap();
+        assert_eq!(resumed.opt.steps(), ckpt.adam_steps);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

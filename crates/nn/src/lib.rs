@@ -45,8 +45,13 @@ mod transformer;
 
 pub use attention::MultiHeadAttention;
 pub use layers::{Dropout, Embedding, LayerNorm, Linear};
-pub use optim::{clip_grad_norm, Adam, AdamConfig};
+pub use optim::{clip_grad_norm, Adam, AdamConfig, ClipReport};
 pub use params::{Forward, ParamId, ParamStore};
 pub use schedule::LinearDecaySchedule;
-pub use serialize::{load_store, save_store, SerializeError};
+pub use serialize::{
+    checkpoint_file_name, list_checkpoints, load_store, load_trainer_checkpoint, prune_checkpoints,
+    recover_latest, restore_params, save_store, save_trainer_checkpoint, snapshot_params,
+    CheckpointRecovery, ParamRecord, ProgressState, RngStateRepr, SerializeError,
+    TrainerCheckpoint, CHECKPOINT_VERSION,
+};
 pub use transformer::{FeedForward, TransformerBlock, TransformerConfig};

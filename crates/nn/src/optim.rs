@@ -1,9 +1,10 @@
 //! Adam optimizer (Kingma & Ba, as cited by the paper) and gradient clipping.
 
 use crate::params::ParamStore;
+use serde::{Deserialize, Serialize};
 
 /// Adam hyper-parameters.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AdamConfig {
     /// Learning rate (the paper uses `1e-4` for pre-training).
     pub lr: f32,
@@ -49,6 +50,12 @@ impl Adam {
         self.t
     }
 
+    /// Restore the step counter from a checkpoint. The counter drives the
+    /// bias-correction terms, so an exact resume must carry it over.
+    pub fn set_steps(&mut self, t: u64) {
+        self.t = t;
+    }
+
     /// Apply one update to every touched, unfrozen parameter and zero grads.
     pub fn step(&mut self, store: &mut ParamStore) {
         self.t += 1;
@@ -76,11 +83,34 @@ impl Adam {
     }
 }
 
+/// Outcome of [`clip_grad_norm`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClipReport {
+    /// Pre-clip global L2 norm (possibly non-finite).
+    pub norm: f32,
+    /// True when the gradients were rescaled to `max_norm`.
+    pub clipped: bool,
+    /// True when the norm was non-finite. All gradients have been zeroed
+    /// (and their touched flags cleared), so a following optimizer step is
+    /// a no-op; the caller should count and skip the batch rather than let
+    /// NaN/inf poison the Adam moments.
+    pub non_finite: bool,
+}
+
 /// Scale all touched gradients so their global L2 norm is at most `max_norm`.
-/// Returns the pre-clip norm.
-pub fn clip_grad_norm(store: &mut ParamStore, max_norm: f32) -> f32 {
+///
+/// A non-finite norm (any NaN/inf gradient element) would previously pass
+/// the `norm > max_norm` comparison as false and flow unclipped into Adam,
+/// permanently corrupting `m`/`v`; it now zeroes every gradient instead and
+/// reports `non_finite` so the caller can skip the step.
+pub fn clip_grad_norm(store: &mut ParamStore, max_norm: f32) -> ClipReport {
     let norm = store.grad_norm();
-    if norm > max_norm && norm > 0.0 {
+    if !norm.is_finite() {
+        store.zero_grads();
+        return ClipReport { norm, clipped: false, non_finite: true };
+    }
+    let clipped = norm > max_norm && norm > 0.0;
+    if clipped {
         let scale = max_norm / norm;
         for e in store.entries_mut() {
             if e.touched {
@@ -88,7 +118,7 @@ pub fn clip_grad_norm(store: &mut ParamStore, max_norm: f32) -> f32 {
             }
         }
     }
-    norm
+    ClipReport { norm, clipped, non_finite: false }
 }
 
 #[cfg(test)]
@@ -139,10 +169,32 @@ mod tests {
         let mut store = ParamStore::new();
         let id = store.register("w", Tensor::zeros(vec![2]));
         quadratic_step(&mut store, id); // grad = 2*(0-3) = -6 per element
-        let pre = clip_grad_norm(&mut store, 1.0);
-        assert!(pre > 1.0);
+        let report = clip_grad_norm(&mut store, 1.0);
+        assert!(report.norm > 1.0);
+        assert!(report.clipped);
+        assert!(!report.non_finite);
         assert!((store.grad_norm() - 1.0).abs() < 1e-4);
         let _ = id;
+    }
+
+    #[test]
+    fn non_finite_grads_are_zeroed_and_step_skipped() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Tensor::ones(vec![2]));
+        store.accumulate(vec![(id, Tensor::from_vec(vec![2], vec![f32::NAN, 1.0]))]);
+        let report = clip_grad_norm(&mut store, 1.0);
+        assert!(report.non_finite);
+        assert!(!report.clipped);
+        assert!(!report.norm.is_finite());
+        assert_eq!(store.grad(id).data(), &[0.0, 0.0]);
+        // the grads are untouched now, so Adam leaves value and moments alone
+        let mut opt = Adam::new(AdamConfig::default());
+        opt.step(&mut store);
+        assert_eq!(store.value(id).data(), &[1.0, 1.0]);
+        // an infinite norm takes the same path
+        store.accumulate(vec![(id, Tensor::from_vec(vec![2], vec![f32::INFINITY, 0.0]))]);
+        assert!(clip_grad_norm(&mut store, 1.0).non_finite);
+        assert_eq!(store.grad(id).data(), &[0.0, 0.0]);
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! Learning-rate schedules.
 
+use serde::{Deserialize, Serialize};
+
 /// Linearly decaying learning rate with optional warmup, as used by the
 /// paper ("Adam optimizer with a linearly decreasing learning rate").
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LinearDecaySchedule {
     /// Peak learning rate.
     pub base_lr: f32,

@@ -1,12 +1,45 @@
-//! Checkpointing: save and load a [`ParamStore`] as JSON.
+//! Checkpointing: crash-safe serialization of the full trainer state.
+//!
+//! Two formats live here:
+//!
+//! * [`save_store`] / [`load_store`] — the legacy weights-only JSON dump,
+//!   still used for final model artifacts (`turl pretrain --out`).
+//! * [`TrainerCheckpoint`] with [`save_trainer_checkpoint`] /
+//!   [`load_trainer_checkpoint`] — the versioned resume format carrying
+//!   parameter values, Adam moments (`m`/`v`) and step counter, the
+//!   trainer RNG state, the learning-rate schedule, and the training-loop
+//!   progress counters, so an interrupted run restarts bit-identically.
+//!
+//! # On-disk layout of a trainer checkpoint
+//!
+//! ```text
+//! {"magic":"turl-trainer-checkpoint","version":1,"payload_bytes":N,"checksum":"<fnv1a64 hex>"}\n
+//! <payload: N bytes of JSON for the TrainerCheckpoint itself>
+//! ```
+//!
+//! The header line is self-delimiting, so a file truncated at *any* byte
+//! offset is rejected with a typed [`SerializeError`]: inside the header
+//! the JSON parse fails ([`SerializeError::BadHeader`]), after it the
+//! payload length mismatches ([`SerializeError::Truncated`]), and a
+//! same-length corruption fails the checksum
+//! ([`SerializeError::ChecksumMismatch`]). Writes go to a `*.tmp` sibling,
+//! are fsynced, and are renamed over the target (with a directory fsync),
+//! so a crash mid-write never clobbers the previous checkpoint.
 
+use crate::optim::AdamConfig;
 use crate::params::ParamStore;
+use crate::schedule::LinearDecaySchedule;
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::fs::File;
-use std::io::{BufReader, BufWriter};
-use std::path::Path;
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, Read, Write};
+use std::path::{Path, PathBuf};
 use turl_tensor::Tensor;
+
+/// Current trainer-checkpoint format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+const CHECKPOINT_MAGIC: &str = "turl-trainer-checkpoint";
 
 /// Error produced while saving or loading a checkpoint.
 #[derive(Debug)]
@@ -15,6 +48,41 @@ pub enum SerializeError {
     Io(std::io::Error),
     /// JSON encoding/decoding failure.
     Json(serde_json::Error),
+    /// The header line is missing, garbled, or carries the wrong magic.
+    BadHeader(String),
+    /// The checkpoint was written by an incompatible format version.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build reads.
+        supported: u32,
+    },
+    /// The payload is shorter or longer than the header promised.
+    Truncated {
+        /// Bytes the header promised.
+        expected: u64,
+        /// Bytes actually present after the header.
+        actual: u64,
+    },
+    /// The payload bytes do not hash to the header checksum.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        expected: u64,
+        /// Checksum of the bytes on disk.
+        actual: u64,
+    },
+    /// A restored tensor holds NaN/inf values.
+    NonFinite {
+        /// Name of the offending parameter.
+        param: String,
+    },
+    /// The checkpoint's parameters do not match the live model.
+    ParamMismatch {
+        /// Human-readable description of the divergence.
+        detail: String,
+    },
+    /// The checkpoint content is internally inconsistent.
+    InvalidState(String),
 }
 
 impl fmt::Display for SerializeError {
@@ -22,6 +90,26 @@ impl fmt::Display for SerializeError {
         match self {
             SerializeError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
             SerializeError::Json(e) => write!(f, "checkpoint JSON error: {e}"),
+            SerializeError::BadHeader(d) => write!(f, "checkpoint header invalid: {d}"),
+            SerializeError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "checkpoint format version {found} unsupported (this build reads {supported})"
+                )
+            }
+            SerializeError::Truncated { expected, actual } => {
+                write!(f, "checkpoint truncated or padded: header promises {expected} payload bytes, found {actual}")
+            }
+            SerializeError::ChecksumMismatch { expected, actual } => {
+                write!(f, "checkpoint checksum mismatch: header {expected:#018x}, payload hashes to {actual:#018x}")
+            }
+            SerializeError::NonFinite { param } => {
+                write!(f, "checkpoint parameter `{param}` holds non-finite values")
+            }
+            SerializeError::ParamMismatch { detail } => {
+                write!(f, "checkpoint does not match the live model: {detail}")
+            }
+            SerializeError::InvalidState(d) => write!(f, "checkpoint state invalid: {d}"),
         }
     }
 }
@@ -40,17 +128,21 @@ impl From<serde_json::Error> for SerializeError {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Legacy weights-only store files
+// ---------------------------------------------------------------------------
+
 #[derive(Serialize, Deserialize)]
 struct Checkpoint {
     params: Vec<(String, Tensor)>,
 }
 
 /// Write every parameter value (not optimizer state) to a JSON file.
+/// The write is atomic: data lands in a `*.tmp` sibling first.
 pub fn save_store(store: &ParamStore, path: &Path) -> Result<(), SerializeError> {
     let params = store.entries().iter().map(|e| (e.name.clone(), e.value.clone())).collect();
-    let f = BufWriter::new(File::create(path)?);
-    serde_json::to_writer(f, &Checkpoint { params })?;
-    Ok(())
+    let text = serde_json::to_string(&Checkpoint { params })?;
+    write_atomic(path, text.as_bytes())
 }
 
 /// Load a checkpoint into a fresh store (parameters in saved order).
@@ -64,17 +156,385 @@ pub fn load_store(path: &Path) -> Result<ParamStore, SerializeError> {
     Ok(store)
 }
 
+// ---------------------------------------------------------------------------
+// Full trainer checkpoints
+// ---------------------------------------------------------------------------
+
+/// One parameter's full training state: value, Adam moments, frozen flag.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParamRecord {
+    /// Registered parameter name.
+    pub name: String,
+    /// Current value.
+    pub value: Tensor,
+    /// Adam first moment.
+    pub m: Tensor,
+    /// Adam second moment.
+    pub v: Tensor,
+    /// Whether the optimizer skips this parameter.
+    pub frozen: bool,
+}
+
+/// Training-loop position: everything the epoch loop needs to continue a
+/// run exactly where it stopped, including mid-epoch.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProgressState {
+    /// Completed epochs.
+    pub epoch: u64,
+    /// Batches consumed in the in-progress epoch.
+    pub batch_in_epoch: u64,
+    /// Shuffled table order of the in-progress epoch (empty between epochs).
+    pub order: Vec<u64>,
+    /// Loss accumulated over the in-progress epoch.
+    pub epoch_loss_sum: f32,
+    /// Batches that actually stepped the optimizer in the in-progress epoch.
+    pub epoch_batches: u64,
+    /// Optimizer steps taken over the whole run.
+    pub steps: u64,
+    /// Batches skipped because their gradient norm was non-finite.
+    pub non_finite_skips: u64,
+    /// Mean loss per completed epoch.
+    pub epoch_losses: Vec<f32>,
+}
+
+/// Exact JSON-safe encoding of the trainer RNG state. The vendored serde
+/// data model stores numbers as `f64`, which cannot carry 64-bit integers
+/// losslessly, so the four xoshiro256++ words travel as decimal strings.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RngStateRepr {
+    words: Vec<String>,
+}
+
+impl RngStateRepr {
+    /// Encode raw state words.
+    pub fn from_words(words: [u64; 4]) -> Self {
+        Self { words: words.iter().map(u64::to_string).collect() }
+    }
+
+    /// Decode back to raw state words.
+    pub fn to_words(&self) -> Result<[u64; 4], SerializeError> {
+        if self.words.len() != 4 {
+            return Err(SerializeError::InvalidState(format!(
+                "rng state holds {} words, expected 4",
+                self.words.len()
+            )));
+        }
+        let mut out = [0u64; 4];
+        for (i, w) in self.words.iter().enumerate() {
+            out[i] = w.parse::<u64>().map_err(|_| {
+                SerializeError::InvalidState(format!("rng state word {i} `{w}` is not a u64"))
+            })?;
+        }
+        Ok(out)
+    }
+}
+
+/// The complete state of a training run at one step boundary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainerCheckpoint {
+    /// Format version (also enforced in the file header).
+    pub version: u32,
+    /// Optimizer hyper-parameters at save time (including scheduled lr).
+    pub adam: AdamConfig,
+    /// Optimizer step counter (drives Adam bias correction).
+    pub adam_steps: u64,
+    /// Trainer RNG state.
+    pub rng: RngStateRepr,
+    /// Learning-rate schedule, when one was installed.
+    pub schedule: Option<LinearDecaySchedule>,
+    /// Epoch/batch/step counters of the training loop.
+    pub progress: ProgressState,
+    /// Every parameter with its optimizer state.
+    pub params: Vec<ParamRecord>,
+}
+
+/// Capture every parameter's value, Adam moments and frozen flag.
+pub fn snapshot_params(store: &ParamStore) -> Vec<ParamRecord> {
+    store
+        .entries()
+        .iter()
+        .map(|e| ParamRecord {
+            name: e.name.clone(),
+            value: e.value.clone(),
+            m: e.m.clone(),
+            v: e.v.clone(),
+            frozen: e.frozen,
+        })
+        .collect()
+}
+
+/// Restore parameter values and Adam moments into a live store.
+///
+/// Strict: the records must match the store's parameters one-to-one, in
+/// registration order, by name and shape; every tensor must be finite.
+/// On success, gradients are reset so the next step starts clean.
+pub fn restore_params(
+    store: &mut ParamStore,
+    records: &[ParamRecord],
+) -> Result<(), SerializeError> {
+    if records.len() != store.len() {
+        return Err(SerializeError::ParamMismatch {
+            detail: format!(
+                "checkpoint holds {} parameters, live model has {}",
+                records.len(),
+                store.len()
+            ),
+        });
+    }
+    // Validate everything before mutating anything, so a failed restore
+    // leaves the store untouched.
+    for (e, r) in store.entries().iter().zip(records.iter()) {
+        if e.name != r.name {
+            return Err(SerializeError::ParamMismatch {
+                detail: format!(
+                    "parameter order diverges: live `{}` vs checkpoint `{}`",
+                    e.name, r.name
+                ),
+            });
+        }
+        if e.value.shape() != r.value.shape() {
+            return Err(SerializeError::ParamMismatch {
+                detail: format!(
+                    "`{}`: live shape {:?} vs checkpoint shape {:?}",
+                    e.name,
+                    e.value.shape(),
+                    r.value.shape()
+                ),
+            });
+        }
+        for t in [&r.value, &r.m, &r.v] {
+            if t.shape() != r.value.shape() {
+                return Err(SerializeError::ParamMismatch {
+                    detail: format!(
+                        "`{}`: optimizer-state shape {:?} differs from value shape {:?}",
+                        r.name,
+                        t.shape(),
+                        r.value.shape()
+                    ),
+                });
+            }
+            if t.data().iter().any(|x| !x.is_finite()) {
+                return Err(SerializeError::NonFinite { param: r.name.clone() });
+            }
+        }
+    }
+    for (e, r) in store.entries_mut().iter_mut().zip(records.iter()) {
+        e.value = r.value.clone();
+        e.m = r.m.clone();
+        e.v = r.v.clone();
+        e.frozen = r.frozen;
+        e.grad.zero_();
+        e.touched = false;
+    }
+    Ok(())
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[derive(Serialize, Deserialize)]
+struct Header {
+    magic: String,
+    version: u32,
+    payload_bytes: u64,
+    /// FNV-1a 64 of the payload bytes, as fixed-width hex.
+    checksum: String,
+}
+
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), SerializeError> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = OpenOptions::new().write(true).create(true).truncate(true).open(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    // Make the rename itself durable. Directory fsync is best-effort on
+    // platforms where directories cannot be opened for reading.
+    if let Some(dir) = dir {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Atomically write a trainer checkpoint (header + checksummed payload).
+pub fn save_trainer_checkpoint(
+    ckpt: &TrainerCheckpoint,
+    path: &Path,
+) -> Result<(), SerializeError> {
+    let payload = serde_json::to_string(ckpt)?;
+    let header = Header {
+        magic: CHECKPOINT_MAGIC.to_string(),
+        version: ckpt.version,
+        payload_bytes: payload.len() as u64,
+        checksum: format!("{:016x}", fnv1a64(payload.as_bytes())),
+    };
+    let mut bytes = serde_json::to_string(&header)?.into_bytes();
+    bytes.push(b'\n');
+    bytes.extend_from_slice(payload.as_bytes());
+    write_atomic(path, &bytes)
+}
+
+/// Load and strictly validate a trainer checkpoint: magic, format version,
+/// payload length, checksum, JSON shape, finite tensors, internally
+/// consistent optimizer-state shapes. Never panics on malformed input.
+pub fn load_trainer_checkpoint(path: &Path) -> Result<TrainerCheckpoint, SerializeError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    let newline = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| SerializeError::BadHeader("no header line (file truncated?)".to_string()))?;
+    let header_text = std::str::from_utf8(&bytes[..newline])
+        .map_err(|_| SerializeError::BadHeader("header is not UTF-8".to_string()))?;
+    let header: Header = serde_json::from_str(header_text)
+        .map_err(|e| SerializeError::BadHeader(format!("unparsable header: {e}")))?;
+    if header.magic != CHECKPOINT_MAGIC {
+        return Err(SerializeError::BadHeader(format!("magic `{}`", header.magic)));
+    }
+    if header.version != CHECKPOINT_VERSION {
+        return Err(SerializeError::UnsupportedVersion {
+            found: header.version,
+            supported: CHECKPOINT_VERSION,
+        });
+    }
+    let payload = &bytes[newline + 1..];
+    if payload.len() as u64 != header.payload_bytes {
+        return Err(SerializeError::Truncated {
+            expected: header.payload_bytes,
+            actual: payload.len() as u64,
+        });
+    }
+    let expected = u64::from_str_radix(&header.checksum, 16)
+        .map_err(|_| SerializeError::BadHeader(format!("checksum `{}`", header.checksum)))?;
+    let actual = fnv1a64(payload);
+    if actual != expected {
+        return Err(SerializeError::ChecksumMismatch { expected, actual });
+    }
+    let payload_text = std::str::from_utf8(payload)
+        .map_err(|_| SerializeError::BadHeader("payload is not UTF-8".to_string()))?;
+    let ckpt: TrainerCheckpoint = serde_json::from_str(payload_text)?;
+    if ckpt.version != header.version {
+        return Err(SerializeError::InvalidState(format!(
+            "payload version {} disagrees with header version {}",
+            ckpt.version, header.version
+        )));
+    }
+    ckpt.rng.to_words()?;
+    for r in &ckpt.params {
+        for t in [&r.value, &r.m, &r.v] {
+            if t.shape() != r.value.shape() {
+                return Err(SerializeError::InvalidState(format!(
+                    "`{}`: optimizer-state shape {:?} differs from value shape {:?}",
+                    r.name,
+                    t.shape(),
+                    r.value.shape()
+                )));
+            }
+            if t.data().iter().any(|x| !x.is_finite()) {
+                return Err(SerializeError::NonFinite { param: r.name.clone() });
+            }
+        }
+    }
+    Ok(ckpt)
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint directories: naming, discovery, fallback, retention
+// ---------------------------------------------------------------------------
+
+/// Canonical file name for the checkpoint taken at optimizer step `step`.
+pub fn checkpoint_file_name(step: u64) -> String {
+    format!("ckpt-{step:012}.json")
+}
+
+/// All checkpoint files in `dir`, sorted by ascending step.
+pub fn list_checkpoints(dir: &Path) -> Result<Vec<(u64, PathBuf)>, SerializeError> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(step) = name
+            .strip_prefix("ckpt-")
+            .and_then(|s| s.strip_suffix(".json"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            out.push((step, entry.path()));
+        }
+    }
+    out.sort_by_key(|&(step, _)| step);
+    Ok(out)
+}
+
+/// Result of [`recover_latest`]: the newest valid checkpoint (if any) and
+/// every newer file that failed validation, with its typed rejection.
+#[derive(Debug)]
+pub struct CheckpointRecovery {
+    /// Newest checkpoint that loaded and validated.
+    pub checkpoint: Option<(PathBuf, TrainerCheckpoint)>,
+    /// Files rejected during the search, newest first.
+    pub rejected: Vec<(PathBuf, SerializeError)>,
+}
+
+/// Find the newest checkpoint in `dir` that passes full validation,
+/// falling back over truncated/corrupt files instead of failing on them.
+/// A missing directory yields an empty recovery rather than an error.
+pub fn recover_latest(dir: &Path) -> Result<CheckpointRecovery, SerializeError> {
+    if !dir.exists() {
+        return Ok(CheckpointRecovery { checkpoint: None, rejected: Vec::new() });
+    }
+    let mut rejected = Vec::new();
+    for (_, path) in list_checkpoints(dir)?.into_iter().rev() {
+        match load_trainer_checkpoint(&path) {
+            Ok(ckpt) => return Ok(CheckpointRecovery { checkpoint: Some((path, ckpt)), rejected }),
+            Err(e) => rejected.push((path, e)),
+        }
+    }
+    Ok(CheckpointRecovery { checkpoint: None, rejected })
+}
+
+/// Delete all but the newest `keep` checkpoints in `dir`.
+/// Returns how many files were removed.
+pub fn prune_checkpoints(dir: &Path, keep: usize) -> Result<usize, SerializeError> {
+    let all = list_checkpoints(dir)?;
+    let mut removed = 0;
+    if all.len() > keep {
+        for (_, path) in &all[..all.len() - keep] {
+            std::fs::remove_file(path)?;
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::optim::Adam;
+    use crate::params::Forward;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("turl_nn_ckpt_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
 
     #[test]
     fn roundtrip_preserves_values() {
         let mut store = ParamStore::new();
         store.register("a", Tensor::from_vec(vec![2, 2], vec![1., 2., 3., 4.]));
         store.register("b", Tensor::from_vec(vec![3], vec![-1., 0., 1.]));
-        let dir = std::env::temp_dir().join("turl_nn_ckpt_test");
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = tmpdir("legacy");
         let path = dir.join("ckpt.json");
         save_store(&store, &path).unwrap();
         let loaded = load_store(&path).unwrap();
@@ -83,7 +543,7 @@ mod tests {
         assert_eq!(loaded.value(a).data(), &[1., 2., 3., 4.]);
         let b = loaded.find("b").unwrap();
         assert_eq!(loaded.value(b).shape(), &[3]);
-        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -96,8 +556,7 @@ mod tests {
     fn loaded_store_feeds_load_matching() {
         let mut src = ParamStore::new();
         src.register("w", Tensor::full(vec![2], 7.0));
-        let dir = std::env::temp_dir().join("turl_nn_ckpt_test2");
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = tmpdir("legacy2");
         let path = dir.join("ckpt.json");
         save_store(&src, &path).unwrap();
         let loaded = load_store(&path).unwrap();
@@ -105,6 +564,233 @@ mod tests {
         dst.register("w", Tensor::zeros(vec![2]));
         assert_eq!(dst.load_matching(&loaded), 1);
         assert_eq!(dst.value(dst.find("w").unwrap()).data(), &[7.0, 7.0]);
-        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A store with populated Adam moments: a couple of real optimizer
+    /// steps over f(w) = sum((w - 3)^2).
+    fn trained_store() -> (ParamStore, Adam) {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Tensor::zeros(vec![3]));
+        store.register("frozen", Tensor::ones(vec![2]));
+        store.set_frozen(store.find("frozen").unwrap(), true);
+        let mut opt = Adam::new(AdamConfig { lr: 0.1, ..AdamConfig::default() });
+        for _ in 0..3 {
+            let mut f = Forward::new(&store);
+            let w = f.param(&store, id);
+            let target = f.graph.constant(Tensor::full(vec![3], 3.0));
+            let d = f.graph.sub(w, target);
+            let sq = f.graph.mul(d, d);
+            let l = f.graph.sum_all(sq);
+            f.backprop(l, &mut store);
+            opt.step(&mut store);
+        }
+        (store, opt)
+    }
+
+    fn checkpoint_of(store: &ParamStore, opt: &Adam) -> TrainerCheckpoint {
+        TrainerCheckpoint {
+            version: CHECKPOINT_VERSION,
+            adam: opt.config,
+            adam_steps: opt.steps(),
+            rng: RngStateRepr::from_words([u64::MAX, 1, 0x0123_4567_89ab_cdef, 42]),
+            schedule: Some(LinearDecaySchedule::new(1e-3, 5, 100)),
+            progress: ProgressState {
+                epoch: 1,
+                batch_in_epoch: 2,
+                order: vec![3, 0, 2, 1],
+                epoch_loss_sum: 1.25,
+                epoch_batches: 2,
+                steps: 7,
+                non_finite_skips: 1,
+                epoch_losses: vec![2.5],
+            },
+            params: snapshot_params(store),
+        }
+    }
+
+    #[test]
+    fn trainer_checkpoint_roundtrips_bit_exactly() {
+        let (store, opt) = trained_store();
+        let ckpt = checkpoint_of(&store, &opt);
+        let dir = tmpdir("roundtrip");
+        let path = dir.join(checkpoint_file_name(7));
+        save_trainer_checkpoint(&ckpt, &path).unwrap();
+        let loaded = load_trainer_checkpoint(&path).unwrap();
+        assert_eq!(loaded.adam, ckpt.adam);
+        assert_eq!(loaded.adam_steps, 3);
+        assert_eq!(loaded.rng.to_words().unwrap(), [u64::MAX, 1, 0x0123_4567_89ab_cdef, 42]);
+        assert_eq!(loaded.schedule, ckpt.schedule);
+        assert_eq!(loaded.progress, ckpt.progress);
+        assert_eq!(loaded.params.len(), 2);
+        for (a, b) in ckpt.params.iter().zip(loaded.params.iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.frozen, b.frozen);
+            for (x, y) in [(&a.value, &b.value), (&a.m, &b.m), (&a.v, &b.v)] {
+                assert_eq!(x.shape(), y.shape());
+                for (p, q) in x.data().iter().zip(y.data().iter()) {
+                    assert_eq!(p.to_bits(), q.to_bits());
+                }
+            }
+        }
+        // restoring into a matching fresh store reproduces value + moments
+        let mut fresh = ParamStore::new();
+        fresh.register("w", Tensor::zeros(vec![3]));
+        fresh.register("frozen", Tensor::zeros(vec![2]));
+        restore_params(&mut fresh, &loaded.params).unwrap();
+        let id = fresh.find("w").unwrap();
+        let orig = store.find("w").unwrap();
+        assert_eq!(fresh.value(id).data(), store.value(orig).data());
+        assert!(fresh.is_frozen(fresh.find("frozen").unwrap()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncation_at_every_byte_is_a_typed_error() {
+        let (store, opt) = trained_store();
+        let dir = tmpdir("truncate");
+        let path = dir.join(checkpoint_file_name(1));
+        save_trainer_checkpoint(&checkpoint_of(&store, &opt), &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let cut_path = dir.join("cut.json");
+        for cut in 0..bytes.len() {
+            std::fs::write(&cut_path, &bytes[..cut]).unwrap();
+            assert!(
+                load_trainer_checkpoint(&cut_path).is_err(),
+                "truncation at byte {cut}/{} must be rejected",
+                bytes.len()
+            );
+        }
+        // and appending garbage is rejected too
+        let mut padded = bytes.clone();
+        padded.extend_from_slice(b"garbage");
+        std::fs::write(&cut_path, &padded).unwrap();
+        assert!(matches!(
+            load_trainer_checkpoint(&cut_path),
+            Err(SerializeError::Truncated { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bitflip_fails_checksum() {
+        let (store, opt) = trained_store();
+        let dir = tmpdir("bitflip");
+        let path = dir.join(checkpoint_file_name(1));
+        save_trainer_checkpoint(&checkpoint_of(&store, &opt), &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2 + 10;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load_trainer_checkpoint(&path).unwrap_err();
+        assert!(
+            matches!(err, SerializeError::ChecksumMismatch { .. } | SerializeError::Json(_)),
+            "got {err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wrong_version_and_magic_are_rejected() {
+        let (store, opt) = trained_store();
+        let mut ckpt = checkpoint_of(&store, &opt);
+        ckpt.version = CHECKPOINT_VERSION + 1;
+        let dir = tmpdir("version");
+        let path = dir.join(checkpoint_file_name(1));
+        save_trainer_checkpoint(&ckpt, &path).unwrap();
+        assert!(matches!(
+            load_trainer_checkpoint(&path),
+            Err(SerializeError::UnsupportedVersion { .. })
+        ));
+        std::fs::write(
+            &path,
+            b"{\"magic\":\"other\",\"version\":1,\"payload_bytes\":0,\"checksum\":\"0\"}\n",
+        )
+        .unwrap();
+        assert!(matches!(load_trainer_checkpoint(&path), Err(SerializeError::BadHeader(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn non_finite_params_are_rejected_on_load() {
+        let (mut store, opt) = trained_store();
+        let id = store.find("w").unwrap();
+        store.value_mut(id).data_mut()[1] = f32::NAN;
+        let dir = tmpdir("nonfinite");
+        let path = dir.join(checkpoint_file_name(1));
+        save_trainer_checkpoint(&checkpoint_of(&store, &opt), &path).unwrap();
+        assert!(matches!(
+            load_trainer_checkpoint(&path),
+            Err(SerializeError::NonFinite { param }) if param == "w"
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_models() {
+        let (store, opt) = trained_store();
+        let records = checkpoint_of(&store, &opt).params;
+        // wrong count
+        let mut few = ParamStore::new();
+        few.register("w", Tensor::zeros(vec![3]));
+        assert!(matches!(
+            restore_params(&mut few, &records),
+            Err(SerializeError::ParamMismatch { .. })
+        ));
+        // wrong name
+        let mut named = ParamStore::new();
+        named.register("w", Tensor::zeros(vec![3]));
+        named.register("other", Tensor::zeros(vec![2]));
+        assert!(restore_params(&mut named, &records).is_err());
+        // wrong shape — and the store is left untouched by the failure
+        let mut shaped = ParamStore::new();
+        shaped.register("w", Tensor::zeros(vec![4]));
+        shaped.register("frozen", Tensor::zeros(vec![2]));
+        assert!(restore_params(&mut shaped, &records).is_err());
+        assert_eq!(shaped.value(shaped.find("w").unwrap()).data(), &[0.0; 4]);
+        std::mem::drop(records);
+    }
+
+    #[test]
+    fn recover_latest_falls_back_over_corrupt_files() {
+        let (store, opt) = trained_store();
+        let dir = tmpdir("recover");
+        let ckpt = checkpoint_of(&store, &opt);
+        save_trainer_checkpoint(&ckpt, &dir.join(checkpoint_file_name(3))).unwrap();
+        save_trainer_checkpoint(&ckpt, &dir.join(checkpoint_file_name(9))).unwrap();
+        // truncate the newest one, as a crash mid-write would (pre-rename
+        // crashes leave only *.tmp files, but simulate worse)
+        let newest = dir.join(checkpoint_file_name(9));
+        let bytes = std::fs::read(&newest).unwrap();
+        std::fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+        let rec = recover_latest(&dir).unwrap();
+        let (path, _) = rec.checkpoint.expect("older valid checkpoint must be found");
+        assert!(path.ends_with(checkpoint_file_name(3)));
+        assert_eq!(rec.rejected.len(), 1);
+        // all corrupt -> no checkpoint, but no panic/error either
+        let older = dir.join(checkpoint_file_name(3));
+        std::fs::write(&older, b"junk").unwrap();
+        let rec = recover_latest(&dir).unwrap();
+        assert!(rec.checkpoint.is_none());
+        assert_eq!(rec.rejected.len(), 2);
+        // missing directory -> empty recovery
+        let rec = recover_latest(&dir.join("missing")).unwrap();
+        assert!(rec.checkpoint.is_none() && rec.rejected.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prune_keeps_newest_k() {
+        let (store, opt) = trained_store();
+        let dir = tmpdir("prune");
+        let ckpt = checkpoint_of(&store, &opt);
+        for step in [2, 4, 6, 8] {
+            save_trainer_checkpoint(&ckpt, &dir.join(checkpoint_file_name(step))).unwrap();
+        }
+        assert_eq!(prune_checkpoints(&dir, 2).unwrap(), 2);
+        let left: Vec<u64> = list_checkpoints(&dir).unwrap().into_iter().map(|(s, _)| s).collect();
+        assert_eq!(left, vec![6, 8]);
+        assert_eq!(prune_checkpoints(&dir, 5).unwrap(), 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

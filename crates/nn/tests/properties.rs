@@ -90,8 +90,9 @@ proptest! {
         let mut store = ParamStore::new();
         let id = store.register("w", Tensor::zeros(vec![4]));
         store.accumulate(vec![(id, Tensor::full(vec![4], scale))]);
-        let pre = clip_grad_norm(&mut store, 1.0);
-        prop_assert!(pre >= 1.0);
+        let report = clip_grad_norm(&mut store, 1.0);
+        prop_assert!(report.norm >= 1.0);
+        prop_assert!(!report.non_finite);
         prop_assert!((store.grad_norm() - 1.0).abs() < 1e-3);
         prop_assert!(store.grad(id).all_finite());
     }

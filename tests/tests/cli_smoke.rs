@@ -56,6 +56,61 @@ fn cli_world_and_corpus_and_pipeline_roundtrip() {
     assert!(ok, "pretrain failed: {text}");
     assert!(ckpt.exists());
 
+    // crash-safe checkpointing: a run interrupted after 1 epoch and
+    // resumed to 2 total epochs matches an uninterrupted 2-epoch run
+    // bit-for-bit (the `final loss ... bits 0x...` line is the witness)
+    let ckdir = dir.join("ckpts");
+    std::fs::remove_dir_all(&ckdir).ok();
+    let common = ["--entities", "300", "--tables", "80", "--seed", "3"];
+    let bits_of = |text: &str| {
+        text.lines()
+            .find_map(|l| l.split("bits ").nth(1))
+            .map(str::to_string)
+            .unwrap_or_else(|| panic!("no `bits` line in: {text}"))
+    };
+    let (ok, reference) = run_turl(
+        &[&["pretrain", "--epochs", "2", "--out", ckpt.to_str().unwrap()], &common[..]].concat(),
+    );
+    assert!(ok, "reference pretrain failed: {reference}");
+    let (ok, text) = run_turl(
+        &[
+            &[
+                "pretrain",
+                "--epochs",
+                "1",
+                "--checkpoint-dir",
+                ckdir.to_str().unwrap(),
+                "--checkpoint-every",
+                "5",
+                "--out",
+                ckpt.to_str().unwrap(),
+            ],
+            &common[..],
+        ]
+        .concat(),
+    );
+    assert!(ok, "interrupted pretrain failed: {text}");
+    let (ok, text) = run_turl(
+        &[
+            &[
+                "pretrain",
+                "--epochs",
+                "2",
+                "--checkpoint-dir",
+                ckdir.to_str().unwrap(),
+                "--resume",
+                "--out",
+                ckpt.to_str().unwrap(),
+            ],
+            &common[..],
+        ]
+        .concat(),
+    );
+    assert!(ok, "resumed pretrain failed: {text}");
+    assert!(text.contains("resumed from"), "{text}");
+    assert_eq!(bits_of(&reference), bits_of(&text), "resume diverged from reference");
+    std::fs::remove_dir_all(&ckdir).ok();
+
     // probe can reuse the checkpoint without re-training
     let (ok, text) = run_turl(&[
         "probe",

@@ -75,6 +75,10 @@ fn emit_value(v: &Value, out: &mut String) {
             if !n.is_finite() {
                 // JSON has no NaN/inf; mirror serde_json's null behaviour
                 out.push_str("null");
+            } else if *n == 0.0 && n.is_sign_negative() {
+                // `-0.0 as i64` is 0, which would drop the sign bit on
+                // roundtrip and break bit-exact checkpoint restores
+                out.push_str("-0.0");
             } else if n.fract() == 0.0 && n.abs() < 9.0e15 {
                 out.push_str(&format!("{}", *n as i64));
             } else {
@@ -336,6 +340,15 @@ mod tests {
     fn integers_emit_without_fraction() {
         assert_eq!(to_string(&3u32).unwrap(), "3");
         assert_eq!(to_string(&-1.5f64).unwrap(), "-1.5");
+    }
+
+    #[test]
+    fn negative_zero_roundtrips_bit_exactly() {
+        assert_eq!(to_string(&-0.0f32).unwrap(), "-0.0");
+        let back: f32 = from_str("-0.0").unwrap();
+        assert_eq!(back.to_bits(), (-0.0f32).to_bits());
+        let pos: f32 = from_str(&to_string(&0.0f32).unwrap()).unwrap();
+        assert_eq!(pos.to_bits(), 0.0f32.to_bits());
     }
 
     #[test]
