@@ -113,6 +113,30 @@ pub enum AuditError {
         /// The non-finite value found.
         value: f32,
     },
+    /// A `--metrics-out` stream holds a line that is not a schema-valid
+    /// event (bad JSON, or reserved fields missing/mistyped).
+    MetricsSchema {
+        /// Parser message, naming the 1-based line.
+        detail: String,
+    },
+    /// A metrics stream recorded no events or no spans — the
+    /// instrumentation layer was silently dead.
+    DeadInstrumentation {
+        /// What exactly was missing.
+        detail: String,
+    },
+    /// An observed §4.4 mask-selection ratio drifted beyond tolerance
+    /// from its configured target.
+    MaskRatioDrift {
+        /// Which ratio (`mlm` or `mer`).
+        field: &'static str,
+        /// Observed selected/candidates ratio.
+        observed: f64,
+        /// Configured target (0.20 / 0.60 at paper defaults).
+        target: f64,
+        /// Absolute tolerance the drift exceeded.
+        tolerance: f64,
+    },
 }
 
 impl fmt::Display for AuditError {
@@ -153,6 +177,19 @@ impl fmt::Display for AuditError {
             }
             AuditError::NonFiniteLeaf { node, index, value } => {
                 write!(f, "leaf {node} holds non-finite value {value} at element {index}")
+            }
+            AuditError::MetricsSchema { detail } => {
+                write!(f, "metrics stream schema violation: {detail}")
+            }
+            AuditError::DeadInstrumentation { detail } => {
+                write!(f, "instrumentation dead: {detail}")
+            }
+            AuditError::MaskRatioDrift { field, observed, target, tolerance } => {
+                write!(
+                    f,
+                    "mask ratio `{field}` drifted: observed {observed:.4} vs target {target:.2} \
+                     (tolerance {tolerance:.4})"
+                )
             }
         }
     }

@@ -22,12 +22,17 @@
 //! * [`check_value_parity`] ([`resume`]) — compares parameter *values*
 //!   bit-for-bit between a reference run and an interrupted-and-resumed
 //!   run, enforcing the checkpoint subsystem's exact-resume guarantee.
+//! * [`check_metrics_log`] ([`obs`]) — validates a recorded
+//!   `--metrics-out` JSONL stream: every line schema-valid, the stream
+//!   alive (events and spans present), and the observed §4.4
+//!   mask-selection ratios within drift tolerance of their targets.
 //!
 //! Every violation is a typed [`AuditError`] naming the op or structure
 //! and the offending dimensions, suitable both for test assertions and
 //! for the `turl audit` CLI gate.
 
 pub mod error;
+pub mod obs;
 pub mod parallel;
 pub mod plan;
 pub mod resume;
@@ -36,6 +41,7 @@ pub mod tape;
 pub mod visibility;
 
 pub use error::AuditError;
+pub use obs::{check_metrics_log, MetricsLogReport};
 pub use parallel::{check_grad_parity, ParityReport};
 pub use plan::{check_model_plan, ModelPlan, PlanReport};
 pub use resume::check_value_parity;

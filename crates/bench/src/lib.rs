@@ -177,7 +177,7 @@ impl ExperimentWorld {
             ("test", &self.splits.test),
         ] {
             let s = CorpusStats::compute(split);
-            println!(
+            turl_obs::info(format!(
                 "{name:>5} | tables {:>6} | rows min {:>3.0} mean {:>5.1} median {:>3.0} max {:>5.0} \
                  | ent-cols min {:>2.0} mean {:>4.1} median {:>2.0} max {:>3.0} \
                  | ents min {:>3.0} mean {:>5.1} median {:>3.0} max {:>5.0}",
@@ -186,7 +186,7 @@ impl ExperimentWorld {
                 s.entity_columns.min, s.entity_columns.mean, s.entity_columns.median,
                 s.entity_columns.max,
                 s.entities.min, s.entities.mean, s.entities.median, s.entities.max,
-            );
+            ));
         }
     }
 }
@@ -220,27 +220,27 @@ pub fn pretrained(world: &ExperimentWorld, cfg: TurlConfig, tag: &str) -> Pretra
         if let Ok(loaded) = turl_nn::load_store(&path) {
             let copied = pt.store.load_matching(&loaded);
             if copied == pt.store.len() {
-                eprintln!("[cache] loaded pre-trained checkpoint {}", path.display());
+                turl_obs::warn(format!("[cache] loaded pre-trained checkpoint {}", path.display()));
                 return pt;
             }
         }
     }
     let data = world.encode_split(&world.splits.train, &cfg);
     let epochs = world.scale.pretrain_epochs();
-    eprintln!(
+    turl_obs::warn(format!(
         "[pretrain:{tag}] {} tables x {epochs} epochs (d={}, layers={})",
         data.len(),
         cfg.encoder.d_model,
         cfg.encoder.n_layers
-    );
+    ));
     let t0 = std::time::Instant::now();
     let stats = pt.train(&data, &world.cooccur, epochs);
-    eprintln!(
+    turl_obs::warn(format!(
         "[pretrain:{tag}] done in {:.1}s, loss {:.3} -> {:.3}",
         t0.elapsed().as_secs_f32(),
         stats.epoch_losses.first().copied().unwrap_or(f32::NAN),
         stats.epoch_losses.last().copied().unwrap_or(f32::NAN)
-    );
+    ));
     turl_nn::save_store(&pt.store, &path).ok();
     pt
 }

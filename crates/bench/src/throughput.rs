@@ -38,6 +38,11 @@ pub struct BenchEntry {
     pub size: String,
     /// Pool width the measurement ran with.
     pub threads: usize,
+    /// Cores available on the recording machine. Thread-scaling numbers
+    /// measured with `threads > available_cores` are oversubscription
+    /// noise, so the regression gate skips multi-thread comparisons when
+    /// either side recorded on a single core.
+    pub available_cores: usize,
     /// Mean wall-clock nanoseconds per iteration.
     pub ns_per_iter: u64,
     /// Work rate: sequence rows per second for model ops, output rows per
@@ -64,6 +69,7 @@ fn entry(op: &str, size: String, threads: usize, ns: u64, rows_per_iter: usize) 
         op: op.to_string(),
         size,
         threads,
+        available_cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         ns_per_iter: ns,
         tokens_per_sec: rows_per_iter as f64 * 1e9 / ns.max(1) as f64,
     }
@@ -234,7 +240,9 @@ pub fn read_json(path: &std::path::Path) -> Result<Vec<BenchEntry>, String> {
 /// Compare a fresh run against a tracked baseline: any op/size/threads
 /// cell slower than `factor`× its baseline is a regression. Entries
 /// missing from either side are ignored (sizes legitimately change as the
-/// suite evolves).
+/// suite evolves), as are multi-thread cells when either side was
+/// recorded on a single core — oversubscribed timings carry no scaling
+/// signal and flap with scheduler noise.
 pub fn check_regressions(
     new: &[BenchEntry],
     baseline: &[BenchEntry],
@@ -248,6 +256,9 @@ pub fn check_regressions(
         else {
             continue;
         };
+        if n.threads > 1 && (n.available_cores <= 1 || b.available_cores <= 1) {
+            continue;
+        }
         compared += 1;
         let ratio = n.ns_per_iter as f64 / b.ns_per_iter.max(1) as f64;
         if ratio > factor {
@@ -301,10 +312,15 @@ mod tests {
     use super::*;
 
     fn e(op: &str, threads: usize, ns: u64) -> BenchEntry {
+        ec(op, threads, 8, ns)
+    }
+
+    fn ec(op: &str, threads: usize, cores: usize, ns: u64) -> BenchEntry {
         BenchEntry {
             op: op.into(),
             size: "s".into(),
             threads,
+            available_cores: cores,
             ns_per_iter: ns,
             tokens_per_sec: 1.0,
         }
@@ -319,6 +335,22 @@ mod tests {
         assert!(check_regressions(&bad, &base, 2.0).is_err());
         // unmatched entries are ignored, not errors
         assert_eq!(check_regressions(&[e("other", 1, 9)], &base, 2.0), Ok(0));
+    }
+
+    #[test]
+    fn single_core_runs_skip_thread_scaling_comparisons() {
+        // A 4-thread cell that regressed 5x is ignored when either side
+        // was recorded on one core; the 1-thread cell is still gated.
+        let base = vec![ec("matmul", 1, 1, 100), ec("matmul", 4, 1, 100)];
+        let new = vec![ec("matmul", 1, 1, 120), ec("matmul", 4, 1, 500)];
+        assert_eq!(check_regressions(&new, &base, 2.0), Ok(1));
+        // one-core on the *new* side alone also skips
+        let base_mc = vec![ec("matmul", 4, 8, 100)];
+        let new_sc = vec![ec("matmul", 4, 1, 500)];
+        assert_eq!(check_regressions(&new_sc, &base_mc, 2.0), Ok(0));
+        // both sides multi-core: the comparison is live again
+        let new_mc = vec![ec("matmul", 4, 8, 500)];
+        assert!(check_regressions(&new_mc, &base_mc, 2.0).is_err());
     }
 
     #[test]

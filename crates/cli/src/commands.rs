@@ -12,6 +12,7 @@ use turl_kb::{
     generate_corpus, identify_relational, partition, CooccurrenceIndex, CorpusConfig, CorpusSplits,
     KnowledgeBase, PipelineConfig, WorldConfig,
 };
+use turl_obs::{info, warn};
 
 /// Top-level usage text.
 pub const USAGE: &str = "turl — TURL reproduction CLI
@@ -21,15 +22,28 @@ USAGE:
   turl corpus   [--entities N] [--tables N] [--seed S] [--out corpus.json]
   turl pretrain [--entities N] [--tables N] [--epochs E] [--seed S] [--out model.json]
                 [--checkpoint-dir DIR] [--checkpoint-every N] [--checkpoint-keep K]
-                [--resume]
+                [--resume] [--metrics-out run.jsonl]
   turl probe    [--entities N] [--tables N] [--epochs E] [--seed S] [--ckpt model.json]
   turl fill     [--entities N] [--tables N] [--epochs E] [--seed S] [--ckpt model.json]
   turl audit    [--entities N] [--tables N] [--seed S]
   turl bench    [--quick] [--threads 1,2,4] [--out BENCH_pretrain.json]
                 [--baseline FILE [--factor 2.0]]
+  turl report   <run.jsonl>
 
 Every command also accepts a global `--threads N` to size the worker
-pool (default: TURL_THREADS, then the number of available cores).
+pool (default: TURL_THREADS, then the number of available cores), and
+a global `--metrics-out FILE` that records structured telemetry as one
+JSON object per line: run lifecycle, per-step loss/grad-norm/phase
+timings, §4.4 mask-selection counts, checkpoint latencies, per-op
+kernel timings and worker-pool stats. Instrumentation never perturbs
+training: a run with --metrics-out is bit-identical to one without.
+
+`report` summarizes a --metrics-out file: step-time breakdown
+(prepare/forward/backward/reduce/optimizer/checkpoint), observed
+MLM/MER mask ratios vs the §4.4 20%/60% targets, kernel and pool
+profiles, and flags anomalies (loss spikes, ratio drift, pool
+starvation, non-finite skips). It exits non-zero on schema violations
+or when the file records no events or spans.
 
 `pretrain` with --checkpoint-dir writes a crash-safe trainer checkpoint
 (parameters, Adam state, RNG, epoch progress) every --checkpoint-every
@@ -43,9 +57,11 @@ was never interrupted.
 symbolic model forward plan (shape-flow, no tensors allocated), every
 table's §4.3 visibility matrix, the autograd tape of one real training
 step, serial-vs-parallel gradient parity of the data-parallel training
-path, and checkpoint resume parity (interrupt + restore + continue must
+path, checkpoint resume parity (interrupt + restore + continue must
 match the uninterrupted run bit-for-bit, even when the newest
-checkpoint file is corrupt); it exits non-zero if any invariant is
+checkpoint file is corrupt), and the observability layer itself (a
+short instrumented run must yield a schema-valid metrics stream with
+mask ratios on target); it exits non-zero if any invariant is
 violated.
 
 `bench` times the matmul kernel family, encoder forward/backward and
@@ -125,17 +141,17 @@ fn make_pretrainer(s: &Setup, opts: &Options) -> Result<Pretrainer, String> {
                 pt.store.len()
             ));
         }
-        println!("loaded checkpoint {ckpt}");
+        info(format!("loaded checkpoint {ckpt}"));
     } else {
         let epochs = opts.get_usize("epochs", 6)?;
         let data = encode(s, &s.splits.train);
-        println!("pre-training: {} tables x {epochs} epochs ...", data.len());
+        info(format!("pre-training: {} tables x {epochs} epochs ...", data.len()));
         let stats = pt.train(&data, &s.cooccur, epochs);
-        println!(
+        info(format!(
             "loss {:.3} -> {:.3}",
             stats.epoch_losses.first().copied().unwrap_or(f32::NAN),
             stats.epoch_losses.last().copied().unwrap_or(f32::NAN)
-        );
+        ));
     }
     Ok(pt)
 }
@@ -143,17 +159,17 @@ fn make_pretrainer(s: &Setup, opts: &Options) -> Result<Pretrainer, String> {
 /// `turl world`: print the synthetic world summary.
 pub fn world(opts: &Options) -> Result<(), String> {
     let s = setup(opts)?;
-    println!(
+    info(format!(
         "entities: {}   types: {}   relations: {}   facts: {}",
         s.kb.n_entities(),
         s.kb.schema.types.len(),
         s.kb.schema.relations.len(),
         s.kb.facts().len()
-    );
+    ));
     for (t, def) in s.kb.schema.types.iter().enumerate() {
         let n = s.kb.entities_of_type(t).len();
         let parent = def.parent.map(|p| s.kb.schema.types[p].name.as_str()).unwrap_or("-");
-        println!("  type {:<14} parent {:<14} entities {:>5}", def.name, parent, n);
+        info(format!("  type {:<14} parent {:<14} entities {:>5}", def.name, parent, n));
     }
     Ok(())
 }
@@ -165,16 +181,16 @@ pub fn corpus(opts: &Options) -> Result<(), String> {
         [("train", &s.splits.train), ("dev", &s.splits.validation), ("test", &s.splits.test)]
     {
         let st = CorpusStats::compute(split);
-        println!(
+        info(format!(
             "{name:>5}: {} tables | rows mean {:.1} | entity-cols mean {:.1} | entities mean {:.1}",
             st.n_tables, st.rows.mean, st.entity_columns.mean, st.entities.mean
-        );
+        ));
     }
     let out = opts.get("out", "");
     if !out.is_empty() {
         let json = serde_json::to_string(&s.splits).map_err(|e| e.to_string())?;
         std::fs::write(&out, json).map_err(|e| e.to_string())?;
-        println!("wrote corpus splits to {out}");
+        info(format!("wrote corpus splits to {out}"));
     }
     Ok(())
 }
@@ -204,41 +220,43 @@ pub fn pretrain(opts: &Options) -> Result<(), String> {
     if resume {
         let rec = turl_nn::recover_latest(Path::new(&ckpt_dir)).map_err(|e| e.to_string())?;
         for (path, err) in &rec.rejected {
-            eprintln!("warning: skipping corrupt checkpoint {}: {err}", path.display());
+            warn(format!("warning: skipping corrupt checkpoint {}: {err}", path.display()));
         }
         match rec.checkpoint {
             Some((path, ckpt)) => {
                 pt.restore(&ckpt).map_err(|e| e.to_string())?;
-                println!(
+                info(format!(
                     "resumed from {} (epoch {}, step {})",
                     path.display(),
                     ckpt.progress.epoch,
                     ckpt.progress.steps
-                );
+                ));
             }
-            None => println!("no usable checkpoint in {ckpt_dir}; starting fresh"),
+            None => info(format!("no usable checkpoint in {ckpt_dir}; starting fresh")),
         }
     }
 
     let data = encode(&s, &s.splits.train);
-    println!("pre-training: {} tables until {epochs} total epochs ...", data.len());
+    info(format!("pre-training: {} tables until {epochs} total epochs ...", data.len()));
     let stats =
         pt.train_until(&data, &s.cooccur, epochs, policy.as_ref()).map_err(|e| e.to_string())?;
     let first = stats.epoch_losses.first().copied().unwrap_or(f32::NAN);
     let last = stats.epoch_losses.last().copied().unwrap_or(f32::NAN);
-    println!("loss {first:.3} -> {last:.3} over {} optimizer steps", stats.steps);
+    info(format!("loss {first:.3} -> {last:.3} over {} optimizer steps", stats.steps));
     if stats.non_finite_skips > 0 {
-        eprintln!(
+        warn(format!(
             "warning: skipped {} batch(es) with non-finite gradients",
             stats.non_finite_skips
-        );
+        ));
     }
-    // Machine-checkable summary for the CI resume-parity gate.
-    println!("final loss {last:.6} bits {:#010x}", last.to_bits());
+    // Machine-checkable summary for the CI resume-parity gate; the byte
+    // layout of this line is part of the scripts/ci_resume_parity.sh
+    // contract and must not change.
+    info(format!("final loss {last:.6} bits {:#010x}", last.to_bits()));
 
     let out = opts.get("out", "turl-model.json");
     turl_nn::save_store(&pt.store, Path::new(&out)).map_err(|e| e.to_string())?;
-    println!("wrote checkpoint to {out} ({} parameters)", pt.store.num_scalars());
+    info(format!("wrote checkpoint to {out} ({} parameters)", pt.store.num_scalars()));
     Ok(())
 }
 
@@ -256,7 +274,7 @@ pub fn probe(opts: &Options) -> Result<(), String> {
         0,
         300,
     );
-    println!("object-entity prediction accuracy (validation): {acc:.3}");
+    info(format!("object-entity prediction accuracy (validation): {acc:.3}"));
     Ok(())
 }
 
@@ -269,10 +287,10 @@ pub fn audit(opts: &Options) -> Result<(), String> {
 
     // 1. Configuration ratios + symbolic forward plan (no tensors).
     match turl_core::audit::validate_config(&s.cfg, s.vocab.len(), s.kb.n_entities()) {
-        Ok(report) => println!(
+        Ok(report) => info(format!(
             "plan: ok — {} symbolic ops, probe seq {}, peak intermediate {} elements",
             report.n_ops, report.seq_len, report.peak_elements
-        ),
+        )),
         Err(e) => violations.push(format!("config/plan: {e}")),
     }
 
@@ -295,7 +313,7 @@ pub fn audit(opts: &Options) -> Result<(), String> {
             n_tables += 1;
         }
     }
-    println!("visibility: linted {n_tables} tables across all splits");
+    info(format!("visibility: linted {n_tables} tables across all splits"));
 
     // 3. Serial-vs-parallel gradient parity: the same seeded training
     //    step on 1 worker and on 4 must leave bit-identical gradients
@@ -322,10 +340,10 @@ pub fn audit(opts: &Options) -> Result<(), String> {
                 .push(format!("grad parity: 1-thread loss {loss_1:?} != 4-thread loss {loss_4:?}"));
         }
         match turl_audit::check_grad_parity(&store_1, &store_4, 0.0) {
-            Ok(report) => println!(
+            Ok(report) => info(format!(
                 "parity: ok — {} params / {} gradient scalars bit-identical across 1 vs 4 threads",
                 report.n_params, report.n_scalars
-            ),
+            )),
             Err(errs) => {
                 for e in errs.into_iter().take(5) {
                     violations.push(format!("grad parity: {e}"));
@@ -389,13 +407,13 @@ pub fn audit(opts: &Options) -> Result<(), String> {
                     errs.into_iter().take(5).map(|e| e.to_string()).collect::<Vec<_>>().join("; ")
                 },
             )?;
-            println!(
+            info(format!(
                 "resume: ok — fell back over corrupt {} and matched {} params / {} scalars \
                  bit-for-bit",
                 path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default(),
                 report.n_params,
                 report.n_scalars
-            );
+            ));
             Ok(())
         })();
         let _ = std::fs::remove_dir_all(&dir);
@@ -404,7 +422,45 @@ pub fn audit(opts: &Options) -> Result<(), String> {
         }
     }
 
-    // 5. One real forward/backward pass, then audit the autograd tape.
+    // 5. Observability: a short instrumented training run must produce
+    //    a schema-valid, alive metrics stream whose observed §4.4 mask
+    //    ratios sit within drift tolerance of the configured targets.
+    {
+        let path =
+            std::env::temp_dir().join(format!("turl-audit-obs-{}.jsonl", std::process::id()));
+        let result = (|| -> Result<turl_audit::MetricsLogReport, String> {
+            let sink = turl_obs::JsonlSink::create(&path).map_err(|e| e.to_string())?;
+            let token = turl_obs::install_sink(Box::new(sink));
+            let data = encode(&s, &s.splits.train[..8.min(s.splits.train.len())]);
+            let mut pt = Pretrainer::new(
+                s.cfg,
+                s.vocab.len(),
+                s.kb.n_entities(),
+                s.vocab.mask_id() as usize,
+            );
+            let train = pt.train_until(&data, &s.cooccur, 2, None);
+            turl_obs::remove_sink(token);
+            train.map_err(|e| e.to_string())?;
+            let text = std::fs::read_to_string(&path).map_err(|e| e.to_string())?;
+            turl_audit::check_metrics_log(&text).map_err(|errs| {
+                errs.into_iter().take(5).map(|e| e.to_string()).collect::<Vec<_>>().join("; ")
+            })
+        })();
+        let _ = std::fs::remove_file(&path);
+        match result {
+            Ok(report) => info(format!(
+                "metrics: ok — {} events / {} steps / {} spans, MLM {} MER {} on target",
+                report.n_events,
+                report.n_steps,
+                report.n_spans,
+                report.mlm_observed.map(|r| format!("{r:.3}")).unwrap_or_else(|| "-".into()),
+                report.mer_observed.map(|r| format!("{r:.3}")).unwrap_or_else(|| "-".into()),
+            )),
+            Err(e) => violations.push(format!("metrics log: {e}")),
+        }
+    }
+
+    // 6. One real forward/backward pass, then audit the autograd tape.
     let pt = Pretrainer::new(s.cfg, s.vocab.len(), s.kb.n_entities(), s.vocab.mask_id() as usize);
     let data = encode(&s, &s.splits.train[..1.min(s.splits.train.len())]);
     if let Some((_, enc)) = data.first() {
@@ -415,10 +471,10 @@ pub fn audit(opts: &Options) -> Result<(), String> {
         let loss = f.graph.mean_all(h);
         f.backprop(loss, &mut store);
         match turl_audit::audit_tape(&f.graph, true) {
-            Ok(report) => println!(
+            Ok(report) => info(format!(
                 "tape: ok — {} nodes, {} leaves, {} grad nodes",
                 report.n_nodes, report.n_leaves, report.n_grad_nodes
-            ),
+            )),
             Err(errs) => {
                 for e in errs {
                     violations.push(format!("tape: {e}"));
@@ -428,11 +484,11 @@ pub fn audit(opts: &Options) -> Result<(), String> {
     }
 
     if violations.is_empty() {
-        println!("audit: all invariants hold");
+        info("audit: all invariants hold");
         Ok(())
     } else {
         for v in violations.iter().take(20) {
-            eprintln!("violation: {v}");
+            warn(format!("violation: {v}"));
         }
         Err(format!("audit found {} violation(s)", violations.len()))
     }
@@ -454,18 +510,18 @@ pub fn bench(opts: &Options) -> Result<(), String> {
     if thread_counts.is_empty() {
         return Err("--threads list is empty".to_string());
     }
-    println!(
+    info(format!(
         "benchmarking ({}) across {:?} threads on {} available core(s) ...",
         if quick { "quick" } else { "full" },
         thread_counts,
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-    );
+    ));
     let entries = turl_bench::throughput::run_suite(quick, &thread_counts);
-    print!("{}", turl_bench::throughput::summarize(&entries));
+    info(turl_bench::throughput::summarize(&entries).trim_end());
 
     let out = opts.get("out", "BENCH_pretrain.json");
     turl_bench::throughput::write_json(Path::new(&out), &entries)?;
-    println!("wrote {} measurements to {out}", entries.len());
+    info(format!("wrote {} measurements to {out}", entries.len()));
 
     let baseline = opts.get("baseline", "");
     if !baseline.is_empty() {
@@ -475,11 +531,11 @@ pub fn bench(opts: &Options) -> Result<(), String> {
         let base = turl_bench::throughput::read_json(Path::new(&baseline))?;
         match turl_bench::throughput::check_regressions(&entries, &base, factor) {
             Ok(compared) => {
-                println!("baseline {baseline}: {compared} measurements within {factor}x")
+                info(format!("baseline {baseline}: {compared} measurements within {factor}x"))
             }
             Err(regressions) => {
                 for r in &regressions {
-                    eprintln!("regression: {r}");
+                    warn(format!("regression: {r}"));
                 }
                 return Err(format!(
                     "{} measurement(s) regressed more than {factor}x vs {baseline}",
@@ -491,6 +547,23 @@ pub fn bench(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// `turl report <run.jsonl>`: summarize a `--metrics-out` file.
+///
+/// Renders the step-time breakdown, observed §4.4 mask ratios vs their
+/// targets, kernel/pool profiles, and any detected anomalies. Returns
+/// `Err` (non-zero exit) on malformed lines, schema violations, or a
+/// stream that recorded no events or spans — the `obs-smoke` CI gate.
+pub fn report(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err(format!("usage: turl report <run.jsonl> (got {} argument(s))", args.len()));
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let events = turl_obs::parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+    let summary = turl_obs::summarize(&events).map_err(|e| format!("{path}: {e}"))?;
+    print!("{}", turl_obs::render(&summary));
+    Ok(())
+}
+
 /// `turl fill`: zero-shot cell filling on the test split.
 pub fn fill(opts: &Options) -> Result<(), String> {
     let s = setup(opts)?;
@@ -498,25 +571,25 @@ pub fn fill(opts: &Options) -> Result<(), String> {
     let examples = build_cell_filling(&s.splits.test, &s.cooccur, 3, true);
     let filler = CellFiller::new(&pt.model, &pt.store);
     let ps = filler.precision_at(&s.vocab, &s.kb, &s.splits.test, &examples, &[1, 3, 5, 10]);
-    println!(
+    info(format!(
         "cell filling over {} instances: P@1 {:.1}  P@3 {:.1}  P@5 {:.1}  P@10 {:.1}",
         examples.len(),
         100.0 * ps[0],
         100.0 * ps[1],
         100.0 * ps[2],
         100.0 * ps[3]
-    );
+    ));
     let mut rng = StdRng::seed_from_u64(1);
     let _ = &mut rng;
     for ex in examples.iter().filter(|e| e.candidates.len() > 1).take(3) {
         let ranked = filler.rank(&s.vocab, &s.kb, &s.splits.test, ex);
-        println!(
+        info(format!(
             "  {} + \"{}\" -> {} (gold: {})",
             s.kb.entity(ex.subject).name,
             ex.target_header,
             ranked.first().map(|&e| s.kb.entity(e).name.as_str()).unwrap_or("-"),
             s.kb.entity(ex.gold).name
-        );
+        ));
     }
     Ok(())
 }

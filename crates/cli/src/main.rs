@@ -7,10 +7,12 @@
 //!               [--checkpoint-dir D] [--checkpoint-every N] [--resume]
 //!                                                    crash-safe periodic
 //!                                                    checkpoints, exact resume
+//!               [--metrics-out run.jsonl]            structured JSONL telemetry
 //! turl probe    [--ckpt F] [...]                     object-entity prediction probe
 //! turl fill     [--ckpt F] [...]                     zero-shot cell filling demo
 //! turl audit    [--entities N] [--tables N] [--seed S]  static invariant checks
 //! turl bench    [--quick] [--threads 1,2,4] [--out F]   throughput benchmark
+//! turl report   <run.jsonl>                          render a metrics file
 //! ```
 //!
 //! All commands are deterministic in `--seed` regardless of the worker
@@ -29,6 +31,16 @@ fn main() -> ExitCode {
         eprintln!("{}", commands::USAGE);
         return ExitCode::FAILURE;
     };
+    // `report` takes a positional file path, unlike every other command.
+    if cmd == "report" {
+        return match commands::report(rest) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let opts = match args::Options::parse(rest) {
         Ok(o) => o,
         Err(e) => {
@@ -36,6 +48,21 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Human-facing output routes through the console sink; structured
+    // collection stays off unless a JSONL sink is also installed.
+    turl_obs::install_sink(Box::new(turl_obs::ConsoleSink));
+    match opts.get("metrics-out", "").as_str() {
+        "" => {}
+        path => match turl_obs::JsonlSink::create(std::path::Path::new(path)) {
+            Ok(sink) => {
+                turl_obs::install_sink(Box::new(sink));
+            }
+            Err(e) => {
+                eprintln!("error: cannot create --metrics-out {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    }
     // Global worker-pool width. `bench` interprets `--threads` itself
     // (as a comma-separated sweep), every other command as one integer.
     if cmd != "bench" {
@@ -64,6 +91,7 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown command `{other}`")),
     };
+    turl_obs::flush();
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

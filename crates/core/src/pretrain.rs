@@ -312,6 +312,16 @@ impl Pretrainer {
         batch: &[(TableInstance, EncodedInput)],
         cooccur: &CooccurrenceIndex,
     ) -> StepOutcome {
+        /// Per-slot telemetry; written only when metrics are enabled and
+        /// read only after the parallel phase joins.
+        #[derive(Debug, Default, Clone, Copy)]
+        struct SlotObs {
+            fwd_ns: u64,
+            bwd_ns: u64,
+            mlm_loss: f32,
+            mer_loss: f32,
+        }
+
         struct Slot {
             batch_idx: usize,
             enc: EncodedInput,
@@ -320,7 +330,15 @@ impl Pretrainer {
             seed: u64,
             fwd: Forward,
             out: Option<(f32, Vec<(turl_nn::ParamId, turl_tensor::Tensor)>)>,
+            obs: SlotObs,
         }
+
+        // Observation is read-only (clocks + counts): nothing below may
+        // touch the trainer RNG or reorder the reduction, which is what
+        // keeps metrics-on and metrics-off runs bit-identical.
+        let obs_on = turl_obs::metrics_enabled();
+        let prep_timer = turl_obs::Timer::start();
+        let mut mask_counts = [0u64; 4]; // mlm sel, mlm total, mer sel, mer total
 
         // Serial phase: all randomness for the step, in batch order.
         let mut prepared: Vec<(usize, EncodedInput, MaskPlan, Vec<usize>, u64)> = Vec::new();
@@ -334,6 +352,14 @@ impl Pretrainer {
                 self.n_words,
                 self.n_entities,
             );
+            if obs_on {
+                // count every table — including ones masking skipped — so
+                // observed ratios compare against the §4.4 targets honestly
+                mask_counts[0] += plan.mlm.len() as u64;
+                mask_counts[1] += enc.token_ids.len() as u64;
+                mask_counts[2] += plan.mer.len() as u64;
+                mask_counts[3] += enc.entities.len() as u64;
+            }
             if plan.mlm.is_empty() && plan.mer.is_empty() {
                 continue;
             }
@@ -350,6 +376,10 @@ impl Pretrainer {
             prepared.push((batch_idx, enc, plan, candidates, seed));
         }
         if prepared.is_empty() {
+            if obs_on {
+                turl_obs::counter("empty_batches").inc();
+                turl_obs::emit("empty_batch", vec![("tables", batch.len().into())]);
+            }
             return StepOutcome::Empty;
         }
         while self.scratch.len() < prepared.len() {
@@ -365,14 +395,18 @@ impl Pretrainer {
                 seed,
                 fwd: self.scratch.pop().expect("scratch refilled above"),
                 out: None,
+                obs: SlotObs::default(),
             })
             .collect();
+        let prep_ns = prep_timer.elapsed_ns();
+        let par_timer = turl_obs::Timer::start();
 
         // Parallel phase: one independent forward/backward per table.
         let model = &self.model;
         let store = &self.store;
         let aux = self.aux_relations.as_ref();
         pool::parallel_for_each_mut(&mut slots, |_, slot| {
+            let fwd_timer = turl_obs::Timer::start();
             let inst = &batch[slot.batch_idx].0;
             let enc = &slot.enc;
             let f = &mut slot.fwd;
@@ -380,11 +414,15 @@ impl Pretrainer {
             let mut rng = StdRng::seed_from_u64(slot.seed);
             let h = model.encode(f, store, &mut rng, enc);
             let mut losses: Vec<turl_tensor::Var> = Vec::new();
+            let mut mlm_var = None;
+            let mut mer_var = None;
             if !slot.plan.mlm.is_empty() {
                 let rows: Vec<usize> = slot.plan.mlm.iter().map(|&(p, _)| p).collect();
                 let targets: Vec<usize> = slot.plan.mlm.iter().map(|&(_, t)| t).collect();
                 let logits = model.mlm_logits(f, store, h, &rows);
-                losses.push(f.graph.cross_entropy(logits, &targets));
+                let l = f.graph.cross_entropy(logits, &targets);
+                mlm_var = Some(l);
+                losses.push(l);
             }
             if !slot.plan.mer.is_empty() {
                 let rows: Vec<usize> =
@@ -398,7 +436,9 @@ impl Pretrainer {
                     })
                     .collect();
                 let logits = model.mer_logits(f, store, h, &rows, &slot.candidates);
-                losses.push(f.graph.cross_entropy(logits, &targets));
+                let l = f.graph.cross_entropy(logits, &targets);
+                mer_var = Some(l);
+                losses.push(l);
             }
             if let Some(aux) = aux {
                 if let Some(l) = aux.loss(f, store, h, inst, enc) {
@@ -410,6 +450,14 @@ impl Pretrainer {
                 loss = f.graph.add(loss, extra);
             }
             let loss_value = f.graph.value(loss).item();
+            if obs_on {
+                // reading already-computed tape values is free of side
+                // effects; the MLM/MER split powers the per-step breakdown
+                slot.obs.fwd_ns = fwd_timer.elapsed_ns();
+                slot.obs.mlm_loss = mlm_var.map(|v| f.graph.value(v).item()).unwrap_or(0.0);
+                slot.obs.mer_loss = mer_var.map(|v| f.graph.value(v).item()).unwrap_or(0.0);
+            }
+            let bwd_timer = turl_obs::Timer::start();
             f.graph.backward(loss);
             // Debug builds audit the full autograd tape every step: node
             // order, grad shapes, orphaned leaves, finite leaf values.
@@ -417,19 +465,31 @@ impl Pretrainer {
             if let Err(errs) = turl_audit::audit_tape(&f.graph, true) {
                 panic!("tape audit failed after backprop: {}", errs[0]);
             }
+            slot.obs.bwd_ns = bwd_timer.elapsed_ns();
             slot.out = Some((loss_value, f.take_param_grads()));
         });
+        let par_ns = par_timer.elapsed_ns();
 
         // Serial reduction, in batch order, for thread-count-independent
         // floating-point results.
+        let reduce_timer = turl_obs::Timer::start();
         let mut total = 0.0f32;
+        let mut obs_sums = SlotObs::default();
         let counted = slots.len();
         for slot in slots {
             let (loss_value, grads) = slot.out.expect("worker filled every slot");
             total += loss_value;
+            if obs_on {
+                obs_sums.fwd_ns += slot.obs.fwd_ns;
+                obs_sums.bwd_ns += slot.obs.bwd_ns;
+                obs_sums.mlm_loss += slot.obs.mlm_loss;
+                obs_sums.mer_loss += slot.obs.mer_loss;
+            }
             self.store.accumulate(grads);
             self.scratch.push(slot.fwd);
         }
+        let reduce_ns = reduce_timer.elapsed_ns();
+        let opt_timer = turl_obs::Timer::start();
         if let Some(s) = &self.schedule {
             self.opt.config.lr = s.lr_at(self.opt.steps());
         }
@@ -438,10 +498,54 @@ impl Pretrainer {
             // `clip_grad_norm` already zeroed the gradients; skipping the
             // optimizer step keeps Adam's moments and the step counter
             // untouched, so training survives one bad batch.
+            if obs_on {
+                turl_obs::counter("non_finite_skips").inc();
+                turl_obs::emit(
+                    "non_finite_skip",
+                    vec![("grad_norm", f64::from(clip.norm).into()), ("tables", counted.into())],
+                );
+            }
             return StepOutcome::SkippedNonFinite;
         }
         self.opt.step(&mut self.store);
-        StepOutcome::Stepped(total / counted as f32)
+        let mean = total / counted as f32;
+        if obs_on {
+            // Per-slot fwd/bwd sums are CPU time (they overlap across
+            // workers); scale them to the measured wall-clock parallel
+            // phase so the phase breakdown stays a wall-clock partition.
+            let cpu_total = obs_sums.fwd_ns + obs_sums.bwd_ns;
+            let (fwd_ns, bwd_ns) = if cpu_total > 0 {
+                let fwd = par_ns as f64 * obs_sums.fwd_ns as f64 / cpu_total as f64;
+                (fwd as u64, par_ns.saturating_sub(fwd as u64))
+            } else {
+                (par_ns, 0)
+            };
+            turl_obs::set_step(self.opt.steps());
+            turl_obs::histogram("step_loss", &[0.5, 1.0, 2.0, 4.0, 8.0, 16.0])
+                .observe(f64::from(mean));
+            turl_obs::emit(
+                "step",
+                vec![
+                    ("loss", f64::from(mean).into()),
+                    ("mlm_loss", f64::from(obs_sums.mlm_loss / counted as f32).into()),
+                    ("mer_loss", f64::from(obs_sums.mer_loss / counted as f32).into()),
+                    ("grad_norm", f64::from(clip.norm).into()),
+                    ("clipped", clip.clipped.into()),
+                    ("lr", f64::from(self.opt.config.lr).into()),
+                    ("tables", counted.into()),
+                    ("prep_ns", prep_ns.into()),
+                    ("forward_ns", fwd_ns.into()),
+                    ("backward_ns", bwd_ns.into()),
+                    ("reduce_ns", reduce_ns.into()),
+                    ("opt_ns", opt_timer.elapsed_ns().into()),
+                    ("mlm_selected", mask_counts[0].into()),
+                    ("mlm_candidates", mask_counts[1].into()),
+                    ("mer_selected", mask_counts[2].into()),
+                    ("mer_candidates", mask_counts[3].into()),
+                ],
+            );
+        }
+        StepOutcome::Stepped(mean)
     }
 
     /// Train for `epochs` *additional* passes over pre-encoded tables.
@@ -474,7 +578,31 @@ impl Pretrainer {
         policy: Option<&CheckpointPolicy>,
     ) -> Result<PretrainStats, SerializeError> {
         let batch = self.cfg.pretrain.batch_size.max(1);
+        let obs_on = turl_obs::metrics_enabled();
+        if obs_on {
+            turl_obs::set_step(self.opt.steps());
+            turl_obs::set_epoch(self.progress.epoch);
+            turl_obs::emit(
+                "run_start",
+                vec![
+                    ("mlm_target", self.cfg.pretrain.mlm_select_ratio.into()),
+                    ("mer_target", self.cfg.pretrain.mer_select_ratio.into()),
+                    ("tables", data.len().into()),
+                    ("batch_size", batch.into()),
+                    ("total_epochs", total_epochs.into()),
+                    ("threads", pool::n_threads().into()),
+                    (
+                        "available_cores",
+                        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).into(),
+                    ),
+                ],
+            );
+        }
         while (self.progress.epoch as usize) < total_epochs {
+            let epoch_span = turl_obs::span("epoch");
+            if obs_on {
+                turl_obs::set_epoch(self.progress.epoch);
+            }
             if self.progress.order.is_empty() {
                 let mut order: Vec<u64> = (0..data.len() as u64).collect();
                 order.shuffle(&mut self.rng);
@@ -525,9 +653,34 @@ impl Pretrainer {
             self.progress.batch_in_epoch = 0;
             self.progress.epoch_loss_sum = 0.0;
             self.progress.epoch_batches = 0;
+            drop(epoch_span.field("mean_loss", f64::from(mean)));
+            if obs_on {
+                turl_obs::emit(
+                    "epoch_end",
+                    vec![
+                        ("mean_loss", f64::from(mean).into()),
+                        ("steps", self.progress.steps.into()),
+                    ],
+                );
+                turl_obs::emit_metrics_events();
+                turl_obs::emit_profile_events();
+                turl_obs::flush();
+            }
         }
         if let Some(p) = policy {
             self.save_checkpoint(p)?;
+        }
+        if obs_on {
+            turl_obs::set_step(self.opt.steps());
+            turl_obs::emit(
+                "run_end",
+                vec![
+                    ("steps", self.progress.steps.into()),
+                    ("epochs", self.progress.epoch.into()),
+                    ("non_finite_skips", self.progress.non_finite_skips.into()),
+                ],
+            );
+            turl_obs::flush();
         }
         Ok(self.stats())
     }
@@ -735,6 +888,62 @@ mod tests {
                     b.to_bits(),
                     "param `{}` element {i} diverged: {a} vs {b}",
                     store_1.name(id)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn training_is_bit_identical_with_metrics_on_or_off() {
+        // The determinism invariant behind `--metrics-out` (DESIGN §5d):
+        // instrumentation only reads clocks and bumps counters, so a
+        // seeded 2-epoch run with a structured sink installed must match
+        // an uninstrumented run bit-for-bit in losses and parameters.
+        let (kb, vocab, data, cooccur) = setup();
+        let slice = &data[..10.min(data.len())];
+        let run = |instrument: bool| {
+            let sink = instrument.then(|| {
+                let (sink, buf) = turl_obs::MemorySink::new();
+                (turl_obs::install_sink(Box::new(sink)), buf)
+            });
+            let mut pt = Pretrainer::new(
+                TurlConfig::tiny(4),
+                vocab.len(),
+                kb.n_entities(),
+                vocab.mask_id() as usize,
+            );
+            let stats = pt.train_until(slice, &cooccur, 2, None).unwrap();
+            let events = sink.map(|(token, buf)| {
+                turl_obs::remove_sink(token);
+                let events = buf.lock().unwrap().clone();
+                events
+            });
+            (stats.epoch_losses, pt.store, events)
+        };
+        let (losses_off, store_off, _) = run(false);
+        let (losses_on, store_on, events) = run(true);
+        // the instrumented run actually recorded telemetry...
+        let events = events.expect("instrumented run captured events");
+        assert!(events.iter().any(|e| e.kind == "run_start"));
+        assert!(events.iter().any(|e| e.kind == "step"));
+        assert!(events.iter().any(|e| e.kind == "span"));
+        let step = events.iter().find(|e| e.kind == "step").unwrap();
+        for key in ["loss", "grad_norm", "mlm_selected", "mlm_candidates"] {
+            assert!(step.field(key).is_some(), "step event missing `{key}`");
+        }
+        // ...without perturbing a single bit of the training results
+        assert_eq!(losses_off.len(), losses_on.len());
+        for (e, (a, b)) in losses_off.iter().zip(losses_on.iter()).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "epoch {e} loss diverged: {a} vs {b}");
+        }
+        for id in store_off.ids() {
+            let (v0, v1) = (store_off.value(id), store_on.value(id));
+            for (i, (a, b)) in v0.data().iter().zip(v1.data().iter()).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "param `{}` element {i} diverged under instrumentation",
+                    store_off.name(id)
                 );
             }
         }

@@ -58,6 +58,10 @@ impl Adam {
 
     /// Apply one update to every touched, unfrozen parameter and zero grads.
     pub fn step(&mut self, store: &mut ParamStore) {
+        let _t = {
+            static OP: std::sync::OnceLock<Option<turl_obs::OpId>> = std::sync::OnceLock::new();
+            turl_obs::op_timer(*OP.get_or_init(|| turl_obs::register_op("adam_step")))
+        };
         self.t += 1;
         let c = self.config;
         let bc1 = 1.0 - c.beta1.powi(self.t as i32);
@@ -105,20 +109,34 @@ pub struct ClipReport {
 /// reports `non_finite` so the caller can skip the step.
 pub fn clip_grad_norm(store: &mut ParamStore, max_norm: f32) -> ClipReport {
     let norm = store.grad_norm();
-    if !norm.is_finite() {
+    let report = if !norm.is_finite() {
         store.zero_grads();
-        return ClipReport { norm, clipped: false, non_finite: true };
-    }
-    let clipped = norm > max_norm && norm > 0.0;
-    if clipped {
-        let scale = max_norm / norm;
-        for e in store.entries_mut() {
-            if e.touched {
-                e.grad.scale_inplace(scale);
+        ClipReport { norm, clipped: false, non_finite: true }
+    } else {
+        let clipped = norm > max_norm && norm > 0.0;
+        if clipped {
+            let scale = max_norm / norm;
+            for e in store.entries_mut() {
+                if e.touched {
+                    e.grad.scale_inplace(scale);
+                }
             }
         }
+        ClipReport { norm, clipped, non_finite: false }
+    };
+    if turl_obs::metrics_enabled() {
+        turl_obs::gauge("grad_norm").set(f64::from(report.norm));
+        turl_obs::counter("clip_events").inc();
+        if report.clipped {
+            turl_obs::counter("clip_rescaled").inc();
+        }
+        if report.non_finite {
+            turl_obs::counter("clip_non_finite").inc();
+        }
+        turl_obs::histogram("grad_norm_hist", &[0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 100.0])
+            .observe(f64::from(report.norm));
     }
-    ClipReport { norm, clipped, non_finite: false }
+    report
 }
 
 #[cfg(test)]

@@ -371,6 +371,8 @@ pub fn save_trainer_checkpoint(
     ckpt: &TrainerCheckpoint,
     path: &Path,
 ) -> Result<(), SerializeError> {
+    let span = turl_obs::span("checkpoint_write");
+    let timer = turl_obs::Timer::start();
     let payload = serde_json::to_string(ckpt)?;
     let header = Header {
         magic: CHECKPOINT_MAGIC.to_string(),
@@ -381,13 +383,34 @@ pub fn save_trainer_checkpoint(
     let mut bytes = serde_json::to_string(&header)?.into_bytes();
     bytes.push(b'\n');
     bytes.extend_from_slice(payload.as_bytes());
-    write_atomic(path, &bytes)
+    let result = write_atomic(path, &bytes);
+    if turl_obs::metrics_enabled() {
+        turl_obs::histogram("checkpoint_write_ms", CKPT_LATENCY_BUCKETS_MS)
+            .observe(timer.elapsed_ns() as f64 / 1.0e6);
+    }
+    drop(span.field("bytes", bytes.len() as u64).field("ok", result.is_ok()));
+    result
 }
+
+/// Latency buckets (milliseconds) shared by checkpoint write/read timing.
+const CKPT_LATENCY_BUCKETS_MS: &[f64] = &[1.0, 5.0, 20.0, 100.0, 500.0, 2000.0];
 
 /// Load and strictly validate a trainer checkpoint: magic, format version,
 /// payload length, checksum, JSON shape, finite tensors, internally
 /// consistent optimizer-state shapes. Never panics on malformed input.
 pub fn load_trainer_checkpoint(path: &Path) -> Result<TrainerCheckpoint, SerializeError> {
+    let span = turl_obs::span("checkpoint_read");
+    let timer = turl_obs::Timer::start();
+    let result = load_trainer_checkpoint_inner(path);
+    if turl_obs::metrics_enabled() {
+        turl_obs::histogram("checkpoint_read_ms", CKPT_LATENCY_BUCKETS_MS)
+            .observe(timer.elapsed_ns() as f64 / 1.0e6);
+    }
+    drop(span.field("ok", result.is_ok()));
+    result
+}
+
+fn load_trainer_checkpoint_inner(path: &Path) -> Result<TrainerCheckpoint, SerializeError> {
     let mut bytes = Vec::new();
     File::open(path)?.read_to_end(&mut bytes)?;
     let newline = bytes

@@ -1,0 +1,62 @@
+//! Bridge between the recorder's dynamic [`Value`] trees and the
+//! vendored `serde_json` entry points, whose emitter/parser only
+//! accept `Serialize`/`Deserialize` types.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// Transparent wrapper giving a raw [`Value`] tree `Serialize` and
+/// `Deserialize` impls (the vendored serde stub does not implement
+/// them for `Value` itself).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawValue(pub Value);
+
+impl Serialize for RawValue {
+    fn to_value(&self) -> Value {
+        self.0.clone()
+    }
+}
+
+impl Deserialize for RawValue {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(RawValue(v.clone()))
+    }
+}
+
+/// Emit a value tree as a single compact JSON line (no trailing newline).
+pub fn to_json_line(v: &Value) -> String {
+    // The stub's to_string is infallible in practice; fall back to an
+    // explicit marker rather than panicking in an instrumentation path.
+    serde_json::to_string(&RawValue(v.clone())).unwrap_or_else(|_| "null".to_string())
+}
+
+/// Parse one JSON line back into a value tree.
+pub fn from_json_line(line: &str) -> Result<Value, String> {
+    serde_json::from_str::<RawValue>(line).map(|r| r.0).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_tree_roundtrips_through_stub() {
+        let v = Value::Obj(vec![
+            ("a".to_string(), Value::Num(1.0)),
+            ("b".to_string(), Value::Str("x\"y".to_string())),
+            ("c".to_string(), Value::Arr(vec![Value::Bool(true), Value::Null])),
+        ]);
+        let line = to_json_line(&v);
+        let back = from_json_line(&line).expect("parse back");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn negative_zero_is_preserved_on_the_wire() {
+        let line = to_json_line(&Value::Num(-0.0));
+        assert_eq!(line, "-0.0");
+        match from_json_line(&line).expect("parse") {
+            Value::Num(n) => assert_eq!(n.to_bits(), (-0.0f64).to_bits()),
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+}

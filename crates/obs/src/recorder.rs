@@ -1,0 +1,266 @@
+//! The global recorder: sink registry, step/epoch stamps, span guards.
+//!
+//! A single process-wide recorder (lazily created) owns the installed
+//! sinks and the current step/epoch stamps. Everything is designed so
+//! that the *disabled* path is a single relaxed atomic load:
+//! [`metrics_enabled`] is false until a structured sink is installed,
+//! and every instrumentation site in the hot paths checks it before
+//! reading the clock or touching a counter. The determinism invariant
+//! (DESIGN §5d) holds because instrumentation only ever *reads* —
+//! clocks and counters — and never draws RNG state or reorders work.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::event::{Event, FieldValue};
+use crate::sink::Sink;
+
+struct Recorder {
+    sinks: Mutex<Vec<(usize, Box<dyn Sink>)>>,
+    next_token: AtomicUsize,
+    /// True while at least one structured sink is installed.
+    structured: AtomicBool,
+    /// True while at least one sink of any kind is installed.
+    any_sink: AtomicBool,
+    step: AtomicU64,
+    epoch: AtomicU64,
+    start: Instant,
+}
+
+fn recorder() -> &'static Recorder {
+    static RECORDER: OnceLock<Recorder> = OnceLock::new();
+    RECORDER.get_or_init(|| Recorder {
+        sinks: Mutex::new(Vec::new()),
+        next_token: AtomicUsize::new(1),
+        structured: AtomicBool::new(false),
+        any_sink: AtomicBool::new(false),
+        step: AtomicU64::new(0),
+        epoch: AtomicU64::new(0),
+        start: Instant::now(),
+    })
+}
+
+fn refresh_flags(r: &Recorder, sinks: &[(usize, Box<dyn Sink>)]) {
+    r.any_sink.store(!sinks.is_empty(), Ordering::Release);
+    r.structured.store(sinks.iter().any(|(_, s)| s.structured()), Ordering::Release);
+}
+
+/// Install a sink; returns a token for [`remove_sink`].
+pub fn install_sink(sink: Box<dyn Sink>) -> usize {
+    let r = recorder();
+    let token = r.next_token.fetch_add(1, Ordering::Relaxed);
+    if let Ok(mut sinks) = r.sinks.lock() {
+        sinks.push((token, sink));
+        refresh_flags(r, &sinks);
+    }
+    token
+}
+
+/// Remove (and drop) the sink registered under `token`.
+pub fn remove_sink(token: usize) {
+    let r = recorder();
+    if let Ok(mut sinks) = r.sinks.lock() {
+        sinks.retain(|(t, _)| *t != token);
+        refresh_flags(r, &sinks);
+    }
+}
+
+/// Remove every installed sink (test teardown).
+pub fn remove_sinks() {
+    let r = recorder();
+    if let Ok(mut sinks) = r.sinks.lock() {
+        sinks.clear();
+        refresh_flags(r, &sinks);
+    }
+}
+
+/// Whether structured telemetry should be collected.
+///
+/// This is the gate every hot-path instrumentation site checks; when
+/// false (no `--metrics-out`), the cost of instrumentation is one
+/// relaxed atomic load per site.
+#[inline]
+pub fn metrics_enabled() -> bool {
+    recorder().structured.load(Ordering::Acquire)
+}
+
+/// Stamp the current optimizer step for subsequent events.
+pub fn set_step(step: u64) {
+    recorder().step.store(step, Ordering::Relaxed);
+}
+
+/// Stamp the current epoch for subsequent events.
+pub fn set_epoch(epoch: u64) {
+    recorder().epoch.store(epoch, Ordering::Relaxed);
+}
+
+/// Monotonic nanoseconds since the recorder was created.
+pub fn now_ns() -> u64 {
+    recorder().start.elapsed().as_nanos() as u64
+}
+
+/// Emit a structured event to every installed sink.
+pub fn emit(kind: &str, fields: Vec<(&'static str, FieldValue)>) {
+    let r = recorder();
+    if !r.any_sink.load(Ordering::Acquire) {
+        return;
+    }
+    let ev = Event {
+        kind: kind.to_string(),
+        step: r.step.load(Ordering::Relaxed),
+        epoch: r.epoch.load(Ordering::Relaxed),
+        t_ns: r.start.elapsed().as_nanos() as u64,
+        fields: fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+    };
+    if let Ok(mut sinks) = r.sinks.lock() {
+        for (_, s) in sinks.iter_mut() {
+            s.record(&ev);
+        }
+    }
+}
+
+/// Human-facing informational line.
+///
+/// Routed through the sinks as a `log` event when any sink is
+/// installed; falls back to `println!` otherwise, so library users who
+/// never touch obs keep the old behaviour.
+pub fn info(msg: impl AsRef<str>) {
+    let msg = msg.as_ref();
+    if recorder().any_sink.load(Ordering::Acquire) {
+        emit("log", vec![("msg", FieldValue::Str(msg.to_string()))]);
+    } else {
+        println!("{msg}");
+    }
+}
+
+/// Human-facing warning line (stderr when unrouted).
+pub fn warn(msg: impl AsRef<str>) {
+    let msg = msg.as_ref();
+    if recorder().any_sink.load(Ordering::Acquire) {
+        emit("warn", vec![("msg", FieldValue::Str(msg.to_string()))]);
+    } else {
+        eprintln!("{msg}");
+    }
+}
+
+/// Flush every installed sink.
+pub fn flush() {
+    if let Ok(mut sinks) = recorder().sinks.lock() {
+        for (_, s) in sinks.iter_mut() {
+            s.flush();
+        }
+    }
+}
+
+/// RAII span guard: emits a `span` event with its duration on drop.
+///
+/// Inert (no clock read, no allocation beyond the struct) when metrics
+/// are disabled at creation time.
+pub struct Span {
+    name: &'static str,
+    started: Option<Instant>,
+    fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl Span {
+    /// Attach an extra field to the span's completion event.
+    #[must_use]
+    pub fn field(mut self, key: &'static str, value: impl Into<FieldValue>) -> Self {
+        if self.started.is_some() {
+            self.fields.push((key, value.into()));
+        }
+        self
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(t0) = self.started {
+            let ns = t0.elapsed().as_nanos() as u64;
+            let mut fields = std::mem::take(&mut self.fields);
+            fields.insert(0, ("name", FieldValue::Str(self.name.to_string())));
+            fields.insert(1, ("ns", FieldValue::U64(ns)));
+            emit("span", fields);
+        }
+    }
+}
+
+/// Open a named span; the returned guard emits on drop.
+#[must_use]
+pub fn span(name: &'static str) -> Span {
+    let started = if metrics_enabled() { Some(Instant::now()) } else { None };
+    Span { name, started, fields: Vec::new() }
+}
+
+/// Phase timer: reads the clock only when metrics are enabled.
+///
+/// Unlike [`Span`] it emits nothing on its own; callers collect the
+/// elapsed nanoseconds into an aggregate event (e.g. one `step` event
+/// carrying all phase durations).
+#[derive(Debug, Clone, Copy)]
+pub struct Timer(Option<Instant>);
+
+impl Timer {
+    /// Start (or, when metrics are off, no-op).
+    #[must_use]
+    pub fn start() -> Self {
+        Timer(if metrics_enabled() { Some(Instant::now()) } else { None })
+    }
+
+    /// Elapsed nanoseconds, or 0 when metrics are off.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{ConsoleSink, MemorySink};
+
+    // Recorder state is process-global, so exercise install/remove and
+    // emission in ONE test to avoid cross-test interference under the
+    // parallel test runner.
+    #[test]
+    fn sink_lifecycle_and_emission() {
+        remove_sinks();
+        assert!(!metrics_enabled());
+
+        // console sink alone must not enable structured collection
+        let console = install_sink(Box::new(ConsoleSink));
+        assert!(!metrics_enabled());
+
+        let (mem, buf) = MemorySink::new();
+        let mem_token = install_sink(Box::new(mem));
+        assert!(metrics_enabled());
+
+        set_step(11);
+        set_epoch(3);
+        emit("unit_test", vec![("x", FieldValue::U64(5))]);
+        {
+            let _s = span("unit_span").field("k", 1u64);
+        }
+        let _ = Timer::start().elapsed_ns(); // smoke: must not panic
+
+        {
+            let events = buf.lock().expect("buf lock");
+            let ev = events.iter().find(|e| e.kind == "unit_test").expect("event recorded");
+            assert_eq!((ev.step, ev.epoch), (11, 3));
+            assert_eq!(ev.u64_field("x"), Some(5));
+            let sp = events.iter().find(|e| e.kind == "span").expect("span recorded");
+            assert_eq!(sp.str_field("name"), Some("unit_span"));
+            assert!(sp.u64_field("ns").is_some());
+            assert_eq!(sp.u64_field("k"), Some(1));
+        }
+
+        remove_sink(mem_token);
+        assert!(!metrics_enabled());
+        remove_sink(console);
+        // span created while disabled stays inert
+        {
+            let _s = span("inert");
+        }
+        assert!(buf.lock().expect("buf lock").iter().all(|e| e.str_field("name") != Some("inert")));
+    }
+}

@@ -1,0 +1,104 @@
+//! Pluggable event sinks: console (human), JSONL (machine), memory (tests).
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use crate::event::Event;
+use crate::raw::to_json_line;
+
+/// Destination for recorded events.
+///
+/// Sinks are driven under the recorder's lock, so implementations get
+/// `&mut self` and need not synchronize internally.
+pub trait Sink: Send {
+    /// Whether this sink consumes structured (non-log) events.
+    ///
+    /// The recorder only enables metric/profiling collection when at
+    /// least one structured sink is installed; the console sink returns
+    /// `false` so plain CLI runs keep the hot paths untimed.
+    fn structured(&self) -> bool {
+        true
+    }
+
+    /// Record one event.
+    fn record(&mut self, ev: &Event);
+
+    /// Flush any buffered output.
+    fn flush(&mut self) {}
+}
+
+/// Human-readable sink: prints `log` events to stdout and `warn`
+/// events to stderr, ignoring structured telemetry.
+#[derive(Debug, Default)]
+pub struct ConsoleSink;
+
+impl Sink for ConsoleSink {
+    fn structured(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, ev: &Event) {
+        if let Some(msg) = ev.str_field("msg") {
+            match ev.kind.as_str() {
+                "log" => println!("{msg}"),
+                "warn" => eprintln!("{msg}"),
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Machine-readable sink: one JSON object per line.
+pub struct JsonlSink {
+    out: BufWriter<File>,
+}
+
+impl JsonlSink {
+    /// Create (truncating) the output file.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        Ok(JsonlSink { out: BufWriter::new(File::create(path)?) })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&mut self, ev: &Event) {
+        let line = to_json_line(&ev.to_value());
+        // An I/O error here must not abort training; the report tool
+        // will surface a truncated stream instead.
+        let _ = self.out.write_all(line.as_bytes());
+        let _ = self.out.write_all(b"\n");
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Test sink capturing events into a shared vector.
+pub struct MemorySink {
+    buf: Arc<Mutex<Vec<Event>>>,
+}
+
+impl MemorySink {
+    /// New sink plus a handle to read what it captured.
+    pub fn new() -> (Self, Arc<Mutex<Vec<Event>>>) {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        (MemorySink { buf: Arc::clone(&buf) }, buf)
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&mut self, ev: &Event) {
+        if let Ok(mut b) = self.buf.lock() {
+            b.push(ev.clone());
+        }
+    }
+}

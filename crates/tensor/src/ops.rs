@@ -22,6 +22,16 @@
 use crate::pool;
 use crate::tensor::Tensor;
 
+/// Time one kernel invocation under a lazily registered op slot.
+/// Expands to an RAII guard binding; costs one atomic load when
+/// metrics are disabled (no `--metrics-out`).
+macro_rules! profiled {
+    ($name:literal) => {{
+        static ID: std::sync::OnceLock<Option<turl_obs::OpId>> = std::sync::OnceLock::new();
+        turl_obs::op_timer(*ID.get_or_init(|| turl_obs::register_op($name)))
+    }};
+}
+
 /// `k`-tile: rows of `B` (or `A` in `tn`) kept hot per pass.
 const TILE_K: usize = 64;
 /// `j`-tile: output columns processed per pass; `TILE_K * TILE_J` floats
@@ -32,6 +42,7 @@ const PAR_MIN_VOLUME: usize = 32 * 1024;
 
 /// `C[m,n] = A[m,k] · B[k,n]`.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let _t = profiled!("matmul");
     assert_eq!(a.rank(), 2, "matmul lhs must be 2-D");
     assert_eq!(b.rank(), 2, "matmul rhs must be 2-D");
     let (m, k) = (a.shape()[0], a.shape()[1]);
@@ -44,6 +55,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 
 /// `C[m,n] = A[m,k] · B[n,k]ᵀ`.
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let _t = profiled!("matmul_nt");
     assert_eq!(a.rank(), 2);
     assert_eq!(b.rank(), 2);
     let (m, k) = (a.shape()[0], a.shape()[1]);
@@ -56,6 +68,7 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
 
 /// `C[m,n] = A[k,m]ᵀ · B[k,n]`.
 pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let _t = profiled!("matmul_tn");
     assert_eq!(a.rank(), 2);
     assert_eq!(b.rank(), 2);
     let (k, m) = (a.shape()[0], a.shape()[1]);
@@ -68,6 +81,7 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
 
 /// Batched `C[b,m,n] = A[b,m,k] · B[b,k,n]`.
 pub fn bmm(a: &Tensor, b: &Tensor) -> Tensor {
+    let _t = profiled!("bmm");
     assert_eq!(a.rank(), 3, "bmm lhs must be 3-D");
     assert_eq!(b.rank(), 3, "bmm rhs must be 3-D");
     let (bs, m, k) = (a.shape()[0], a.shape()[1], a.shape()[2]);
@@ -81,6 +95,7 @@ pub fn bmm(a: &Tensor, b: &Tensor) -> Tensor {
 
 /// Batched `C[b,m,n] = A[b,m,k] · B[b,n,k]ᵀ`.
 pub fn bmm_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let _t = profiled!("bmm_nt");
     assert_eq!(a.rank(), 3);
     assert_eq!(b.rank(), 3);
     let (bs, m, k) = (a.shape()[0], a.shape()[1], a.shape()[2]);
@@ -94,6 +109,7 @@ pub fn bmm_nt(a: &Tensor, b: &Tensor) -> Tensor {
 
 /// Batched `C[b,m,n] = A[b,k,m]ᵀ · B[b,k,n]`.
 pub fn bmm_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let _t = profiled!("bmm_tn");
     assert_eq!(a.rank(), 3);
     assert_eq!(b.rank(), 3);
     let (bs, k, m) = (a.shape()[0], a.shape()[1], a.shape()[2]);

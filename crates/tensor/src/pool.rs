@@ -97,10 +97,12 @@ fn pool() -> &'static Pool {
     static POOL: OnceLock<Pool> = OnceLock::new();
     POOL.get_or_init(|| {
         let (sender, receiver) = channel::<Arc<Job>>();
+        let width = env_default_threads();
+        turl_obs::pool_configure(width);
         Pool {
             sender,
             receiver: Arc::new(Mutex::new(receiver)),
-            width: AtomicUsize::new(env_default_threads()),
+            width: AtomicUsize::new(width),
             spawned: Mutex::new(0),
         }
     })
@@ -124,7 +126,17 @@ fn ensure_workers(n: usize) {
                 match job {
                     Ok(j) => POOL_DEPTH.with(|d| {
                         d.set(d.get() + 1);
-                        j.run();
+                        // Observational only: the timer brackets the run
+                        // without influencing which tasks this worker claims,
+                        // so instrumented runs stay bit-identical.
+                        if turl_obs::metrics_enabled() {
+                            turl_obs::pool_dequeued();
+                            let t0 = std::time::Instant::now();
+                            j.run();
+                            turl_obs::pool_helper_run(idx, t0.elapsed().as_nanos() as u64);
+                        } else {
+                            j.run();
+                        }
                         d.set(d.get() - 1);
                     }),
                     Err(_) => break,
@@ -143,6 +155,7 @@ fn ensure_workers(n: usize) {
 pub fn set_threads(n: usize) {
     let n = n.max(1);
     pool().width.store(n, Ordering::Relaxed);
+    turl_obs::pool_configure(n);
     if n > 1 {
         ensure_workers(n - 1);
     }
@@ -187,6 +200,9 @@ pub fn parallel_for<F: Fn(usize) + Sync>(n: usize, f: F) {
         done: AtomicUsize::new(0),
     });
     let helpers = (width - 1).min(n - 1);
+    if turl_obs::metrics_enabled() {
+        turl_obs::pool_submitted(helpers as u64);
+    }
     for _ in 0..helpers {
         // Send failures are impossible: the receiver lives in the global pool.
         let _ = pool().sender.send(Arc::clone(&job));

@@ -131,6 +131,45 @@ fn cli_world_and_corpus_and_pipeline_roundtrip() {
 }
 
 #[test]
+fn cli_metrics_out_and_report_roundtrip() {
+    let dir = std::env::temp_dir().join("turl_cli_smoke_obs");
+    std::fs::create_dir_all(&dir).unwrap();
+    let jsonl = dir.join("run.jsonl");
+    let ckpt = dir.join("model.json");
+    let (ok, text) = run_turl(&[
+        "pretrain",
+        "--entities",
+        "200",
+        "--tables",
+        "40",
+        "--epochs",
+        "1",
+        "--seed",
+        "5",
+        "--metrics-out",
+        jsonl.to_str().unwrap(),
+        "--out",
+        ckpt.to_str().unwrap(),
+    ]);
+    assert!(ok, "instrumented pretrain failed: {text}");
+    assert!(text.contains("final loss"), "{text}");
+    assert!(jsonl.exists(), "no metrics file written");
+
+    let (ok, text) = run_turl(&["report", jsonl.to_str().unwrap()]);
+    assert!(ok, "report failed: {text}");
+    assert!(text.contains("step-time breakdown"), "{text}");
+    assert!(text.contains("mask-selection ratios"), "{text}");
+
+    // a stream of valid-looking garbage must be rejected, not rendered
+    let bad = dir.join("bad.jsonl");
+    std::fs::write(&bad, "{\"ev\":\"step\"}\n").unwrap();
+    let (ok, text) = run_turl(&["report", bad.to_str().unwrap()]);
+    assert!(!ok, "report accepted a schema-invalid stream: {text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn cli_rejects_bad_arguments() {
     let (ok, text) = run_turl(&["world", "--entities", "many"]);
     assert!(!ok);
