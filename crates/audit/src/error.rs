@@ -125,6 +125,32 @@ pub enum AuditError {
         /// What exactly was missing.
         detail: String,
     },
+    /// Value-range analysis found an op whose output may contain NaN
+    /// even under the proven pre-conditions (init bounds + config).
+    NanReachable {
+        /// IR op kind where NaN first becomes reachable (e.g. `softmax`).
+        op: &'static str,
+        /// Label of the IR tensor whose values may be NaN.
+        tensor: String,
+    },
+    /// Value-range analysis found an activation whose interval escapes
+    /// the finite `f32` range (overflow to infinity is reachable).
+    UnboundedActivation {
+        /// Label of the IR tensor whose magnitude is unbounded.
+        tensor: String,
+        /// Lower end of the inferred interval.
+        lo: f64,
+        /// Upper end of the inferred interval.
+        hi: f64,
+    },
+    /// A normalization op cannot prove its denominator nonzero: layer
+    /// norm with `eps <= 0` divides by zero on a constant row.
+    DegenerateNormalizer {
+        /// Label of the IR tensor produced by the degenerate op.
+        tensor: String,
+        /// The configured epsilon that fails to bound the denominator.
+        eps: f64,
+    },
     /// An observed §4.4 mask-selection ratio drifted beyond tolerance
     /// from its configured target.
     MaskRatioDrift {
@@ -183,6 +209,19 @@ impl fmt::Display for AuditError {
             }
             AuditError::DeadInstrumentation { detail } => {
                 write!(f, "instrumentation dead: {detail}")
+            }
+            AuditError::NanReachable { op, tensor } => {
+                write!(f, "NaN reachable at `{op}` output `{tensor}`")
+            }
+            AuditError::UnboundedActivation { tensor, lo, hi } => {
+                write!(f, "activation `{tensor}` unbounded: range [{lo:.3e}, {hi:.3e}] escapes f32")
+            }
+            AuditError::DegenerateNormalizer { tensor, eps } => {
+                write!(
+                    f,
+                    "degenerate normalizer at `{tensor}`: eps = {eps} cannot prove a nonzero \
+                     denominator"
+                )
             }
             AuditError::MaskRatioDrift { field, observed, target, tolerance } => {
                 write!(

@@ -1,0 +1,681 @@
+//! A typed dataflow IR for the TURL forward plan.
+//!
+//! [`lower_model_plan`] turns a [`ModelPlan`](crate::ModelPlan) into an
+//! explicit op graph: every node is one tensor (a [`SourceKind`] input or
+//! the output of an [`OpKind`] op), edges are [`TensorId`]s, and each node
+//! carries its inferred shape plus a human-readable label. The lowering
+//! mirrors `TurlModel`'s autograd tape **op for op** — same ops, same
+//! order — so one IR serves three analyses at once:
+//!
+//! * value-range abstract interpretation ([`crate::range`]),
+//! * buffer-liveness / arena planning ([`crate::liveness`]),
+//! * drift detection against the real runtime tape ([`align_with_graph`]).
+//!
+//! Shape validation is delegated to the existing [`ShapeFlow`] checker:
+//! the builder keeps a shadow `ShapeFlow` tape in lock-step (IR node `i`
+//! is shape-flow var `i`), so every IR op enforces exactly the
+//! precondition the runtime op asserts.
+
+use crate::error::AuditError;
+use crate::plan::{ModelPlan, PlanNumerics};
+use crate::shape::{SVar, ShapeFlow};
+use turl_tensor::Graph;
+
+/// Handle to one tensor (node) in an [`Ir`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TensorId(usize);
+
+impl TensorId {
+    /// Position of this tensor on the IR tape (topological order).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// What kind of input a [`OpKind::Source`] node is — determines its
+/// initialization-derived value range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceKind {
+    /// An embedding table (`N(0, 0.02)` init, hard-bounded by the
+    /// Box–Muller sampler; see `turl_tensor::normal_init_bound`).
+    Table,
+    /// A linear weight matrix stored `[fan_in, fan_out]`, Kaiming-uniform
+    /// in `[-1/sqrt(fan_in), 1/sqrt(fan_in)]`.
+    Weight {
+        /// Input dimension of the layer (the sampler's fan-in).
+        fan_in: usize,
+    },
+    /// A zero-initialized bias vector.
+    Bias,
+    /// A ones-initialized layer-norm scale.
+    Gamma,
+    /// A zero-initialized layer-norm shift.
+    Beta,
+    /// The additive `[n, n]` visibility mask: `0` for visible pairs,
+    /// `mask_penalty` for masked ones.
+    Mask,
+    /// The mention-averaging matrix of Eqn. 3: rows of `1/len` weights
+    /// (all-zero rows for mention-less entities).
+    AvgMatrix,
+    /// An exactly-zero constant tensor.
+    ZeroConst,
+}
+
+/// The op that produced a tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpKind {
+    /// A graph input (parameter, constant, or mask) — no op inputs.
+    Source(SourceKind),
+    /// Row gather (`index_select0`).
+    Gather,
+    /// `[m, k] · [k, n]`.
+    MatMul,
+    /// `[m, k] · [n, k]ᵀ`.
+    MatMulNT,
+    /// Batched `[b, m, k] · [b, k, n]`.
+    Bmm,
+    /// Batched `[b, m, k] · [b, n, k]ᵀ`.
+    BmmNT,
+    /// Broadcasting elementwise sum.
+    Add,
+    /// Additive attention-mask application (an `add` in the runtime, kept
+    /// distinct so the analyses can treat `-inf` logits as intentional).
+    Mask,
+    /// Multiplication by a compile-time constant.
+    Scale {
+        /// The constant factor.
+        factor: f64,
+    },
+    /// Tanh-approximated GELU.
+    Gelu,
+    /// Stabilized softmax over the last axis.
+    Softmax,
+    /// Layer normalization with affine parameters; inputs are
+    /// `[x, gamma, beta]`.
+    LayerNorm {
+        /// Variance-stabilizing epsilon the runtime layer was built with.
+        eps: f64,
+    },
+    /// Column-wise concatenation.
+    ConcatCols,
+    /// Row-wise concatenation.
+    ConcatRows,
+    /// Element-preserving reshape.
+    Reshape,
+    /// Axis permutation.
+    Permute,
+    /// Fused softmax + NLL loss over `[n, c]` logits, yielding `[1]`.
+    CrossEntropy,
+}
+
+impl OpKind {
+    /// Short op name for error messages and plan listings.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OpKind::Source(_) => "source",
+            OpKind::Gather => "gather",
+            OpKind::MatMul => "matmul",
+            OpKind::MatMulNT => "matmul_nt",
+            OpKind::Bmm => "bmm",
+            OpKind::BmmNT => "bmm_nt",
+            OpKind::Add => "add",
+            OpKind::Mask => "mask",
+            OpKind::Scale { .. } => "scale",
+            OpKind::Gelu => "gelu",
+            OpKind::Softmax => "softmax",
+            OpKind::LayerNorm { .. } => "layer_norm",
+            OpKind::ConcatCols => "concat_cols",
+            OpKind::ConcatRows => "concat_rows",
+            OpKind::Reshape => "reshape",
+            OpKind::Permute => "permute",
+            OpKind::CrossEntropy => "cross_entropy",
+        }
+    }
+
+    /// Whether this node is a graph input rather than a computed op.
+    pub fn is_source(&self) -> bool {
+        matches!(self, OpKind::Source(_))
+    }
+}
+
+/// One tensor in the IR: the op that produced it, its operands, its
+/// inferred shape, and a stable human-readable label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrNode {
+    /// Producing op.
+    pub kind: OpKind,
+    /// Operand tensors, in op order (empty for sources).
+    pub inputs: Vec<TensorId>,
+    /// Inferred output shape.
+    pub shape: Vec<usize>,
+    /// Human-readable name (e.g. `block0.att.scores`).
+    pub label: String,
+}
+
+impl IrNode {
+    /// Number of elements in this tensor.
+    pub fn elements(&self) -> usize {
+        self.shape.iter().product()
+    }
+}
+
+/// An op-graph lowering of one forward plan, in topological order.
+#[derive(Debug, Clone)]
+pub struct Ir {
+    nodes: Vec<IrNode>,
+    /// Numeric metadata (init bounds, eps, mask penalty) the value-range
+    /// analysis interprets the graph under.
+    pub numerics: PlanNumerics,
+}
+
+impl Ir {
+    /// Number of nodes (sources + ops).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the IR holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Node at a tape position.
+    pub fn node_at(&self, id: usize) -> &IrNode {
+        &self.nodes[id]
+    }
+
+    /// All nodes in tape order.
+    pub fn nodes(&self) -> &[IrNode] {
+        &self.nodes
+    }
+
+    /// Ids of all non-source (computed) nodes, in tape order.
+    pub fn op_ids(&self) -> impl Iterator<Item = TensorId> + '_ {
+        self.nodes.iter().enumerate().filter(|(_, n)| !n.kind.is_source()).map(|(i, _)| TensorId(i))
+    }
+
+    /// Largest single-tensor element count anywhere in the graph.
+    pub fn peak_elements(&self) -> usize {
+        self.nodes.iter().map(IrNode::elements).max().unwrap_or(0)
+    }
+}
+
+/// Builds an [`Ir`] while shadowing every op on a [`ShapeFlow`] tape, so
+/// each IR node gets exactly the shape validation its runtime twin would
+/// assert. IR node `i` always corresponds to shape-flow var `i`.
+pub struct IrBuilder {
+    nodes: Vec<IrNode>,
+    flow: ShapeFlow,
+}
+
+impl Default for IrBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IrBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self { nodes: Vec::new(), flow: ShapeFlow::new() }
+    }
+
+    /// Finish, attaching the numeric metadata the analyses interpret
+    /// the graph under.
+    pub fn finish(self, numerics: PlanNumerics) -> Ir {
+        Ir { nodes: self.nodes, numerics }
+    }
+
+    fn svar(&self, t: TensorId) -> SVar {
+        // The builder records flow ops and IR nodes in lock-step, so the
+        // tape indices coincide by construction.
+        self.flow.var_at(t.0)
+    }
+
+    fn record(&mut self, v: SVar, kind: OpKind, inputs: Vec<TensorId>, label: &str) -> TensorId {
+        let shape = self.flow.shape(v).to_vec();
+        debug_assert_eq!(self.nodes.len(), self.flow.n_ops() - 1, "IR/flow tapes diverged");
+        self.nodes.push(IrNode { kind, inputs, shape, label: label.to_string() });
+        TensorId(self.nodes.len() - 1)
+    }
+
+    /// Introduce an input tensor.
+    pub fn source(&mut self, kind: SourceKind, shape: Vec<usize>, label: &str) -> TensorId {
+        let v = self.flow.source(shape);
+        self.record(v, OpKind::Source(kind), Vec::new(), label)
+    }
+
+    /// Gather `indices` rows of `table`.
+    pub fn gather(
+        &mut self,
+        table: TensorId,
+        indices: &[usize],
+        label: &str,
+    ) -> Result<TensorId, AuditError> {
+        let v = self.flow.index_select0(self.svar(table), indices)?;
+        Ok(self.record(v, OpKind::Gather, vec![table], label))
+    }
+
+    /// Broadcasting elementwise sum.
+    pub fn add(&mut self, a: TensorId, b: TensorId, label: &str) -> Result<TensorId, AuditError> {
+        let v = self.flow.add(self.svar(a), self.svar(b))?;
+        Ok(self.record(v, OpKind::Add, vec![a, b], label))
+    }
+
+    /// Apply an additive attention mask (an `add` at runtime, recorded as
+    /// a distinct op so analyses can exempt intentional `-inf` logits).
+    pub fn mask(
+        &mut self,
+        scores: TensorId,
+        mask: TensorId,
+        label: &str,
+    ) -> Result<TensorId, AuditError> {
+        let v = self.flow.add(self.svar(scores), self.svar(mask))?;
+        Ok(self.record(v, OpKind::Mask, vec![scores, mask], label))
+    }
+
+    /// `[m, k] · [k, n]`.
+    pub fn matmul(
+        &mut self,
+        a: TensorId,
+        b: TensorId,
+        label: &str,
+    ) -> Result<TensorId, AuditError> {
+        let v = self.flow.matmul(self.svar(a), self.svar(b))?;
+        Ok(self.record(v, OpKind::MatMul, vec![a, b], label))
+    }
+
+    /// `[m, k] · [n, k]ᵀ`.
+    pub fn matmul_nt(
+        &mut self,
+        a: TensorId,
+        b: TensorId,
+        label: &str,
+    ) -> Result<TensorId, AuditError> {
+        let v = self.flow.matmul_nt(self.svar(a), self.svar(b))?;
+        Ok(self.record(v, OpKind::MatMulNT, vec![a, b], label))
+    }
+
+    /// Batched `[b, m, k] · [b, k, n]`.
+    pub fn bmm(&mut self, a: TensorId, b: TensorId, label: &str) -> Result<TensorId, AuditError> {
+        let v = self.flow.bmm(self.svar(a), self.svar(b))?;
+        Ok(self.record(v, OpKind::Bmm, vec![a, b], label))
+    }
+
+    /// Batched `[b, m, k] · [b, n, k]ᵀ`.
+    pub fn bmm_nt(
+        &mut self,
+        a: TensorId,
+        b: TensorId,
+        label: &str,
+    ) -> Result<TensorId, AuditError> {
+        let v = self.flow.bmm_nt(self.svar(a), self.svar(b))?;
+        Ok(self.record(v, OpKind::BmmNT, vec![a, b], label))
+    }
+
+    /// Multiply by a constant.
+    pub fn scale(&mut self, a: TensorId, factor: f64, label: &str) -> TensorId {
+        let v = self.flow.unary("scale", self.svar(a));
+        self.record(v, OpKind::Scale { factor }, vec![a], label)
+    }
+
+    /// Tanh-approximated GELU.
+    pub fn gelu(&mut self, a: TensorId, label: &str) -> TensorId {
+        let v = self.flow.unary("gelu", self.svar(a));
+        self.record(v, OpKind::Gelu, vec![a], label)
+    }
+
+    /// Softmax over the last axis.
+    pub fn softmax(&mut self, a: TensorId, label: &str) -> Result<TensorId, AuditError> {
+        let v = self.flow.softmax_last(self.svar(a))?;
+        Ok(self.record(v, OpKind::Softmax, vec![a], label))
+    }
+
+    /// Layer norm of `x` with affine `gamma`/`beta` and the runtime eps.
+    pub fn layer_norm(
+        &mut self,
+        x: TensorId,
+        gamma: TensorId,
+        beta: TensorId,
+        eps: f64,
+        label: &str,
+    ) -> Result<TensorId, AuditError> {
+        let v = self.flow.layer_norm(self.svar(x), self.svar(gamma), self.svar(beta))?;
+        Ok(self.record(v, OpKind::LayerNorm { eps }, vec![x, gamma, beta], label))
+    }
+
+    /// Column-wise concatenation.
+    pub fn concat_cols(&mut self, parts: &[TensorId], label: &str) -> Result<TensorId, AuditError> {
+        let svars: Vec<SVar> = parts.iter().map(|&p| self.svar(p)).collect();
+        let v = self.flow.concat_cols(&svars)?;
+        Ok(self.record(v, OpKind::ConcatCols, parts.to_vec(), label))
+    }
+
+    /// Row-wise concatenation.
+    pub fn concat_rows(&mut self, parts: &[TensorId], label: &str) -> Result<TensorId, AuditError> {
+        let svars: Vec<SVar> = parts.iter().map(|&p| self.svar(p)).collect();
+        let v = self.flow.concat_rows(&svars)?;
+        Ok(self.record(v, OpKind::ConcatRows, parts.to_vec(), label))
+    }
+
+    /// Element-preserving reshape.
+    pub fn reshape(
+        &mut self,
+        a: TensorId,
+        shape: Vec<usize>,
+        label: &str,
+    ) -> Result<TensorId, AuditError> {
+        let v = self.flow.reshape(self.svar(a), shape)?;
+        Ok(self.record(v, OpKind::Reshape, vec![a], label))
+    }
+
+    /// Axis permutation.
+    pub fn permute(
+        &mut self,
+        a: TensorId,
+        axes: &[usize],
+        label: &str,
+    ) -> Result<TensorId, AuditError> {
+        let v = self.flow.permute(self.svar(a), axes)?;
+        Ok(self.record(v, OpKind::Permute, vec![a], label))
+    }
+
+    /// Cross-entropy over `[n, c]` logits.
+    pub fn cross_entropy(
+        &mut self,
+        logits: TensorId,
+        n_targets: usize,
+        max_target: Option<usize>,
+        label: &str,
+    ) -> Result<TensorId, AuditError> {
+        let v = self.flow.cross_entropy(self.svar(logits), n_targets, max_target)?;
+        Ok(self.record(v, OpKind::CrossEntropy, vec![logits], label))
+    }
+
+    // ------------------------------------------------------------------
+    // Composite helpers (each expands into the primitives above, matching
+    // the runtime layer's op order exactly)
+    // ------------------------------------------------------------------
+
+    /// Mirror of `turl_nn::Linear::forward`: fresh weight + bias sources,
+    /// then `matmul` + `add`.
+    fn linear(
+        &mut self,
+        x: TensorId,
+        d_in: usize,
+        d_out: usize,
+        name: &str,
+    ) -> Result<TensorId, AuditError> {
+        let w = self.source(
+            SourceKind::Weight { fan_in: d_in },
+            vec![d_in, d_out],
+            &format!("{name}.weight"),
+        );
+        let b = self.source(SourceKind::Bias, vec![d_out], &format!("{name}.bias"));
+        let y = self.matmul(x, w, &format!("{name}.matmul"))?;
+        self.add(y, b, &format!("{name}.out"))
+    }
+
+    /// Mirror of `turl_nn::LayerNorm::forward` with fresh affine sources.
+    fn ln(&mut self, x: TensorId, d: usize, eps: f64, name: &str) -> Result<TensorId, AuditError> {
+        let g = self.source(SourceKind::Gamma, vec![d], &format!("{name}.gamma"));
+        let b = self.source(SourceKind::Beta, vec![d], &format!("{name}.beta"));
+        self.layer_norm(x, g, b, eps, &format!("{name}.out"))
+    }
+}
+
+/// Lower a [`ModelPlan`] into the explicit op graph of one full forward
+/// pass: embedding (Eqns. 1–3), `N` visibility-masked Transformer blocks
+/// (§4.3), the MLM/MER heads (Eqns. 5–6) with their cross-entropy losses,
+/// and the final loss sum when both heads are active.
+///
+/// The lowering mirrors `TurlModel`'s autograd tape op for op — the same
+/// ops in the same order, including the runtime's quirks (the mention
+/// gather is recorded even when no entity has mention tokens; q/k/v are
+/// all projected before any head split) — so [`align_with_graph`] can
+/// pair every computed IR tensor with its runtime twin.
+pub fn lower_model_plan(plan: &ModelPlan) -> Result<Ir, AuditError> {
+    crate::plan::check_plan_fields(plan)?;
+    let p = *plan;
+    let d = p.d_model;
+    let n = p.n_tokens + p.n_seq_entities;
+    let dh = d / p.n_heads;
+    let mut b = IrBuilder::new();
+
+    // Embedding tables, bound once (the runtime binds each parameter leaf
+    // once per pass and reuses the Var).
+    let word_emb = b.source(SourceKind::Table, vec![p.n_words, d], "word_emb");
+    let ent_emb = b.source(SourceKind::Table, vec![p.n_entities + 1, d], "ent_emb");
+
+    // ---- Embedding layer (Eqns. 1–3) --------------------------------
+    let mut parts = Vec::new();
+    if p.n_tokens > 0 {
+        let token_type_emb = b.source(SourceKind::Table, vec![2, d], "token_type_emb");
+        let pos_emb = b.source(SourceKind::Table, vec![p.max_position, d], "pos_emb");
+        // Worst-case gather indices exercise each table's upper bound;
+        // the runtime clamps positions to max_position - 1.
+        let w = b.gather(word_emb, &vec![p.n_words - 1; p.n_tokens], "embed.words")?;
+        let t = b.gather(token_type_emb, &vec![1; p.n_tokens], "embed.token_types")?;
+        let pos = b.gather(pos_emb, &vec![p.max_position - 1; p.n_tokens], "embed.positions")?;
+        let wt = b.add(w, t, "embed.word_type")?;
+        parts.push(b.add(wt, pos, "embed.tokens")?);
+    }
+    if p.n_seq_entities > 0 {
+        let ee = b.gather(ent_emb, &vec![p.n_entities; p.n_seq_entities], "embed.entities")?;
+        // `TurlModel::mention_means` gathers the flattened mention tokens
+        // *before* its empty-mentions early return, so the gather node is
+        // on the runtime tape even when it is `[0, d]`.
+        let rows =
+            b.gather(word_emb, &vec![p.n_words - 1; p.n_mention_tokens], "embed.mention_words")?;
+        let em = if p.n_mention_tokens > 0 {
+            let avg = b.source(
+                SourceKind::AvgMatrix,
+                vec![p.n_seq_entities, p.n_mention_tokens],
+                "embed.mention_avg",
+            );
+            b.matmul(avg, rows, "embed.mention_means")?
+        } else {
+            b.source(SourceKind::ZeroConst, vec![p.n_seq_entities, d], "embed.mention_zeros")
+        };
+        let cat = b.concat_cols(&[ee, em], "embed.ent_cat")?;
+        let fused = b.linear(cat, 2 * d, d, "fuse")?;
+        let ent_type_emb = b.source(SourceKind::Table, vec![3, d], "ent_type_emb");
+        let te = b.gather(ent_type_emb, &vec![2; p.n_seq_entities], "embed.ent_types")?;
+        parts.push(b.add(fused, te, "embed.ents")?);
+    }
+    let x = if parts.len() == 1 { parts[0] } else { b.concat_rows(&parts, "embed.seq")? };
+    let mut h = b.ln(x, d, p.numerics.ln_eps, "ln_embed")?;
+
+    // ---- Encoder stack (§4.3) ---------------------------------------
+    // One shared mask source, matching the runtime's single shared
+    // constant node per pass.
+    let mask = p.use_visibility.then(|| b.source(SourceKind::Mask, vec![n, n], "visibility_mask"));
+    let inv_sqrt_dh = f64::from(1.0f32 / (dh as f32).sqrt());
+    for i in 0..p.n_layers {
+        let blk = format!("block{i}");
+        // q/k/v are all projected before any head split (runtime order).
+        let q = b.linear(h, d, d, &format!("{blk}.att.wq"))?;
+        let k = b.linear(h, d, d, &format!("{blk}.att.wk"))?;
+        let v = b.linear(h, d, d, &format!("{blk}.att.wv"))?;
+        let mut heads = [q, k, v];
+        for (t, nm) in heads.iter_mut().zip(["q", "k", "v"]) {
+            let r = b.reshape(*t, vec![n, p.n_heads, dh], &format!("{blk}.att.{nm}_split"))?;
+            *t = b.permute(r, &[1, 0, 2], &format!("{blk}.att.{nm}_heads"))?;
+        }
+        let scores = b.bmm_nt(heads[0], heads[1], &format!("{blk}.att.scores"))?;
+        let scaled = b.scale(scores, inv_sqrt_dh, &format!("{blk}.att.scaled"));
+        let logits = match mask {
+            Some(m) => b.mask(scaled, m, &format!("{blk}.att.masked"))?,
+            None => scaled,
+        };
+        let probs = b.softmax(logits, &format!("{blk}.att.probs"))?;
+        let ctx = b.bmm(probs, heads[2], &format!("{blk}.att.ctx"))?;
+        let merged = b.permute(ctx, &[1, 0, 2], &format!("{blk}.att.merged"))?;
+        let flat = b.reshape(merged, vec![n, d], &format!("{blk}.att.flat"))?;
+        let att = b.linear(flat, d, d, &format!("{blk}.att.wo"))?;
+        let res1 = b.add(h, att, &format!("{blk}.res1"))?;
+        let h1 = b.ln(res1, d, p.numerics.ln_eps, &format!("{blk}.ln1"))?;
+        let ff1 = b.linear(h1, d, p.d_intermediate, &format!("{blk}.ffn.lin1"))?;
+        let act = b.gelu(ff1, &format!("{blk}.ffn.gelu"));
+        let ff2 = b.linear(act, p.d_intermediate, d, &format!("{blk}.ffn.lin2"))?;
+        let res2 = b.add(h1, ff2, &format!("{blk}.res2"))?;
+        h = b.ln(res2, d, p.numerics.ln_eps, &format!("{blk}.ln2"))?;
+    }
+
+    // ---- Pre-training heads (Eqns. 5–6) -----------------------------
+    let mut losses = Vec::new();
+    if p.n_mlm_targets > 0 {
+        // MLM rows index token positions (< n_tokens ≤ n).
+        let sel = b.gather(h, &vec![p.n_tokens - 1; p.n_mlm_targets], "mlm.rows")?;
+        let proj = b.linear(sel, d, d, "mlm.proj")?;
+        let logits = b.matmul_nt(proj, word_emb, "mlm.logits")?;
+        losses.push(b.cross_entropy(logits, p.n_mlm_targets, Some(p.n_words - 1), "mlm.loss")?);
+    }
+    if p.n_mer_targets > 0 {
+        // MER rows index entity positions (≥ n_tokens, < n).
+        let sel = b.gather(h, &vec![n - 1; p.n_mer_targets], "mer.rows")?;
+        let proj = b.linear(sel, d, d, "mer.proj")?;
+        // Candidate ids are shifted by one past the [MASK] row.
+        let cand = b.gather(ent_emb, &vec![p.n_entities; p.n_candidates], "mer.candidates")?;
+        let logits = b.matmul_nt(proj, cand, "mer.logits")?;
+        losses.push(b.cross_entropy(
+            logits,
+            p.n_mer_targets,
+            Some(p.n_candidates - 1),
+            "mer.loss",
+        )?);
+    }
+    if losses.len() == 2 {
+        // The trainer sums the head losses into one backward root.
+        b.add(losses[0], losses[1], "loss")?;
+    }
+
+    Ok(b.finish(p.numerics))
+}
+
+/// Pair every computed IR tensor with its twin on a real autograd tape.
+///
+/// Sources are excluded on both sides (IR `Source` nodes vs. graph
+/// leaves): parameter binding order and constant count legitimately
+/// differ between the symbolic plan and a concrete pass. What must match
+/// — op for op, in tape order — are the *computed* nodes: their count and
+/// every shape. A divergence means the `TurlConfig → ModelPlan` adapter
+/// or the lowering has drifted from the model, and is reported as a
+/// typed [`AuditError::ShapeMismatch`] naming the first mismatched pair.
+pub fn align_with_graph(
+    ir: &Ir,
+    graph: &Graph,
+) -> Result<Vec<(TensorId, turl_tensor::Var)>, AuditError> {
+    let ir_ops: Vec<TensorId> = ir.op_ids().collect();
+    let graph_ops: Vec<turl_tensor::Var> = graph.vars().filter(|&v| !graph.is_leaf(v)).collect();
+    if ir_ops.len() != graph_ops.len() {
+        return Err(AuditError::ShapeMismatch {
+            op: "ir_alignment",
+            shapes: Vec::new(),
+            detail: format!(
+                "IR lowers to {} computed ops but the runtime tape recorded {}",
+                ir_ops.len(),
+                graph_ops.len()
+            ),
+        });
+    }
+    for (&t, &v) in ir_ops.iter().zip(&graph_ops) {
+        let node = ir.node_at(t.index());
+        let got = graph.value(v).shape();
+        if node.shape != got {
+            return Err(AuditError::ShapeMismatch {
+                op: "ir_alignment",
+                shapes: vec![node.shape.clone(), got.to_vec()],
+                detail: format!(
+                    "IR `{}` ({}) has shape {:?} but runtime node {} has {:?}",
+                    node.label,
+                    node.kind.name(),
+                    node.shape,
+                    v.index(),
+                    got
+                ),
+            });
+        }
+    }
+    Ok(ir_ops.into_iter().zip(graph_ops).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_plan() -> ModelPlan {
+        ModelPlan {
+            n_layers: 4,
+            d_model: 312,
+            d_intermediate: 1200,
+            n_heads: 12,
+            n_words: 30522,
+            n_entities: 926135,
+            max_position: 64,
+            n_tokens: 24,
+            n_seq_entities: 20,
+            n_mention_tokens: 40,
+            use_visibility: true,
+            n_mlm_targets: 5,
+            n_mer_targets: 12,
+            n_candidates: 64,
+            numerics: PlanNumerics::default(),
+        }
+    }
+
+    #[test]
+    fn lowering_produces_a_typed_tape() {
+        let ir = lower_model_plan(&paper_plan()).expect("paper plan lowers");
+        assert!(ir.len() > 100, "4 blocks plus embedding and heads: {} nodes", ir.len());
+        // The final node is the summed loss, scalar-shaped.
+        let last = ir.node_at(ir.len() - 1);
+        assert_eq!(last.kind, OpKind::Add);
+        assert_eq!(last.shape, vec![1]);
+        // Exactly one masked-softmax chain per block.
+        let softmaxes = ir.nodes().iter().filter(|n| matches!(n.kind, OpKind::Softmax)).count();
+        assert_eq!(softmaxes, 4);
+        let masks = ir.nodes().iter().filter(|n| matches!(n.kind, OpKind::Mask)).count();
+        assert_eq!(masks, 4);
+    }
+
+    #[test]
+    fn every_input_precedes_its_consumer() {
+        let ir = lower_model_plan(&paper_plan()).expect("paper plan lowers");
+        for (i, node) in ir.nodes().iter().enumerate() {
+            for inp in &node.inputs {
+                assert!(inp.index() < i, "node {i} `{}` reads a later tensor", node.label);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_mentions_still_record_the_gather() {
+        let plan = ModelPlan { n_mention_tokens: 0, ..paper_plan() };
+        let ir = lower_model_plan(&plan).expect("plan lowers");
+        let gather = ir
+            .nodes()
+            .iter()
+            .find(|n| n.label == "embed.mention_words")
+            .expect("mention gather is always on the tape (runtime records it too)");
+        assert_eq!(gather.shape, vec![0, 312]);
+        assert!(ir.nodes().iter().any(|n| n.label == "embed.mention_zeros"));
+    }
+
+    #[test]
+    fn unmasked_plan_has_no_mask_nodes() {
+        let plan = ModelPlan { use_visibility: false, ..paper_plan() };
+        let ir = lower_model_plan(&plan).expect("plan lowers");
+        assert!(!ir.nodes().iter().any(|n| matches!(n.kind, OpKind::Mask)));
+        assert!(!ir.nodes().iter().any(|n| matches!(n.kind, OpKind::Source(SourceKind::Mask))));
+    }
+
+    #[test]
+    fn bad_head_count_fails_with_typed_error() {
+        let plan = ModelPlan { n_heads: 5, ..paper_plan() };
+        assert!(matches!(
+            lower_model_plan(&plan),
+            Err(AuditError::BadConfig { field: "d_model % n_heads", .. })
+        ));
+    }
+}

@@ -8,6 +8,14 @@
 //!   [`check_model_plan`] ([`plan`]) which replays an entire TURL forward
 //!   pass (embeddings → masked Transformer stack → MLM/MER heads) from a
 //!   [`ModelPlan`] without allocating a single model-sized tensor.
+//! * [`lower_model_plan`] ([`ir`]) — lowers a plan to a typed dataflow
+//!   IR over which [`analyze_model_plan`] ([`plan`]) runs value-range
+//!   abstract interpretation ([`range`]: intervals + NaN/inf/−0 flags,
+//!   proving masked logits vanish and normalizers stay nonzero) and
+//!   buffer-liveness arena planning ([`liveness`]: first-def/last-use →
+//!   greedy best-fit [`ArenaPlan`] with an honest `peak_bytes`).
+//!   [`align_with_graph`] pairs the IR against a real autograd tape to
+//!   catch adapter drift.
 //! * [`audit_tape`] ([`tape`]) — walks a built `turl_tensor::Graph` and
 //!   verifies the invariants backprop relies on: topological parent
 //!   order, gradient/value shape agreement, no orphaned grad leaves, and
@@ -32,18 +40,28 @@
 //! for the `turl audit` CLI gate.
 
 pub mod error;
+pub mod ir;
+pub mod liveness;
 pub mod obs;
 pub mod parallel;
 pub mod plan;
+pub mod range;
 pub mod resume;
 pub mod shape;
 pub mod tape;
 pub mod visibility;
 
 pub use error::AuditError;
+pub use ir::{
+    align_with_graph, lower_model_plan, Ir, IrBuilder, IrNode, OpKind, SourceKind, TensorId,
+};
+pub use liveness::{live_ranges, plan_arena, ArenaPlan, ArenaSlot, LiveRange};
 pub use obs::{check_metrics_log, MetricsLogReport};
 pub use parallel::{check_grad_parity, ParityReport};
-pub use plan::{check_model_plan, ModelPlan, PlanReport};
+pub use plan::{
+    analyze_model_plan, check_model_plan, ModelPlan, PlanAnalysis, PlanNumerics, PlanReport,
+};
+pub use range::{analyze_ranges, RangeAnalysis, ValueRange};
 pub use resume::check_value_parity;
 pub use shape::{SVar, ShapeFlow};
 pub use tape::{audit_tape, TapeReport};

@@ -1,0 +1,219 @@
+//! Buffer-liveness analysis and arena planning over a lowered IR.
+//!
+//! Every computed tensor in an [`Ir`] is live from the op that defines it
+//! (first def) to the last op that reads it (last use). Two tensors whose
+//! live ranges do not overlap can share one buffer; [`plan_arena`]
+//! exploits that with a greedy best-fit assignment and reports the result
+//! as an [`ArenaPlan`]: how many distinct slots a single pre-allocated
+//! arena needs, their sizes, and the reuse factor — the honest peak-memory
+//! number (`peak_bytes`) that `peak_elements` alone obscured.
+//!
+//! Source nodes (parameters, constants, the mask) are excluded: they are
+//! owned by the parameter store, not the per-step arena. This is exactly
+//! the artifact a fused forward-plan executor consumes to run one forward
+//! pass in a fixed allocation.
+
+use crate::ir::{Ir, TensorId};
+
+/// Bytes per element of the runtime's only dtype.
+const BYTES_PER_ELEM: usize = 4; // f32
+
+/// One buffer in the planned arena and the tensors that time-share it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArenaSlot {
+    /// Slot capacity in bytes (the largest tenant rounds it up).
+    pub bytes: usize,
+    /// Tensors assigned to this slot, in definition order (their live
+    /// ranges are pairwise disjoint by construction).
+    pub tenants: Vec<TensorId>,
+}
+
+/// A complete arena assignment for one forward pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArenaPlan {
+    /// Planned buffers; one allocation each, reused across tenants.
+    pub slots: Vec<ArenaSlot>,
+    /// Total arena size: the sum of slot capacities. This is the peak
+    /// intermediate memory of the pass, in bytes.
+    pub peak_bytes: usize,
+    /// Sum of every computed tensor's size — what a no-reuse executor
+    /// (one fresh allocation per op, all held to the end) would need.
+    pub total_bytes: usize,
+    /// `total_bytes / peak_bytes`: how many times over the arena is
+    /// reused. Greater than 1 whenever any lifetime ends early.
+    pub reuse_factor: f64,
+}
+
+/// Live range of one computed tensor, in IR tape indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiveRange {
+    /// The tensor.
+    pub id: TensorId,
+    /// Index of the defining op.
+    pub first_def: usize,
+    /// Index of the last reader. Tensors nothing reads are outputs and
+    /// stay live to the end of the tape (`ir.len()`).
+    pub last_use: usize,
+}
+
+/// Compute first-def/last-use for every computed (non-source) tensor.
+pub fn live_ranges(ir: &Ir) -> Vec<LiveRange> {
+    // last reader per tape position; sources are excluded below.
+    let mut last_use = vec![0usize; ir.len()];
+    for (i, node) in ir.nodes().iter().enumerate() {
+        for inp in &node.inputs {
+            last_use[inp.index()] = i;
+        }
+    }
+    ir.op_ids()
+        .map(|id| {
+            let i = id.index();
+            LiveRange {
+                id,
+                first_def: i,
+                // Unread tensors are pass outputs: conservatively live to
+                // the end so the arena never recycles a result the caller
+                // still holds.
+                last_use: if last_use[i] == 0 { ir.len() } else { last_use[i] },
+            }
+        })
+        .collect()
+}
+
+/// Greedy best-fit arena assignment over the IR's live ranges.
+///
+/// Tensors are visited in definition order (tape order). Each is placed
+/// in the smallest already-free slot that fits it — a slot is free once
+/// its current tenant's last use lies strictly before the new tensor's
+/// def — or a new slot is opened. Zero-element tensors need no storage
+/// and are skipped.
+pub fn plan_arena(ir: &Ir) -> ArenaPlan {
+    struct Slot {
+        bytes: usize,
+        free_at: usize, // last_use of current tenant
+        tenants: Vec<TensorId>,
+    }
+    let mut slots: Vec<Slot> = Vec::new();
+    let mut total_bytes = 0usize;
+
+    for range in live_ranges(ir) {
+        let need = ir.node_at(range.id.index()).elements() * BYTES_PER_ELEM;
+        if need == 0 {
+            continue;
+        }
+        total_bytes += need;
+        // Best fit: among free slots large enough, take the smallest; a
+        // smallest-too-small slot is never grown (growing would invalidate
+        // the peak accounting of its earlier tenants' neighbors).
+        let best = slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.free_at < range.first_def && s.bytes >= need)
+            .min_by_key(|(_, s)| s.bytes)
+            .map(|(i, _)| i);
+        match best {
+            Some(i) => {
+                slots[i].free_at = range.last_use;
+                slots[i].tenants.push(range.id);
+            }
+            None => {
+                slots.push(Slot { bytes: need, free_at: range.last_use, tenants: vec![range.id] });
+            }
+        }
+    }
+
+    let peak_bytes: usize = slots.iter().map(|s| s.bytes).sum();
+    ArenaPlan {
+        slots: slots
+            .into_iter()
+            .map(|s| ArenaSlot { bytes: s.bytes, tenants: s.tenants })
+            .collect(),
+        peak_bytes,
+        total_bytes,
+        reuse_factor: if peak_bytes == 0 { 1.0 } else { total_bytes as f64 / peak_bytes as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{IrBuilder, SourceKind};
+    use crate::plan::PlanNumerics;
+
+    /// A straight a → b → c → d chain: each tensor dies as soon as its
+    /// single consumer is defined, so two slots suffice for any length.
+    fn chain_ir() -> Ir {
+        let mut b = IrBuilder::new();
+        let src = b.source(SourceKind::Table, vec![4, 8], "t");
+        let a = b.gather(src, &[0, 1], "a").unwrap(); // [2, 8]
+        let g1 = b.gelu(a, "g1"); // reads a
+        let g2 = b.gelu(g1, "g2"); // reads g1; a is dead
+        b.gelu(g2, "g3"); // reads g2; g1 dead
+        b.finish(PlanNumerics::default())
+    }
+
+    #[test]
+    fn chain_reuses_buffers() {
+        let plan = plan_arena(&chain_ir());
+        // 4 same-sized tensors, but at most 2 live at once (producer +
+        // consumer), so the arena needs exactly 2 slots.
+        assert_eq!(plan.slots.len(), 2);
+        assert_eq!(plan.peak_bytes, 2 * 2 * 8 * 4);
+        assert_eq!(plan.total_bytes, 4 * 2 * 8 * 4);
+        assert!((plan.reuse_factor - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn outputs_stay_live_to_the_end() {
+        let ranges = live_ranges(&chain_ir());
+        let last = ranges.last().unwrap();
+        assert_eq!(last.last_use, chain_ir().len(), "unread tensor is an output");
+        // Interior tensors die at their single reader.
+        assert_eq!(ranges[0].last_use, ranges[1].first_def);
+    }
+
+    #[test]
+    fn overlapping_lifetimes_get_distinct_slots() {
+        let mut b = IrBuilder::new();
+        let src = b.source(SourceKind::Table, vec![4, 4], "t");
+        let a = b.gather(src, &[0], "a").unwrap();
+        let x = b.gelu(a, "x");
+        let y = b.gelu(a, "y"); // a still live here
+        b.add(x, y, "z").unwrap(); // x and y live simultaneously
+        let plan = plan_arena(&b.finish(PlanNumerics::default()));
+        // a, x, y all overlap pairwise at some point: ≥ 3 slots.
+        assert!(plan.slots.len() >= 3, "{} slots", plan.slots.len());
+    }
+
+    #[test]
+    fn zero_sized_tensors_need_no_slot() {
+        let mut b = IrBuilder::new();
+        let src = b.source(SourceKind::Table, vec![4, 4], "t");
+        b.gather(src, &[], "empty").unwrap(); // [0, 4]
+        let plan = plan_arena(&b.finish(PlanNumerics::default()));
+        assert!(plan.slots.is_empty());
+        assert_eq!(plan.peak_bytes, 0);
+        assert_eq!(plan.reuse_factor, 1.0);
+    }
+
+    #[test]
+    fn best_fit_prefers_the_smallest_free_slot() {
+        let mut b = IrBuilder::new();
+        let src = b.source(SourceKind::Table, vec![64, 8], "t");
+        let s = b.gather(src, &[0; 2], "s").unwrap(); // 64 B
+        let _gs = b.gelu(s, "gs"); // s dies here; gs is an output
+        let m = b.gather(src, &[0; 4], "m").unwrap(); // 128 B, opens a new slot
+        let _gm = b.gelu(m, "gm"); // m dies here; gm is an output
+                                   // Defined after both the 64 B and the 128 B slot are free: best
+                                   // fit must place it in the 64 B slot, not the larger one.
+        b.gather(src, &[0; 2], "t_last").unwrap();
+        let plan = plan_arena(&b.finish(PlanNumerics::default()));
+        let reused_small = plan
+            .slots
+            .iter()
+            .find(|slot| slot.bytes == 2 * 8 * 4 && slot.tenants.len() == 2)
+            .expect("the 64 B slot is reused by the last tensor");
+        assert_eq!(reused_small.tenants.len(), 2);
+        assert!(plan.reuse_factor > 1.0);
+    }
+}

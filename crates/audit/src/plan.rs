@@ -1,21 +1,50 @@
-//! Symbolic validation of a full TURL forward plan.
+//! Symbolic validation and static analysis of a full TURL forward plan.
 //!
-//! [`check_model_plan`] replays the entire `TurlModel` computation —
-//! embedding layer (Eqns. 1–3), `N` visibility-masked Transformer blocks,
-//! and the MLM/MER heads (Eqns. 5–6) — on a [`ShapeFlow`] tape. Only
-//! shapes move; no model-sized tensor is ever allocated, so a
-//! misconfigured model fails in microseconds with a typed error instead
-//! of panicking deep inside a training step.
+//! [`analyze_model_plan`] lowers the plan to the typed dataflow IR
+//! ([`crate::ir`]), runs value-range abstract interpretation over it
+//! ([`crate::range`]) and plans the intermediate-buffer arena
+//! ([`crate::liveness`]) — all from a config, without allocating a single
+//! model-sized tensor. [`check_model_plan`] remains the original thin
+//! entry point: it returns the [`PlanReport`] when every invariant is
+//! proven and the first typed [`AuditError`] otherwise, so a
+//! misconfigured model still fails in microseconds instead of panicking
+//! deep inside a training step.
 
 use crate::error::AuditError;
-use crate::shape::ShapeFlow;
+use crate::ir::{lower_model_plan, Ir};
+use crate::liveness::{plan_arena, ArenaPlan};
+use crate::range::{analyze_ranges, ValueRange};
+
+/// Numeric metadata the value-range analysis interprets a plan under:
+/// everything about the model's arithmetic that is not a shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanNumerics {
+    /// Layer-norm variance epsilon (`turl_nn::LayerNorm`).
+    pub ln_eps: f64,
+    /// Hard magnitude bound on embedding-table initialization. The
+    /// default is the Box–Muller sampler's guarantee for the BERT-style
+    /// `N(0, 0.02)` init (`turl_tensor::normal_init_bound`).
+    pub embed_init_bound: f64,
+    /// Additive penalty on visibility-masked attention pairs.
+    pub mask_penalty: f64,
+}
+
+impl Default for PlanNumerics {
+    fn default() -> Self {
+        Self {
+            ln_eps: 1e-5,
+            embed_init_bound: f64::from(turl_tensor::normal_init_bound(0.02)),
+            mask_penalty: -1e9,
+        }
+    }
+}
 
 /// Structural description of one forward pass, independent of weights.
 ///
 /// `turl-core` adapts a `TurlConfig` plus corpus statistics into this
 /// struct; keeping it plain data avoids a dependency cycle between the
 /// model crate and the auditor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ModelPlan {
     /// Encoder depth `N`.
     pub n_layers: usize,
@@ -45,17 +74,47 @@ pub struct ModelPlan {
     pub n_mer_targets: usize,
     /// MER candidate-set size.
     pub n_candidates: usize,
+    /// Init bounds, eps, and mask penalty for the value-range analysis.
+    pub numerics: PlanNumerics,
 }
 
 /// Outcome of a clean plan check.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PlanReport {
     /// Linearized sequence length.
     pub seq_len: usize,
-    /// Symbolic ops replayed.
+    /// IR nodes (sources + computed ops).
     pub n_ops: usize,
-    /// Largest intermediate tensor, in elements (not allocated).
+    /// Largest single tensor, in elements (parameters included; not
+    /// allocated).
     pub peak_elements: usize,
+    /// Peak *intermediate* memory of one forward pass in bytes, from the
+    /// liveness-planned arena (parameters excluded — they live in the
+    /// store, not the per-step arena).
+    pub peak_bytes: usize,
+    /// How many times over the arena is reused across the pass
+    /// (`total intermediate bytes / peak_bytes`).
+    pub reuse_factor: f64,
+}
+
+/// Everything the static analyses derive from one plan.
+#[derive(Debug, Clone)]
+pub struct PlanAnalysis {
+    /// The lowered op graph.
+    pub ir: Ir,
+    /// Abstract value per IR tensor (same indexing as the IR tape).
+    pub ranges: Vec<ValueRange>,
+    /// Every invariant the range analysis could not prove, in tape
+    /// order. Empty for a healthy configuration.
+    pub errors: Vec<AuditError>,
+    /// Liveness-planned intermediate arena.
+    pub arena: ArenaPlan,
+    /// Provable upper bound on the attention weight any visibility-masked
+    /// pair can receive (see [`crate::range::RangeAnalysis`]); `None`
+    /// without a mask.
+    pub masked_weight_bound: Option<f64>,
+    /// Headline numbers.
+    pub report: PlanReport,
 }
 
 fn bad(field: &'static str, detail: String) -> AuditError {
@@ -63,7 +122,7 @@ fn bad(field: &'static str, detail: String) -> AuditError {
 }
 
 /// Validate the plan's scalar fields before replaying any ops.
-fn check_plan_fields(p: &ModelPlan) -> Result<(), AuditError> {
+pub(crate) fn check_plan_fields(p: &ModelPlan) -> Result<(), AuditError> {
     if p.n_layers == 0 {
         return Err(bad("n_layers", "encoder needs at least one block".into()));
     }
@@ -103,86 +162,50 @@ fn check_plan_fields(p: &ModelPlan) -> Result<(), AuditError> {
     Ok(())
 }
 
-/// Symbolically execute the full forward pass described by `plan`.
+/// Run every static analysis over `plan`: lower to IR, abstract-interpret
+/// value ranges, and plan the intermediate arena.
 ///
-/// Mirrors `TurlModel::embed` / `encode` / `mlm_logits` / `mer_logits`
-/// op for op; any dimension that the runtime would assert on surfaces
-/// here as a typed [`AuditError`] naming the op and the offending dims.
-pub fn check_model_plan(plan: &ModelPlan) -> Result<PlanReport, AuditError> {
+/// Returns `Err` only for *structural* failures (invalid fields, shapes
+/// that cannot combine). Unprovable numeric invariants — NaN
+/// reachability, unbounded activations, degenerate normalizers — are
+/// returned inside [`PlanAnalysis::errors`] so callers can inspect the
+/// per-tensor ranges of a deliberately degenerate configuration instead
+/// of losing everything to the first error.
+pub fn analyze_model_plan(plan: &ModelPlan) -> Result<PlanAnalysis, AuditError> {
     check_plan_fields(plan)?;
-    let p = *plan;
-    let d = p.d_model;
-    let n = p.n_tokens + p.n_seq_entities;
-    let mut f = ShapeFlow::new();
+    let ir = lower_model_plan(plan)?;
+    let ranges = analyze_ranges(&ir);
+    let arena = plan_arena(&ir);
+    let report = PlanReport {
+        seq_len: plan.n_tokens + plan.n_seq_entities,
+        n_ops: ir.len(),
+        peak_elements: ir.peak_elements(),
+        peak_bytes: arena.peak_bytes,
+        reuse_factor: arena.reuse_factor,
+    };
+    Ok(PlanAnalysis {
+        ranges: ranges.ranges,
+        errors: ranges.errors,
+        masked_weight_bound: ranges.masked_weight_bound,
+        arena,
+        ir,
+        report,
+    })
+}
 
-    // Embedding tables, as shapes only.
-    let word_emb = f.source(vec![p.n_words, d]);
-    let token_type_emb = f.source(vec![2, d]);
-    let pos_emb = f.source(vec![p.max_position, d]);
-    let ent_emb = f.source(vec![p.n_entities + 1, d]);
-    let ent_type_emb = f.source(vec![3, d]);
-
-    let mut parts = Vec::new();
-    if p.n_tokens > 0 {
-        // Worst-case gather indices exercise the upper bound of each table.
-        let w = f.index_select0(word_emb, &vec![p.n_words - 1; p.n_tokens])?;
-        let t = f.index_select0(token_type_emb, &vec![1; p.n_tokens])?;
-        // Runtime clamps positions to max_position - 1; mirror the clamp.
-        let pos = f.index_select0(pos_emb, &vec![p.max_position - 1; p.n_tokens])?;
-        let wt = f.add(w, t)?;
-        parts.push(f.add(wt, pos)?);
+/// Symbolically execute and verify the full forward pass described by
+/// `plan`.
+///
+/// Thin wrapper over [`analyze_model_plan`] preserving the original
+/// contract: any dimension the runtime would assert on *and* any numeric
+/// invariant the abstract interpreter cannot prove surfaces as a typed
+/// [`AuditError`]; a clean plan yields the [`PlanReport`].
+pub fn check_model_plan(plan: &ModelPlan) -> Result<PlanReport, AuditError> {
+    let analysis = analyze_model_plan(plan)?;
+    if let Some(e) = analysis.errors.first() {
+        return Err(e.clone());
     }
-    if p.n_seq_entities > 0 {
-        let ee = f.index_select0(ent_emb, &vec![p.n_entities; p.n_seq_entities])?;
-        let em = if p.n_mention_tokens > 0 {
-            let rows = f.index_select0(word_emb, &vec![p.n_words - 1; p.n_mention_tokens])?;
-            let avg = f.source(vec![p.n_seq_entities, p.n_mention_tokens]);
-            f.matmul(avg, rows)?
-        } else {
-            f.source(vec![p.n_seq_entities, d])
-        };
-        let cat = f.concat_cols(&[ee, em])?;
-        let fused = f.linear(cat, 2 * d, d)?;
-        let te = f.index_select0(ent_type_emb, &vec![2; p.n_seq_entities])?;
-        parts.push(f.add(fused, te)?);
-    }
-    let x = if parts.len() == 1 { parts[0] } else { f.concat_rows(&parts)? };
-    let gamma = f.source(vec![d]);
-    let beta = f.source(vec![d]);
-    let mut h = f.layer_norm(x, gamma, beta)?;
-
-    let mask = if p.use_visibility { Some(f.source(vec![n, n])) } else { None };
-    for _ in 0..p.n_layers {
-        let att = f.masked_attention(h, p.n_heads, mask)?;
-        let res1 = f.add(h, att)?;
-        let (g1, b1) = (f.source(vec![d]), f.source(vec![d]));
-        let h1 = f.layer_norm(res1, g1, b1)?;
-        let ff1 = f.linear(h1, d, p.d_intermediate)?;
-        let act = f.unary("gelu", ff1);
-        let ff2 = f.linear(act, p.d_intermediate, d)?;
-        let res2 = f.add(h1, ff2)?;
-        let (g2, b2) = (f.source(vec![d]), f.source(vec![d]));
-        h = f.layer_norm(res2, g2, b2)?;
-    }
-
-    if p.n_mlm_targets > 0 {
-        // MLM rows index token positions (< n_tokens ≤ n).
-        let sel = f.index_select0(h, &vec![p.n_tokens - 1; p.n_mlm_targets])?;
-        let proj = f.linear(sel, d, d)?;
-        let logits = f.matmul_nt(proj, word_emb)?;
-        f.cross_entropy(logits, p.n_mlm_targets, Some(p.n_words - 1))?;
-    }
-    if p.n_mer_targets > 0 {
-        // MER rows index entity positions (≥ n_tokens, < n).
-        let sel = f.index_select0(h, &vec![n - 1; p.n_mer_targets])?;
-        let proj = f.linear(sel, d, d)?;
-        // Candidate ids are shifted by one past the [MASK] row.
-        let cand = f.index_select0(ent_emb, &vec![p.n_entities; p.n_candidates])?;
-        let logits = f.matmul_nt(proj, cand)?;
-        f.cross_entropy(logits, p.n_mer_targets, Some(p.n_candidates - 1))?;
-    }
-
-    Ok(PlanReport { seq_len: n, n_ops: f.n_ops(), peak_elements: f.peak_elements() })
+    Ok(analysis.report)
 }
 
 #[cfg(test)]
@@ -206,6 +229,7 @@ mod tests {
             n_mlm_targets: 5,
             n_mer_targets: 12,
             n_candidates: 64,
+            numerics: PlanNumerics::default(),
         }
     }
 
@@ -217,6 +241,63 @@ mod tests {
         assert!(report.n_ops > 50);
         // The entity table [926136, 312] dominates the symbolic peak.
         assert!(report.peak_elements >= (926135 + 1) * 312);
+        // Liveness finds real buffer reuse across the four blocks.
+        assert!(report.reuse_factor > 1.0, "reuse {}", report.reuse_factor);
+        assert!(report.peak_bytes > 0);
+    }
+
+    #[test]
+    fn analysis_proves_paper_ranges_finite_and_nan_free() {
+        let a = analyze_model_plan(&paper_plan()).expect("paper plan analyzes");
+        assert!(a.errors.is_empty(), "unexpected: {:?}", a.errors);
+        for (node, range) in a.ir.nodes().iter().zip(&a.ranges) {
+            assert!(!range.can_be_nan, "NaN reachable at `{}`", node.label);
+            assert!(!range.can_be_inf, "`{}` escapes f32: {range:?}", node.label);
+        }
+        // Masked logits provably vanish: even before dropout, a §4.3-masked
+        // pair's softmax weight is bounded by exp(-1e9 + O(1e6)) ≈ 0.
+        let bound = a.masked_weight_bound.expect("visibility mask present");
+        assert_eq!(bound, 0.0, "exp(-1e9 + small) underflows to exactly 0");
+        // Arena strictly beats allocate-everything.
+        assert!(a.arena.peak_bytes < a.arena.total_bytes);
+    }
+
+    #[test]
+    fn zero_eps_is_a_degenerate_normalizer_not_a_panic() {
+        let mut plan = paper_plan();
+        plan.numerics.ln_eps = 0.0;
+        match check_model_plan(&plan).expect_err("eps = 0 cannot be proven safe") {
+            AuditError::DegenerateNormalizer { tensor, eps } => {
+                assert_eq!(eps, 0.0);
+                assert!(tensor.contains("ln_embed"), "first degenerate norm is `{tensor}`");
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn huge_init_bound_is_an_unbounded_activation() {
+        let mut plan = paper_plan();
+        // 2e38 + 2e38 escapes f32::MAX ≈ 3.4e38 at the very first add.
+        plan.numerics.embed_init_bound = 2e38;
+        assert!(matches!(check_model_plan(&plan), Err(AuditError::UnboundedActivation { .. })));
+    }
+
+    #[test]
+    fn infinite_mask_penalty_makes_nan_reachable_at_softmax() {
+        let mut plan = paper_plan();
+        // This is exactly why the runtime uses -1e9 instead of -inf: a row
+        // whose visible set is empty would softmax all--inf logits into
+        // exp(-inf + inf) = NaN. The analysis cannot prove row-level
+        // visibility from shapes alone, so -inf penalties are rejected.
+        plan.numerics.mask_penalty = f64::NEG_INFINITY;
+        match check_model_plan(&plan).expect_err("-inf mask penalty is unprovable") {
+            AuditError::NanReachable { op, tensor } => {
+                assert_eq!(op, "softmax");
+                assert!(tensor.contains("block0"), "first NaN origin is `{tensor}`");
+            }
+            other => panic!("wrong error: {other}"),
+        }
     }
 
     #[test]

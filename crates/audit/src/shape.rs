@@ -52,6 +52,18 @@ impl ShapeFlow {
         self.nodes[v.0].op
     }
 
+    /// Handle to the node at tape position `i`.
+    ///
+    /// For lock-step mirrors (e.g. the IR builder) that record one node
+    /// per `ShapeFlow` op and address them by shared index.
+    ///
+    /// # Panics
+    /// Panics if `i` is past the end of the tape.
+    pub fn var_at(&self, i: usize) -> SVar {
+        assert!(i < self.nodes.len(), "no shape-flow node at {i}");
+        SVar(i)
+    }
+
     /// Largest single-tensor element count appearing anywhere on the tape.
     ///
     /// This is the symbolic analogue of peak per-tensor memory; it lets a

@@ -1,0 +1,169 @@
+//! Soundness of the plan-level abstract interpreter: on a real seeded
+//! forward pass, every concrete value of every intermediate tensor must
+//! lie within the abstract range predicted for the matching IR tensor.
+//!
+//! The harness builds a tiny `TurlModel`, runs the same forward the
+//! pre-trainer runs (encode + MLM head + MER head + summed loss),
+//! aligns the autograd tape with the lowered IR node-by-node, and
+//! checks containment element-by-element. Any transfer function that
+//! under-approximates (a bound tighter than reality) fails here.
+
+use proptest::prelude::*;
+use proptest::TestCaseError;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use turl_audit::{align_with_graph, analyze_ranges, lower_model_plan};
+use turl_core::{EncodedInput, EntityInput, TurlConfig, TurlModel};
+use turl_nn::{Forward, ParamStore};
+use turl_tensor::Tensor;
+
+const N_WORDS: usize = 50;
+const N_KB_ENTITIES: usize = 20;
+const N_TOKENS: usize = 5;
+const N_SEQ_ENTITIES: usize = 3;
+const N_MLM: usize = 2;
+const N_MER: usize = 2;
+const CANDIDATES: [usize; 3] = [0, 5, 9];
+
+/// Deterministic input covering both embedding branches: `seed` varies
+/// ids, mention lengths and the visibility pattern.
+fn build_input(seed: u64, use_mask: bool) -> EncodedInput {
+    let s = seed as usize;
+    let entities: Vec<EntityInput> = (0..N_SEQ_ENTITIES)
+        .map(|i| EntityInput {
+            emb_index: (i * 7 + s) % (N_KB_ENTITIES + 1),
+            mention: (0..(i + s) % 3).map(|k| (i * 3 + k + s) % N_WORDS).collect(),
+            type_idx: i % 3,
+        })
+        .collect();
+    let n = N_TOKENS + N_SEQ_ENTITIES;
+    let mask = use_mask.then(|| {
+        let mut m = Tensor::full(vec![n, n], -1e9);
+        for i in 0..n {
+            for j in 0..n {
+                if i == j || (i + j + s).is_multiple_of(3) {
+                    m.set2(i, j, 0.0);
+                }
+            }
+        }
+        m
+    });
+    EncodedInput {
+        token_ids: (0..N_TOKENS).map(|i| (i * 11 + s) % N_WORDS).collect(),
+        token_types: (0..N_TOKENS).map(|i| i % 2).collect(),
+        token_pos: (0..N_TOKENS).collect(),
+        entities,
+        mask,
+    }
+}
+
+/// Run the pre-trainer's forward (encode, both heads, summed loss) and
+/// assert every aligned tensor's concrete values sit inside the
+/// abstract prediction.
+fn assert_forward_within_ranges(seed: u64, use_mask: bool) -> Result<(), TestCaseError> {
+    let cfg = TurlConfig { use_visibility: use_mask, ..TurlConfig::tiny(seed) };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut store = ParamStore::new();
+    let model = TurlModel::new(&mut store, &mut rng, cfg, N_WORDS, N_KB_ENTITIES);
+    let input = build_input(seed, use_mask);
+    let n_mention_tokens: usize = input.entities.iter().map(|e| e.mention.len()).sum();
+
+    let plan = turl_core::audit::model_plan(
+        &cfg,
+        N_WORDS,
+        N_KB_ENTITIES,
+        N_TOKENS,
+        N_SEQ_ENTITIES,
+        n_mention_tokens,
+        N_MLM,
+        N_MER,
+        CANDIDATES.len(),
+    );
+    let ir = lower_model_plan(&plan).expect("tiny plan lowers");
+    let analysis = analyze_ranges(&ir);
+    prop_assert!(
+        analysis.errors.is_empty(),
+        "tiny plan must analyze clean, got {:?}",
+        analysis.errors
+    );
+
+    let mut f = Forward::inference(&store);
+    let h = model.encode(&mut f, &store, &mut rng, &input);
+    let mlm_logits = model.mlm_logits(&mut f, &store, h, &[0, 1]);
+    let mlm = f.graph.cross_entropy(mlm_logits, &[3, 4]);
+    let rows = [input.entity_row(0), input.entity_row(1)];
+    let mer_logits = model.mer_logits(&mut f, &store, h, &rows, &CANDIDATES);
+    let mer = f.graph.cross_entropy(mer_logits, &[0, 1]);
+    let _loss = f.graph.add(mlm, mer);
+
+    let pairs = align_with_graph(&ir, &f.graph).expect("IR aligns with the real tape");
+    for (tid, var) in pairs {
+        let node = ir.node_at(tid.index());
+        let range = analysis.ranges[tid.index()];
+        let concrete = f.graph.value(var);
+        for (i, &v) in concrete.data().iter().enumerate() {
+            prop_assert!(
+                range.contains(v),
+                "seed {seed} mask {use_mask}: `{}` element {i} = {v:e} escapes {range}",
+                node.label
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn concrete_forward_stays_within_abstract_ranges(
+        seed in 0u64..1000, use_mask in any::<bool>()
+    ) {
+        assert_forward_within_ranges(seed, use_mask)?;
+    }
+}
+
+#[test]
+fn empty_mentions_are_sound_too() {
+    // All-empty mentions exercise the ZeroConst lowering branch, whose
+    // runtime twin is a constant-zeros leaf rather than a matmul.
+    let cfg = TurlConfig { use_visibility: false, ..TurlConfig::tiny(7) };
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut store = ParamStore::new();
+    let model = TurlModel::new(&mut store, &mut rng, cfg, N_WORDS, N_KB_ENTITIES);
+    let mut input = build_input(7, false);
+    for e in &mut input.entities {
+        e.mention.clear();
+    }
+    let plan = turl_core::audit::model_plan(
+        &cfg,
+        N_WORDS,
+        N_KB_ENTITIES,
+        N_TOKENS,
+        N_SEQ_ENTITIES,
+        0,
+        N_MLM,
+        N_MER,
+        CANDIDATES.len(),
+    );
+    let ir = lower_model_plan(&plan).expect("plan with empty mentions lowers");
+    let analysis = analyze_ranges(&ir);
+    assert!(analysis.errors.is_empty());
+
+    let mut f = Forward::inference(&store);
+    let h = model.encode(&mut f, &store, &mut rng, &input);
+    let mlm_logits = model.mlm_logits(&mut f, &store, h, &[0, 1]);
+    let mlm = f.graph.cross_entropy(mlm_logits, &[3, 4]);
+    let rows = [input.entity_row(0), input.entity_row(1)];
+    let mer_logits = model.mer_logits(&mut f, &store, h, &rows, &CANDIDATES);
+    let mer = f.graph.cross_entropy(mer_logits, &[0, 1]);
+    let _loss = f.graph.add(mlm, mer);
+
+    let pairs = align_with_graph(&ir, &f.graph).expect("empty-mention IR aligns");
+    for (tid, var) in pairs {
+        let range = analysis.ranges[tid.index()];
+        for &v in f.graph.value(var).data() {
+            assert!(range.contains(v), "{} escapes {range}", ir.node_at(tid.index()).label);
+        }
+    }
+}

@@ -4,6 +4,7 @@ use crate::args::Options;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::{Path, PathBuf};
+use turl_audit::AuditError;
 use turl_core::tasks::cell_filling::CellFiller;
 use turl_core::{probe as probe_mod, CheckpointPolicy, EncodedInput, Pretrainer, TurlConfig};
 use turl_data::{CorpusStats, LinearizeConfig, TableInstance, Vocab};
@@ -26,6 +27,9 @@ USAGE:
   turl probe    [--entities N] [--tables N] [--epochs E] [--seed S] [--ckpt model.json]
   turl fill     [--entities N] [--tables N] [--epochs E] [--seed S] [--ckpt model.json]
   turl audit    [--entities N] [--tables N] [--seed S]
+  turl plan     [--words N] [--plan-entities N] [--tokens N] [--seq-entities N]
+                [--mention-tokens N] [--mlm N] [--mer N] [--candidates N]
+                [--eps F]
   turl bench    [--quick] [--threads 1,2,4] [--out BENCH_pretrain.json]
                 [--baseline FILE [--factor 2.0]]
   turl report   <run.jsonl>
@@ -53,8 +57,19 @@ the directory — corrupt or truncated files are skipped with a warning —
 and continues until --epochs total epochs, bit-identical to a run that
 was never interrupted.
 
+`plan` lowers the paper configuration to a typed dataflow IR and runs
+the plan-level abstract interpreter over it: per-tensor value ranges
+with NaN/Inf flow (masked attention logits must provably vanish after
+softmax, every layer-norm denominator must be provably nonzero) and a
+buffer-liveness pass that packs intermediates into a reusable arena,
+reporting peak bytes and the reuse factor vs naive allocation. --eps
+overrides the layer-norm epsilon to explore degenerate configurations;
+any violation exits non-zero.
+
 `audit` statically checks the configuration (§4.4 masking ratios), the
-symbolic model forward plan (shape-flow, no tensors allocated), every
+symbolic model forward plan (shape-flow, value ranges, NaN reachability,
+arena liveness — including a sweep of deliberately degenerate
+configurations that must each surface as a typed error), every
 table's §4.3 visibility matrix, the autograd tape of one real training
 step, serial-vs-parallel gradient parity of the data-parallel training
 path, checkpoint resume parity (interrupt + restore + continue must
@@ -278,6 +293,103 @@ pub fn probe(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Build the paper-scale [`turl_audit::ModelPlan`] used by `turl plan`
+/// and by the audit's static-analysis step: the paper encoder over a
+/// representative WikiTable sequence (24 metadata tokens, 20 entity
+/// cells) with both pre-training heads attached.
+fn paper_scale_plan(opts: &Options) -> Result<turl_audit::ModelPlan, String> {
+    let words = opts.get_usize("words", 30_522)?;
+    let entities = opts.get_usize("plan-entities", 926_135)?;
+    let tokens = opts.get_usize("tokens", 24)?;
+    let seq_entities = opts.get_usize("seq-entities", 20)?;
+    let mention_tokens = opts.get_usize("mention-tokens", 40)?;
+    let mlm = opts.get_usize("mlm", 5)?;
+    let mer = opts.get_usize("mer", 12)?;
+    let candidates = opts.get_usize("candidates", 64)?;
+    let cfg = TurlConfig::paper();
+    let mut plan = turl_core::audit::model_plan(
+        &cfg,
+        words,
+        entities,
+        tokens,
+        seq_entities,
+        mention_tokens,
+        mlm,
+        mer,
+        candidates.min(entities.max(1)),
+    );
+    let eps = opts.get("eps", "");
+    if !eps.is_empty() {
+        plan.numerics.ln_eps =
+            eps.parse().map_err(|_| format!("--eps expects a number, got `{eps}`"))?;
+    }
+    Ok(plan)
+}
+
+/// `turl plan`: lower the paper configuration to the typed dataflow IR,
+/// run the abstract interpreter (value ranges + NaN/Inf flow) and the
+/// buffer-liveness arena planner over it, and print all three. Exits
+/// non-zero if any range-analysis error (reachable NaN, activation
+/// escaping f32, degenerate normalizer) is found.
+pub fn plan(opts: &Options) -> Result<(), String> {
+    let plan = paper_scale_plan(opts)?;
+    let analysis = turl_audit::analyze_model_plan(&plan).map_err(|e| e.to_string())?;
+
+    info(format!(
+        "plan: {} layers, d_model {}, {} heads, ln_eps {:e}, mask penalty {:e}",
+        plan.n_layers, plan.d_model, plan.n_heads, plan.numerics.ln_eps, plan.numerics.mask_penalty
+    ));
+    info(format!("ir: {} nodes", analysis.ir.len()));
+    info(format!("  {:>4}  {:<26} {:<12} {:<16} value range", "id", "tensor", "op", "shape"));
+    for (i, node) in analysis.ir.nodes().iter().enumerate() {
+        info(format!(
+            "  {:>4}  {:<26} {:<12} {:<16} {}",
+            i,
+            node.label,
+            node.kind.name(),
+            format!("{:?}", node.shape),
+            analysis.ranges[i]
+        ));
+    }
+    if let Some(bound) = analysis.masked_weight_bound {
+        info(format!(
+            "masked attention weight bound after softmax: {bound:e} \
+             (invisible pairs provably contribute nothing)"
+        ));
+    }
+    let arena = &analysis.arena;
+    info(format!(
+        "arena: {} slots | peak {} bytes | naive total {} bytes | reuse factor {:.2}x",
+        arena.slots.len(),
+        arena.peak_bytes,
+        arena.total_bytes,
+        arena.reuse_factor
+    ));
+    for (i, slot) in arena.slots.iter().enumerate().take(12) {
+        let tenants: Vec<&str> =
+            slot.tenants.iter().map(|id| analysis.ir.node_at(id.index()).label.as_str()).collect();
+        info(format!(
+            "  slot {:>3}: {:>12} bytes, {} tenant(s): {}",
+            i,
+            slot.bytes,
+            tenants.len(),
+            tenants.join(", ")
+        ));
+    }
+    if arena.slots.len() > 12 {
+        info(format!("  ... and {} more slots", arena.slots.len() - 12));
+    }
+    if analysis.errors.is_empty() {
+        info("ranges: ok — no reachable NaN, no activation escapes f32, all normalizers sound");
+        Ok(())
+    } else {
+        for e in &analysis.errors {
+            warn(format!("range violation: {e}"));
+        }
+        Err(format!("plan analysis found {} violation(s)", analysis.errors.len()))
+    }
+}
+
 /// `turl audit`: static invariant checks over config, model plan, corpus
 /// visibility matrices, and one real autograd tape. Exits non-zero (via
 /// `Err`) if any §4.3/§4.4 or structural invariant is violated.
@@ -288,10 +400,84 @@ pub fn audit(opts: &Options) -> Result<(), String> {
     // 1. Configuration ratios + symbolic forward plan (no tensors).
     match turl_core::audit::validate_config(&s.cfg, s.vocab.len(), s.kb.n_entities()) {
         Ok(report) => info(format!(
-            "plan: ok — {} symbolic ops, probe seq {}, peak intermediate {} elements",
-            report.n_ops, report.seq_len, report.peak_elements
+            "plan: ok — {} symbolic ops, probe seq {}, peak {} elements / {} arena bytes \
+             (reuse {:.2}x)",
+            report.n_ops,
+            report.seq_len,
+            report.peak_elements,
+            report.peak_bytes,
+            report.reuse_factor
         )),
         Err(e) => violations.push(format!("config/plan: {e}")),
+    }
+
+    // 1b. Abstract interpretation of the paper-scale plan: value ranges
+    //     must stay finite and NaN-free, the arena planner must reuse
+    //     buffers, and each deliberately degenerate configuration must
+    //     surface as its specific typed error (not a panic, not a
+    //     different error).
+    {
+        let plan = paper_scale_plan(opts)?;
+        match turl_audit::analyze_model_plan(&plan) {
+            Ok(a) if a.errors.is_empty() => {
+                if a.report.reuse_factor <= 1.0 {
+                    violations.push(format!(
+                        "static analysis: arena planner found no buffer reuse \
+                         (factor {:.2})",
+                        a.report.reuse_factor
+                    ));
+                } else {
+                    info(format!(
+                        "ranges: ok — {} tensors finite and NaN-free, masked weights \
+                         bounded by {:e}, arena reuse {:.2}x",
+                        a.ir.len(),
+                        a.masked_weight_bound.unwrap_or(f64::NAN),
+                        a.report.reuse_factor
+                    ));
+                }
+            }
+            Ok(a) => {
+                for e in a.errors.iter().take(5) {
+                    violations.push(format!("static analysis: {e}"));
+                }
+            }
+            Err(e) => violations.push(format!("static analysis: {e}")),
+        }
+        type Corrupt = fn(&mut turl_audit::ModelPlan);
+        type Expect = fn(&AuditError) -> bool;
+        let sweep: [(&str, Corrupt, Expect); 3] = [
+            (
+                "ln_eps = 0 must be a DegenerateNormalizer",
+                |p| p.numerics.ln_eps = 0.0,
+                |e| matches!(e, AuditError::DegenerateNormalizer { .. }),
+            ),
+            (
+                "huge init bound must be an UnboundedActivation",
+                |p| p.numerics.embed_init_bound = 2e38,
+                |e| matches!(e, AuditError::UnboundedActivation { .. }),
+            ),
+            (
+                "-inf mask penalty must make NaN reachable",
+                |p| p.numerics.mask_penalty = f64::NEG_INFINITY,
+                |e| matches!(e, AuditError::NanReachable { .. }),
+            ),
+        ];
+        let mut caught = 0usize;
+        for (what, corrupt, expected) in &sweep {
+            let mut bad = plan;
+            corrupt(&mut bad);
+            match turl_audit::analyze_model_plan(&bad) {
+                Ok(a) if a.errors.iter().any(expected) => caught += 1,
+                Ok(a) => {
+                    violations.push(format!("degenerate sweep: {what}, got {:?}", a.errors.first()))
+                }
+                Err(e) => violations.push(format!("degenerate sweep: {what}, got Err({e})")),
+            }
+        }
+        info(format!(
+            "degenerate sweep: {caught}/{} corrupted plans caught as typed errors",
+            sweep.len()
+        ));
     }
 
     // 2. §4.3 visibility matrices for every table in every split.

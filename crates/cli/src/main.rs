@@ -11,6 +11,7 @@
 //! turl probe    [--ckpt F] [...]                     object-entity prediction probe
 //! turl fill     [--ckpt F] [...]                     zero-shot cell filling demo
 //! turl audit    [--entities N] [--tables N] [--seed S]  static invariant checks
+//! turl plan     [--eps F] [...]                      IR + value ranges + arena plan
 //! turl bench    [--quick] [--threads 1,2,4] [--out F]   throughput benchmark
 //! turl report   <run.jsonl>                          render a metrics file
 //! ```
@@ -84,6 +85,7 @@ fn main() -> ExitCode {
         "probe" => commands::probe(&opts),
         "fill" => commands::fill(&opts),
         "audit" => commands::audit(&opts),
+        "plan" => commands::plan(&opts),
         "bench" => commands::bench(&opts),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);

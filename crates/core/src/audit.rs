@@ -7,7 +7,9 @@
 //! ratio validation that every constructed model must pass.
 
 use crate::config::TurlConfig;
-use turl_audit::{check_model_plan, validate_masking_config, AuditError, ModelPlan, PlanReport};
+use turl_audit::{
+    check_model_plan, validate_masking_config, AuditError, ModelPlan, PlanNumerics, PlanReport,
+};
 
 /// Shape of the probe sequence used by [`validate_config`]'s plan check.
 ///
@@ -50,6 +52,12 @@ pub fn model_plan(
         n_mlm_targets,
         n_mer_targets,
         n_candidates,
+        numerics: PlanNumerics {
+            ln_eps: f64::from(cfg.encoder.ln_eps),
+            // The runtime uses -1e9 (see EncodedInput::mask construction);
+            // embedding tables keep the default N(0, 0.02) sampler bound.
+            ..PlanNumerics::default()
+        },
     }
 }
 

@@ -34,7 +34,7 @@ pub mod tasks;
 pub use config::{CandidateConfig, PretrainConfig, TurlConfig};
 pub use extensions::{AuxRelationObjective, RelationPair};
 pub use finetune::{FinetuneConfig, FinetuneStats};
-pub use input::EncodedInput;
+pub use input::{EncodedInput, EntityInput};
 pub use model::TurlModel;
 pub use pretrain::{
     apply_mask_plan, build_candidates, random_entity_id, random_word_id, CheckpointPolicy,

@@ -62,7 +62,7 @@ impl TurlModel {
             ent_emb: Embedding::new(store, rng, "turl.ent_emb", n_entities + 1, d),
             ent_type_emb: Embedding::new(store, rng, "turl.ent_type_emb", 3, d),
             fuse: Linear::new(store, rng, "turl.fuse", 2 * d, d, true),
-            ln_embed: LayerNorm::new(store, "turl.ln_embed", d),
+            ln_embed: LayerNorm::new(store, "turl.ln_embed", d, cfg.encoder.ln_eps),
             embed_dropout: Dropout::new(cfg.encoder.dropout),
             blocks,
             mlm_proj: Linear::new(store, rng, "turl.mlm_proj", d, d, true),

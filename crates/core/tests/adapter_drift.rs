@@ -1,0 +1,116 @@
+//! Adapter-drift guard: the `TurlConfig → ModelPlan` adaptation must
+//! keep describing the real model. Lowering the adapted plan to the
+//! audit IR has to produce exactly the op sequence (count and shapes)
+//! that one genuine training forward records on the autograd tape —
+//! if the runtime grows or reorders an op without the adapter
+//! following, this test is the tripwire.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use turl_audit::{align_with_graph, lower_model_plan};
+use turl_core::{EncodedInput, EntityInput, TurlConfig, TurlModel};
+use turl_nn::{Forward, ParamStore};
+use turl_tensor::Tensor;
+
+const N_WORDS: usize = 60;
+const N_KB_ENTITIES: usize = 25;
+
+/// A fixed input shaped like one linearized table: metadata tokens,
+/// entity cells with mentions of mixed length, both heads active.
+fn fixture_input(use_mask: bool) -> EncodedInput {
+    let entities: Vec<EntityInput> = (0..4)
+        .map(|i| EntityInput {
+            emb_index: i * 5,
+            mention: (0..i).map(|k| (i * 4 + k) % N_WORDS).collect(),
+            type_idx: i % 3,
+        })
+        .collect();
+    let n = 6 + entities.len();
+    let mask = use_mask.then(|| {
+        let mut m = Tensor::full(vec![n, n], -1e9);
+        for i in 0..n {
+            for j in 0..n {
+                if i == j || (i + j) % 2 == 0 {
+                    m.set2(i, j, 0.0);
+                }
+            }
+        }
+        m
+    });
+    EncodedInput {
+        token_ids: (0..6).map(|i| i * 7 % N_WORDS).collect(),
+        token_types: vec![0, 0, 1, 1, 1, 1],
+        token_pos: vec![0, 1, 0, 1, 2, 3],
+        entities,
+        mask,
+    }
+}
+
+/// Run the pre-trainer-shaped forward (encode, MLM head, MER head,
+/// summed loss) and assert the adapted plan's IR aligns with the tape
+/// op-for-op. `training` toggles `Forward::new` vs `Forward::inference`;
+/// dropout must be zero so the tape has no mask-multiply nodes the IR
+/// does not model.
+fn assert_ir_matches_tape(mut cfg: TurlConfig, seed: u64, training: bool) {
+    cfg.encoder.dropout = 0.0;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut store = ParamStore::new();
+    let model = TurlModel::new(&mut store, &mut rng, cfg, N_WORDS, N_KB_ENTITIES);
+    let input = fixture_input(cfg.use_visibility);
+    let n_mention_tokens: usize = input.entities.iter().map(|e| e.mention.len()).sum();
+    let candidates = [0usize, 3, 8, 11];
+
+    let plan = turl_core::audit::model_plan(
+        &cfg,
+        N_WORDS,
+        N_KB_ENTITIES,
+        input.token_ids.len(),
+        input.entities.len(),
+        n_mention_tokens,
+        2,
+        2,
+        candidates.len(),
+    );
+    let ir = lower_model_plan(&plan).expect("adapted plan lowers");
+
+    let mut f = if training { Forward::new(&store) } else { Forward::inference(&store) };
+    let h = model.encode(&mut f, &store, &mut rng, &input);
+    let mlm_logits = model.mlm_logits(&mut f, &store, h, &[2, 4]);
+    let mlm = f.graph.cross_entropy(mlm_logits, &[9, 10]);
+    let rows = [input.entity_row(1), input.entity_row(3)];
+    let mer_logits = model.mer_logits(&mut f, &store, h, &rows, &candidates);
+    let mer = f.graph.cross_entropy(mer_logits, &[2, 0]);
+    let loss = f.graph.add(mlm, mer);
+    if training {
+        f.backprop(loss, &mut store);
+    }
+
+    let pairs = align_with_graph(&ir, &f.graph)
+        .expect("IR drifted from the runtime tape: adapter and model disagree");
+    let computed = ir.nodes().iter().filter(|n| !n.kind.is_source()).count();
+    assert_eq!(pairs.len(), computed, "every computed IR node must pair with a tape op");
+    for (tid, var) in &pairs {
+        assert_eq!(
+            ir.node_at(tid.index()).shape,
+            f.graph.value(*var).shape(),
+            "shape drift at `{}`",
+            ir.node_at(tid.index()).label
+        );
+    }
+}
+
+#[test]
+fn tiny_training_forward_matches_adapted_plan() {
+    assert_ir_matches_tape(TurlConfig::tiny(3), 3, true);
+}
+
+#[test]
+fn small_inference_forward_matches_adapted_plan() {
+    assert_ir_matches_tape(TurlConfig::small(5), 5, false);
+}
+
+#[test]
+fn unmasked_config_matches_too() {
+    let cfg = TurlConfig { use_visibility: false, ..TurlConfig::tiny(11) };
+    assert_ir_matches_tape(cfg, 11, true);
+}

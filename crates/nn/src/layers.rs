@@ -94,11 +94,15 @@ pub struct LayerNorm {
 }
 
 impl LayerNorm {
-    /// Create a layer norm with `gamma = 1`, `beta = 0`.
-    pub fn new(store: &mut ParamStore, name: &str, dim: usize) -> Self {
+    /// Create a layer norm with `gamma = 1`, `beta = 0` and the given
+    /// variance epsilon (BERT standard: `1e-5`). The epsilon is part of
+    /// the layer's arithmetic — the plan-level range analysis uses it to
+    /// prove the normalizer denominator nonzero — so it is configured
+    /// here rather than hardcoded.
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize, eps: f32) -> Self {
         let gamma = store.register(format!("{name}.gamma"), Tensor::ones(vec![dim]));
         let beta = store.register(format!("{name}.beta"), Tensor::zeros(vec![dim]));
-        Self { gamma, beta, eps: 1e-5 }
+        Self { gamma, beta, eps }
     }
 
     /// Normalize `[..., dim]` input.
@@ -211,7 +215,7 @@ mod tests {
     #[test]
     fn layer_norm_standardizes() {
         let mut s = ParamStore::new();
-        let ln = LayerNorm::new(&mut s, "ln", 4);
+        let ln = LayerNorm::new(&mut s, "ln", 4, 1e-5);
         let mut f = Forward::new(&s);
         let x = f.graph.constant(Tensor::from_vec(vec![1, 4], vec![10., 20., 30., 40.]));
         let y = ln.forward(&mut f, &s, x);

@@ -43,7 +43,7 @@ proptest! {
         let row0: Vec<f32> = data[..4].to_vec();
         prop_assume!(row0.iter().any(|&x| (x - row0[0]).abs() > 1e-3));
         let mut store = ParamStore::new();
-        let ln = LayerNorm::new(&mut store, "ln", 4);
+        let ln = LayerNorm::new(&mut store, "ln", 4, 1e-5);
         let mut f = Forward::inference(&store);
         let x = f.graph.constant(Tensor::from_vec(vec![2, 4], data));
         let y = ln.forward(&mut f, &store, x);

@@ -34,8 +34,28 @@ pub fn normal_init<R: Rng>(rng: &mut R, shape: Vec<usize>, mean: f32, std: f32) 
 /// Kaiming-style uniform initialization for a `[fan_out, fan_in]` weight
 /// matrix: `U(-1/sqrt(fan_in), 1/sqrt(fan_in))`.
 pub fn kaiming_uniform<R: Rng>(rng: &mut R, fan_out: usize, fan_in: usize) -> Tensor {
-    let bound = 1.0 / (fan_in.max(1) as f32).sqrt();
+    let bound = kaiming_bound(fan_in);
     uniform_init(rng, vec![fan_out, fan_in], bound)
+}
+
+/// The exact half-width of the [`kaiming_uniform`] support: `1/sqrt(fan_in)`.
+///
+/// Exposed so static analyses can reuse the sampler's true bound instead
+/// of re-deriving (and silently diverging from) it.
+pub fn kaiming_bound(fan_in: usize) -> f32 {
+    1.0 / (fan_in.max(1) as f32).sqrt()
+}
+
+/// A hard magnitude bound on any draw from [`normal_init`] with the given
+/// standard deviation.
+///
+/// [`normal_init`] samples via Box–Muller with `u1 ∈ [f32::EPSILON, 1)`,
+/// so the radius `r = sqrt(-2 ln u1)` is capped at
+/// `sqrt(-2 ln f32::EPSILON) ≈ 5.65`; `|cos| ≤ 1` and `|sin| ≤ 1` keep
+/// every draw within `std * r_max` of the mean. This is a guarantee of
+/// the sampler, not a statistical confidence bound.
+pub fn normal_init_bound(std: f32) -> f32 {
+    std.abs() * (-2.0 * f32::EPSILON.ln()).sqrt()
 }
 
 #[cfg(test)]
@@ -66,6 +86,20 @@ mod tests {
         let a = normal_init(&mut StdRng::seed_from_u64(42), vec![16], 0.0, 1.0);
         let b = normal_init(&mut StdRng::seed_from_u64(42), vec![16], 0.0, 1.0);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn normal_draws_respect_hard_bound() {
+        // normal_init_bound is a sampler guarantee (Box–Muller with
+        // u1 >= f32::EPSILON), not a statistical one: a large sample must
+        // sit strictly inside it.
+        let mut rng = StdRng::seed_from_u64(3);
+        let std = 0.02f32;
+        let bound = normal_init_bound(std);
+        let t = normal_init(&mut rng, vec![200_000], 0.0, std);
+        assert!(t.data().iter().all(|&x| x.abs() <= bound), "draw escaped {bound}");
+        // The bound is tight enough to be useful: about 5.65 sigma.
+        assert!(bound < 6.0 * std);
     }
 
     #[test]

@@ -33,7 +33,7 @@ mod tensor;
 
 pub use check::{finite_difference_grad, gradcheck, GradCheckReport};
 pub use graph::{Graph, Var};
-pub use init::{kaiming_uniform, normal_init, uniform_init};
+pub use init::{kaiming_bound, kaiming_uniform, normal_init, normal_init_bound, uniform_init};
 pub use shape::{broadcast_shape, num_elements, strides_for, ShapeError};
 pub use tensor::Tensor;
 

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Output-routing lint: all human-facing output must flow through the
+# turl-obs sink layer so that CLI runs stay machine-parseable and
+# instrumentation cannot diverge from what the user sees. Direct
+# `println!` / `eprintln!` calls are therefore banned everywhere except:
+#
+#   * crates/obs/           — the sink layer itself (ConsoleSink et al.)
+#   * crates/cli/src/main.rs — pre-sink argv/usage errors, before any
+#                              sink is installed
+#   * crates/bench/src/bin/ — experiment binaries that print TSV tables
+#                              for scripts/fill_experiments.py
+#
+# Exits non-zero listing every violation, for the CI `check` job.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+violations=$(grep -rnE '\b(println|eprintln)!' crates/ --include='*.rs' \
+  | grep -vE '^crates/obs/' \
+  | grep -vE '^crates/cli/src/main\.rs:' \
+  | grep -vE '^crates/bench/src/bin/' \
+  || true)
+
+if [ -n "$violations" ]; then
+  {
+    echo "error: direct println!/eprintln! outside the allowlist —"
+    echo "route output through turl_obs::info/warn instead:"
+    echo "$violations"
+  } >&2
+  exit 1
+fi
+echo "output routing: ok — no stray println!/eprintln! outside crates/obs"
