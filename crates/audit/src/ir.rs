@@ -30,6 +30,13 @@ impl TensorId {
     pub fn index(self) -> usize {
         self.0
     }
+
+    /// Handle to the tensor at a tape position. The caller must take the
+    /// index from the same [`Ir`] it resolves the handle against (the
+    /// forward-plan compiler uses this to rebuild ids for its schedule).
+    pub fn from_index(i: usize) -> Self {
+        TensorId(i)
+    }
 }
 
 /// What kind of input a [`OpKind::Source`] node is — determines its

@@ -55,7 +55,10 @@ pub use error::AuditError;
 pub use ir::{
     align_with_graph, lower_model_plan, Ir, IrBuilder, IrNode, OpKind, SourceKind, TensorId,
 };
-pub use liveness::{live_ranges, plan_arena, ArenaPlan, ArenaSlot, LiveRange};
+pub use liveness::{
+    live_ranges, plan_arena, plan_layout, ArenaLayout, ArenaPlan, ArenaRequest, ArenaSlot,
+    LiveRange,
+};
 pub use obs::{check_metrics_log, MetricsLogReport};
 pub use parallel::{check_grad_parity, ParityReport};
 pub use plan::{

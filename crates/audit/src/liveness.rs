@@ -80,57 +80,139 @@ pub fn live_ranges(ir: &Ir) -> Vec<LiveRange> {
         .collect()
 }
 
-/// Greedy best-fit arena assignment over the IR's live ranges.
+/// A buffer request for the generic planner: `bytes` of storage live
+/// over `[first_def, last_use]` (tape indices, inclusive on both ends
+/// for conflict purposes — two requests may share a slot only when one's
+/// `last_use` lies strictly before the other's `first_def`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaRequest {
+    /// Storage needed, in bytes. Zero-byte requests get no slot.
+    pub bytes: usize,
+    /// Tape index at which the buffer is written.
+    pub first_def: usize,
+    /// Tape index of the last read (or the end of the tape for outputs).
+    pub last_use: usize,
+}
+
+/// Concrete arena layout: a byte offset per request into one flat
+/// allocation of `peak_bytes`. Produced by [`plan_layout`]; consumed by
+/// the forward-plan executor, which carves its single arena buffer at
+/// these offsets instead of allocating per op.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArenaLayout {
+    /// Byte offset of each request in input order; `None` for zero-byte
+    /// requests (they need no storage).
+    pub offsets: Vec<Option<usize>>,
+    /// Slot index of each request in input order (parallel to `offsets`).
+    pub slot_of: Vec<Option<usize>>,
+    /// Capacity of each slot in bytes, in slot order.
+    pub slot_bytes: Vec<usize>,
+    /// Total arena size — the sum of slot capacities.
+    pub peak_bytes: usize,
+    /// Sum of all request sizes (the no-reuse baseline).
+    pub total_bytes: usize,
+    /// `total_bytes / peak_bytes`; 1.0 for an empty plan.
+    pub reuse_factor: f64,
+}
+
+/// Greedy best-fit slot assignment over explicit buffer requests.
 ///
-/// Tensors are visited in definition order (tape order). Each is placed
-/// in the smallest already-free slot that fits it — a slot is free once
-/// its current tenant's last use lies strictly before the new tensor's
-/// def — or a new slot is opened. Zero-element tensors need no storage
-/// and are skipped.
-pub fn plan_arena(ir: &Ir) -> ArenaPlan {
+/// Requests must arrive in definition order (nondecreasing `first_def`).
+/// Each is placed in the smallest already-free slot that fits — a slot is
+/// free once its current tenant's `last_use` lies strictly before the new
+/// request's `first_def` — or a new slot is opened sized to the request.
+/// Slots never grow, so every slot's byte range `[offset, offset+bytes)`
+/// is fixed and two requests alias only if they share a slot, which the
+/// placement rule forbids for overlapping lifetimes. That disjointness is
+/// the executor's aliasing guarantee.
+pub fn plan_layout(requests: &[ArenaRequest]) -> ArenaLayout {
     struct Slot {
         bytes: usize,
         free_at: usize, // last_use of current tenant
-        tenants: Vec<TensorId>,
     }
     let mut slots: Vec<Slot> = Vec::new();
+    let mut slot_of: Vec<Option<usize>> = Vec::with_capacity(requests.len());
     let mut total_bytes = 0usize;
 
-    for range in live_ranges(ir) {
-        let need = ir.node_at(range.id.index()).elements() * BYTES_PER_ELEM;
-        if need == 0 {
+    for req in requests {
+        if req.bytes == 0 {
+            slot_of.push(None);
             continue;
         }
-        total_bytes += need;
+        total_bytes += req.bytes;
         // Best fit: among free slots large enough, take the smallest; a
         // smallest-too-small slot is never grown (growing would invalidate
         // the peak accounting of its earlier tenants' neighbors).
         let best = slots
             .iter()
             .enumerate()
-            .filter(|(_, s)| s.free_at < range.first_def && s.bytes >= need)
+            .filter(|(_, s)| s.free_at < req.first_def && s.bytes >= req.bytes)
             .min_by_key(|(_, s)| s.bytes)
             .map(|(i, _)| i);
         match best {
             Some(i) => {
-                slots[i].free_at = range.last_use;
-                slots[i].tenants.push(range.id);
+                slots[i].free_at = req.last_use;
+                slot_of.push(Some(i));
             }
             None => {
-                slots.push(Slot { bytes: need, free_at: range.last_use, tenants: vec![range.id] });
+                slots.push(Slot { bytes: req.bytes, free_at: req.last_use });
+                slot_of.push(Some(slots.len() - 1));
             }
         }
     }
 
-    let peak_bytes: usize = slots.iter().map(|s| s.bytes).sum();
-    ArenaPlan {
-        slots: slots
-            .into_iter()
-            .map(|s| ArenaSlot { bytes: s.bytes, tenants: s.tenants })
-            .collect(),
+    // Slot offsets are the prefix sums of the (final, fixed) slot sizes.
+    let slot_bytes: Vec<usize> = slots.iter().map(|s| s.bytes).collect();
+    let mut slot_offset = Vec::with_capacity(slot_bytes.len());
+    let mut acc = 0usize;
+    for &b in &slot_bytes {
+        slot_offset.push(acc);
+        acc += b;
+    }
+    let peak_bytes = acc;
+    let offsets = slot_of.iter().map(|s| s.map(|i| slot_offset[i])).collect();
+    ArenaLayout {
+        offsets,
+        slot_of,
+        slot_bytes,
         peak_bytes,
         total_bytes,
         reuse_factor: if peak_bytes == 0 { 1.0 } else { total_bytes as f64 / peak_bytes as f64 },
+    }
+}
+
+/// Greedy best-fit arena assignment over the IR's live ranges.
+///
+/// Tensors are visited in definition order (tape order). Each is placed
+/// in the smallest already-free slot that fits it — a slot is free once
+/// its current tenant's last use lies strictly before the new tensor's
+/// def — or a new slot is opened. Zero-element tensors need no storage
+/// and are skipped. The placement itself is delegated to [`plan_layout`],
+/// which the forward-plan executor also uses for its step schedule.
+pub fn plan_arena(ir: &Ir) -> ArenaPlan {
+    let ranges = live_ranges(ir);
+    let requests: Vec<ArenaRequest> = ranges
+        .iter()
+        .map(|r| ArenaRequest {
+            bytes: ir.node_at(r.id.index()).elements() * BYTES_PER_ELEM,
+            first_def: r.first_def,
+            last_use: r.last_use,
+        })
+        .collect();
+    let layout = plan_layout(&requests);
+
+    let mut slots: Vec<ArenaSlot> =
+        layout.slot_bytes.iter().map(|&bytes| ArenaSlot { bytes, tenants: Vec::new() }).collect();
+    for (range, slot) in ranges.iter().zip(layout.slot_of.iter()) {
+        if let Some(i) = *slot {
+            slots[i].tenants.push(range.id);
+        }
+    }
+    ArenaPlan {
+        slots,
+        peak_bytes: layout.peak_bytes,
+        total_bytes: layout.total_bytes,
+        reuse_factor: layout.reuse_factor,
     }
 }
 
@@ -194,6 +276,45 @@ mod tests {
         assert!(plan.slots.is_empty());
         assert_eq!(plan.peak_bytes, 0);
         assert_eq!(plan.reuse_factor, 1.0);
+    }
+
+    #[test]
+    fn layout_offsets_of_overlapping_requests_are_disjoint() {
+        // x and y overlap (both live at step 3); z can reuse either.
+        let reqs = [
+            ArenaRequest { bytes: 64, first_def: 1, last_use: 3 },
+            ArenaRequest { bytes: 32, first_def: 2, last_use: 3 },
+            ArenaRequest { bytes: 16, first_def: 4, last_use: 5 },
+            ArenaRequest { bytes: 0, first_def: 4, last_use: 5 },
+        ];
+        let layout = plan_layout(&reqs);
+        let a = layout.offsets[0].unwrap();
+        let b = layout.offsets[1].unwrap();
+        assert!(a + 64 <= b || b + 32 <= a, "overlapping lifetimes must not alias");
+        // z fits in the freed 32 B slot (best fit), not the 64 B one.
+        assert_eq!(layout.slot_of[2], layout.slot_of[1]);
+        assert_eq!(layout.offsets[3], None, "zero-byte request gets no slot");
+        assert_eq!(layout.peak_bytes, 96);
+        assert_eq!(layout.total_bytes, 112);
+    }
+
+    #[test]
+    fn plan_arena_matches_layout_accounting() {
+        let ir = chain_ir();
+        let plan = plan_arena(&ir);
+        let ranges = live_ranges(&ir);
+        let reqs: Vec<ArenaRequest> = ranges
+            .iter()
+            .map(|r| ArenaRequest {
+                bytes: ir.node_at(r.id.index()).elements() * BYTES_PER_ELEM,
+                first_def: r.first_def,
+                last_use: r.last_use,
+            })
+            .collect();
+        let layout = plan_layout(&reqs);
+        assert_eq!(plan.peak_bytes, layout.peak_bytes);
+        assert_eq!(plan.total_bytes, layout.total_bytes);
+        assert_eq!(plan.slots.len(), layout.slot_bytes.len());
     }
 
     #[test]

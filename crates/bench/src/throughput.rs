@@ -140,6 +140,20 @@ pub fn run_suite(quick: bool, thread_counts: &[usize]) -> Vec<BenchEntry> {
     let enc_rows = world.rows[0];
     let cfg = world.pt.cfg;
 
+    // Paper-dimension encoder (d=312, 4 layers, 12 heads) over the same
+    // synthetic vocabulary: the graph forward vs the compiled arena
+    // executor at the model size the §1.5x acceptance gate targets.
+    let paper_cfg = TurlConfig::paper();
+    let mut prng = StdRng::seed_from_u64(17);
+    let mut paper_store = turl_nn::ParamStore::new();
+    let paper_model = turl_core::TurlModel::new(
+        &mut paper_store,
+        &mut prng,
+        paper_cfg,
+        world.pt.model.word_emb.vocab,
+        world.pt.model.n_entities(),
+    );
+
     let mut out = Vec::new();
     for &t in thread_counts {
         pool::set_threads(t);
@@ -195,7 +209,48 @@ pub fn run_suite(quick: bool, thread_counts: &[usize]) -> Vec<BenchEntry> {
             },
             window_ms,
         );
-        out.push(entry("encoder_fwd_bwd", enc_size, t, ns, enc_rows));
+        out.push(entry("encoder_fwd_bwd", enc_size.clone(), t, ns, enc_rows));
+
+        // Compiled graph-free inference at the small config: one full
+        // `infer` step (plan-cache lookup, runtime bindings, fused arena
+        // execution, output copy), directly comparable to encoder_fwd.
+        let mut cf = model.compiled();
+        let mut out_t = cf.encode(model, store, &enc_input).expect("compiled encode");
+        let ns = time_ns(
+            || {
+                cf.encode_into(model, store, &enc_input, &mut out_t).expect("compiled encode");
+                std::hint::black_box(out_t.data().first().copied());
+            },
+            window_ms,
+        );
+        out.push(entry("infer_step", enc_size, t, ns, enc_rows));
+
+        // Paper-dimension encoder: graph forward vs compiled executor.
+        let paper_size = format!(
+            "seq={enc_rows},d={},layers={}",
+            paper_cfg.encoder.d_model, paper_cfg.encoder.n_layers
+        );
+        let ns = time_ns(
+            || {
+                let mut f = Forward::inference(&paper_store);
+                let mut r = StdRng::seed_from_u64(2);
+                let h = paper_model.encode(&mut f, &paper_store, &mut r, &enc_input);
+                std::hint::black_box(f.graph.value(h).sum());
+            },
+            window_ms,
+        );
+        out.push(entry("encoder_fwd", paper_size.clone(), t, ns, enc_rows));
+        let mut pcf = paper_model.compiled();
+        let mut pout = pcf.encode(&paper_model, &paper_store, &enc_input).expect("compiled");
+        let ns = time_ns(
+            || {
+                pcf.encode_into(&paper_model, &paper_store, &enc_input, &mut pout)
+                    .expect("compiled encode");
+                std::hint::black_box(pout.data().first().copied());
+            },
+            window_ms,
+        );
+        out.push(entry("encoder_fwd_compiled", paper_size, t, ns, enc_rows));
 
         // Full data-parallel pre-training step over an 8-table batch.
         let step_size = format!("batch={},d={}", batch.len(), cfg.encoder.d_model);
@@ -379,6 +434,8 @@ mod tests {
             "bmm_tn",
             "encoder_fwd",
             "encoder_fwd_bwd",
+            "infer_step",
+            "encoder_fwd_compiled",
             "pretrain_step",
         ];
         for op in ops {

@@ -26,6 +26,7 @@ USAGE:
                 [--resume] [--metrics-out run.jsonl]
   turl probe    [--entities N] [--tables N] [--epochs E] [--seed S] [--ckpt model.json]
   turl fill     [--entities N] [--tables N] [--epochs E] [--seed S] [--ckpt model.json]
+  turl infer    [--entities N] [--tables N] [--seed S] [--ckpt model.json] [--reps N]
   turl audit    [--entities N] [--tables N] [--seed S]
   turl plan     [--words N] [--plan-entities N] [--tokens N] [--seq-entities N]
                 [--mention-tokens N] [--mlm N] [--mer N] [--candidates N]
@@ -56,6 +57,15 @@ files (default 3). --resume restores the newest valid checkpoint from
 the directory — corrupt or truncated files are skipped with a warning —
 and continues until --epochs total epochs, bit-identical to a run that
 was never interrupted.
+
+`infer` runs the compiled graph-free inference path: the forward plan
+is lowered through the audit IR, fused (mask+softmax, layer norm,
+bias+GELU), and executed out of one liveness-planned arena with no
+autograd tape and no per-op allocation. The command first proves the
+compiled path bit-exact against the graph forward on every validation
+table, then reports tokens/sec for both paths and the speedup. --reps
+controls the timing loop; --ckpt reuses a pre-trained checkpoint
+instead of fresh parameters.
 
 `plan` lowers the paper configuration to a typed dataflow IR and runs
 the plan-level abstract interpreter over it: per-tensor value ranges
@@ -290,6 +300,111 @@ pub fn probe(opts: &Options) -> Result<(), String> {
         300,
     );
     info(format!("object-entity prediction accuracy (validation): {acc:.3}"));
+    Ok(())
+}
+
+/// `turl infer`: the compiled graph-free inference path. Verifies the
+/// fused arena executor is **bit-exact** against the tape-based graph
+/// forward on every validation table, then times both paths and reports
+/// tokens/sec plus the compiled speedup. With `--metrics-out`, the
+/// per-fused-kernel timings and the arena high-water mark land in the
+/// metrics stream for `turl report`.
+pub fn infer(opts: &Options) -> Result<(), String> {
+    let s = setup(opts)?;
+    let mut pt =
+        Pretrainer::new(s.cfg, s.vocab.len(), s.kb.n_entities(), s.vocab.mask_id() as usize);
+    let ckpt = opts.get("ckpt", "");
+    if !ckpt.is_empty() {
+        let loaded = turl_nn::load_store(Path::new(&ckpt)).map_err(|e| e.to_string())?;
+        let copied = pt.store.load_matching(&loaded);
+        if copied != pt.store.len() {
+            return Err(format!(
+                "checkpoint {ckpt} restored only {copied}/{} parameters — \
+                 was it written with the same --entities/--tables/--seed?",
+                pt.store.len()
+            ));
+        }
+        info(format!("loaded checkpoint {ckpt}"));
+    }
+    let reps = opts.get_usize("reps", 10)?;
+    let data = encode(&s, &s.splits.validation);
+    if data.is_empty() {
+        return Err("validation split is empty".to_string());
+    }
+    let model = &pt.model;
+    let store = &pt.store;
+    let mut rng = StdRng::seed_from_u64(0);
+
+    // 1. Correctness: every table bit-exact, graph vs compiled.
+    let mut cf = model.compiled();
+    let mut total_elems = 0usize;
+    for (i, (_, enc)) in data.iter().enumerate() {
+        let mut f = turl_nn::Forward::inference(store);
+        let h = model.encode(&mut f, store, &mut rng, enc);
+        let want = f.graph.value(h);
+        let got = cf.encode(model, store, enc).map_err(|e| e.to_string())?;
+        let equal = got.shape() == want.shape()
+            && got.data().iter().zip(want.data().iter()).all(|(a, b)| a.to_bits() == b.to_bits());
+        if !equal {
+            return Err(format!("compiled forward diverged from graph on table {i}"));
+        }
+        total_elems += enc.seq_len();
+    }
+    info(format!(
+        "parity: {} tables bit-exact (graph vs compiled), {} plan shape(s) compiled",
+        data.len(),
+        cf.compiled_shapes()
+    ));
+    if let Some((_, enc)) = data.first() {
+        let plan = cf.plan_for(model, store, enc).map_err(|e| e.to_string())?;
+        info(format!(
+            "arena: peak {} bytes | naive total {} bytes | reuse factor {:.2}x | {} fused steps",
+            plan.peak_bytes,
+            plan.total_bytes,
+            plan.reuse_factor(),
+            plan.steps.len()
+        ));
+    }
+
+    // 2. Throughput: identical work through both paths.
+    let t0 = std::time::Instant::now();
+    for _ in 0..reps {
+        for (_, enc) in &data {
+            let mut f = turl_nn::Forward::inference(store);
+            let h = model.encode(&mut f, store, &mut rng, enc);
+            std::hint::black_box(f.graph.value(h).data().first().copied());
+        }
+    }
+    let graph_secs = t0.elapsed().as_secs_f64();
+    let t1 = std::time::Instant::now();
+    for _ in 0..reps {
+        let span = turl_obs::span("infer_rep").field("tables", data.len() as u64);
+        for (_, enc) in &data {
+            let out = cf.encode(model, store, enc).map_err(|e| e.to_string())?;
+            std::hint::black_box(out.data().first().copied());
+        }
+        drop(span);
+    }
+    let compiled_secs = t1.elapsed().as_secs_f64();
+    if turl_obs::metrics_enabled() {
+        // Land the fused-kernel timers and arena gauges in the stream
+        // so `turl report` can break the compiled step down.
+        turl_obs::emit_metrics_events();
+        turl_obs::emit_profile_events();
+    }
+
+    let work = (total_elems * reps) as f64;
+    info(format!(
+        "graph:    {:>10.0} tokens/sec ({:.1} ms total)",
+        work / graph_secs,
+        graph_secs * 1e3
+    ));
+    info(format!(
+        "compiled: {:>10.0} tokens/sec ({:.1} ms total)",
+        work / compiled_secs,
+        compiled_secs * 1e3
+    ));
+    info(format!("speedup:  {:.2}x", graph_secs / compiled_secs));
     Ok(())
 }
 

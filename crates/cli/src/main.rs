@@ -10,6 +10,7 @@
 //!               [--metrics-out run.jsonl]            structured JSONL telemetry
 //! turl probe    [--ckpt F] [...]                     object-entity prediction probe
 //! turl fill     [--ckpt F] [...]                     zero-shot cell filling demo
+//! turl infer    [--ckpt F] [--reps N]                compiled graph-free inference
 //! turl audit    [--entities N] [--tables N] [--seed S]  static invariant checks
 //! turl plan     [--eps F] [...]                      IR + value ranges + arena plan
 //! turl bench    [--quick] [--threads 1,2,4] [--out F]   throughput benchmark
@@ -84,6 +85,7 @@ fn main() -> ExitCode {
         "pretrain" => commands::pretrain(&opts),
         "probe" => commands::probe(&opts),
         "fill" => commands::fill(&opts),
+        "infer" => commands::infer(&opts),
         "audit" => commands::audit(&opts),
         "plan" => commands::plan(&opts),
         "bench" => commands::bench(&opts),

@@ -1,0 +1,420 @@
+//! Graph-free compiled inference for [`TurlModel`].
+//!
+//! [`CompiledForward`] is the inference twin of [`TurlModel::encode`]:
+//! instead of binding parameters into an autograd [`Graph`] and running
+//! one tape op at a time (each allocating its output `Vec` and cloning
+//! every bound parameter), it lowers the model's forward plan once per
+//! input shape through `turl-audit`'s IR and `turl-exec`'s fusing
+//! compiler, then executes the schedule out of a single reused arena —
+//! no tape, no gradient bookkeeping, no parameter clones, and zero
+//! steady-state heap allocation.
+//!
+//! The compiled pass is **bit-exact** against `encode` under an
+//! inference-mode `Forward` (every fused kernel is reassociation-free;
+//! see `turl_tensor::ops`), which the `compiled_parity` test suite
+//! asserts down to `f32::to_bits`.
+//!
+//! [`Graph`]: turl_tensor::Graph
+
+use crate::input::EncodedInput;
+use crate::model::TurlModel;
+use turl_audit::{lower_model_plan, SourceKind};
+use turl_exec::{compile, Arena, CompiledPlan, ExecError};
+use turl_nn::{ParamId, ParamStore};
+use turl_tensor::Tensor;
+
+/// The input-shape signature a compiled plan is specialized to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PlanKey {
+    n_tokens: usize,
+    n_entities: usize,
+    n_mention_tokens: usize,
+    masked: bool,
+}
+
+/// How one IR source is bound at run time.
+enum SourceBind {
+    /// A parameter tensor, resolved against the store once at compile.
+    Param(ParamId),
+    /// The input's additive visibility mask.
+    Mask,
+    /// The per-input mention-averaging matrix (Eqn. 3), built into a
+    /// reused scratch buffer.
+    AvgMatrix,
+    /// An all-zeros constant (the no-mention-tokens branch).
+    Zeros(usize),
+}
+
+/// One compiled specialization: the executable plan plus its resolved
+/// source bindings.
+struct Entry {
+    key: PlanKey,
+    plan: CompiledPlan,
+    binds: Vec<SourceBind>,
+}
+
+/// A reusable compiled-inference context for one model + store pair.
+///
+/// Create once, call [`encode`](CompiledForward::encode) per input.
+/// Plans are compiled lazily per input shape and cached; the arena and
+/// all index/constant scratch buffers are reused across calls, so the
+/// steady state performs no heap allocation beyond the output tensor
+/// (use [`encode_into`](CompiledForward::encode_into) to eliminate that
+/// one too).
+#[derive(Default)]
+pub struct CompiledForward {
+    entries: Vec<Entry>,
+    arena: Arena,
+    // Reused per-call binding scratch.
+    positions: Vec<usize>,
+    entity_ids: Vec<usize>,
+    entity_types: Vec<usize>,
+    mention_words: Vec<usize>,
+    avg_matrix: Vec<f32>,
+    zeros: Vec<f32>,
+}
+
+impl CompiledForward {
+    /// Empty context; plans compile lazily on first use of each shape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct input shapes compiled so far.
+    pub fn compiled_shapes(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The compiled plan for `input`'s shape, compiling it on a miss —
+    /// exposed so callers (CLI `infer`, benches) can report schedule
+    /// statistics such as arena size and reuse factor.
+    pub fn plan_for(
+        &mut self,
+        model: &TurlModel,
+        store: &ParamStore,
+        input: &EncodedInput,
+    ) -> Result<&CompiledPlan, ExecError> {
+        let idx = self.entry_index(model, store, input)?;
+        Ok(&self.entries[idx].plan)
+    }
+
+    fn entry_index(
+        &mut self,
+        model: &TurlModel,
+        store: &ParamStore,
+        input: &EncodedInput,
+    ) -> Result<usize, ExecError> {
+        let key = PlanKey {
+            n_tokens: input.token_ids.len(),
+            n_entities: input.entities.len(),
+            n_mention_tokens: input.entities.iter().map(|e| e.mention.len()).sum(),
+            masked: input.mask.is_some(),
+        };
+        if let Some(i) = self.entries.iter().position(|e| e.key == key) {
+            return Ok(i);
+        }
+
+        let mut plan = crate::audit::model_plan(
+            &model.cfg,
+            model.word_emb.vocab,
+            model.n_entities(),
+            key.n_tokens,
+            key.n_entities,
+            key.n_mention_tokens,
+            0, // no MLM head: compiled plans are encode-only
+            0, // no MER head
+            0,
+        );
+        // The runtime decides masking per input, not per config.
+        plan.use_visibility = key.masked;
+        let ir = lower_model_plan(&plan)
+            .map_err(|e| ExecError::Unsupported(format!("plan does not lower: {e}")))?;
+        let compiled = compile(&ir)?;
+
+        // Resolve every source once: parameters by name, runtime-built
+        // sources (mask, averaging matrix, zeros) by kind.
+        let mut binds = Vec::with_capacity(compiled.sources.len());
+        for spec in &compiled.sources {
+            let bind = match &spec.kind {
+                SourceKind::Table => {
+                    Self::param_bind(store, &format!("turl.{}.weight", spec.label))?
+                }
+                SourceKind::Weight { .. }
+                | SourceKind::Bias
+                | SourceKind::Gamma
+                | SourceKind::Beta => Self::param_bind(store, &format!("turl.{}", spec.label))?,
+                SourceKind::Mask => SourceBind::Mask,
+                SourceKind::AvgMatrix => SourceBind::AvgMatrix,
+                SourceKind::ZeroConst => SourceBind::Zeros(spec.shape.iter().product()),
+            };
+            binds.push(bind);
+        }
+        self.entries.push(Entry { key, plan: compiled, binds });
+        Ok(self.entries.len() - 1)
+    }
+
+    fn param_bind(store: &ParamStore, name: &str) -> Result<SourceBind, ExecError> {
+        store
+            .find(name)
+            .map(SourceBind::Param)
+            .ok_or_else(|| ExecError::Binding(format!("parameter '{name}' not in store")))
+    }
+
+    /// Run the compiled encoder over `input`, returning contextualized
+    /// representations `[n, d_model]` — the graph-free equivalent of
+    /// [`TurlModel::encode`] under an inference-mode `Forward`.
+    pub fn encode(
+        &mut self,
+        model: &TurlModel,
+        store: &ParamStore,
+        input: &EncodedInput,
+    ) -> Result<Tensor, ExecError> {
+        let idx = self.entry_index(model, store, input)?;
+        self.run_entry(idx, model, store, input)?;
+        let plan = &self.entries[idx].plan;
+        let out = plan.output_in(&self.arena);
+        Ok(Tensor::from_vec(plan.output_shape.clone(), out.to_vec()))
+    }
+
+    /// Like [`encode`](CompiledForward::encode) but writing into an
+    /// existing tensor of the right shape — the zero-allocation steady
+    /// state used by the throughput bench.
+    pub fn encode_into(
+        &mut self,
+        model: &TurlModel,
+        store: &ParamStore,
+        input: &EncodedInput,
+        out: &mut Tensor,
+    ) -> Result<(), ExecError> {
+        let idx = self.entry_index(model, store, input)?;
+        self.run_entry(idx, model, store, input)?;
+        let plan = &self.entries[idx].plan;
+        if out.shape() != plan.output_shape.as_slice() {
+            return Err(ExecError::Binding(format!(
+                "output tensor shape {:?} != plan output {:?}",
+                out.shape(),
+                plan.output_shape
+            )));
+        }
+        out.data_mut().copy_from_slice(plan.output_in(&self.arena));
+        Ok(())
+    }
+
+    /// Graph-free MER scoring head (paper Eqn. 6) over a compiled
+    /// encode: gather `rows` of `h`, apply the MER projection, and score
+    /// each against the candidate entity embeddings. Runs the same
+    /// kernels in the same order as [`TurlModel::mer_logits`] on the
+    /// tape, so the logits are bit-exact with the graph head.
+    pub fn mer_logits(
+        &self,
+        model: &TurlModel,
+        store: &ParamStore,
+        h: &Tensor,
+        rows: &[usize],
+        candidates: &[usize],
+    ) -> Tensor {
+        let sel = h.index_select0(rows);
+        let mut proj = turl_tensor::ops::matmul(&sel, store.value(model.mer_proj.weight));
+        if let Some(b) = model.mer_proj.bias {
+            proj = proj
+                .broadcast_zip(store.value(b), |x, y| x + y)
+                .expect("mer bias broadcasts over rows");
+        }
+        let shifted: Vec<usize> = candidates.iter().map(|&c| c + 1).collect();
+        let cand = store.value(model.ent_emb.weight).index_select0(&shifted);
+        turl_tensor::ops::matmul_nt(&proj, &cand)
+    }
+
+    fn run_entry(
+        &mut self,
+        idx: usize,
+        model: &TurlModel,
+        store: &ParamStore,
+        input: &EncodedInput,
+    ) -> Result<(), ExecError> {
+        // --- gather index lists, reusing scratch buffers --------------
+        self.positions.clear();
+        self.positions.extend(input.token_pos.iter().map(|&p| p.min(model.cfg.max_position - 1)));
+        self.entity_ids.clear();
+        self.entity_ids.extend(input.entities.iter().map(|e| e.emb_index));
+        self.entity_types.clear();
+        self.entity_types.extend(input.entities.iter().map(|e| e.type_idx));
+        self.mention_words.clear();
+        self.mention_words.extend(input.entities.iter().flat_map(|e| e.mention.iter().copied()));
+
+        let entry = &self.entries[idx];
+        let mut gathers: Vec<&[usize]> = Vec::with_capacity(entry.plan.gathers.len());
+        for spec in &entry.plan.gathers {
+            let indices: &[usize] = match spec.label.as_str() {
+                "embed.words" => &input.token_ids,
+                "embed.token_types" => &input.token_types,
+                "embed.positions" => &self.positions,
+                "embed.entities" => &self.entity_ids,
+                "embed.mention_words" => &self.mention_words,
+                "embed.ent_types" => &self.entity_types,
+                other => {
+                    return Err(ExecError::Binding(format!(
+                        "no runtime index source for gather '{other}'"
+                    )))
+                }
+            };
+            gathers.push(indices);
+        }
+
+        // --- runtime-built sources ------------------------------------
+        // Mention-averaging matrix, exactly as TurlModel::mention_means
+        // builds it: row i holds 1/len(mention_i) over its token span.
+        let total = self.mention_words.len();
+        if total > 0 {
+            self.avg_matrix.clear();
+            self.avg_matrix.resize(input.entities.len() * total, 0.0);
+            let mut off = 0usize;
+            for (i, e) in input.entities.iter().enumerate() {
+                let inv = 1.0 / e.mention.len().max(1) as f32;
+                for _ in 0..e.mention.len() {
+                    self.avg_matrix[i * total + off] = inv;
+                    off += 1;
+                }
+            }
+        }
+        let zeros_needed = entry
+            .binds
+            .iter()
+            .filter_map(|b| match b {
+                SourceBind::Zeros(n) => Some(*n),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        if self.zeros.len() < zeros_needed {
+            self.zeros.resize(zeros_needed, 0.0);
+        }
+
+        let mut sources: Vec<&[f32]> = Vec::with_capacity(entry.binds.len());
+        for bind in &entry.binds {
+            let slice: &[f32] = match bind {
+                SourceBind::Param(id) => store.value(*id).data(),
+                SourceBind::Mask => input
+                    .mask
+                    .as_ref()
+                    .ok_or_else(|| {
+                        ExecError::Binding("plan expects a visibility mask, input has none".into())
+                    })?
+                    .data(),
+                SourceBind::AvgMatrix => &self.avg_matrix,
+                SourceBind::Zeros(n) => &self.zeros[..*n],
+            };
+            sources.push(slice);
+        }
+
+        entry.plan.run(&mut self.arena, &sources, &gathers)
+    }
+}
+
+impl TurlModel {
+    /// Create a compiled graph-free inference context for this model.
+    /// See [`CompiledForward`].
+    pub fn compiled(&self) -> CompiledForward {
+        CompiledForward::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TurlConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use turl_nn::Forward;
+
+    fn build_input(tokens: usize, ents: usize, masked: bool, seed: u64) -> EncodedInput {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = tokens + ents;
+        let mask = masked.then(|| {
+            let mut m = Tensor::zeros(vec![n, n]);
+            for v in m.data_mut().iter_mut() {
+                if rng.gen::<f32>() < 0.3 {
+                    *v = -1e9;
+                }
+            }
+            m
+        });
+        EncodedInput {
+            token_ids: (0..tokens).map(|i| (i * 7 + 3) % 50).collect(),
+            token_types: (0..tokens).map(|i| i % 2).collect(),
+            token_pos: (0..tokens).collect(),
+            entities: (0..ents)
+                .map(|i| crate::input::EntityInput {
+                    emb_index: (i * 3) % 21,
+                    mention: vec![(i * 5) % 50; (i % 3) + 1],
+                    type_idx: i % 3,
+                })
+                .collect(),
+            mask,
+        }
+    }
+
+    #[test]
+    fn compiled_encode_is_bit_exact_vs_graph() {
+        let cfg = TurlConfig::small(4242);
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(99);
+        let model = TurlModel::new(&mut store, &mut rng, cfg, 50, 20);
+        let mut cf = model.compiled();
+        for (tokens, ents, masked) in [(6, 3, true), (6, 3, false), (5, 0, false), (0, 4, true)] {
+            let input = build_input(tokens, ents, masked, 7);
+            let mut f = Forward::inference(&store);
+            let h = model.encode(&mut f, &store, &mut rng, &input);
+            let want = f.graph.value(h).clone();
+            let got = cf.encode(&model, &store, &input).expect("compiled encode");
+            assert_eq!(got.shape(), want.shape());
+            for (a, b) in got.data().iter().zip(want.data().iter()) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "compiled diverged ({tokens},{ents},{masked})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mer_head_is_bit_exact_vs_graph() {
+        let cfg = TurlConfig::small(77);
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(77);
+        let model = TurlModel::new(&mut store, &mut rng, cfg, 50, 20);
+        let input = build_input(5, 3, true, 11);
+        let rows = [input.entity_row(0), input.entity_row(2)];
+        let candidates = [0usize, 3, 7, 19];
+
+        let mut f = Forward::inference(&store);
+        let h = model.encode(&mut f, &store, &mut rng, &input);
+        let logits = model.mer_logits(&mut f, &store, h, &rows, &candidates);
+        let want = f.graph.value(logits).clone();
+
+        let mut cf = model.compiled();
+        let hc = cf.encode(&model, &store, &input).expect("compiled encode");
+        let got = cf.mer_logits(&model, &store, &hc, &rows, &candidates);
+        assert_eq!(got.shape(), want.shape());
+        for (a, b) in got.data().iter().zip(want.data().iter()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "MER head diverged from graph");
+        }
+    }
+
+    #[test]
+    fn plan_cache_reuses_shapes() {
+        let cfg = TurlConfig::tiny(1);
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let model = TurlModel::new(&mut store, &mut rng, cfg, 50, 20);
+        let mut cf = model.compiled();
+        let input = build_input(4, 2, true, 1);
+        cf.encode(&model, &store, &input).expect("first");
+        cf.encode(&model, &store, &input).expect("second");
+        assert_eq!(cf.compiled_shapes(), 1, "same shape must not recompile");
+        let other = build_input(5, 2, true, 2);
+        cf.encode(&model, &store, &other).expect("third");
+        assert_eq!(cf.compiled_shapes(), 2);
+    }
+}

@@ -12,7 +12,10 @@
 //!   metadata tokens and Masked Entity Recovery over entity cells, with
 //!   candidate-set softmax ([`Pretrainer`], [`MaskPlan`]);
 //! * **fine-tuning heads** for all six TUBE tasks (module [`tasks`]);
-//! * the Figure-7 **object-entity prediction probe** ([`probe`]).
+//! * the Figure-7 **object-entity prediction probe** ([`probe`]);
+//! * a **compiled inference path** ([`CompiledForward`]) — the encoder
+//!   lowered through `turl-audit`'s IR and `turl-exec`'s fusing compiler
+//!   into a graph-free, arena-backed schedule, bit-exact vs the tape.
 //!
 //! # Quickstart
 //!
@@ -22,6 +25,7 @@
 #![deny(missing_docs)]
 
 pub mod audit;
+mod compiled;
 mod config;
 mod extensions;
 mod finetune;
@@ -31,6 +35,7 @@ mod pretrain;
 pub mod probe;
 pub mod tasks;
 
+pub use compiled::CompiledForward;
 pub use config::{CandidateConfig, PretrainConfig, TurlConfig};
 pub use extensions::{AuxRelationObjective, RelationPair};
 pub use finetune::{FinetuneConfig, FinetuneStats};

@@ -13,10 +13,15 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use turl_data::{EntityPosition, TableInstance};
 use turl_kb::CooccurrenceIndex;
-use turl_nn::{Forward, ParamStore};
+use turl_nn::ParamStore;
 
 /// Top-1 accuracy of object-entity prediction over pre-encoded validation
 /// tables. `max_cells` bounds the probed cells for speed.
+///
+/// Encodes run through the compiled forward plan
+/// ([`crate::CompiledForward`]) — graph-free and bit-exact with the
+/// tape, so probe numbers are unchanged from the graph implementation
+/// while each cell skips the tape/grad bookkeeping.
 pub fn object_entity_accuracy(
     model: &TurlModel,
     store: &ParamStore,
@@ -27,6 +32,7 @@ pub fn object_entity_accuracy(
     max_cells: usize,
 ) -> f64 {
     let mut rng = StdRng::seed_from_u64(seed);
+    let mut cf = model.compiled();
     let mut correct = 0usize;
     let mut total = 0usize;
     'outer: for (inst, clean) in data {
@@ -44,10 +50,9 @@ pub fn object_entity_accuracy(
             };
             let mut enc = clean.clone();
             enc.mask_entity(i, true, mask_word_id);
-            let mut f = Forward::inference(store);
-            let h = model.encode(&mut f, store, &mut rng, &enc);
-            let logits = model.mer_logits(&mut f, store, h, &[enc.entity_row(i)], &candidates);
-            let pred = f.graph.value(logits).argmax();
+            let h = cf.encode(model, store, &enc).expect("compiled probe encode");
+            let logits = cf.mer_logits(model, store, &h, &[enc.entity_row(i)], &candidates);
+            let pred = logits.argmax();
             if pred == gold_pos {
                 correct += 1;
             }

@@ -1,0 +1,232 @@
+//! Compiled-vs-graph equivalence suite (the forward-plan compiler's
+//! correctness pins).
+//!
+//! 1. A property test over the config/input space — sequence lengths,
+//!    head counts, layer counts, `ln_eps`, visibility masks including
+//!    fully-masked rows — asserting the compiled arena executor is
+//!    **bit-identical** (`f32::to_bits`) to the tape-based `Graph`
+//!    forward. Every fused kernel is reassociation-free, so exact
+//!    equality is the contract, not a tolerance.
+//! 2. A schedule-vs-IR drift guard: the compiled step schedule must
+//!    cover the lowered IR exactly while that same IR still aligns
+//!    op-for-op with the runtime tape (`align_with_graph`), chaining
+//!    compiled schedule → IR → tape.
+//! 3. A re-check of the range analysis (PR 5) against *executed* fused
+//!    outputs: values produced by the compiled path must lie inside the
+//!    statically derived interval of the IR's output node.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use turl_audit::{align_with_graph, analyze_ranges, lower_model_plan};
+use turl_core::{EncodedInput, EntityInput, TurlConfig, TurlModel};
+use turl_exec::compile;
+use turl_nn::{Forward, ParamStore};
+use turl_tensor::Tensor;
+
+const N_WORDS: usize = 40;
+const N_KB_ENTITIES: usize = 15;
+
+struct Case {
+    cfg: TurlConfig,
+    input: EncodedInput,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_case(
+    seed: u64,
+    tokens: usize,
+    ents: usize,
+    n_heads: usize,
+    n_layers: usize,
+    ln_eps: f32,
+    masked: bool,
+    fully_masked_row: bool,
+    mention_lens: &[usize],
+) -> Case {
+    let mut cfg = TurlConfig::tiny(seed);
+    cfg.encoder.n_heads = n_heads;
+    cfg.encoder.n_layers = n_layers;
+    cfg.encoder.ln_eps = ln_eps;
+    cfg.use_visibility = masked;
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xFEED);
+    let entities: Vec<EntityInput> = (0..ents)
+        .map(|i| EntityInput {
+            emb_index: rng.gen_range(0..=N_KB_ENTITIES),
+            mention: (0..mention_lens[i % mention_lens.len()])
+                .map(|_| rng.gen_range(0..N_WORDS))
+                .collect(),
+            type_idx: i % 3,
+        })
+        .collect();
+    let n = tokens + ents;
+    let mask = masked.then(|| {
+        let mut m = Tensor::zeros(vec![n, n]);
+        for v in m.data_mut().iter_mut() {
+            if rng.gen::<f32>() < 0.4 {
+                *v = -1e9;
+            }
+        }
+        if fully_masked_row && n > 0 {
+            // An element no other element may attend to: the fused
+            // softmax must agree with the graph on the degenerate row.
+            for j in 0..n {
+                m.set2(0, j, -1e9);
+            }
+        }
+        m
+    });
+    let input = EncodedInput {
+        token_ids: (0..tokens).map(|_| rng.gen_range(0..N_WORDS)).collect(),
+        token_types: (0..tokens).map(|i| i % 2).collect(),
+        token_pos: (0..tokens).collect(),
+        entities,
+        mask,
+    };
+    Case { cfg, input }
+}
+
+/// Graph-path reference: one inference-mode tape encode.
+fn graph_encode(case: &Case, store: &ParamStore, model: &TurlModel) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut f = Forward::inference(store);
+    let h = model.encode(&mut f, store, &mut rng, &case.input);
+    f.graph.value(h).clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn compiled_encode_is_bit_identical_to_graph(
+        seed in 0u64..1_000,
+        tokens in 0usize..9,
+        ents in 0usize..6,
+        head_pick in 0usize..3,
+        n_layers in 1usize..3,
+        eps_pick in 0usize..2,
+        masked in any::<bool>(),
+        fully_masked_row in any::<bool>(),
+        mention_lens in proptest::collection::vec(0usize..4, 5),
+    ) {
+        prop_assume!(tokens + ents > 0);
+        let n_heads = [1usize, 2, 4][head_pick];
+        let ln_eps = [1e-5f32, 1e-3][eps_pick];
+        let case = build_case(
+            seed, tokens, ents, n_heads, n_layers, ln_eps, masked,
+            fully_masked_row, &mention_lens,
+        );
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model =
+            TurlModel::new(&mut store, &mut rng, case.cfg, N_WORDS, N_KB_ENTITIES);
+        let want = graph_encode(&case, &store, &model);
+
+        let mut cf = model.compiled();
+        let got = cf.encode(&model, &store, &case.input).expect("compiled encode");
+        prop_assert_eq!(got.shape(), want.shape());
+        for (i, (a, b)) in got.data().iter().zip(want.data().iter()).enumerate() {
+            prop_assert_eq!(
+                a.to_bits(), b.to_bits(),
+                "bit divergence at element {} ({} vs {})", i, a, b
+            );
+        }
+    }
+}
+
+/// Schedule → IR → tape: the compiled schedule covers the lowered IR
+/// exactly (no dropped, duplicated, or reordered node) while that IR
+/// aligns op-for-op with a real tape forward of the same shape.
+#[test]
+fn compiled_schedule_covers_ir_that_aligns_with_tape() {
+    for (tokens, ents, masked) in [(6, 3, true), (5, 2, false), (0, 4, true)] {
+        let case = build_case(7, tokens, ents, 2, 2, 1e-5, masked, false, &[1, 2, 0]);
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let model = TurlModel::new(&mut store, &mut rng, case.cfg, N_WORDS, N_KB_ENTITIES);
+
+        let n_mention_tokens: usize = case.input.entities.iter().map(|e| e.mention.len()).sum();
+        let mut plan = turl_core::audit::model_plan(
+            &case.cfg,
+            N_WORDS,
+            N_KB_ENTITIES,
+            tokens,
+            ents,
+            n_mention_tokens,
+            0,
+            0,
+            0,
+        );
+        plan.use_visibility = masked;
+        let ir = lower_model_plan(&plan).expect("plan lowers");
+        let compiled = compile(&ir).expect("plan compiles");
+        compiled.verify_covers(&ir).expect("schedule covers IR");
+
+        // The same IR must still describe the runtime tape: an encode-only
+        // inference forward aligns node-for-node.
+        let mut f = Forward::inference(&store);
+        let mut rng2 = StdRng::seed_from_u64(0);
+        model.encode(&mut f, &store, &mut rng2, &case.input);
+        let pairs = align_with_graph(&ir, &f.graph).expect("IR aligns with tape");
+        let computed = ir.nodes().iter().filter(|n| !n.kind.is_source()).count();
+        assert_eq!(pairs.len(), computed);
+
+        // Chain the two: every step's materialized output maps to a tape
+        // var of identical shape.
+        for step in &compiled.steps {
+            let (_, var) = pairs
+                .iter()
+                .find(|(tid, _)| *tid == step.out_id)
+                .expect("step output must be an aligned IR node");
+            assert_eq!(
+                ir.node_at(step.out_id.index()).shape,
+                f.graph.value(*var).shape(),
+                "shape drift at step '{}'",
+                step.label
+            );
+        }
+    }
+}
+
+/// The PR-5 value-range analysis, re-checked against *executed* fused
+/// kernels: every element the compiled path produces must lie inside
+/// the statically proven interval of the IR output node (which also
+/// proves NaN-freedom for freshly initialized parameters).
+#[test]
+fn compiled_outputs_lie_within_statically_analyzed_ranges() {
+    for (tokens, ents, masked) in [(6, 3, true), (4, 2, false)] {
+        let case = build_case(13, tokens, ents, 2, 2, 1e-5, masked, masked, &[2, 1, 3]);
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(13);
+        let model = TurlModel::new(&mut store, &mut rng, case.cfg, N_WORDS, N_KB_ENTITIES);
+
+        let n_mention_tokens: usize = case.input.entities.iter().map(|e| e.mention.len()).sum();
+        let mut plan = turl_core::audit::model_plan(
+            &case.cfg,
+            N_WORDS,
+            N_KB_ENTITIES,
+            tokens,
+            ents,
+            n_mention_tokens,
+            0,
+            0,
+            0,
+        );
+        plan.use_visibility = masked;
+        let ir = lower_model_plan(&plan).expect("plan lowers");
+        let analysis = analyze_ranges(&ir);
+        let out_range = &analysis.ranges[ir.len() - 1];
+        assert!(!out_range.can_be_nan, "encode output must be provably NaN-free");
+
+        let mut cf = model.compiled();
+        let got = cf.encode(&model, &store, &case.input).expect("compiled encode");
+        for (i, &v) in got.data().iter().enumerate() {
+            assert!(v.is_finite(), "non-finite compiled output at {i}");
+            assert!(
+                out_range.contains(v),
+                "compiled output {v} at {i} escapes proven range {out_range}"
+            );
+        }
+    }
+}

@@ -1,0 +1,1258 @@
+//! Lowering an audit IR into an executable, fused, arena-backed schedule.
+
+use std::fmt;
+
+use turl_audit::{plan_layout, ArenaRequest, Ir, OpKind, SourceKind, TensorId};
+
+/// Compilation or execution failure, with the offending node's label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The IR contains an op the executor cannot lower (e.g. a loss head
+    /// — compiled plans are inference-only).
+    Unsupported(String),
+    /// The compile-time aliasing audit found a step whose output span
+    /// overlaps a live input span (planner invariant violation).
+    Alias(String),
+    /// A runtime binding mismatch: wrong source slice length, wrong
+    /// gather count, or an out-of-range gather index.
+    Binding(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Unsupported(s) => write!(f, "unsupported op: {s}"),
+            ExecError::Alias(s) => write!(f, "arena aliasing violation: {s}"),
+            ExecError::Binding(s) => write!(f, "binding mismatch: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Where a step operand lives at run time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operand {
+    /// A span of the shared arena, in f32 elements.
+    Arena {
+        /// Element offset into the arena buffer.
+        off: usize,
+        /// Length in elements.
+        len: usize,
+    },
+    /// A caller-bound input slice (parameter, mask, or constant), by
+    /// position in [`CompiledPlan::sources`].
+    Source {
+        /// Index into the bound source list.
+        idx: usize,
+    },
+}
+
+/// One IR source node the caller must bind a slice for at run time, in
+/// the order `run` expects them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceSpec {
+    /// IR node this source binds.
+    pub id: TensorId,
+    /// What the source is (parameter table, mask, constant, ...).
+    pub kind: SourceKind,
+    /// The IR label (e.g. `word_emb`), used to resolve parameters.
+    pub label: String,
+    /// Expected shape; the bound slice must hold its product.
+    pub shape: Vec<usize>,
+}
+
+/// One gather whose indices the caller supplies at run time, in the
+/// order `run` expects them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GatherSpec {
+    /// IR node of the gather.
+    pub id: TensorId,
+    /// The IR label (e.g. `embed.words`).
+    pub label: String,
+    /// Number of indices the caller must supply.
+    pub rows: usize,
+    /// Row length of the gathered table.
+    pub row_len: usize,
+    /// Number of rows in the table (indices must stay below this).
+    pub table_rows: usize,
+}
+
+/// The kernel a [`Step`] dispatches to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StepKind {
+    /// Row gather from `table` using the caller-bound index list
+    /// `gather` (position in [`CompiledPlan::gathers`]).
+    Gather {
+        /// Gathered table.
+        table: Operand,
+        /// Index-list position in the plan's gather order.
+        gather: usize,
+        /// Row length.
+        row_len: usize,
+    },
+    /// `out[m,n] = a[m,k] · b[k,n]`, with an optional fused bias (and
+    /// bias+GELU) epilogue absorbed from the following IR ops.
+    MatMul {
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+        /// Fused rank-1 bias, added after full accumulation.
+        bias: Option<Operand>,
+        /// Apply GELU after the bias (requires `bias`).
+        gelu: bool,
+        /// Output rows.
+        m: usize,
+        /// Inner dimension.
+        k: usize,
+        /// Output columns.
+        n: usize,
+    },
+    /// `out[m,n] = a[m,k] · b[n,k]ᵀ` via an arena scratch panel.
+    MatMulNT {
+        /// Left operand.
+        a: Operand,
+        /// Right operand (stored transposed).
+        b: Operand,
+        /// Arena span for the `[k, n]` transpose panel.
+        scratch: Operand,
+        /// Output rows.
+        m: usize,
+        /// Inner dimension.
+        k: usize,
+        /// Output columns.
+        n: usize,
+    },
+    /// Batched `out[bs,m,n] = a[bs,m,k] · b[bs,k,n]`.
+    Bmm {
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+        /// Batch count.
+        bs: usize,
+        /// Output rows per batch.
+        m: usize,
+        /// Inner dimension.
+        k: usize,
+        /// Output columns per batch.
+        n: usize,
+    },
+    /// Batched `out[bs,m,n] = a[bs,m,k] · b[bs,n,k]ᵀ` via arena scratch.
+    BmmNT {
+        /// Left operand.
+        a: Operand,
+        /// Right operand (stored transposed per batch).
+        b: Operand,
+        /// Arena span for the `[bs, k, n]` transpose panels.
+        scratch: Operand,
+        /// Batch count.
+        bs: usize,
+        /// Output rows per batch.
+        m: usize,
+        /// Inner dimension.
+        k: usize,
+        /// Output columns per batch.
+        n: usize,
+    },
+    /// Elementwise sum; `b` is cycled when shorter (suffix broadcast).
+    Add {
+        /// Full-size operand.
+        a: Operand,
+        /// Added operand (same size or a trailing-axes broadcast).
+        b: Operand,
+    },
+    /// Fused `scale → (+ mask) → softmax` over rows of `row_len`.
+    FusedSoftmax {
+        /// Logits.
+        x: Operand,
+        /// Pre-softmax scale factor (1.0 when no scale op was fused).
+        scale: f32,
+        /// Additive mask, cycled over `x` when shorter.
+        mask: Option<Operand>,
+        /// Softmax row length (last axis).
+        row_len: usize,
+    },
+    /// One-pass layer norm (mean/var/normalize/scale/shift).
+    FusedLayerNorm {
+        /// Normalized input.
+        x: Operand,
+        /// Scale vector; its length is the row width.
+        gamma: Operand,
+        /// Shift vector.
+        beta: Operand,
+        /// Variance epsilon.
+        eps: f32,
+    },
+    /// Standalone elementwise scale (no softmax to fuse into).
+    Scale {
+        /// Input.
+        x: Operand,
+        /// Factor.
+        factor: f32,
+    },
+    /// Standalone elementwise GELU.
+    Gelu {
+        /// Input.
+        x: Operand,
+    },
+    /// One-copy `reshape ⇄ permute` (or standalone permute): walk
+    /// `out_shape` row-major reading `x` through `read_strides`.
+    CopyStrided {
+        /// Copy source.
+        x: Operand,
+        /// Iteration shape of the copy.
+        out_shape: Vec<usize>,
+        /// Read strides into `x`, one per `out_shape` axis.
+        read_strides: Vec<usize>,
+    },
+    /// Straight copy (a materialized standalone reshape).
+    Memcpy {
+        /// Copy source.
+        x: Operand,
+    },
+    /// Row-wise concatenation: parts copied back to back.
+    ConcatRows {
+        /// Parts in order.
+        parts: Vec<Operand>,
+    },
+    /// Column-wise concatenation of rank-2 parts with shared row count.
+    ConcatCols {
+        /// `(part, part_cols)` in order.
+        parts: Vec<(Operand, usize)>,
+        /// Shared row count.
+        rows: usize,
+    },
+}
+
+/// One executable unit of the schedule: a kernel, its operands, the
+/// arena span it writes, and the IR nodes it covers (one node, or a
+/// fused chain).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// Dispatched kernel.
+    pub kind: StepKind,
+    /// Output span in the arena, in elements.
+    pub out: Operand,
+    /// IR tensor this step materializes (the last node of its chain).
+    pub out_id: TensorId,
+    /// All IR nodes this step covers, in tape order. Interior nodes of a
+    /// fused chain never materialize.
+    pub covered: Vec<TensorId>,
+    /// Label of the output node (diagnostics).
+    pub label: String,
+}
+
+/// A fully lowered forward plan: fused steps over one shared arena.
+#[derive(Debug, Clone)]
+pub struct CompiledPlan {
+    /// Executable steps in order.
+    pub steps: Vec<Step>,
+    /// Sources the caller binds, in order.
+    pub sources: Vec<SourceSpec>,
+    /// Gathers the caller supplies indices for, in order.
+    pub gathers: Vec<GatherSpec>,
+    /// Arena span of the plan output (the final IR node).
+    pub output: Operand,
+    /// Shape of the plan output.
+    pub output_shape: Vec<usize>,
+    /// Required arena capacity, in f32 elements.
+    pub arena_elems: usize,
+    /// Required arena capacity, in bytes (the liveness planner's
+    /// `peak_bytes` over the fused step schedule).
+    pub peak_bytes: usize,
+    /// No-reuse baseline bytes (every step output held to the end).
+    pub total_bytes: usize,
+}
+
+impl CompiledPlan {
+    /// `total_bytes / peak_bytes` — how many times over the arena is
+    /// reused relative to a no-reuse executor.
+    pub fn reuse_factor(&self) -> f64 {
+        if self.peak_bytes == 0 {
+            1.0
+        } else {
+            self.total_bytes as f64 / self.peak_bytes as f64
+        }
+    }
+
+    /// Check that the schedule covers the IR exactly: every computed
+    /// node is covered by exactly one step, in tape order, with the
+    /// step's materialized shape matching the IR — the schedule-vs-IR
+    /// drift guard (the executor twin of `align_with_graph`).
+    pub fn verify_covers(&self, ir: &Ir) -> Result<(), ExecError> {
+        let mut covered = vec![false; ir.len()];
+        let mut prev_last = 0usize;
+        for step in &self.steps {
+            for id in &step.covered {
+                if ir.node_at(id.index()).kind.is_source() {
+                    return Err(ExecError::Alias(format!(
+                        "step '{}' claims to cover source node {}",
+                        step.label,
+                        id.index()
+                    )));
+                }
+                if covered[id.index()] {
+                    return Err(ExecError::Alias(format!(
+                        "node {} covered twice (last by step '{}')",
+                        id.index(),
+                        step.label
+                    )));
+                }
+                covered[id.index()] = true;
+            }
+            let last = step.out_id.index();
+            if last < prev_last {
+                return Err(ExecError::Alias(format!("step '{}' out of tape order", step.label)));
+            }
+            prev_last = last;
+            let want = ir.node_at(last).elements();
+            let Operand::Arena { len, .. } = step.out else {
+                return Err(ExecError::Alias(format!("step '{}' writes a source", step.label)));
+            };
+            if len != want {
+                return Err(ExecError::Alias(format!(
+                    "step '{}' materializes {} elements, IR says {}",
+                    step.label, len, want
+                )));
+            }
+        }
+        for id in ir.op_ids() {
+            if !covered[id.index()] {
+                return Err(ExecError::Unsupported(format!(
+                    "node {} ('{}') not covered by any step",
+                    id.index(),
+                    ir.node_at(id.index()).label
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Contiguous row-major strides of a shape.
+fn contig_strides(shape: &[usize]) -> Vec<usize> {
+    let mut s = vec![1usize; shape.len()];
+    for i in (0..shape.len().saturating_sub(1)).rev() {
+        s[i] = s[i + 1] * shape[i + 1];
+    }
+    s
+}
+
+/// Recover the axes of a permute node from its input/output shapes.
+///
+/// The IR does not record permute axes, so the compiler accepts exactly
+/// the permutes the plan lowering emits: the rank-3 leading-axis swap
+/// `[1, 0, 2]` used to split and merge attention heads (and trivial
+/// identity permutes). Anything else is a compile error.
+fn infer_permute_axes(in_shape: &[usize], out_shape: &[usize]) -> Result<Vec<usize>, ExecError> {
+    if in_shape.len() == 3
+        && out_shape == [in_shape[1], in_shape[0], in_shape[2]]
+        && in_shape[0] != in_shape[1]
+    {
+        return Ok(vec![1, 0, 2]);
+    }
+    if in_shape == out_shape {
+        // Shape-preserving rank-3 case (n_heads == seq len): the lowering
+        // only ever emits the head swap, never an identity permute.
+        if in_shape.len() == 3 {
+            return Ok(vec![1, 0, 2]);
+        }
+        return Ok((0..in_shape.len()).collect());
+    }
+    Err(ExecError::Unsupported(format!(
+        "permute {in_shape:?} -> {out_shape:?} (axes not recoverable from shapes)"
+    )))
+}
+
+/// Lower an [`Ir`] into a [`CompiledPlan`].
+///
+/// Runs the fusion pass, plans the arena over the fused step schedule
+/// with the audit crate's greedy best-fit planner, resolves every
+/// operand to a source index or arena span, and audits that no step's
+/// output span overlaps any of its live input spans.
+pub fn compile(ir: &Ir) -> Result<CompiledPlan, ExecError> {
+    // --- reader bookkeeping -------------------------------------------
+    let n = ir.len();
+    let mut readers: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, node) in ir.nodes().iter().enumerate() {
+        for inp in &node.inputs {
+            readers[inp.index()].push(i);
+        }
+    }
+    let sole_reader = |i: usize| -> Option<usize> {
+        match readers[i].as_slice() {
+            [r] => Some(*r),
+            _ => None,
+        }
+    };
+
+    // --- source table -------------------------------------------------
+    let mut sources: Vec<SourceSpec> = Vec::new();
+    let mut source_idx: Vec<Option<usize>> = vec![None; n];
+    for (i, node) in ir.nodes().iter().enumerate() {
+        if let OpKind::Source(kind) = &node.kind {
+            source_idx[i] = Some(sources.len());
+            sources.push(SourceSpec {
+                id: TensorId::from_index(i),
+                kind: kind.clone(),
+                label: node.label.clone(),
+                shape: node.shape.clone(),
+            });
+        }
+    }
+
+    // --- fusion pass: build steps with symbolic (TensorId) operands ---
+    /// A step before arena resolution: operands are still TensorIds.
+    struct ProtoStep {
+        kind: ProtoKind,
+        out_id: usize,
+        covered: Vec<usize>,
+        inputs: Vec<usize>,
+        scratch_elems: usize,
+    }
+    enum ProtoKind {
+        Gather {
+            table: usize,
+            gather: usize,
+            row_len: usize,
+        },
+        MatMul {
+            a: usize,
+            b: usize,
+            bias: Option<usize>,
+            gelu: bool,
+            m: usize,
+            k: usize,
+            nn: usize,
+        },
+        MatMulNT {
+            a: usize,
+            b: usize,
+            m: usize,
+            k: usize,
+            nn: usize,
+        },
+        Bmm {
+            a: usize,
+            b: usize,
+            bs: usize,
+            m: usize,
+            k: usize,
+            nn: usize,
+        },
+        BmmNT {
+            a: usize,
+            b: usize,
+            bs: usize,
+            m: usize,
+            k: usize,
+            nn: usize,
+        },
+        Add {
+            a: usize,
+            b: usize,
+        },
+        FusedSoftmax {
+            x: usize,
+            scale: f32,
+            mask: Option<usize>,
+            row_len: usize,
+        },
+        FusedLayerNorm {
+            x: usize,
+            gamma: usize,
+            beta: usize,
+            eps: f32,
+        },
+        Scale {
+            x: usize,
+            factor: f32,
+        },
+        Gelu {
+            x: usize,
+        },
+        CopyStrided {
+            x: usize,
+            out_shape: Vec<usize>,
+            read_strides: Vec<usize>,
+        },
+        Memcpy {
+            x: usize,
+        },
+        ConcatRows {
+            parts: Vec<usize>,
+        },
+        ConcatCols {
+            parts: Vec<(usize, usize)>,
+            rows: usize,
+        },
+    }
+
+    let mut gathers: Vec<GatherSpec> = Vec::new();
+    let mut steps: Vec<ProtoStep> = Vec::new();
+    let mut absorbed = vec![false; n];
+    let shape = |i: usize| ir.node_at(i).shape.as_slice();
+    let elems = |i: usize| ir.node_at(i).elements();
+
+    // Broadcast-add compatibility: same size, or `b` a trailing-axes
+    // broadcast (its shape a suffix of `a`'s) cycled over `a`.
+    let add_compatible = |a: usize, b: usize| -> bool {
+        let (sa, sb) = (shape(a), shape(b));
+        if sa == sb {
+            return true;
+        }
+        sb.len() <= sa.len() && sa.ends_with(sb) && elems(b) > 0
+    };
+
+    for i in 0..n {
+        let node = ir.node_at(i);
+        if node.kind.is_source() || absorbed[i] {
+            continue;
+        }
+        let input = |slot: usize| node.inputs[slot].index();
+        let proto = match &node.kind {
+            OpKind::Source(_) => unreachable!("sources skipped above"),
+            OpKind::CrossEntropy => {
+                return Err(ExecError::Unsupported(format!(
+                    "cross_entropy '{}' (compiled plans are inference-only; lower a \
+                     zero-target plan)",
+                    node.label
+                )))
+            }
+            OpKind::Gather => {
+                let table = input(0);
+                let ts = shape(table);
+                let row_len = ts[1..].iter().product::<usize>().max(1);
+                gathers.push(GatherSpec {
+                    id: TensorId::from_index(i),
+                    label: node.label.clone(),
+                    rows: node.shape[0],
+                    row_len,
+                    table_rows: ts.first().copied().unwrap_or(0),
+                });
+                ProtoStep {
+                    kind: ProtoKind::Gather { table, gather: gathers.len() - 1, row_len },
+                    out_id: i,
+                    covered: vec![i],
+                    inputs: vec![table],
+                    scratch_elems: 0,
+                }
+            }
+            OpKind::MatMul => {
+                let (a, b) = (input(0), input(1));
+                let (m, k) = (shape(a)[0], shape(a)[1]);
+                let nn = shape(b)[1];
+                // Bias epilogue: the matmul's sole reader is an add of a
+                // rank-1 vector matching the output's last axis.
+                let mut covered = vec![i];
+                let mut bias = None;
+                let mut gelu = false;
+                let mut out_id = i;
+                if let Some(r) = sole_reader(i) {
+                    let rn = ir.node_at(r);
+                    if rn.kind == OpKind::Add
+                        && rn.inputs[0].index() == i
+                        && shape(rn.inputs[1].index()) == [nn]
+                    {
+                        bias = Some(rn.inputs[1].index());
+                        absorbed[r] = true;
+                        covered.push(r);
+                        out_id = r;
+                        if let Some(g) = sole_reader(r) {
+                            if ir.node_at(g).kind == OpKind::Gelu {
+                                gelu = true;
+                                absorbed[g] = true;
+                                covered.push(g);
+                                out_id = g;
+                            }
+                        }
+                    }
+                }
+                let mut inputs = vec![a, b];
+                if let Some(bv) = bias {
+                    inputs.push(bv);
+                }
+                ProtoStep {
+                    kind: ProtoKind::MatMul { a, b, bias, gelu, m, k, nn },
+                    out_id,
+                    covered,
+                    inputs,
+                    scratch_elems: 0,
+                }
+            }
+            OpKind::MatMulNT => {
+                let (a, b) = (input(0), input(1));
+                let (m, k) = (shape(a)[0], shape(a)[1]);
+                let nn = shape(b)[0];
+                ProtoStep {
+                    kind: ProtoKind::MatMulNT { a, b, m, k, nn },
+                    out_id: i,
+                    covered: vec![i],
+                    inputs: vec![a, b],
+                    scratch_elems: k * nn,
+                }
+            }
+            OpKind::Bmm => {
+                let (a, b) = (input(0), input(1));
+                let (bs, m, k) = (shape(a)[0], shape(a)[1], shape(a)[2]);
+                let nn = shape(b)[2];
+                ProtoStep {
+                    kind: ProtoKind::Bmm { a, b, bs, m, k, nn },
+                    out_id: i,
+                    covered: vec![i],
+                    inputs: vec![a, b],
+                    scratch_elems: 0,
+                }
+            }
+            OpKind::BmmNT => {
+                let (a, b) = (input(0), input(1));
+                let (bs, m, k) = (shape(a)[0], shape(a)[1], shape(a)[2]);
+                let nn = shape(b)[1];
+                ProtoStep {
+                    kind: ProtoKind::BmmNT { a, b, bs, m, k, nn },
+                    out_id: i,
+                    covered: vec![i],
+                    inputs: vec![a, b],
+                    scratch_elems: bs * k * nn,
+                }
+            }
+            OpKind::Scale { factor } => {
+                // scale → (mask) → softmax fuses into one row pass.
+                let x = input(0);
+                let scale = *factor as f32;
+                let mut chain: Option<ProtoStep> = None;
+                if let Some(r) = sole_reader(i) {
+                    let rn = ir.node_at(r);
+                    if rn.kind == OpKind::Mask && rn.inputs[0].index() == i {
+                        if let Some(s) = sole_reader(r) {
+                            if ir.node_at(s).kind == OpKind::Softmax {
+                                let mask = rn.inputs[1].index();
+                                absorbed[r] = true;
+                                absorbed[s] = true;
+                                let row_len = *shape(s).last().unwrap_or(&1);
+                                chain = Some(ProtoStep {
+                                    kind: ProtoKind::FusedSoftmax {
+                                        x,
+                                        scale,
+                                        mask: Some(mask),
+                                        row_len,
+                                    },
+                                    out_id: s,
+                                    covered: vec![i, r, s],
+                                    inputs: vec![x, mask],
+                                    scratch_elems: 0,
+                                });
+                            }
+                        }
+                    } else if rn.kind == OpKind::Softmax {
+                        absorbed[r] = true;
+                        let row_len = *shape(r).last().unwrap_or(&1);
+                        chain = Some(ProtoStep {
+                            kind: ProtoKind::FusedSoftmax { x, scale, mask: None, row_len },
+                            out_id: r,
+                            covered: vec![i, r],
+                            inputs: vec![x],
+                            scratch_elems: 0,
+                        });
+                    }
+                }
+                chain.unwrap_or(ProtoStep {
+                    kind: ProtoKind::Scale { x, factor: scale },
+                    out_id: i,
+                    covered: vec![i],
+                    inputs: vec![x],
+                    scratch_elems: 0,
+                })
+            }
+            OpKind::Mask => {
+                let (x, mask) = (input(0), input(1));
+                if let Some(s) = sole_reader(i) {
+                    if ir.node_at(s).kind == OpKind::Softmax {
+                        absorbed[s] = true;
+                        let row_len = *shape(s).last().unwrap_or(&1);
+                        ProtoStep {
+                            kind: ProtoKind::FusedSoftmax {
+                                x,
+                                scale: 1.0,
+                                mask: Some(mask),
+                                row_len,
+                            },
+                            out_id: s,
+                            covered: vec![i, s],
+                            inputs: vec![x, mask],
+                            scratch_elems: 0,
+                        }
+                    } else {
+                        ProtoStep {
+                            kind: ProtoKind::Add { a: x, b: mask },
+                            out_id: i,
+                            covered: vec![i],
+                            inputs: vec![x, mask],
+                            scratch_elems: 0,
+                        }
+                    }
+                } else {
+                    ProtoStep {
+                        kind: ProtoKind::Add { a: x, b: mask },
+                        out_id: i,
+                        covered: vec![i],
+                        inputs: vec![x, mask],
+                        scratch_elems: 0,
+                    }
+                }
+            }
+            OpKind::Softmax => {
+                let x = input(0);
+                let row_len = *node.shape.last().unwrap_or(&1);
+                ProtoStep {
+                    kind: ProtoKind::FusedSoftmax { x, scale: 1.0, mask: None, row_len },
+                    out_id: i,
+                    covered: vec![i],
+                    inputs: vec![x],
+                    scratch_elems: 0,
+                }
+            }
+            OpKind::Add => {
+                let (a, b) = (input(0), input(1));
+                if !add_compatible(a, b) {
+                    return Err(ExecError::Unsupported(format!(
+                        "add '{}' broadcasts {:?} + {:?} (only trailing-axes broadcast \
+                         is compiled)",
+                        node.label,
+                        shape(a),
+                        shape(b)
+                    )));
+                }
+                ProtoStep {
+                    kind: ProtoKind::Add { a, b },
+                    out_id: i,
+                    covered: vec![i],
+                    inputs: vec![a, b],
+                    scratch_elems: 0,
+                }
+            }
+            OpKind::Gelu => {
+                let x = input(0);
+                ProtoStep {
+                    kind: ProtoKind::Gelu { x },
+                    out_id: i,
+                    covered: vec![i],
+                    inputs: vec![x],
+                    scratch_elems: 0,
+                }
+            }
+            OpKind::LayerNorm { eps } => {
+                let (x, gamma, beta) = (input(0), input(1), input(2));
+                ProtoStep {
+                    kind: ProtoKind::FusedLayerNorm { x, gamma, beta, eps: *eps as f32 },
+                    out_id: i,
+                    covered: vec![i],
+                    inputs: vec![x, gamma, beta],
+                    scratch_elems: 0,
+                }
+            }
+            OpKind::Reshape => {
+                let x = input(0);
+                // reshape → permute collapses into one strided copy of
+                // the (contiguous) reshaped view.
+                if let Some(p) = sole_reader(i) {
+                    if ir.node_at(p).kind == OpKind::Permute {
+                        let axes = infer_permute_axes(&node.shape, shape(p))?;
+                        let in_strides = contig_strides(&node.shape);
+                        let read_strides: Vec<usize> =
+                            axes.iter().map(|&ax| in_strides[ax]).collect();
+                        absorbed[p] = true;
+                        ProtoStep {
+                            kind: ProtoKind::CopyStrided {
+                                x,
+                                out_shape: shape(p).to_vec(),
+                                read_strides,
+                            },
+                            out_id: p,
+                            covered: vec![i, p],
+                            inputs: vec![x],
+                            scratch_elems: 0,
+                        }
+                    } else {
+                        ProtoStep {
+                            kind: ProtoKind::Memcpy { x },
+                            out_id: i,
+                            covered: vec![i],
+                            inputs: vec![x],
+                            scratch_elems: 0,
+                        }
+                    }
+                } else {
+                    ProtoStep {
+                        kind: ProtoKind::Memcpy { x },
+                        out_id: i,
+                        covered: vec![i],
+                        inputs: vec![x],
+                        scratch_elems: 0,
+                    }
+                }
+            }
+            OpKind::Permute => {
+                let x = input(0);
+                let axes = infer_permute_axes(shape(x), &node.shape)?;
+                let in_strides = contig_strides(shape(x));
+                let read_strides: Vec<usize> = axes.iter().map(|&ax| in_strides[ax]).collect();
+                // permute → reshape: the reshape of the materialized
+                // permuted buffer is free (same bytes), so one strided
+                // copy covers both nodes.
+                let mut covered = vec![i];
+                let mut out_id = i;
+                if let Some(r) = sole_reader(i) {
+                    if ir.node_at(r).kind == OpKind::Reshape {
+                        absorbed[r] = true;
+                        covered.push(r);
+                        out_id = r;
+                    }
+                }
+                ProtoStep {
+                    kind: ProtoKind::CopyStrided { x, out_shape: node.shape.clone(), read_strides },
+                    out_id,
+                    covered,
+                    inputs: vec![x],
+                    scratch_elems: 0,
+                }
+            }
+            OpKind::ConcatRows => {
+                let parts: Vec<usize> = node.inputs.iter().map(|t| t.index()).collect();
+                ProtoStep {
+                    kind: ProtoKind::ConcatRows { parts: parts.clone() },
+                    out_id: i,
+                    covered: vec![i],
+                    inputs: parts,
+                    scratch_elems: 0,
+                }
+            }
+            OpKind::ConcatCols => {
+                let ids: Vec<usize> = node.inputs.iter().map(|t| t.index()).collect();
+                let rows = node.shape[0];
+                let parts: Vec<(usize, usize)> = ids.iter().map(|&p| (p, shape(p)[1])).collect();
+                ProtoStep {
+                    kind: ProtoKind::ConcatCols { parts, rows },
+                    out_id: i,
+                    covered: vec![i],
+                    inputs: ids,
+                    scratch_elems: 0,
+                }
+            }
+        };
+        steps.push(proto);
+    }
+
+    // --- arena planning over the fused step schedule ------------------
+    // Time is re-indexed by step: a fused chain is atomic, its interior
+    // tensors never materialize, and its inputs stay live until the step
+    // that consumes them runs.
+    let n_steps = steps.len();
+    let mut def_step: Vec<Option<usize>> = vec![None; n];
+    for (s, st) in steps.iter().enumerate() {
+        def_step[st.out_id] = Some(s);
+    }
+    let mut last_use_step: Vec<Option<usize>> = vec![None; n];
+    for (s, st) in steps.iter().enumerate() {
+        for &inp in &st.inputs {
+            let prev = last_use_step[inp].unwrap_or(0);
+            last_use_step[inp] = Some(prev.max(s));
+        }
+    }
+
+    // One request per step output (in step order), then the step's
+    // scratch (dead outside its own step). Request order is nondecreasing
+    // in first_def, as plan_layout requires.
+    let mut requests: Vec<ArenaRequest> = Vec::new();
+    let mut out_req: Vec<usize> = Vec::with_capacity(n_steps); // step -> request idx
+    let mut scratch_req: Vec<Option<usize>> = Vec::with_capacity(n_steps);
+    for (s, st) in steps.iter().enumerate() {
+        out_req.push(requests.len());
+        requests.push(ArenaRequest {
+            bytes: elems(st.out_id) * 4,
+            first_def: s,
+            // Outputs nothing reads stay live to the end of the schedule.
+            last_use: last_use_step[st.out_id].unwrap_or(n_steps),
+        });
+        if st.scratch_elems > 0 {
+            scratch_req.push(Some(requests.len()));
+            requests.push(ArenaRequest { bytes: st.scratch_elems * 4, first_def: s, last_use: s });
+        } else {
+            scratch_req.push(None);
+        }
+    }
+    let layout = plan_layout(&requests);
+    let arena_elems = layout.peak_bytes / 4;
+
+    let span_of_req = |r: usize, len_elems: usize| -> Operand {
+        Operand::Arena { off: layout.offsets[r].unwrap_or(0) / 4, len: len_elems }
+    };
+    let operand_of = |t: usize| -> Result<Operand, ExecError> {
+        if let Some(idx) = source_idx[t] {
+            return Ok(Operand::Source { idx });
+        }
+        let s = def_step[t].ok_or_else(|| {
+            ExecError::Unsupported(format!(
+                "operand '{}' is an interior tensor of a fused chain",
+                ir.node_at(t).label
+            ))
+        })?;
+        Ok(span_of_req(out_req[s], elems(t)))
+    };
+
+    // --- operand resolution + aliasing audit --------------------------
+    let overlap = |x: &Operand, y: &Operand| -> bool {
+        match (x, y) {
+            (Operand::Arena { off: o1, len: l1 }, Operand::Arena { off: o2, len: l2 }) => {
+                *l1 > 0 && *l2 > 0 && o1 < &(o2 + l2) && o2 < &(o1 + l1)
+            }
+            _ => false,
+        }
+    };
+
+    let mut final_steps: Vec<Step> = Vec::with_capacity(n_steps);
+    for (s, st) in steps.iter().enumerate() {
+        let out = span_of_req(out_req[s], elems(st.out_id));
+        let scratch = scratch_req[s].map(|r| span_of_req(r, st.scratch_elems));
+        let kind = match &st.kind {
+            ProtoKind::Gather { table, gather, row_len } => {
+                StepKind::Gather { table: operand_of(*table)?, gather: *gather, row_len: *row_len }
+            }
+            ProtoKind::MatMul { a, b, bias, gelu, m, k, nn } => StepKind::MatMul {
+                a: operand_of(*a)?,
+                b: operand_of(*b)?,
+                bias: bias.map(operand_of).transpose()?,
+                gelu: *gelu,
+                m: *m,
+                k: *k,
+                n: *nn,
+            },
+            ProtoKind::MatMulNT { a, b, m, k, nn } => StepKind::MatMulNT {
+                a: operand_of(*a)?,
+                b: operand_of(*b)?,
+                scratch: scratch.unwrap_or(Operand::Arena { off: 0, len: 0 }),
+                m: *m,
+                k: *k,
+                n: *nn,
+            },
+            ProtoKind::Bmm { a, b, bs, m, k, nn } => StepKind::Bmm {
+                a: operand_of(*a)?,
+                b: operand_of(*b)?,
+                bs: *bs,
+                m: *m,
+                k: *k,
+                n: *nn,
+            },
+            ProtoKind::BmmNT { a, b, bs, m, k, nn } => StepKind::BmmNT {
+                a: operand_of(*a)?,
+                b: operand_of(*b)?,
+                scratch: scratch.unwrap_or(Operand::Arena { off: 0, len: 0 }),
+                bs: *bs,
+                m: *m,
+                k: *k,
+                n: *nn,
+            },
+            ProtoKind::Add { a, b } => StepKind::Add { a: operand_of(*a)?, b: operand_of(*b)? },
+            ProtoKind::FusedSoftmax { x, scale, mask, row_len } => StepKind::FusedSoftmax {
+                x: operand_of(*x)?,
+                scale: *scale,
+                mask: mask.map(operand_of).transpose()?,
+                row_len: *row_len,
+            },
+            ProtoKind::FusedLayerNorm { x, gamma, beta, eps } => StepKind::FusedLayerNorm {
+                x: operand_of(*x)?,
+                gamma: operand_of(*gamma)?,
+                beta: operand_of(*beta)?,
+                eps: *eps,
+            },
+            ProtoKind::Scale { x, factor } => {
+                StepKind::Scale { x: operand_of(*x)?, factor: *factor }
+            }
+            ProtoKind::Gelu { x } => StepKind::Gelu { x: operand_of(*x)? },
+            ProtoKind::CopyStrided { x, out_shape, read_strides } => StepKind::CopyStrided {
+                x: operand_of(*x)?,
+                out_shape: out_shape.clone(),
+                read_strides: read_strides.clone(),
+            },
+            ProtoKind::Memcpy { x } => StepKind::Memcpy { x: operand_of(*x)? },
+            ProtoKind::ConcatRows { parts } => StepKind::ConcatRows {
+                parts: parts.iter().map(|&p| operand_of(p)).collect::<Result<_, _>>()?,
+            },
+            ProtoKind::ConcatCols { parts, rows } => StepKind::ConcatCols {
+                parts: parts
+                    .iter()
+                    .map(|&(p, c)| Ok((operand_of(p)?, c)))
+                    .collect::<Result<_, ExecError>>()?,
+                rows: *rows,
+            },
+        };
+        // Aliasing audit: the output span (and scratch) must be disjoint
+        // from every input span this step reads.
+        let label = ir.node_at(st.out_id).label.clone();
+        for &inp in &st.inputs {
+            let op = operand_of(inp)?;
+            if overlap(&out, &op) {
+                return Err(ExecError::Alias(format!(
+                    "step '{}' output overlaps live input '{}'",
+                    label,
+                    ir.node_at(inp).label
+                )));
+            }
+            if let Some(sc) = &scratch {
+                if overlap(sc, &op) {
+                    return Err(ExecError::Alias(format!(
+                        "step '{}' scratch overlaps live input '{}'",
+                        label,
+                        ir.node_at(inp).label
+                    )));
+                }
+            }
+        }
+        if let Some(sc) = &scratch {
+            if overlap(&out, sc) {
+                return Err(ExecError::Alias(format!(
+                    "step '{label}' output overlaps its own scratch"
+                )));
+            }
+        }
+        final_steps.push(Step {
+            kind,
+            out,
+            out_id: TensorId::from_index(st.out_id),
+            covered: st.covered.iter().map(|&c| TensorId::from_index(c)).collect(),
+            label,
+        });
+    }
+
+    let output_step = final_steps.last().ok_or_else(|| {
+        ExecError::Unsupported("empty plan: IR has no computed nodes".to_string())
+    })?;
+    let output = output_step.out;
+    let output_shape = ir.node_at(output_step.out_id.index()).shape.clone();
+
+    let plan = CompiledPlan {
+        steps: final_steps,
+        sources,
+        gathers,
+        output,
+        output_shape,
+        arena_elems,
+        peak_bytes: layout.peak_bytes,
+        total_bytes: layout.total_bytes,
+    };
+    plan.verify_covers(ir)?;
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turl_audit::{lower_model_plan, ModelPlan, PlanNumerics};
+
+    fn plan(n_layers: usize, tokens: usize, ents: usize, mts: usize, masked: bool) -> ModelPlan {
+        ModelPlan {
+            n_layers,
+            d_model: 16,
+            d_intermediate: 32,
+            n_heads: 2,
+            n_words: 50,
+            n_entities: 20,
+            max_position: 64,
+            n_tokens: tokens,
+            n_seq_entities: ents,
+            n_mention_tokens: mts,
+            use_visibility: masked,
+            n_mlm_targets: 0,
+            n_mer_targets: 0,
+            n_candidates: 0,
+            numerics: PlanNumerics::default(),
+        }
+    }
+
+    fn compiled(p: &ModelPlan) -> (Ir, CompiledPlan) {
+        let ir = lower_model_plan(p).expect("plan lowers");
+        let cp = compile(&ir).expect("plan compiles");
+        (ir, cp)
+    }
+
+    #[test]
+    fn fusion_shrinks_the_schedule_and_covers_the_ir() {
+        let (ir, cp) = compiled(&plan(2, 6, 3, 4, true));
+        let n_ops = ir.op_ids().count();
+        assert!(
+            cp.steps.len() < n_ops,
+            "fusion must shrink the schedule ({} steps vs {} ops)",
+            cp.steps.len(),
+            n_ops
+        );
+        cp.verify_covers(&ir).expect("schedule covers IR");
+        // bias+GELU epilogue fused into the FFN's first matmul:
+        assert!(
+            cp.steps
+                .iter()
+                .any(|s| matches!(s.kind, StepKind::MatMul { bias: Some(_), gelu: true, .. })),
+            "no fused bias+GELU matmul in schedule"
+        );
+        // scale → mask → softmax fused into one row pass:
+        assert!(
+            cp.steps.iter().any(|s| matches!(
+                s.kind,
+                StepKind::FusedSoftmax { mask: Some(_), scale, .. } if scale != 1.0
+            )),
+            "no fused scale+mask+softmax in schedule"
+        );
+        // every layer norm lowers to the one-pass fused kernel:
+        let ln =
+            cp.steps.iter().filter(|s| matches!(s.kind, StepKind::FusedLayerNorm { .. })).count();
+        assert_eq!(ln, 2 * 2 + 1, "embed LN + two per block");
+        // no standalone scale / mask-add / gelu survives fusion here:
+        assert!(!cp.steps.iter().any(|s| matches!(s.kind, StepKind::Scale { .. })));
+        assert!(!cp.steps.iter().any(|s| matches!(s.kind, StepKind::Gelu { .. })));
+    }
+
+    #[test]
+    fn unmasked_plan_fuses_scale_into_softmax_without_mask() {
+        let (_, cp) = compiled(&plan(1, 5, 2, 2, false));
+        assert!(!cp.sources.iter().any(|s| s.kind == SourceKind::Mask));
+        assert!(cp.steps.iter().any(|s| matches!(
+            s.kind,
+            StepKind::FusedSoftmax { mask: None, scale, .. } if scale != 1.0
+        )));
+    }
+
+    /// Collect every buffer *instance* (span + def step + last-use step)
+    /// the plan hands out. A span can be reused by several instances
+    /// over the schedule; each read is attributed to the most recent def
+    /// of its span. Outputs nothing reads stay live to the end (the
+    /// planner's convention); scratch lives for exactly its own step.
+    fn span_lifetimes(cp: &CompiledPlan) -> Vec<(usize, usize, usize, usize)> {
+        let span = |op: &Operand| -> Option<(usize, usize)> {
+            match *op {
+                Operand::Arena { off, len } if len > 0 => Some((off, len)),
+                _ => None,
+            }
+        };
+        let inputs_of = |st: &Step| -> Vec<Operand> {
+            let mut ops: Vec<Operand> = Vec::new();
+            match &st.kind {
+                StepKind::Gather { table, .. } => ops.push(*table),
+                StepKind::MatMul { a, b, bias, .. } => {
+                    ops.extend([*a, *b]);
+                    ops.extend(bias.iter().copied());
+                }
+                StepKind::MatMulNT { a, b, .. } | StepKind::BmmNT { a, b, .. } => {
+                    ops.extend([*a, *b]);
+                }
+                StepKind::Bmm { a, b, .. } | StepKind::Add { a, b } => ops.extend([*a, *b]),
+                StepKind::FusedSoftmax { x, mask, .. } => {
+                    ops.push(*x);
+                    ops.extend(mask.iter().copied());
+                }
+                StepKind::FusedLayerNorm { x, gamma, beta, .. } => {
+                    ops.extend([*x, *gamma, *beta]);
+                }
+                StepKind::Scale { x, .. }
+                | StepKind::Gelu { x }
+                | StepKind::CopyStrided { x, .. }
+                | StepKind::Memcpy { x } => ops.push(*x),
+                StepKind::ConcatRows { parts } => ops.extend(parts.iter().copied()),
+                StepKind::ConcatCols { parts, .. } => {
+                    ops.extend(parts.iter().map(|(p, _)| *p));
+                }
+            }
+            ops
+        };
+        // (off, len, def, last_use, was_read)
+        let mut inst: Vec<(usize, usize, usize, usize, bool)> = Vec::new();
+        for (s, st) in cp.steps.iter().enumerate() {
+            // Reads first: a step's inputs were defined by earlier steps.
+            for op in inputs_of(st) {
+                if let Some((off, len)) = span(&op) {
+                    if let Some(i) = inst
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &(o, l, d, _, _))| (o, l) == (off, len) && d <= s)
+                        .max_by_key(|(_, &(_, _, d, _, _))| d)
+                        .map(|(i, _)| i)
+                    {
+                        inst[i].3 = inst[i].3.max(s);
+                        inst[i].4 = true;
+                    } else {
+                        panic!("read of span [{off},+{len}) at step {s} with no prior def");
+                    }
+                }
+            }
+            if let Some((off, len)) = span(&st.out) {
+                inst.push((off, len, s, s, false));
+            }
+            match &st.kind {
+                StepKind::MatMulNT { scratch, .. } | StepKind::BmmNT { scratch, .. } => {
+                    if let Some((off, len)) = span(scratch) {
+                        inst.push((off, len, s, s, true));
+                    }
+                }
+                _ => {}
+            }
+        }
+        inst.into_iter()
+            .map(|(o, l, d, u, read)| (o, l, d, if read { u } else { cp.steps.len() }))
+            .collect()
+    }
+
+    /// The arena-aliasing guarantee, re-derived independently of the
+    /// compiler's own audit: any two spans whose lifetimes overlap must
+    /// be disjoint in the arena — the step-schedule analogue of the
+    /// audit crate's `LiveRange` disjointness invariant.
+    #[test]
+    fn overlapping_lifetimes_get_disjoint_arena_spans() {
+        for p in [plan(2, 6, 3, 4, true), plan(1, 0, 4, 3, true), plan(1, 5, 0, 0, false)] {
+            let (_, cp) = compiled(&p);
+            let spans = span_lifetimes(&cp);
+            assert!(!spans.is_empty());
+            for (i, &(o1, l1, d1, u1)) in spans.iter().enumerate() {
+                assert!(o1 + l1 <= cp.arena_elems, "span past arena end");
+                for &(o2, l2, d2, u2) in &spans[i + 1..] {
+                    let lifetimes_overlap = d1 <= u2 && d2 <= u1;
+                    let spans_overlap = o1 < o2 + l2 && o2 < o1 + l1;
+                    assert!(
+                        !(lifetimes_overlap && spans_overlap),
+                        "live spans alias: [{o1},+{l1}) steps {d1}..={u1} vs \
+                         [{o2},+{l2}) steps {d2}..={u2}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arena_reuse_beats_no_reuse_baseline() {
+        let (_, cp) = compiled(&plan(4, 8, 4, 6, true));
+        assert!(cp.peak_bytes < cp.total_bytes);
+        assert!(cp.reuse_factor() > 2.0, "reuse factor {}", cp.reuse_factor());
+        assert_eq!(cp.arena_elems, cp.peak_bytes / 4);
+    }
+
+    #[test]
+    fn loss_heads_are_rejected_as_inference_only() {
+        let mut p = plan(1, 6, 3, 4, true);
+        p.n_mlm_targets = 2;
+        p.n_mer_targets = 1;
+        p.n_candidates = 4;
+        let ir = lower_model_plan(&p).expect("plan lowers");
+        match compile(&ir) {
+            Err(ExecError::Unsupported(msg)) => {
+                assert!(msg.contains("cross_entropy"), "unexpected message: {msg}");
+            }
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn permute_axes_recovery_accepts_only_the_head_swap() {
+        assert_eq!(infer_permute_axes(&[5, 2, 8], &[2, 5, 8]).expect("swap"), vec![1, 0, 2]);
+        assert_eq!(infer_permute_axes(&[2, 2, 8], &[2, 2, 8]).expect("square"), vec![1, 0, 2]);
+        assert!(infer_permute_axes(&[5, 2, 8], &[8, 2, 5]).is_err());
+    }
+}

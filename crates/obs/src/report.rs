@@ -114,6 +114,9 @@ pub struct Summary {
     pub ops: Vec<OpProfile>,
     /// Final pool snapshot, if the run emitted one.
     pub pool: Option<PoolReport>,
+    /// Last value of each registry gauge (e.g. arena high-water marks),
+    /// in first-seen order.
+    pub gauges: Vec<(String, f64)>,
     /// Steps skipped due to non-finite grad norms.
     pub non_finite_skips: u64,
     /// Batches that contained no maskable positions.
@@ -216,6 +219,18 @@ pub fn summarize(events: &[Event]) -> Result<Summary, String> {
                         op.total_ns = total_ns;
                     } else {
                         s.ops.push(OpProfile { name: name.to_string(), calls, total_ns });
+                    }
+                }
+            }
+            // Registry flushes are cumulative snapshots: keep the
+            // latest value per gauge (counters/histograms feed CI
+            // diffs, not the human report).
+            "metric" if ev.str_field("metric_type") == Some("gauge") => {
+                if let (Some(name), Some(v)) = (ev.str_field("name"), ev.f64_field("value")) {
+                    if let Some(g) = s.gauges.iter_mut().find(|(n, _)| n == name) {
+                        g.1 = v;
+                    } else {
+                        s.gauges.push((name.to_string(), v));
                     }
                 }
             }
@@ -386,6 +401,12 @@ pub fn render(s: &Summary) -> String {
             );
         }
     }
+    if !s.gauges.is_empty() {
+        let _ = writeln!(out, "\n-- gauges --");
+        for (name, v) in &s.gauges {
+            let _ = writeln!(out, "  {name:<24} {v:.3}");
+        }
+    }
     if let Some(pool) = &s.pool {
         let _ = writeln!(out, "\n-- worker pool --");
         let _ = writeln!(
@@ -493,6 +514,43 @@ mod tests {
         let text = render(&s);
         assert!(text.contains("forward"), "{text}");
         assert!(text.contains("MLM: observed 0.2000"), "{text}");
+    }
+
+    fn gauge_event(name: &str, value: f64) -> Event {
+        Event {
+            kind: "metric".to_string(),
+            step: 0,
+            epoch: 0,
+            t_ns: 1,
+            fields: vec![
+                ("name".to_string(), FieldValue::Str(name.to_string())),
+                ("metric_type".to_string(), FieldValue::Str("gauge".to_string())),
+                ("value".to_string(), FieldValue::F64(value)),
+            ],
+        }
+    }
+
+    #[test]
+    fn gauges_keep_latest_value_and_render() {
+        let events = vec![
+            span_event("epoch"),
+            gauge_event("exec.arena_bytes", 1024.0),
+            gauge_event("exec.arena_reuse_factor", 2.4),
+            // Later cumulative snapshot supersedes the first.
+            gauge_event("exec.arena_bytes", 2048.0),
+        ];
+        let s = summarize(&events).expect("summary");
+        assert_eq!(
+            s.gauges,
+            vec![
+                ("exec.arena_bytes".to_string(), 2048.0),
+                ("exec.arena_reuse_factor".to_string(), 2.4)
+            ]
+        );
+        let text = render(&s);
+        assert!(text.contains("-- gauges --"), "{text}");
+        assert!(text.contains("exec.arena_bytes"), "{text}");
+        assert!(text.contains("2048.000"), "{text}");
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! The op vocabulary is exactly what a structure-aware Transformer needs.
 
 use crate::ops;
+use crate::ops::{gelu_fwd, gelu_grad};
 use crate::tensor::Tensor;
 
 /// Handle to a node in a [`Graph`].
@@ -671,19 +672,6 @@ impl Graph {
             }),
         )
     }
-}
-
-fn gelu_fwd(x: f32) -> f32 {
-    const C: f32 = 0.797_884_6; // sqrt(2/pi)
-    0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
-}
-
-fn gelu_grad(x: f32) -> f32 {
-    const C: f32 = 0.797_884_6;
-    let inner = C * (x + 0.044715 * x * x * x);
-    let t = inner.tanh();
-    let dinner = C * (1.0 + 3.0 * 0.044715 * x * x);
-    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * dinner
 }
 
 #[cfg(test)]

@@ -1,23 +1,33 @@
-//! Matrix-multiplication kernels.
+//! Matrix-multiplication and fused forward-plan kernels.
 //!
-//! Three 2-D kernels are provided so that autograd backward passes never
-//! materialize transposed operands:
+//! Three 2-D matmul layouts are provided so that autograd backward passes
+//! never materialize transposed operands:
 //!
 //! * [`matmul`]    — `C = A · B`
-//! * [`matmul_nt`] — `C = A · Bᵀ` (dot products of contiguous rows)
+//! * [`matmul_nt`] — `C = A · Bᵀ` (B is pre-transposed into a scratch
+//!   panel, then runs through the same register-tiled kernel as `matmul`)
 //! * [`matmul_tn`] — `C = Aᵀ · B` (rank-1 updates)
 //!
-//! All kernels are cache-blocked (tiles sized so the streamed `B` panel
-//! stays in L1/L2) and split their output rows across the [`crate::pool`]
-//! worker pool when the problem is large enough to amortize dispatch.
-//! Every output element is owned by exactly one task and accumulated in
-//! ascending-`k` order regardless of the split, so results are
-//! bit-identical for every thread count — the invariant the
-//! parallel-vs-serial equivalence tests pin down.
+//! The shared microkernel is register-tiled: an `MR × NR` accumulator
+//! block lives in registers across the whole `k` loop, so the inner loop
+//! is `NR`-wide (8 floats — one AVX vector or two SSE vectors) with no
+//! loads or stores of partial sums. Every output element is still
+//! accumulated in ascending-`k` order regardless of tiling or the
+//! [`crate::pool`] row split, so results are bit-identical for every
+//! thread count and tile shape — the invariant the parallel-vs-serial
+//! equivalence tests pin down.
 //!
 //! The batched variants ([`bmm`], [`bmm_nt`], [`bmm_tn`]) parallelize over
 //! the batch (attention-head) dimension instead, so multi-head attention
 //! scales with the number of heads.
+//!
+//! The second half of this module is the kernel library of the forward-
+//! plan executor (`turl-exec`): allocation-free `*_into` variants that
+//! write into caller-provided (arena) slices, plus the fused kernels —
+//! [`fused_layer_norm`], [`fused_mask_softmax`], [`bias_gelu_inplace`] —
+//! that collapse an op chain into one pass over the data. Each fused
+//! kernel documents its equivalence contract against the unfused op
+//! sequence (all are reassociation-free and therefore bit-exact).
 
 use crate::pool;
 use crate::tensor::Tensor;
@@ -32,13 +42,18 @@ macro_rules! profiled {
     }};
 }
 
-/// `k`-tile: rows of `B` (or `A` in `tn`) kept hot per pass.
+/// Rows per register tile of the shared microkernel.
+const MR: usize = 4;
+/// Columns per register tile: one 8-wide SIMD vector (two on SSE2).
+/// `MR * NR` accumulators stay in registers across the whole `k` loop.
+const NR: usize = 8;
+/// `k`-tile for the rank-1 (`tn`) kernel: rows of `A`/`B` kept hot.
 const TILE_K: usize = 64;
-/// `j`-tile: output columns processed per pass; `TILE_K * TILE_J` floats
-/// of `B` (32 KiB) fit comfortably in L1/L2.
-const TILE_J: usize = 128;
 /// Minimum `m * k * n` volume before a 2-D kernel fans out to the pool.
 const PAR_MIN_VOLUME: usize = 32 * 1024;
+/// Below this `m * n` output volume, `matmul_nt` keeps the row-dot-product
+/// path: a `k × n` transpose panel would cost more than it saves.
+const NT_TRANSPOSE_MIN_OUT: usize = 64;
 
 /// `C[m,n] = A[m,k] · B[k,n]`.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
@@ -54,6 +69,12 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 }
 
 /// `C[m,n] = A[m,k] · B[n,k]ᵀ`.
+///
+/// Large problems pre-transpose `B` into a `[k, n]` scratch panel and run
+/// the register-tiled `matmul` kernel (contiguous panel access instead of
+/// `n` strided row streams); tiny ones keep the direct row-dot-product
+/// path. Both accumulate each output element in ascending-`k` order, so
+/// the paths are bit-identical to each other and to `matmul(a, bᵀ)`.
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
     let _t = profiled!("matmul_nt");
     assert_eq!(a.rank(), 2);
@@ -62,7 +83,13 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
     let (n, k2) = (b.shape()[0], b.shape()[1]);
     assert_eq!(k, k2, "matmul_nt inner dims: {:?} x {:?}", a.shape(), b.shape());
     let mut out = Tensor::zeros(vec![m, n]);
-    par_rows(a.data(), b.data(), out.data_mut(), m, k, n, matmul_nt_rows);
+    if m * n < NT_TRANSPOSE_MIN_OUT {
+        par_rows(a.data(), b.data(), out.data_mut(), m, k, n, matmul_nt_rows);
+    } else {
+        let mut scratch = vec![0.0f32; k * n];
+        transpose_into(b.data(), &mut scratch, n, k);
+        par_rows(a.data(), &scratch, out.data_mut(), m, k, n, matmul_rows);
+    }
     out
 }
 
@@ -94,6 +121,11 @@ pub fn bmm(a: &Tensor, b: &Tensor) -> Tensor {
 }
 
 /// Batched `C[b,m,n] = A[b,m,k] · B[b,n,k]ᵀ`.
+///
+/// Every batch element's `B` is pre-transposed into one shared scratch
+/// buffer, after which the batch runs through the plain `bmm` kernel —
+/// same ascending-`k` order, so bit-identical to the direct dot-product
+/// formulation at any thread count.
 pub fn bmm_nt(a: &Tensor, b: &Tensor) -> Tensor {
     let _t = profiled!("bmm_nt");
     assert_eq!(a.rank(), 3);
@@ -103,7 +135,20 @@ pub fn bmm_nt(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(bs, bs2, "bmm_nt batch dims differ");
     assert_eq!(k, k2, "bmm_nt inner dims: {:?} x {:?}", a.shape(), b.shape());
     let mut out = Tensor::zeros(vec![bs, m, n]);
-    par_batch(a.data(), b.data(), out.data_mut(), bs, m, k, n, m * k, n * k, matmul_nt_full);
+    if bs * m * n < NT_TRANSPOSE_MIN_OUT {
+        par_batch(a.data(), b.data(), out.data_mut(), bs, m, k, n, m * k, n * k, matmul_nt_full);
+    } else {
+        let mut scratch = vec![0.0f32; bs * k * n];
+        for i in 0..bs {
+            transpose_into(
+                &b.data()[i * n * k..(i + 1) * n * k],
+                &mut scratch[i * k * n..(i + 1) * k * n],
+                n,
+                k,
+            );
+        }
+        par_batch(a.data(), &scratch, out.data_mut(), bs, m, k, n, m * k, k * n, matmul_full);
+    }
     out
 }
 
@@ -120,6 +165,10 @@ pub fn bmm_tn(a: &Tensor, b: &Tensor) -> Tensor {
     par_batch(a.data(), b.data(), out.data_mut(), bs, m, k, n, k * m, k * n, matmul_tn_full);
     out
 }
+
+// ---------------------------------------------------------------------
+// Dispatch plumbing
+// ---------------------------------------------------------------------
 
 /// Signature shared by the three row-range microkernels: compute output
 /// rows `r0..r1` of `out[m,n]` given full operands.
@@ -206,9 +255,15 @@ fn par_batch(
     });
 }
 
-/// `i-k-j` kernel over output rows `r0..r1`, blocked on `k` and `j` so the
-/// `B` tile stays cache-resident. The inner loop is branch-free (no
-/// zero-skip) and auto-vectorizes across `j`.
+// ---------------------------------------------------------------------
+// Microkernels
+// ---------------------------------------------------------------------
+
+/// Register-tiled kernel over output rows `r0..r1`: each `MR × NR` output
+/// block accumulates in registers across the whole `k` loop (no partial-
+/// sum loads/stores), with an `NR`-wide SIMD-friendly inner loop. Each
+/// output element still sums its products in ascending-`k` order, so the
+/// result is bit-identical to the naive triple loop.
 #[allow(clippy::too_many_arguments)] // fixed by the RowKernel fn-pointer ABI
 fn matmul_rows(
     a: &[f32],
@@ -220,33 +275,77 @@ fn matmul_rows(
     r0: usize,
     r1: usize,
 ) {
-    let mut j0 = 0usize;
-    while j0 < n {
-        let j1 = (j0 + TILE_J).min(n);
-        let mut k0 = 0usize;
-        while k0 < k {
-            let k1 = (k0 + TILE_K).min(k);
-            for i in r0..r1 {
-                let arow = &a[i * k..(i + 1) * k];
-                let orow = &mut out[i * n + j0..i * n + j1];
-                for kk in k0..k1 {
-                    let av = arow[kk];
-                    let brow = &b[kk * n + j0..kk * n + j1];
-                    for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                        *o += av * bv;
-                    }
-                }
-            }
-            k0 = k1;
+    let mut i = r0;
+    while i + MR <= r1 {
+        let mut j = 0usize;
+        while j + NR <= n {
+            tile_mr_nr(a, b, out, k, n, i, j);
+            j += NR;
         }
-        j0 = j1;
+        if j < n {
+            tile_edge(a, b, out, k, n, i, i + MR, j, n);
+        }
+        i += MR;
+    }
+    if i < r1 {
+        tile_edge(a, b, out, k, n, i, r1, 0, n);
+    }
+}
+
+/// One full `MR × NR` register tile of `out` at `(i0, j0)`.
+#[inline(always)]
+fn tile_mr_nr(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize, i0: usize, j0: usize) {
+    let a0 = &a[i0 * k..(i0 + 1) * k];
+    let a1 = &a[(i0 + 1) * k..(i0 + 2) * k];
+    let a2 = &a[(i0 + 2) * k..(i0 + 3) * k];
+    let a3 = &a[(i0 + 3) * k..(i0 + 4) * k];
+    let mut acc = [[0.0f32; NR]; MR];
+    for kk in 0..k {
+        let brow = &b[kk * n + j0..kk * n + j0 + NR];
+        let av = [a0[kk], a1[kk], a2[kk], a3[kk]];
+        for r in 0..MR {
+            let accr = &mut acc[r];
+            for c in 0..NR {
+                accr[c] += av[r] * brow[c];
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        out[(i0 + r) * n + j0..(i0 + r) * n + j0 + NR].copy_from_slice(accr);
+    }
+}
+
+/// Remainder tile: scalar accumulators, same ascending-`k` sum order as
+/// the register tile (bit-identical values).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn tile_edge(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    k: usize,
+    n: usize,
+    i0: usize,
+    i1: usize,
+    j0: usize,
+    j1: usize,
+) {
+    for i in i0..i1 {
+        let arow = &a[i * k..(i + 1) * k];
+        for j in j0..j1 {
+            let mut s = 0.0f32;
+            for (kk, &av) in arow.iter().enumerate() {
+                s += av * b[kk * n + j];
+            }
+            out[i * n + j] = s;
+        }
     }
 }
 
 /// Row-dot-product kernel over output rows `r0..r1`, unrolled 4-wide
-/// across output columns: four independent accumulators share each load of
-/// the `A` row while each still sums in ascending-`k` order (bit-identical
-/// to the naive loop).
+/// across output columns. Kept as the small-problem path of `matmul_nt`,
+/// where a transpose panel would dominate the cost; each accumulator
+/// still sums in ascending-`k` order (bit-identical to the panel path).
 #[allow(clippy::too_many_arguments)] // fixed by the RowKernel fn-pointer ABI
 fn matmul_nt_rows(
     a: &[f32],
@@ -326,12 +425,373 @@ fn matmul_tn_rows(
     }
 }
 
+/// Blocked `[rows, cols] → [cols, rows]` transpose: `dst[c * rows + r] =
+/// src[r * cols + c]`. Small square blocks keep both streams cache-
+/// resident. `dst` must hold exactly `rows * cols` elements.
+pub fn transpose_into(src: &[f32], dst: &mut [f32], rows: usize, cols: usize) {
+    assert_eq!(src.len(), rows * cols, "transpose src size");
+    assert_eq!(dst.len(), rows * cols, "transpose dst size");
+    const TB: usize = 32;
+    let mut r0 = 0usize;
+    while r0 < rows {
+        let r1 = (r0 + TB).min(rows);
+        let mut c0 = 0usize;
+        while c0 < cols {
+            let c1 = (c0 + TB).min(cols);
+            for r in r0..r1 {
+                for c in c0..c1 {
+                    dst[c * rows + r] = src[r * cols + c];
+                }
+            }
+            c0 = c1;
+        }
+        r0 = r1;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Allocation-free executor entry points
+//
+// The forward-plan executor (`turl-exec`) runs every intermediate out of
+// one pre-sized arena, so each kernel below writes into a caller-provided
+// slice instead of allocating a Tensor. They are thin wrappers over the
+// same microkernels as the Tensor-level ops — bit-identical results.
+// ---------------------------------------------------------------------
+
+/// `out[m,n] = a[m,k] · b[k,n]` into a caller-provided slice.
+pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    let _t = profiled!("exec.matmul");
+    assert_eq!(a.len(), m * k, "matmul_into lhs size");
+    assert_eq!(b.len(), k * n, "matmul_into rhs size");
+    assert_eq!(out.len(), m * n, "matmul_into out size");
+    par_rows(a, b, out, m, k, n, matmul_rows);
+}
+
+/// `out[m,n] = a[m,k] · b[n,k]ᵀ` into a caller-provided slice, using a
+/// caller-provided `[k, n]` scratch panel for the transpose (the executor
+/// plans scratch into the arena so the steady state never allocates).
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_nt_into(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    scratch: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    let _t = profiled!("exec.matmul_nt");
+    assert_eq!(a.len(), m * k, "matmul_nt_into lhs size");
+    assert_eq!(b.len(), n * k, "matmul_nt_into rhs size");
+    assert_eq!(out.len(), m * n, "matmul_nt_into out size");
+    if m * n < NT_TRANSPOSE_MIN_OUT {
+        par_rows(a, b, out, m, k, n, matmul_nt_rows);
+    } else {
+        transpose_into(b, scratch, n, k);
+        par_rows(a, scratch, out, m, k, n, matmul_rows);
+    }
+}
+
+/// Batched `out[b,m,n] = a[b,m,k] · b[b,k,n]` into a caller-provided slice.
+#[allow(clippy::too_many_arguments)]
+pub fn bmm_into(a: &[f32], b: &[f32], out: &mut [f32], bs: usize, m: usize, k: usize, n: usize) {
+    let _t = profiled!("exec.bmm");
+    assert_eq!(a.len(), bs * m * k, "bmm_into lhs size");
+    assert_eq!(b.len(), bs * k * n, "bmm_into rhs size");
+    assert_eq!(out.len(), bs * m * n, "bmm_into out size");
+    par_batch(a, b, out, bs, m, k, n, m * k, k * n, matmul_full);
+}
+
+/// Batched `out[b,m,n] = a[b,m,k] · b[b,n,k]ᵀ` with caller-provided
+/// `[bs, k, n]` transpose scratch.
+#[allow(clippy::too_many_arguments)]
+pub fn bmm_nt_into(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    scratch: &mut [f32],
+    bs: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    let _t = profiled!("exec.bmm_nt");
+    assert_eq!(a.len(), bs * m * k, "bmm_nt_into lhs size");
+    assert_eq!(b.len(), bs * n * k, "bmm_nt_into rhs size");
+    assert_eq!(out.len(), bs * m * n, "bmm_nt_into out size");
+    if bs * m * n < NT_TRANSPOSE_MIN_OUT {
+        par_batch(a, b, out, bs, m, k, n, m * k, n * k, matmul_nt_full);
+    } else {
+        assert_eq!(scratch.len(), bs * k * n, "bmm_nt_into scratch size");
+        for i in 0..bs {
+            transpose_into(
+                &b[i * n * k..(i + 1) * n * k],
+                &mut scratch[i * k * n..(i + 1) * k * n],
+                n,
+                k,
+            );
+        }
+        par_batch(a, scratch, out, bs, m, k, n, m * k, k * n, matmul_full);
+    }
+}
+
+/// Gather rows of `table` (row length `row_len`) into `out`, in index
+/// order — the executor twin of `Tensor::index_select0`.
+pub fn gather_rows_into(table: &[f32], row_len: usize, indices: &[usize], out: &mut [f32]) {
+    let _t = profiled!("exec.gather");
+    assert_eq!(out.len(), indices.len() * row_len, "gather out size");
+    for (r, &i) in indices.iter().enumerate() {
+        let src = &table[i * row_len..(i + 1) * row_len];
+        out[r * row_len..(r + 1) * row_len].copy_from_slice(src);
+    }
+}
+
+/// Elementwise `out = a + b`, where `b` either matches `a`'s length or is
+/// cycled over it (trailing-axis broadcast, e.g. a `[d]` bias over
+/// `[n, d]`, or an `[n, n]` mask over `[h, n, n]`). Element order matches
+/// the runtime's `broadcast_zip`, so results are bit-identical.
+pub fn add_into(a: &[f32], b: &[f32], out: &mut [f32]) {
+    let _t = profiled!("exec.add");
+    assert_eq!(a.len(), out.len(), "add_into out size");
+    if a.len() == b.len() {
+        for ((o, &x), &y) in out.iter_mut().zip(a.iter()).zip(b.iter()) {
+            *o = x + y;
+        }
+    } else {
+        assert!(!b.is_empty() && a.len().is_multiple_of(b.len()), "add_into broadcast size");
+        for (ochunk, achunk) in out.chunks_mut(b.len()).zip(a.chunks(b.len())) {
+            for ((o, &x), &y) in ochunk.iter_mut().zip(achunk.iter()).zip(b.iter()) {
+                *o = x + y;
+            }
+        }
+    }
+}
+
+/// In-place bias epilogue: `x[i, j] += bias[j]` for `x: [rows, d]`.
+/// Applied after a matmul has fully accumulated, this reproduces the
+/// unfused `matmul → add(bias)` pair bit-exactly (the bias is added once,
+/// after the ascending-`k` sum, exactly as the runtime's broadcast add).
+pub fn bias_add_inplace(x: &mut [f32], bias: &[f32]) {
+    let _t = profiled!("fused.bias_add");
+    assert!(!bias.is_empty() && x.len().is_multiple_of(bias.len()), "bias size must divide x");
+    for row in x.chunks_mut(bias.len()) {
+        for (o, &b) in row.iter_mut().zip(bias.iter()) {
+            *o += b;
+        }
+    }
+}
+
+/// Fused bias + GELU epilogue: `x[i, j] = gelu(x[i, j] + bias[j])` in one
+/// pass. Per element this is the same two arithmetic steps as the unfused
+/// `add(bias)` followed by `gelu` (both elementwise), hence bit-exact.
+pub fn bias_gelu_inplace(x: &mut [f32], bias: &[f32]) {
+    let _t = profiled!("fused.bias_gelu");
+    assert!(!bias.is_empty() && x.len().is_multiple_of(bias.len()), "bias size must divide x");
+    for row in x.chunks_mut(bias.len()) {
+        for (o, &b) in row.iter_mut().zip(bias.iter()) {
+            *o = gelu_fwd(*o + b);
+        }
+    }
+}
+
+/// Elementwise GELU into a caller-provided slice.
+pub fn gelu_into(x: &[f32], out: &mut [f32]) {
+    let _t = profiled!("exec.gelu");
+    assert_eq!(x.len(), out.len(), "gelu_into out size");
+    for (o, &v) in out.iter_mut().zip(x.iter()) {
+        *o = gelu_fwd(v);
+    }
+}
+
+/// Elementwise `out = x * c` into a caller-provided slice.
+pub fn scale_into(x: &[f32], c: f32, out: &mut [f32]) {
+    let _t = profiled!("exec.scale");
+    assert_eq!(x.len(), out.len(), "scale_into out size");
+    for (o, &v) in out.iter_mut().zip(x.iter()) {
+        *o = v * c;
+    }
+}
+
+/// Fused scale + additive mask + stabilized softmax over rows of length
+/// `row_len`, in one pass per row. When `mask` is shorter than `x` it is
+/// cycled (an `[n, n]` visibility mask broadcast over `[h, n, n]` logits).
+///
+/// Equivalence contract: per element this performs `x * scale` (one f32
+/// multiply), `+ mask` (one f32 add), then exactly the runtime softmax —
+/// row max by the same `fold(NEG_INFINITY, max)`, in-order `exp`/sum, and
+/// the same `sum > 0` normalization guard. No reassociation anywhere, so
+/// the fused kernel is bit-exact against the unfused
+/// `scale → add(mask) → softmax_last` chain (fully-masked rows included).
+pub fn fused_mask_softmax(
+    x: &[f32],
+    scale: f32,
+    mask: Option<&[f32]>,
+    out: &mut [f32],
+    row_len: usize,
+) {
+    let _t = profiled!("fused.mask_softmax");
+    assert_eq!(x.len(), out.len(), "fused_mask_softmax out size");
+    assert!(row_len > 0 && x.len().is_multiple_of(row_len), "row length must divide x");
+    if let Some(m) = mask {
+        assert!(!m.is_empty() && x.len().is_multiple_of(m.len()) && m.len() % row_len == 0, "mask size");
+    }
+    for (r, (orow, xrow)) in out.chunks_mut(row_len).zip(x.chunks(row_len)).enumerate() {
+        match mask {
+            Some(m) => {
+                let mrow_start = (r * row_len) % m.len();
+                let mrow = &m[mrow_start..mrow_start + row_len];
+                for ((o, &v), &mv) in orow.iter_mut().zip(xrow.iter()).zip(mrow.iter()) {
+                    *o = v * scale + mv;
+                }
+            }
+            None => {
+                for (o, &v) in orow.iter_mut().zip(xrow.iter()) {
+                    *o = v * scale;
+                }
+            }
+        }
+        let mx = orow.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for o in orow.iter_mut() {
+            *o = (*o - mx).exp();
+            sum += *o;
+        }
+        if sum > 0.0 {
+            for o in orow.iter_mut() {
+                *o /= sum;
+            }
+        }
+    }
+}
+
+/// Fused layer norm over rows of length `d` with affine `gamma`/`beta`:
+/// mean, variance, normalize, scale and shift in one kernel call.
+///
+/// Equivalence contract: the mean and variance reductions run in the same
+/// ascending element order as the runtime op, and the normalize pass is
+/// elementwise — no reassociation, so the result is bit-exact against
+/// `Graph::layer_norm`'s forward.
+pub fn fused_layer_norm(x: &[f32], gamma: &[f32], beta: &[f32], eps: f32, out: &mut [f32]) {
+    let _t = profiled!("fused.layer_norm");
+    let d = gamma.len();
+    assert_eq!(beta.len(), d, "gamma/beta size");
+    assert!(d > 0 && x.len().is_multiple_of(d), "row length must divide x");
+    assert_eq!(x.len(), out.len(), "fused_layer_norm out size");
+    for (orow, xrow) in out.chunks_mut(d).zip(x.chunks(d)) {
+        let mean = xrow.iter().sum::<f32>() / d as f32;
+        let var = xrow.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / d as f32;
+        let inv = 1.0 / (var + eps).sqrt();
+        for (j, (o, &v)) in orow.iter_mut().zip(xrow.iter()).enumerate() {
+            *o = (v - mean) * inv * gamma[j] + beta[j];
+        }
+    }
+}
+
+/// Strided gather copy: `out[i] = src[offset(i)]` where `offset` walks
+/// `out_shape` in row-major order reading through `read_strides` — the
+/// executor's one-copy form of a `reshape → permute` (or `permute →
+/// reshape`) chain. A pure data movement, so trivially bit-exact.
+pub fn copy_strided_into(
+    src: &[f32],
+    out: &mut [f32],
+    out_shape: &[usize],
+    read_strides: &[usize],
+) {
+    let _t = profiled!("exec.copy");
+    assert_eq!(out_shape.len(), read_strides.len(), "shape/stride rank");
+    let n: usize = out_shape.iter().product();
+    assert_eq!(out.len(), n, "copy_strided out size");
+    if n == 0 {
+        return;
+    }
+    // Fast path: innermost axis contiguous → row memcpys.
+    let rank = out_shape.len();
+    let w = out_shape[rank - 1];
+    if read_strides[rank - 1] == 1 && w > 0 {
+        let mut idx = vec![0usize; rank];
+        let mut off = 0usize;
+        for orow in out.chunks_mut(w) {
+            orow.copy_from_slice(&src[off..off + w]);
+            // advance all but the innermost axis
+            for d in (0..rank - 1).rev() {
+                idx[d] += 1;
+                off += read_strides[d];
+                if idx[d] < out_shape[d] {
+                    break;
+                }
+                idx[d] = 0;
+                off -= read_strides[d] * out_shape[d];
+            }
+        }
+        return;
+    }
+    let mut idx = vec![0usize; rank];
+    let mut off = 0usize;
+    for o in out.iter_mut() {
+        *o = src[off];
+        for d in (0..rank).rev() {
+            idx[d] += 1;
+            off += read_strides[d];
+            if idx[d] < out_shape[d] {
+                break;
+            }
+            idx[d] = 0;
+            off -= read_strides[d] * out_shape[d];
+        }
+    }
+}
+
+/// Tanh-approximated GELU, the forward scalar shared by the autograd op
+/// and the fused executor kernels (one definition keeps them bit-exact).
+pub fn gelu_fwd(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+/// Derivative of [`gelu_fwd`], used by the autograd backward pass.
+pub fn gelu_grad(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let inner = C * (x + 0.044715 * x * x * x);
+    let t = inner.tanh();
+    let dinner = C * (1.0 + 3.0 * 0.044715 * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * dinner
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn t(shape: &[usize], data: &[f32]) -> Tensor {
         Tensor::from_vec(shape.to_vec(), data.to_vec())
+    }
+
+    /// Reference triple loop: ascending-k accumulation, no tiling.
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        let n = b.shape()[1];
+        let mut out = Tensor::zeros(vec![m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0f32;
+                for kk in 0..k {
+                    s += a.data()[i * k + kk] * b.data()[kk * n + j];
+                }
+                out.data_mut()[i * n + j] = s;
+            }
+        }
+        out
+    }
+
+    fn pseudo(shape: &[usize], seed: u32) -> Tensor {
+        let n: usize = shape.iter().product();
+        let mut s = seed;
+        let data = (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+                ((s >> 8) as f32 / (1 << 24) as f32) - 0.5
+            })
+            .collect();
+        Tensor::from_vec(shape.to_vec(), data)
     }
 
     #[test]
@@ -351,12 +811,37 @@ mod tests {
     }
 
     #[test]
+    fn register_tiling_is_bit_identical_to_naive() {
+        // Cover full tiles, row remainders, and column remainders.
+        for (m, k, n) in [(1, 7, 1), (3, 5, 9), (8, 16, 24), (13, 31, 17), (21, 64, 40)] {
+            let a = pseudo(&[m, k], (m * 31 + n) as u32);
+            let b = pseudo(&[k, n], (k * 17 + m) as u32);
+            let fast = matmul(&a, &b);
+            let slow = naive_matmul(&a, &b);
+            for (x, y) in fast.data().iter().zip(slow.data().iter()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "tiled kernel diverged from naive");
+            }
+        }
+    }
+
+    #[test]
     fn nt_matches_explicit_transpose() {
         let a = t(&[2, 3], &[1., 2., 3., 4., 5., 6.]);
         let b = t(&[4, 3], &(0..12).map(|x| x as f32).collect::<Vec<_>>());
         let c1 = matmul_nt(&a, &b);
         let c2 = matmul(&a, &b.transpose2());
         assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn nt_panel_path_matches_dot_path() {
+        // Above and below the transpose threshold must agree bit-for-bit.
+        let a = pseudo(&[9, 33], 5);
+        let b = pseudo(&[21, 33], 6);
+        let panel = matmul_nt(&a, &b); // 9*21 >= threshold: panel path
+        let mut dot = Tensor::zeros(vec![9, 21]);
+        matmul_nt_rows(a.data(), b.data(), dot.data_mut(), 9, 33, 21, 0, 9);
+        assert_eq!(panel.data(), dot.data());
     }
 
     #[test]
@@ -392,5 +877,143 @@ mod tests {
         let b2 = t(&[2, 3, 4], &(0..24).map(|x| x as f32 * 0.2).collect::<Vec<_>>());
         let c2 = bmm_tn(&a2, &b2);
         assert_eq!(c2.shape(), &[2, 2, 4]);
+    }
+
+    #[test]
+    fn bmm_nt_matches_per_batch_nt() {
+        let a = pseudo(&[3, 5, 7], 11);
+        let b = pseudo(&[3, 6, 7], 12);
+        let c = bmm_nt(&a, &b); // [3,5,6]; panel path (90 >= 64)
+        for i in 0..3 {
+            let ai = t(&[5, 7], &a.data()[i * 35..(i + 1) * 35]);
+            let bi = t(&[6, 7], &b.data()[i * 42..(i + 1) * 42]);
+            let ci = matmul_nt(&ai, &bi);
+            assert_eq!(&c.data()[i * 30..(i + 1) * 30], ci.data(), "batch {i}");
+        }
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let x = pseudo(&[37, 19], 3);
+        let mut once = vec![0.0f32; 37 * 19];
+        let mut twice = vec![0.0f32; 37 * 19];
+        transpose_into(x.data(), &mut once, 37, 19);
+        transpose_into(&once, &mut twice, 19, 37);
+        assert_eq!(x.data(), &twice[..]);
+    }
+
+    #[test]
+    fn into_variants_match_tensor_ops() {
+        let a = pseudo(&[6, 10], 21);
+        let b = pseudo(&[10, 12], 22);
+        let mut out = vec![0.0f32; 72];
+        matmul_into(a.data(), b.data(), &mut out, 6, 10, 12);
+        assert_eq!(&out[..], matmul(&a, &b).data());
+
+        let bt = pseudo(&[12, 10], 23);
+        let mut scratch = vec![0.0f32; 120];
+        matmul_nt_into(a.data(), bt.data(), &mut out, &mut scratch, 6, 10, 12);
+        assert_eq!(&out[..], matmul_nt(&a, &bt).data());
+
+        let a3 = pseudo(&[2, 6, 10], 24);
+        let b3 = pseudo(&[2, 10, 12], 25);
+        let mut out3 = vec![0.0f32; 144];
+        bmm_into(a3.data(), b3.data(), &mut out3, 2, 6, 10, 12);
+        assert_eq!(&out3[..], bmm(&a3, &b3).data());
+
+        let b3t = pseudo(&[2, 12, 10], 26);
+        let mut scratch3 = vec![0.0f32; 240];
+        bmm_nt_into(a3.data(), b3t.data(), &mut out3, &mut scratch3, 2, 6, 10, 12);
+        assert_eq!(&out3[..], bmm_nt(&a3, &b3t).data());
+    }
+
+    #[test]
+    fn fused_mask_softmax_matches_unfused_chain() {
+        let x = pseudo(&[2, 4, 4], 31); // [heads, n, n]
+        let mut mask = vec![0.0f32; 16];
+        mask[1] = -1e9;
+        mask[7] = -1e9;
+        for v in &mut mask[12..16] {
+            *v = -1e9; // fully-masked row
+        }
+        let scale = 1.0 / (5.0f32).sqrt();
+        let mut fused = vec![0.0f32; 32];
+        fused_mask_softmax(x.data(), scale, Some(&mask), &mut fused, 4);
+        // Unfused reference chain via Tensor ops.
+        let scaled = x.map(|v| v * scale);
+        let m = t(&[4, 4], &mask);
+        let masked = scaled.broadcast_zip(&m, |a, b| a + b).expect("mask add");
+        let probs = masked.softmax_last();
+        for (f, r) in fused.iter().zip(probs.data().iter()) {
+            assert_eq!(f.to_bits(), r.to_bits(), "fused softmax diverged");
+        }
+    }
+
+    #[test]
+    fn fused_layer_norm_matches_rowwise_reference() {
+        let x = pseudo(&[5, 8], 41);
+        let gamma = pseudo(&[8], 42);
+        let beta = pseudo(&[8], 43);
+        let eps = 1e-5f32;
+        let mut fused = vec![0.0f32; 40];
+        fused_layer_norm(x.data(), gamma.data(), beta.data(), eps, &mut fused);
+        for r in 0..5 {
+            let row = &x.data()[r * 8..(r + 1) * 8];
+            let mean = row.iter().sum::<f32>() / 8.0;
+            let var = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 8.0;
+            let inv = 1.0 / (var + eps).sqrt();
+            for j in 0..8 {
+                let want = (row[j] - mean) * inv * gamma.data()[j] + beta.data()[j];
+                assert_eq!(fused[r * 8 + j].to_bits(), want.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn bias_gelu_matches_two_step() {
+        let x = pseudo(&[3, 6], 51);
+        let bias = pseudo(&[6], 52);
+        let mut fused = x.data().to_vec();
+        bias_gelu_inplace(&mut fused, bias.data());
+        for r in 0..3 {
+            for j in 0..6 {
+                let want = gelu_fwd(x.data()[r * 6 + j] + bias.data()[j]);
+                assert_eq!(fused[r * 6 + j].to_bits(), want.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn copy_strided_reproduces_permute() {
+        let x = pseudo(&[3, 4, 5], 61);
+        let p = x.permute(&[1, 0, 2]);
+        // reading [3,4,5] as [4,3,5]: strides of src permuted
+        let mut out = vec![0.0f32; 60];
+        copy_strided_into(x.data(), &mut out, &[4, 3, 5], &[5, 20, 1]);
+        assert_eq!(&out[..], p.data());
+        // non-contiguous innermost axis
+        let p2 = x.permute(&[2, 1, 0]);
+        let mut out2 = vec![0.0f32; 60];
+        copy_strided_into(x.data(), &mut out2, &[5, 4, 3], &[1, 5, 20]);
+        assert_eq!(&out2[..], p2.data());
+    }
+
+    #[test]
+    fn add_into_broadcast_matches_broadcast_zip() {
+        let a = pseudo(&[4, 6], 71);
+        let b = pseudo(&[6], 72);
+        let mut out = vec![0.0f32; 24];
+        add_into(a.data(), b.data(), &mut out);
+        let want = a.broadcast_zip(&b, |x, y| x + y).expect("bias add");
+        assert_eq!(&out[..], want.data());
+    }
+
+    #[test]
+    fn gather_rows_matches_index_select() {
+        let table = pseudo(&[7, 5], 81);
+        let idx = [3usize, 0, 6, 3];
+        let mut out = vec![0.0f32; 20];
+        gather_rows_into(table.data(), 5, &idx, &mut out);
+        assert_eq!(&out[..], table.index_select0(&idx).data());
     }
 }

@@ -101,6 +101,19 @@ fn main() {
     );
     println!("object-entity prediction probe: {acc0:.3} (random init) -> {acc1:.3} (pre-trained)");
 
+    // The probe above already runs encodes through the compiled forward
+    // plan; here it is explicitly — graph-free, fused, one arena buffer,
+    // bit-exact with the tape.
+    if let Some((_, enc)) = val.first() {
+        let mut cf = pt.model.compiled();
+        let h = cf.encode(&pt.model, &pt.store, enc).expect("compiled encode");
+        println!(
+            "\ncompiled inference: encoded a {}-element table to {:?} without building a graph",
+            enc.seq_len(),
+            h.shape()
+        );
+    }
+
     // nearest neighbours of a popular entity in embedding space
     let emb = pt.model.entity_embedding_matrix(&pt.store);
     let d = pt.model.d_model();
