@@ -62,9 +62,10 @@ pub use liveness::{
 pub use obs::{check_metrics_log, MetricsLogReport};
 pub use parallel::{check_grad_parity, ParityReport};
 pub use plan::{
-    analyze_model_plan, check_model_plan, ModelPlan, PlanAnalysis, PlanNumerics, PlanReport,
+    analyze_model_plan, analyze_model_plan_with, check_model_plan, ModelPlan, PlanAnalysis,
+    PlanNumerics, PlanReport,
 };
-pub use range::{analyze_ranges, RangeAnalysis, ValueRange};
+pub use range::{analyze_ranges, analyze_ranges_with, quantized_range, RangeAnalysis, ValueRange};
 pub use resume::check_value_parity;
 pub use shape::{SVar, ShapeFlow};
 pub use tape::{audit_tape, TapeReport};

@@ -13,7 +13,7 @@
 use crate::error::AuditError;
 use crate::ir::{lower_model_plan, Ir};
 use crate::liveness::{plan_arena, ArenaPlan};
-use crate::range::{analyze_ranges, ValueRange};
+use crate::range::ValueRange;
 
 /// Numeric metadata the value-range analysis interprets a plan under:
 /// everything about the model's arithmetic that is not a shape.
@@ -172,9 +172,21 @@ pub(crate) fn check_plan_fields(p: &ModelPlan) -> Result<(), AuditError> {
 /// per-tensor ranges of a deliberately degenerate configuration instead
 /// of losing everything to the first error.
 pub fn analyze_model_plan(plan: &ModelPlan) -> Result<PlanAnalysis, AuditError> {
+    analyze_model_plan_with(plan, &[])
+}
+
+/// [`analyze_model_plan`] with per-source range overrides (see
+/// [`crate::analyze_ranges_with`]): the dtype-aware entry point. Callers
+/// holding a quantized parameter set pass `(source label,
+/// quantized_range(max_scale))` pairs so every downstream proof covers
+/// the int8 forward's actual value envelope.
+pub fn analyze_model_plan_with(
+    plan: &ModelPlan,
+    overrides: &[(String, crate::range::ValueRange)],
+) -> Result<PlanAnalysis, AuditError> {
     check_plan_fields(plan)?;
     let ir = lower_model_plan(plan)?;
-    let ranges = analyze_ranges(&ir);
+    let ranges = crate::range::analyze_ranges_with(&ir, overrides);
     let arena = plan_arena(&ir);
     let report = PlanReport {
         seq_len: plan.n_tokens + plan.n_seq_entities,
@@ -260,6 +272,33 @@ mod tests {
         assert_eq!(bound, 0.0, "exp(-1e9 + small) underflows to exactly 0");
         // Arena strictly beats allocate-everything.
         assert!(a.arena.peak_bytes < a.arena.total_bytes);
+    }
+
+    #[test]
+    fn quantized_overrides_thread_through_the_analysis() {
+        let plan = paper_plan();
+        // A realistic post-training scale: the word embedding's values
+        // dequantize into ±127·0.01 = ±1.27 — the proof must pick the
+        // override up at the source and stay clean downstream.
+        let tight = vec![("word_emb".to_string(), crate::range::quantized_range(0.01))];
+        let a = analyze_model_plan_with(&plan, &tight).expect("plan analyzes");
+        assert!(a.errors.is_empty(), "unexpected: {:?}", a.errors);
+        let idx = a.ir.nodes().iter().position(|n| n.label == "word_emb").unwrap();
+        assert!(a.ranges[idx].hi <= 1.27 + 1e-9, "range {:?}", a.ranges[idx]);
+        assert!(a.ranges[idx].lo >= -1.27 - 1e-9);
+        // An absurd scale must break the proofs, not silently pass:
+        // 127·1e37 ≫ f32::MAX is an unbounded activation at the source.
+        let huge = vec![("word_emb".to_string(), crate::range::quantized_range(1e37))];
+        let b = analyze_model_plan_with(&plan, &huge).expect("still structurally valid");
+        assert!(
+            b.errors.iter().any(|e| matches!(e, AuditError::UnboundedActivation { .. })),
+            "expected UnboundedActivation, got {:?}",
+            b.errors
+        );
+        // Labels matching no source are ignored, not an error.
+        let stray = vec![("no_such_param".to_string(), crate::range::quantized_range(0.5))];
+        let c = analyze_model_plan_with(&plan, &stray).expect("plan analyzes");
+        assert!(c.errors.is_empty());
     }
 
     #[test]

@@ -399,6 +399,17 @@ fn source_range(ir: &Ir, kind: &SourceKind) -> ValueRange {
     }
 }
 
+/// The abstract value of a block-quantized (`i8b32`) parameter: every
+/// stored scalar is `q · scale` with `q ∈ [-127, 127]` and
+/// `scale ≤ max_scale`, so the dequantized values are hard-bounded by
+/// `±127 · max_scale` — usually a *tighter* interval than the init-time
+/// bound the analyzer assumes for dense parameters, since quantization
+/// happens after training has shrunk the weights.
+pub fn quantized_range(max_scale: f64) -> ValueRange {
+    let b = 127.0 * max_scale.abs();
+    ValueRange::bounded(-b, b)
+}
+
 /// Run the abstract interpreter over a lowered IR.
 ///
 /// Returns per-tensor ranges plus every unprovable invariant as a typed
@@ -407,6 +418,20 @@ fn source_range(ir: &Ir, kind: &SourceKind) -> ValueRange {
 /// degenerate normalizer — downstream propagation of an already-reported
 /// flag is not re-reported.
 pub fn analyze_ranges(ir: &Ir) -> RangeAnalysis {
+    analyze_ranges_with(ir, &[])
+}
+
+/// [`analyze_ranges`] with per-source range overrides, keyed by the
+/// source node's label.
+///
+/// This is how dtype information flows into the analyzer: a caller that
+/// knows some parameters are block-quantized (e.g. `turl infer
+/// --artifact` on an int8 artifact) replaces their init-time ranges with
+/// the exact dequantization bound from [`quantized_range`], and the
+/// NaN-reachability / bounded-activation / sound-normalizer proofs hold
+/// for the quantized forward rather than the dense one. Labels that
+/// match no source in the IR are ignored.
+pub fn analyze_ranges_with(ir: &Ir, overrides: &[(String, ValueRange)]) -> RangeAnalysis {
     let mut ranges: Vec<ValueRange> = Vec::with_capacity(ir.len());
     let mut errors = Vec::new();
     let mut masked_weight_bound: Option<f64> = None;
@@ -416,7 +441,11 @@ pub fn analyze_ranges(ir: &Ir) -> RangeAnalysis {
         let input = |i: usize| ranges[node.inputs[i].index()];
         let k_inner = |of: usize| *ir.node_at(node.inputs[of].index()).shape.last().unwrap_or(&0);
         let r = match &node.kind {
-            OpKind::Source(kind) => source_range(ir, kind),
+            OpKind::Source(kind) => overrides
+                .iter()
+                .find(|(label, _)| *label == node.label)
+                .map(|(_, r)| *r)
+                .unwrap_or_else(|| source_range(ir, kind)),
             // Gathered rows take the table's range; reshapes, permutes
             // and concats move values without changing them.
             OpKind::Gather | OpKind::Reshape | OpKind::Permute => input(0),

@@ -30,12 +30,17 @@ use turl_nn::Forward;
 use turl_tensor::{normal_init, ops, pool, Tensor};
 
 /// One measurement row of `BENCH_pretrain.json`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize)]
 pub struct BenchEntry {
     /// What was measured (e.g. `matmul`, `encoder_fwd_bwd`, `pretrain_step`).
     pub op: String,
     /// Problem-size descriptor, e.g. `m=192,k=192,n=192`.
     pub size: String,
+    /// Parameter dtype the measurement ran with (`f32` or `i8b32`).
+    /// Cross-dtype timings are not comparable — int8 trades precision
+    /// for bandwidth — so the regression gate only matches like-dtype
+    /// rows.
+    pub dtype: String,
     /// Pool width the measurement ran with.
     pub threads: usize,
     /// Cores available on the recording machine. Thread-scaling numbers
@@ -48,6 +53,29 @@ pub struct BenchEntry {
     /// Work rate: sequence rows per second for model ops, output rows per
     /// second for kernels.
     pub tokens_per_sec: f64,
+}
+
+// Manual impl (the vendored serde derive has no `default` attribute):
+// baseline files written before the dtype column existed deserialize
+// with `dtype: "f32"`, which is what every pre-dtype row measured.
+impl Deserialize for BenchEntry {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let field = |key: &str| {
+            v.get(key).ok_or_else(|| serde::DeError::new(format!("missing field `{key}`")))
+        };
+        Ok(Self {
+            op: Deserialize::from_value(field("op")?)?,
+            size: Deserialize::from_value(field("size")?)?,
+            dtype: match v.get("dtype") {
+                Some(d) => Deserialize::from_value(d)?,
+                None => "f32".to_string(),
+            },
+            threads: Deserialize::from_value(field("threads")?)?,
+            available_cores: Deserialize::from_value(field("available_cores")?)?,
+            ns_per_iter: Deserialize::from_value(field("ns_per_iter")?)?,
+            tokens_per_sec: Deserialize::from_value(field("tokens_per_sec")?)?,
+        })
+    }
 }
 
 /// Time `f` and return mean ns/iter: one warmup call, then iterations
@@ -65,9 +93,21 @@ fn time_ns<F: FnMut()>(mut f: F, min_total_ms: u64) -> u64 {
 }
 
 fn entry(op: &str, size: String, threads: usize, ns: u64, rows_per_iter: usize) -> BenchEntry {
+    entry_dtyped(op, size, "f32", threads, ns, rows_per_iter)
+}
+
+fn entry_dtyped(
+    op: &str,
+    size: String,
+    dtype: &str,
+    threads: usize,
+    ns: u64,
+    rows_per_iter: usize,
+) -> BenchEntry {
     BenchEntry {
         op: op.to_string(),
         size,
+        dtype: dtype.to_string(),
         threads,
         available_cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         ns_per_iter: ns,
@@ -153,6 +193,17 @@ pub fn run_suite(quick: bool, thread_counts: &[usize]) -> Vec<BenchEntry> {
         world.pt.model.word_emb.vocab,
         world.pt.model.n_entities(),
     );
+    // Inference-only twin of `paper_store` with the int8 export policy
+    // applied in place (same registration order, so `ParamId`s line up):
+    // rank-2 tensors of ≥1024 elements quantize, everything else stays
+    // dense.
+    let mut quant_store = turl_nn::ParamStore::new();
+    for id in paper_store.ids() {
+        let v = paper_store.value(id);
+        let stored =
+            if v.shape().len() == 2 && v.len() >= 1024 { v.quantize_i8() } else { v.clone() };
+        quant_store.register_inference(paper_store.name(id).to_string(), stored);
+    }
 
     let mut out = Vec::new();
     for &t in thread_counts {
@@ -250,7 +301,24 @@ pub fn run_suite(quick: bool, thread_counts: &[usize]) -> Vec<BenchEntry> {
             },
             window_ms,
         );
-        out.push(entry("encoder_fwd_compiled", paper_size, t, ns, enc_rows));
+        out.push(entry("encoder_fwd_compiled", paper_size.clone(), t, ns, enc_rows));
+
+        // The same compiled encoder with the `turl export --dtype int8`
+        // weight layout: embedding tables and matmul weights block-
+        // quantized, biases and layer-norm parameters dense. The q8
+        // kernels dequantize in-register, reading 1 byte of weight per
+        // MAC instead of 4.
+        let mut qcf = paper_model.compiled();
+        let mut qout = qcf.encode(&paper_model, &quant_store, &enc_input).expect("compiled q8");
+        let ns = time_ns(
+            || {
+                qcf.encode_into(&paper_model, &quant_store, &enc_input, &mut qout)
+                    .expect("compiled q8 encode");
+                std::hint::black_box(qout.data().first().copied());
+            },
+            window_ms,
+        );
+        out.push(entry_dtyped("encoder_fwd_compiled", paper_size, "i8b32", t, ns, enc_rows));
 
         // Full data-parallel pre-training step over an 8-table batch.
         let step_size = format!("batch={},d={}", batch.len(), cfg.encoder.d_model);
@@ -292,8 +360,10 @@ pub fn read_json(path: &std::path::Path) -> Result<Vec<BenchEntry>, String> {
     Ok(entries)
 }
 
-/// Compare a fresh run against a tracked baseline: any op/size/threads
-/// cell slower than `factor`× its baseline is a regression. Entries
+/// Compare a fresh run against a tracked baseline: any
+/// op/size/dtype/threads cell slower than `factor`× its baseline is a
+/// regression (dtype must match exactly — an int8 row is never gated
+/// against an f32 baseline or vice versa). Entries
 /// missing from either side are ignored (sizes legitimately change as the
 /// suite evolves), as are multi-thread cells when either side was
 /// recorded on a single core — oversubscribed timings carry no scaling
@@ -306,9 +376,9 @@ pub fn check_regressions(
     let mut compared = 0usize;
     let mut errors = Vec::new();
     for n in new {
-        let Some(b) =
-            baseline.iter().find(|b| b.op == n.op && b.size == n.size && b.threads == n.threads)
-        else {
+        let Some(b) = baseline.iter().find(|b| {
+            b.op == n.op && b.size == n.size && b.dtype == n.dtype && b.threads == n.threads
+        }) else {
             continue;
         };
         if n.threads > 1 && (n.available_cores <= 1 || b.available_cores <= 1) {
@@ -318,8 +388,8 @@ pub fn check_regressions(
         let ratio = n.ns_per_iter as f64 / b.ns_per_iter.max(1) as f64;
         if ratio > factor {
             errors.push(format!(
-                "{} [{}] @{}t regressed {ratio:.2}x ({} -> {} ns/iter)",
-                n.op, n.size, n.threads, b.ns_per_iter, n.ns_per_iter
+                "{} [{}] ({}) @{}t regressed {ratio:.2}x ({} -> {} ns/iter)",
+                n.op, n.size, n.dtype, n.threads, b.ns_per_iter, n.ns_per_iter
             ));
         }
     }
@@ -333,22 +403,23 @@ pub fn check_regressions(
 /// Human-readable speedup table: for each op, ns/iter per thread count
 /// and the speedup of the widest setting over 1 thread.
 pub fn summarize(entries: &[BenchEntry]) -> String {
-    let mut ops: Vec<(&str, &str)> = Vec::new();
+    let mut ops: Vec<(&str, &str, &str)> = Vec::new();
     for e in entries {
-        if !ops.iter().any(|&(o, s)| o == e.op && s == e.size) {
-            ops.push((&e.op, &e.size));
+        if !ops.iter().any(|&(o, s, d)| o == e.op && s == e.size && d == e.dtype) {
+            ops.push((&e.op, &e.size, &e.dtype));
         }
     }
     let mut s = String::new();
-    for (op, size) in ops {
+    for (op, size, dtype) in ops {
         let mut cells: Vec<(usize, u64, f64)> = entries
             .iter()
-            .filter(|e| e.op == op && e.size == size)
+            .filter(|e| e.op == op && e.size == size && e.dtype == dtype)
             .map(|e| (e.threads, e.ns_per_iter, e.tokens_per_sec))
             .collect();
         cells.sort_unstable_by_key(|&(t, _, _)| t);
         let base = cells.iter().find(|&&(t, _, _)| t == 1).map(|&(_, ns, _)| ns);
-        s.push_str(&format!("{op:>16} [{size}]"));
+        let tag = if dtype == "f32" { String::new() } else { format!(" {dtype}") };
+        s.push_str(&format!("{op:>16} [{size}]{tag}"));
         for (t, ns, _) in &cells {
             s.push_str(&format!("  {t}t: {:.2}ms", *ns as f64 / 1e6));
         }
@@ -374,6 +445,7 @@ mod tests {
         BenchEntry {
             op: op.into(),
             size: "s".into(),
+            dtype: "f32".into(),
             threads,
             available_cores: cores,
             ns_per_iter: ns,
@@ -409,6 +481,35 @@ mod tests {
     }
 
     #[test]
+    fn regression_gate_only_compares_like_dtype_rows() {
+        let base = vec![e("encoder_fwd_compiled", 1, 100)];
+        let mut int8 = e("encoder_fwd_compiled", 1, 500);
+        int8.dtype = "i8b32".into();
+        // A 5x-slower int8 row must NOT be gated against the f32 baseline.
+        assert_eq!(check_regressions(&[int8.clone()], &base, 2.0), Ok(0));
+        // Against an int8 baseline it is compared (and flagged).
+        let mut int8_base = e("encoder_fwd_compiled", 1, 100);
+        int8_base.dtype = "i8b32".into();
+        assert!(check_regressions(&[int8], &[int8_base], 2.0).is_err());
+    }
+
+    #[test]
+    fn pre_dtype_baselines_deserialize_as_f32() {
+        // Baseline files written before the dtype column existed must
+        // still load, defaulting every row to f32.
+        let json = r#"[{"op":"matmul","size":"m=8","threads":1,
+                        "available_cores":4,"ns_per_iter":42,"tokens_per_sec":1.0}]"#;
+        let rows: Vec<BenchEntry> = serde_json::from_str(json).unwrap();
+        assert_eq!(rows[0].dtype, "f32");
+        // And a tagged row round-trips its tag.
+        let mut tagged = e("matmul", 1, 42);
+        tagged.dtype = "i8b32".into();
+        let back: Vec<BenchEntry> =
+            serde_json::from_str(&serde_json::to_string(&vec![tagged]).unwrap()).unwrap();
+        assert_eq!(back[0].dtype, "i8b32");
+    }
+
+    #[test]
     fn json_roundtrip_and_validation() {
         let dir = std::env::temp_dir().join("turl-bench-test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -441,5 +542,12 @@ mod tests {
         for op in ops {
             assert!(entries.iter().any(|e| e.op == op && e.threads == 1), "missing op {op}");
         }
+        // The compiled paper-dim encoder is measured at both dtypes.
+        assert!(entries
+            .iter()
+            .any(|e| e.op == "encoder_fwd_compiled" && e.dtype == "i8b32" && e.threads == 1));
+        assert!(entries
+            .iter()
+            .any(|e| e.op == "encoder_fwd_compiled" && e.dtype == "f32" && e.threads == 1));
     }
 }

@@ -27,10 +27,13 @@ USAGE:
   turl probe    [--entities N] [--tables N] [--epochs E] [--seed S] [--ckpt model.json]
   turl fill     [--entities N] [--tables N] [--epochs E] [--seed S] [--ckpt model.json]
   turl infer    [--entities N] [--tables N] [--seed S] [--ckpt model.json] [--reps N]
+                [--artifact model.artifact [--tolerance T]]
+  turl export   [--entities N] [--tables N] [--epochs E] [--seed S] [--ckpt model.json]
+                [--out model.artifact] [--dtype f32|int8] [--min-quant-elems N]
   turl audit    [--entities N] [--tables N] [--seed S]
   turl plan     [--words N] [--plan-entities N] [--tokens N] [--seq-entities N]
                 [--mention-tokens N] [--mlm N] [--mer N] [--candidates N]
-                [--eps F]
+                [--eps F] [--int8-scale S]
   turl bench    [--quick] [--threads 1,2,4] [--out BENCH_pretrain.json]
                 [--baseline FILE [--factor 2.0]]
   turl report   <run.jsonl>
@@ -66,6 +69,26 @@ compiled path bit-exact against the graph forward on every validation
 table, then reports tokens/sec for both paths and the speedup. --reps
 controls the timing loop; --ckpt reuses a pre-trained checkpoint
 instead of fresh parameters.
+
+`export` writes a single-file model artifact: one checksummed frame
+(same FNV-1a header discipline as trainer checkpoints) holding every
+parameter in a binary little-endian layout. --dtype int8 block-
+quantizes rank-2 tensors of at least --min-quant-elems elements
+(32-wide blocks, one f32 scale each — 1.125 bytes/weight, ~3.5x
+smaller than f32); biases and layer-norm parameters always stay f32.
+
+`infer --artifact` binds an artifact directly into the compiled
+executor — quantized weights stream through in-register-dequant int8
+kernels, nothing is densified up front. With --ckpt it also gates
+correctness: an f32 artifact must be bit-exact against the in-memory
+parameters on every validation table; an int8 artifact must keep the
+§6.8 object-entity probe within --tolerance (default 0.05) of the f32
+accuracy. Quantized parameters are re-proven through the plan-level
+range analysis with their exact ±127·scale dequantization bounds.
+
+`plan --int8-scale S` runs the same abstract interpreter with every
+embedding table and linear weight bounded by its int8 dequantization
+envelope ±127·S instead of the init-time bound.
 
 `plan` lowers the paper configuration to a typed dataflow IR and runs
 the plan-level abstract interpreter over it: per-tensor value ranges
@@ -152,21 +175,27 @@ fn encode(s: &Setup, tables: &[turl_data::Table]) -> Vec<(TableInstance, Encoded
         .collect()
 }
 
+/// Restore a `pretrain --out` checkpoint into a fresh trainer's store.
+fn load_ckpt_into(pt: &mut Pretrainer, ckpt: &str) -> Result<(), String> {
+    let loaded = turl_nn::load_store(Path::new(ckpt)).map_err(|e| e.to_string())?;
+    let copied = pt.store.load_matching(&loaded);
+    if copied != pt.store.len() {
+        return Err(format!(
+            "checkpoint {ckpt} restored only {copied}/{} parameters — \
+             was it written with the same --entities/--tables/--seed?",
+            pt.store.len()
+        ));
+    }
+    info(format!("loaded checkpoint {ckpt}"));
+    Ok(())
+}
+
 fn make_pretrainer(s: &Setup, opts: &Options) -> Result<Pretrainer, String> {
     let mut pt =
         Pretrainer::new(s.cfg, s.vocab.len(), s.kb.n_entities(), s.vocab.mask_id() as usize);
     let ckpt = opts.get("ckpt", "");
     if !ckpt.is_empty() {
-        let loaded = turl_nn::load_store(Path::new(&ckpt)).map_err(|e| e.to_string())?;
-        let copied = pt.store.load_matching(&loaded);
-        if copied != pt.store.len() {
-            return Err(format!(
-                "checkpoint {ckpt} restored only {copied}/{} parameters — \
-                 was it written with the same --entities/--tables/--seed?",
-                pt.store.len()
-            ));
-        }
-        info(format!("loaded checkpoint {ckpt}"));
+        load_ckpt_into(&mut pt, &ckpt)?;
     } else {
         let epochs = opts.get_usize("epochs", 6)?;
         let data = encode(s, &s.splits.train);
@@ -311,20 +340,15 @@ pub fn probe(opts: &Options) -> Result<(), String> {
 /// metrics stream for `turl report`.
 pub fn infer(opts: &Options) -> Result<(), String> {
     let s = setup(opts)?;
+    let artifact = opts.get("artifact", "");
+    if !artifact.is_empty() {
+        return infer_artifact(&s, opts, &artifact);
+    }
     let mut pt =
         Pretrainer::new(s.cfg, s.vocab.len(), s.kb.n_entities(), s.vocab.mask_id() as usize);
     let ckpt = opts.get("ckpt", "");
     if !ckpt.is_empty() {
-        let loaded = turl_nn::load_store(Path::new(&ckpt)).map_err(|e| e.to_string())?;
-        let copied = pt.store.load_matching(&loaded);
-        if copied != pt.store.len() {
-            return Err(format!(
-                "checkpoint {ckpt} restored only {copied}/{} parameters — \
-                 was it written with the same --entities/--tables/--seed?",
-                pt.store.len()
-            ));
-        }
-        info(format!("loaded checkpoint {ckpt}"));
+        load_ckpt_into(&mut pt, &ckpt)?;
     }
     let reps = opts.get_usize("reps", 10)?;
     let data = encode(&s, &s.splits.validation);
@@ -408,6 +432,204 @@ pub fn infer(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// `turl export`: write the model's parameters as a single-file,
+/// checksummed artifact, optionally block-quantizing the big matrices
+/// to int8. With `--ckpt` the artifact snapshots a pre-trained model;
+/// without it, a fresh model is pre-trained first (same as `probe`).
+pub fn export(opts: &Options) -> Result<(), String> {
+    let s = setup(opts)?;
+    let pt = make_pretrainer(&s, opts)?;
+    let quantize = match opts.get("dtype", "f32").as_str() {
+        "f32" => false,
+        "int8" | "i8b32" => true,
+        other => return Err(format!("--dtype expects `f32` or `int8`, got `{other}`")),
+    };
+    let min_quant_elems = opts.get_usize("min-quant-elems", 1024)?;
+    let out = opts.get("out", "turl-model.artifact");
+    let summary = turl_nn::export_artifact(
+        &pt.store,
+        Path::new(&out),
+        &turl_nn::ExportOptions { quantize, min_quant_elems },
+    )
+    .map_err(|e| e.to_string())?;
+    info(format!(
+        "wrote {out}: {} tensors ({} quantized), {} payload bytes, {:.2}x smaller than dense f32",
+        summary.tensors,
+        summary.quantized,
+        summary.payload_bytes,
+        summary.compression()
+    ));
+    Ok(())
+}
+
+/// Map an artifact's quantized parameters to abstract-interpreter range
+/// overrides: param `turl.{label}[.weight]` becomes the IR source
+/// `label` with the exact dequantization bound `±127 · max_scale`.
+fn quant_range_overrides(store: &turl_nn::ParamStore) -> Vec<(String, turl_audit::ValueRange)> {
+    let mut overrides = Vec::new();
+    for id in store.ids() {
+        if let Some(q) = store.value(id).quantized() {
+            let r = turl_audit::quantized_range(q.max_scale() as f64);
+            if let Some(rest) = store.name(id).strip_prefix("turl.") {
+                overrides.push((rest.to_string(), r));
+                if let Some(table) = rest.strip_suffix(".weight") {
+                    overrides.push((table.to_string(), r));
+                }
+            }
+        }
+    }
+    overrides
+}
+
+/// `turl infer --artifact`: graph-free inference from a single-file
+/// artifact. An all-f32 artifact with `--ckpt` is proven **bit-exact**
+/// against the in-memory parameters on every validation table; an int8
+/// artifact with `--ckpt` is gated on the §6.8 object-entity probe
+/// staying within `--tolerance` of the f32 accuracy. Quantized
+/// parameters are additionally threaded through the plan-level range
+/// analysis with their `±127·scale` dequantization bounds, so the
+/// NaN/overflow/normalizer proofs cover the int8 forward.
+fn infer_artifact(s: &Setup, opts: &Options, artifact: &str) -> Result<(), String> {
+    let mut pt =
+        Pretrainer::new(s.cfg, s.vocab.len(), s.kb.n_entities(), s.vocab.mask_id() as usize);
+    let store = turl_nn::load_artifact(Path::new(artifact)).map_err(|e| e.to_string())?;
+    if store.len() != pt.store.len() {
+        return Err(format!(
+            "artifact {artifact} holds {} tensors, the model needs {} — \
+             was it exported with the same --entities/--tables/--seed?",
+            store.len(),
+            pt.store.len()
+        ));
+    }
+    for (a, b) in pt.store.ids().zip(store.ids()) {
+        if pt.store.name(a) != store.name(b) {
+            return Err(format!(
+                "artifact parameter order diverges at `{}` (model expects `{}`)",
+                store.name(b),
+                pt.store.name(a)
+            ));
+        }
+    }
+    let n_quant = store.ids().filter(|&id| store.value(id).quantized().is_some()).count();
+    let bytes = std::fs::metadata(artifact).map(|m| m.len()).unwrap_or(0);
+    info(format!(
+        "loaded artifact {artifact}: {} tensors ({n_quant} quantized), {bytes} bytes",
+        store.len()
+    ));
+
+    let data = encode(s, &s.splits.validation);
+    if data.is_empty() {
+        return Err("validation split is empty".to_string());
+    }
+
+    // Range analysis, threaded through dtype: re-prove the plan with
+    // the quantized sources' actual dequantization bounds.
+    if n_quant > 0 {
+        let (_, enc) = &data[0];
+        let mut plan = turl_core::audit::model_plan(
+            &s.cfg,
+            pt.model.word_emb.vocab,
+            pt.model.n_entities(),
+            enc.token_ids.len(),
+            enc.entities.len(),
+            enc.entities.iter().map(|e| e.mention.len()).sum(),
+            0,
+            0,
+            0,
+        );
+        plan.use_visibility = enc.mask.is_some();
+        let overrides = quant_range_overrides(&store);
+        let analysis =
+            turl_audit::analyze_model_plan_with(&plan, &overrides).map_err(|e| e.to_string())?;
+        if !analysis.errors.is_empty() {
+            for e in &analysis.errors {
+                warn(format!("range violation: {e}"));
+            }
+            return Err(format!(
+                "quantized range analysis found {} violation(s)",
+                analysis.errors.len()
+            ));
+        }
+        info(format!(
+            "ranges: ok — proofs hold with {} quantized source bound(s) of ±127·scale",
+            overrides.len()
+        ));
+    }
+
+    let ckpt = opts.get("ckpt", "");
+    if !ckpt.is_empty() {
+        load_ckpt_into(&mut pt, &ckpt)?;
+        if n_quant == 0 {
+            // f32 artifact: the compiled forward must be bit-exact
+            // against the in-memory parameters on every table.
+            let mut cf_ref = pt.model.compiled();
+            let mut cf_art = pt.model.compiled();
+            for (i, (_, enc)) in data.iter().enumerate() {
+                let want = cf_ref.encode(&pt.model, &pt.store, enc).map_err(|e| e.to_string())?;
+                let got = cf_art.encode(&pt.model, &store, enc).map_err(|e| e.to_string())?;
+                let equal = got.shape() == want.shape()
+                    && got
+                        .data()
+                        .iter()
+                        .zip(want.data().iter())
+                        .all(|(a, b)| a.to_bits() == b.to_bits());
+                if !equal {
+                    return Err(format!(
+                        "f32 artifact diverged from in-memory parameters on table {i}"
+                    ));
+                }
+            }
+            info(format!("parity: {} tables bit-exact (artifact vs in-memory)", data.len()));
+        } else {
+            // int8 artifact: §6.8 probe both ways, delta gated.
+            let tolerance: f64 = {
+                let t = opts.get("tolerance", "0.05");
+                t.parse().map_err(|_| format!("--tolerance expects a number, got `{t}`"))?
+            };
+            let mask_id = s.vocab.mask_id() as usize;
+            let acc_f32 = probe_mod::object_entity_accuracy(
+                &pt.model, &pt.store, &data, &s.cooccur, mask_id, 0, 300,
+            );
+            let acc_int8 = probe_mod::object_entity_accuracy(
+                &pt.model, &store, &data, &s.cooccur, mask_id, 0, 300,
+            );
+            let delta = (acc_f32 - acc_int8).abs();
+            info(format!(
+                "probe: f32 {acc_f32:.3} vs int8 {acc_int8:.3} (|delta| {delta:.3}, \
+                 tolerance {tolerance})"
+            ));
+            if delta > tolerance {
+                return Err(format!(
+                    "int8 probe accuracy drifted {delta:.3} from f32 (tolerance {tolerance})"
+                ));
+            }
+        }
+    }
+
+    // Throughput through the compiled arena executor with the artifact's
+    // parameters bound directly (quantized weights stream through the
+    // in-register-dequant q8 kernels; nothing is densified up front).
+    let reps = opts.get_usize("reps", 10)?;
+    let total_elems: usize = data.iter().map(|(_, enc)| enc.seq_len()).sum();
+    let mut cf = pt.model.compiled();
+    let t0 = std::time::Instant::now();
+    for _ in 0..reps {
+        for (_, enc) in &data {
+            let out = cf.encode(&pt.model, &store, enc).map_err(|e| e.to_string())?;
+            std::hint::black_box(out.data().first().copied());
+        }
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    info(format!(
+        "compiled ({}): {:>10.0} tokens/sec ({:.1} ms total, {} tables x {reps} reps)",
+        if n_quant > 0 { "int8" } else { "f32" },
+        (total_elems * reps) as f64 / secs,
+        secs * 1e3,
+        data.len()
+    ));
+    Ok(())
+}
+
 /// Build the paper-scale [`turl_audit::ModelPlan`] used by `turl plan`
 /// and by the audit's static-analysis step: the paper encoder over a
 /// representative WikiTable sequence (24 metadata tokens, 20 entity
@@ -448,7 +670,39 @@ fn paper_scale_plan(opts: &Options) -> Result<turl_audit::ModelPlan, String> {
 /// escaping f32, degenerate normalizer) is found.
 pub fn plan(opts: &Options) -> Result<(), String> {
     let plan = paper_scale_plan(opts)?;
-    let analysis = turl_audit::analyze_model_plan(&plan).map_err(|e| e.to_string())?;
+    // --int8-scale S: analyze the quantized-weight variant of the plan,
+    // where every embedding table and linear weight dequantizes from
+    // int8 blocks with per-block scale ≤ S — i.e. values in ±127·S.
+    let scale_s = opts.get("int8-scale", "");
+    let overrides: Vec<(String, turl_audit::ValueRange)> = if scale_s.is_empty() {
+        Vec::new()
+    } else {
+        let scale: f64 = scale_s
+            .parse()
+            .map_err(|_| format!("--int8-scale expects a number, got `{scale_s}`"))?;
+        let ir = turl_audit::lower_model_plan(&plan).map_err(|e| e.to_string())?;
+        let r = turl_audit::quantized_range(scale);
+        ir.nodes()
+            .iter()
+            .filter(|n| {
+                matches!(
+                    n.kind,
+                    turl_audit::OpKind::Source(
+                        turl_audit::SourceKind::Table | turl_audit::SourceKind::Weight { .. }
+                    )
+                )
+            })
+            .map(|n| (n.label.clone(), r))
+            .collect()
+    };
+    if !overrides.is_empty() {
+        info(format!(
+            "dtype: i8b32 weights, {} source(s) bounded by ±127·{scale_s}",
+            overrides.len()
+        ));
+    }
+    let analysis =
+        turl_audit::analyze_model_plan_with(&plan, &overrides).map_err(|e| e.to_string())?;
 
     info(format!(
         "plan: {} layers, d_model {}, {} heads, ln_eps {:e}, mask penalty {:e}",

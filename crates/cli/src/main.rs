@@ -11,6 +11,8 @@
 //! turl probe    [--ckpt F] [...]                     object-entity prediction probe
 //! turl fill     [--ckpt F] [...]                     zero-shot cell filling demo
 //! turl infer    [--ckpt F] [--reps N]                compiled graph-free inference
+//!               [--artifact F [--tolerance T]]       ... from a model artifact
+//! turl export   [--ckpt F] [--out F] [--dtype D]     single-file model artifact
 //! turl audit    [--entities N] [--tables N] [--seed S]  static invariant checks
 //! turl plan     [--eps F] [...]                      IR + value ranges + arena plan
 //! turl bench    [--quick] [--threads 1,2,4] [--out F]   throughput benchmark
@@ -86,6 +88,7 @@ fn main() -> ExitCode {
         "probe" => commands::probe(&opts),
         "fill" => commands::fill(&opts),
         "infer" => commands::infer(&opts),
+        "export" => commands::export(&opts),
         "audit" => commands::audit(&opts),
         "plan" => commands::plan(&opts),
         "bench" => commands::bench(&opts),

@@ -19,7 +19,7 @@
 use crate::input::EncodedInput;
 use crate::model::TurlModel;
 use turl_audit::{lower_model_plan, SourceKind};
-use turl_exec::{compile, Arena, CompiledPlan, ExecError};
+use turl_exec::{compile, Arena, CompiledPlan, ExecError, SourceValue};
 use turl_nn::{ParamId, ParamStore};
 use turl_tensor::Tensor;
 
@@ -290,21 +290,33 @@ impl CompiledForward {
             self.zeros.resize(zeros_needed, 0.0);
         }
 
-        let mut sources: Vec<&[f32]> = Vec::with_capacity(entry.binds.len());
+        let mut sources: Vec<SourceValue> = Vec::with_capacity(entry.binds.len());
         for bind in &entry.binds {
-            let slice: &[f32] = match bind {
-                SourceBind::Param(id) => store.value(*id).data(),
-                SourceBind::Mask => input
-                    .mask
-                    .as_ref()
-                    .ok_or_else(|| {
-                        ExecError::Binding("plan expects a visibility mask, input has none".into())
-                    })?
-                    .data(),
-                SourceBind::AvgMatrix => &self.avg_matrix,
-                SourceBind::Zeros(n) => &self.zeros[..*n],
+            let value: SourceValue = match bind {
+                SourceBind::Param(id) => {
+                    let t = store.value(*id);
+                    match t.quantized() {
+                        // Quantized params (artifact-loaded weights) bind
+                        // zero-copy; run() dispatches the q8 kernels.
+                        Some(q) => SourceValue::I8Block(q),
+                        None => SourceValue::F32(t.data()),
+                    }
+                }
+                SourceBind::Mask => SourceValue::F32(
+                    input
+                        .mask
+                        .as_ref()
+                        .ok_or_else(|| {
+                            ExecError::Binding(
+                                "plan expects a visibility mask, input has none".into(),
+                            )
+                        })?
+                        .data(),
+                ),
+                SourceBind::AvgMatrix => SourceValue::F32(&self.avg_matrix),
+                SourceBind::Zeros(n) => SourceValue::F32(&self.zeros[..*n]),
             };
-            sources.push(slice);
+            sources.push(value);
         }
 
         entry.plan.run(&mut self.arena, &sources, &gathers)

@@ -60,6 +60,11 @@ pub struct SourceSpec {
     pub label: String,
     /// Expected shape; the bound slice must hold its product.
     pub shape: Vec<usize>,
+    /// True when every use of this source in the schedule has a
+    /// block-quantized kernel (gather table or plain-matmul rhs), so a
+    /// `SourceValue::I8Block` binding is accepted at run time. Computed
+    /// at compile time from the final step operands.
+    pub quantizable: bool,
 }
 
 /// One gather whose indices the caller supplies at run time, in the
@@ -399,6 +404,7 @@ pub fn compile(ir: &Ir) -> Result<CompiledPlan, ExecError> {
                 kind: kind.clone(),
                 label: node.label.clone(),
                 shape: node.shape.clone(),
+                quantizable: true, // narrowed below from final step operands
             });
         }
     }
@@ -1024,6 +1030,59 @@ pub fn compile(ir: &Ir) -> Result<CompiledPlan, ExecError> {
             covered: st.covered.iter().map(|&c| TensorId::from_index(c)).collect(),
             label,
         });
+    }
+
+    // --- quantizability narrowing -------------------------------------
+    // A source stays quantizable only if every read of it dispatches a
+    // block-quantized kernel: a gather table or a plain-matmul rhs. Any
+    // other position (bias, layer-norm affine, nt/bmm operands, masks,
+    // elementwise inputs) demands a dense f32 view.
+    {
+        let mut dense_only = |op: &Operand| {
+            if let Operand::Source { idx } = op {
+                sources[*idx].quantizable = false;
+            }
+        };
+        for step in &final_steps {
+            match &step.kind {
+                StepKind::Gather { .. } => {}
+                StepKind::MatMul { a, bias, .. } => {
+                    dense_only(a);
+                    if let Some(bv) = bias {
+                        dense_only(bv);
+                    }
+                }
+                StepKind::MatMulNT { a, b, .. } => {
+                    dense_only(a);
+                    dense_only(b);
+                }
+                StepKind::Bmm { a, b, .. } | StepKind::BmmNT { a, b, .. } => {
+                    dense_only(a);
+                    dense_only(b);
+                }
+                StepKind::Add { a, b } => {
+                    dense_only(a);
+                    dense_only(b);
+                }
+                StepKind::FusedSoftmax { x, mask, .. } => {
+                    dense_only(x);
+                    if let Some(m) = mask {
+                        dense_only(m);
+                    }
+                }
+                StepKind::FusedLayerNorm { x, gamma, beta, .. } => {
+                    dense_only(x);
+                    dense_only(gamma);
+                    dense_only(beta);
+                }
+                StepKind::Scale { x, .. }
+                | StepKind::Gelu { x }
+                | StepKind::CopyStrided { x, .. }
+                | StepKind::Memcpy { x } => dense_only(x),
+                StepKind::ConcatRows { parts } => parts.iter().for_each(&mut dense_only),
+                StepKind::ConcatCols { parts, .. } => parts.iter().for_each(|(p, _)| dense_only(p)),
+            }
+        }
     }
 
     let output_step = final_steps.last().ok_or_else(|| {

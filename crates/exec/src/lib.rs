@@ -33,4 +33,4 @@ pub mod run;
 pub use compile::{
     compile, CompiledPlan, ExecError, GatherSpec, Operand, SourceSpec, Step, StepKind,
 };
-pub use run::Arena;
+pub use run::{Arena, SourceValue};

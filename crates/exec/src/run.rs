@@ -1,7 +1,40 @@
 //! Executing a [`CompiledPlan`] against one pre-sized arena.
 
 use crate::compile::{CompiledPlan, ExecError, Operand, StepKind};
-use turl_tensor::ops;
+use turl_tensor::{ops, quant_rows_cols, QuantBlocks};
+
+/// A runtime source binding: a dense `f32` slice (any source), or
+/// block-quantized weights — accepted only where the compiled schedule
+/// has a quantized kernel (gather tables and plain-matmul rhs operands;
+/// see [`SourceSpec::quantizable`](crate::SourceSpec::quantizable)).
+#[derive(Debug, Clone, Copy)]
+pub enum SourceValue<'a> {
+    /// Dense row-major `f32` values.
+    F32(&'a [f32]),
+    /// Block-quantized int8 weights.
+    I8Block(&'a QuantBlocks),
+}
+
+impl SourceValue<'_> {
+    /// Logical element count of the binding.
+    pub fn len(&self) -> usize {
+        match self {
+            SourceValue::F32(s) => s.len(),
+            SourceValue::I8Block(q) => q.len(),
+        }
+    }
+
+    /// True when the binding holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<'a> From<&'a [f32]> for SourceValue<'a> {
+    fn from(s: &'a [f32]) -> Self {
+        SourceValue::F32(s)
+    }
+}
 
 /// The executor's single flat buffer. Create once, reuse across calls:
 /// after the first [`CompiledPlan::run`] warms it to the plan's peak
@@ -55,17 +88,19 @@ impl CompiledPlan {
 
     /// Execute the schedule.
     ///
-    /// `sources` binds one slice per [`SourceSpec`](crate::SourceSpec)
-    /// in plan order (parameter tensors, the visibility mask, the
-    /// mention-averaging matrix, zero constants); `gathers` supplies one
-    /// index list per [`GatherSpec`](crate::GatherSpec) in plan order.
-    /// All bindings are validated before any kernel runs, so a failed
-    /// call leaves the arena contents unspecified but never reads out of
-    /// bounds.
+    /// `sources` binds one [`SourceValue`] per
+    /// [`SourceSpec`](crate::SourceSpec) in plan order (parameter
+    /// tensors, the visibility mask, the mention-averaging matrix, zero
+    /// constants); `gathers` supplies one index list per
+    /// [`GatherSpec`](crate::GatherSpec) in plan order. All bindings are
+    /// validated before any kernel runs — element counts, and for
+    /// quantized bindings that the spec is quantizable and the block
+    /// layout matches the spec shape — so a failed call leaves the arena
+    /// contents unspecified but never reads out of bounds.
     pub fn run(
         &self,
         arena: &mut Arena,
-        sources: &[&[f32]],
+        sources: &[SourceValue<'_>],
         gathers: &[&[usize]],
     ) -> Result<(), ExecError> {
         // --- validate bindings ----------------------------------------
@@ -86,6 +121,26 @@ impl CompiledPlan {
                     spec.shape,
                     s.len()
                 )));
+            }
+            if let SourceValue::I8Block(q) = s {
+                if !spec.quantizable {
+                    return Err(ExecError::Binding(format!(
+                        "source '{}': quantized binding, but the schedule reads this \
+                         source through a dense-only kernel",
+                        spec.label
+                    )));
+                }
+                let (rows, cols) = quant_rows_cols(&spec.shape);
+                if (q.rows(), q.cols()) != (rows, cols) {
+                    return Err(ExecError::Binding(format!(
+                        "source '{}': quantized layout [{}, {}] does not match shape \
+                         {:?} (expected [{rows}, {cols}])",
+                        spec.label,
+                        q.rows(),
+                        q.cols(),
+                        spec.shape
+                    )));
+                }
             }
         }
         if gathers.len() != self.gathers.len() {
@@ -121,18 +176,41 @@ impl CompiledPlan {
         // --- execute --------------------------------------------------
         let base = arena.buf.as_mut_ptr();
         let cap = arena.buf.len();
-        // Read view of an operand. SAFETY for arena operands: compile()
-        // audited that every step's output (and scratch) span is disjoint
-        // from all of its input spans, so a shared read view never
-        // aliases the mutable spans carved below.
-        fn view_at<'a>(op: &Operand, srcs: &[&'a [f32]], base: *mut f32, cap: usize) -> &'a [f32] {
+        // Dense read view of an operand. SAFETY for arena operands:
+        // compile() audited that every step's output (and scratch) span
+        // is disjoint from all of its input spans, so a shared read view
+        // never aliases the mutable spans carved below. Quantized sources
+        // never reach this: validation restricts them to quantizable
+        // specs, and every read of those dispatches through `quant_at`
+        // first.
+        fn view_at<'a>(
+            op: &Operand,
+            srcs: &[SourceValue<'a>],
+            base: *mut f32,
+            cap: usize,
+        ) -> &'a [f32] {
             match *op {
                 Operand::Arena { off, len } => {
                     debug_assert!(off + len <= cap);
                     let _ = cap;
                     unsafe { std::slice::from_raw_parts(base.add(off), len) }
                 }
-                Operand::Source { idx } => srcs[idx],
+                Operand::Source { idx } => match srcs[idx] {
+                    SourceValue::F32(s) => s,
+                    SourceValue::I8Block(_) => {
+                        unreachable!("quantized source read through a dense-only kernel")
+                    }
+                },
+            }
+        }
+        // Quantized view of a source operand, if it was bound quantized.
+        fn quant_at<'a>(op: &Operand, srcs: &[SourceValue<'a>]) -> Option<&'a QuantBlocks> {
+            match *op {
+                Operand::Source { idx } => match srcs[idx] {
+                    SourceValue::I8Block(q) => Some(q),
+                    SourceValue::F32(_) => None,
+                },
+                Operand::Arena { .. } => None,
             }
         }
         // Mutable view of an arena span (output or scratch). SAFETY: see
@@ -151,23 +229,29 @@ impl CompiledPlan {
         for step in &self.steps {
             let out = view_mut(&step.out);
             match &step.kind {
-                StepKind::Gather { table, gather, row_len } => {
-                    ops::gather_rows_into(
+                StepKind::Gather { table, gather, row_len } => match quant_at(table, sources) {
+                    Some(q) => ops::gather_rows_q8_into(q, gathers[*gather], out),
+                    None => ops::gather_rows_into(
                         view_at(table, sources, base, cap),
                         *row_len,
                         gathers[*gather],
                         out,
-                    );
-                }
+                    ),
+                },
                 StepKind::MatMul { a, b, bias, gelu, m, k, n } => {
-                    ops::matmul_into(
-                        view_at(a, sources, base, cap),
-                        view_at(b, sources, base, cap),
-                        out,
-                        *m,
-                        *k,
-                        *n,
-                    );
+                    match quant_at(b, sources) {
+                        Some(q) => {
+                            ops::matmul_q8_into(view_at(a, sources, base, cap), q, out, *m, *k, *n)
+                        }
+                        None => ops::matmul_into(
+                            view_at(a, sources, base, cap),
+                            view_at(b, sources, base, cap),
+                            out,
+                            *m,
+                            *k,
+                            *n,
+                        ),
+                    }
                     match (bias, gelu) {
                         (Some(bv), false) => {
                             ops::bias_add_inplace(out, view_at(bv, sources, base, cap))
@@ -328,7 +412,7 @@ mod tests {
         // Right source count, one slice too short:
         let mut srcs = zero_sources(&plan);
         srcs[0].pop();
-        let views: Vec<&[f32]> = srcs.iter().map(Vec::as_slice).collect();
+        let views: Vec<SourceValue> = srcs.iter().map(|v| SourceValue::F32(v)).collect();
         let gs = valid_gathers(&plan);
         let gviews: Vec<&[usize]> = gs.iter().map(Vec::as_slice).collect();
         let err = plan.run(&mut arena, &views, &gviews).expect_err("short source");
@@ -336,7 +420,7 @@ mod tests {
 
         // Out-of-range gather index:
         let srcs = zero_sources(&plan);
-        let views: Vec<&[f32]> = srcs.iter().map(Vec::as_slice).collect();
+        let views: Vec<SourceValue> = srcs.iter().map(|v| SourceValue::F32(v)).collect();
         let mut gs = valid_gathers(&plan);
         gs[0][0] = usize::MAX;
         let gviews: Vec<&[usize]> = gs.iter().map(Vec::as_slice).collect();
@@ -348,7 +432,7 @@ mod tests {
     fn run_executes_end_to_end_and_reuses_the_arena() {
         let plan = tiny_plan();
         let srcs = zero_sources(&plan);
-        let views: Vec<&[f32]> = srcs.iter().map(Vec::as_slice).collect();
+        let views: Vec<SourceValue> = srcs.iter().map(|v| SourceValue::F32(v)).collect();
         let gs = valid_gathers(&plan);
         let gviews: Vec<&[usize]> = gs.iter().map(Vec::as_slice).collect();
 

@@ -35,6 +35,7 @@
 
 #![deny(missing_docs)]
 
+mod artifact;
 mod attention;
 mod layers;
 mod optim;
@@ -43,6 +44,10 @@ mod schedule;
 mod serialize;
 mod transformer;
 
+pub use artifact::{
+    export_artifact, load_artifact, ArtifactSummary, ExportOptions, ARTIFACT_ALIGN, ARTIFACT_MAGIC,
+    ARTIFACT_VERSION,
+};
 pub use attention::MultiHeadAttention;
 pub use layers::{Dropout, Embedding, LayerNorm, Linear};
 pub use optim::{clip_grad_norm, Adam, AdamConfig, ClipReport};

@@ -67,6 +67,32 @@ impl ParamStore {
         id
     }
 
+    /// Register a parameter for inference only. The value may be
+    /// block-quantized; no gradient or optimizer state is allocated
+    /// (shape-`[0]` placeholders), and the entry is born frozen so the
+    /// optimizer can never write through it. This is the registration
+    /// path used when binding a model artifact into a store — such a
+    /// store drives `CompiledForward` but cannot be trained or resumed.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered.
+    pub fn register_inference(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let name = name.into();
+        assert!(!self.by_name.contains_key(&name), "duplicate parameter name {name}");
+        let id = ParamId(self.entries.len());
+        self.entries.push(ParamEntry {
+            name: name.clone(),
+            grad: Tensor::zeros(vec![0]),
+            m: Tensor::zeros(vec![0]),
+            v: Tensor::zeros(vec![0]),
+            value,
+            touched: false,
+            frozen: true,
+        });
+        self.by_name.insert(name, id);
+        id
+    }
+
     /// Number of registered parameters (tensors, not scalars).
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -302,6 +328,17 @@ mod tests {
         assert_eq!(copied, 1);
         assert_eq!(a.value(a.find("x").unwrap()).data(), &[1.0, 1.0]);
         assert_eq!(a.value(a.find("y").unwrap()).data(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn inference_registration_is_frozen_and_stateless() {
+        let mut s = ParamStore::new();
+        let t = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let id = s.register_inference("w", t.clone());
+        assert!(s.is_frozen(id));
+        assert_eq!(s.grad(id).len(), 0);
+        assert_eq!(s.value(id), &t);
+        assert_eq!(s.find("w"), Some(id));
     }
 
     #[test]

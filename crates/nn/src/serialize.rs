@@ -347,6 +347,73 @@ struct Header {
     checksum: String,
 }
 
+/// Atomically write a framed file: one self-delimiting JSON header line
+/// (magic, version, payload length, FNV-1a 64 checksum) followed by the
+/// raw payload bytes. The single framing path shared by trainer
+/// checkpoints and model artifacts — [`read_framed`] is its inverse, and
+/// the truncation-at-every-byte guarantee is proven once for both.
+pub(crate) fn write_framed(
+    path: &Path,
+    magic: &str,
+    version: u32,
+    payload: &[u8],
+) -> Result<(), SerializeError> {
+    let header = Header {
+        magic: magic.to_string(),
+        version,
+        payload_bytes: payload.len() as u64,
+        checksum: format!("{:016x}", fnv1a64(payload)),
+    };
+    let mut bytes = serde_json::to_string(&header)?.into_bytes();
+    bytes.push(b'\n');
+    bytes.extend_from_slice(payload);
+    write_atomic(path, &bytes)
+}
+
+/// Read and strictly validate a framed file written by [`write_framed`]:
+/// header parse, magic, format version, payload length, checksum. Every
+/// truncation offset maps to a typed [`SerializeError`]; the payload
+/// bytes come back only after all checks pass.
+pub(crate) fn read_framed(
+    path: &Path,
+    magic: &str,
+    supported_version: u32,
+) -> Result<Vec<u8>, SerializeError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    let newline = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| SerializeError::BadHeader("no header line (file truncated?)".to_string()))?;
+    let header_text = std::str::from_utf8(&bytes[..newline])
+        .map_err(|_| SerializeError::BadHeader("header is not UTF-8".to_string()))?;
+    let header: Header = serde_json::from_str(header_text)
+        .map_err(|e| SerializeError::BadHeader(format!("unparsable header: {e}")))?;
+    if header.magic != magic {
+        return Err(SerializeError::BadHeader(format!("magic `{}`", header.magic)));
+    }
+    if header.version != supported_version {
+        return Err(SerializeError::UnsupportedVersion {
+            found: header.version,
+            supported: supported_version,
+        });
+    }
+    let payload = &bytes[newline + 1..];
+    if payload.len() as u64 != header.payload_bytes {
+        return Err(SerializeError::Truncated {
+            expected: header.payload_bytes,
+            actual: payload.len() as u64,
+        });
+    }
+    let expected = u64::from_str_radix(&header.checksum, 16)
+        .map_err(|_| SerializeError::BadHeader(format!("checksum `{}`", header.checksum)))?;
+    let actual = fnv1a64(payload);
+    if actual != expected {
+        return Err(SerializeError::ChecksumMismatch { expected, actual });
+    }
+    Ok(bytes.split_off(newline + 1))
+}
+
 fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), SerializeError> {
     let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
     let tmp = path.with_extension("tmp");
@@ -374,21 +441,12 @@ pub fn save_trainer_checkpoint(
     let span = turl_obs::span("checkpoint_write");
     let timer = turl_obs::Timer::start();
     let payload = serde_json::to_string(ckpt)?;
-    let header = Header {
-        magic: CHECKPOINT_MAGIC.to_string(),
-        version: ckpt.version,
-        payload_bytes: payload.len() as u64,
-        checksum: format!("{:016x}", fnv1a64(payload.as_bytes())),
-    };
-    let mut bytes = serde_json::to_string(&header)?.into_bytes();
-    bytes.push(b'\n');
-    bytes.extend_from_slice(payload.as_bytes());
-    let result = write_atomic(path, &bytes);
+    let result = write_framed(path, CHECKPOINT_MAGIC, ckpt.version, payload.as_bytes());
     if turl_obs::metrics_enabled() {
         turl_obs::histogram("checkpoint_write_ms", CKPT_LATENCY_BUCKETS_MS)
             .observe(timer.elapsed_ns() as f64 / 1.0e6);
     }
-    drop(span.field("bytes", bytes.len() as u64).field("ok", result.is_ok()));
+    drop(span.field("bytes", payload.len() as u64).field("ok", result.is_ok()));
     result
 }
 
@@ -411,45 +469,14 @@ pub fn load_trainer_checkpoint(path: &Path) -> Result<TrainerCheckpoint, Seriali
 }
 
 fn load_trainer_checkpoint_inner(path: &Path) -> Result<TrainerCheckpoint, SerializeError> {
-    let mut bytes = Vec::new();
-    File::open(path)?.read_to_end(&mut bytes)?;
-    let newline = bytes
-        .iter()
-        .position(|&b| b == b'\n')
-        .ok_or_else(|| SerializeError::BadHeader("no header line (file truncated?)".to_string()))?;
-    let header_text = std::str::from_utf8(&bytes[..newline])
-        .map_err(|_| SerializeError::BadHeader("header is not UTF-8".to_string()))?;
-    let header: Header = serde_json::from_str(header_text)
-        .map_err(|e| SerializeError::BadHeader(format!("unparsable header: {e}")))?;
-    if header.magic != CHECKPOINT_MAGIC {
-        return Err(SerializeError::BadHeader(format!("magic `{}`", header.magic)));
-    }
-    if header.version != CHECKPOINT_VERSION {
-        return Err(SerializeError::UnsupportedVersion {
-            found: header.version,
-            supported: CHECKPOINT_VERSION,
-        });
-    }
-    let payload = &bytes[newline + 1..];
-    if payload.len() as u64 != header.payload_bytes {
-        return Err(SerializeError::Truncated {
-            expected: header.payload_bytes,
-            actual: payload.len() as u64,
-        });
-    }
-    let expected = u64::from_str_radix(&header.checksum, 16)
-        .map_err(|_| SerializeError::BadHeader(format!("checksum `{}`", header.checksum)))?;
-    let actual = fnv1a64(payload);
-    if actual != expected {
-        return Err(SerializeError::ChecksumMismatch { expected, actual });
-    }
-    let payload_text = std::str::from_utf8(payload)
+    let payload = read_framed(path, CHECKPOINT_MAGIC, CHECKPOINT_VERSION)?;
+    let payload_text = std::str::from_utf8(&payload)
         .map_err(|_| SerializeError::BadHeader("payload is not UTF-8".to_string()))?;
     let ckpt: TrainerCheckpoint = serde_json::from_str(payload_text)?;
-    if ckpt.version != header.version {
+    if ckpt.version != CHECKPOINT_VERSION {
         return Err(SerializeError::InvalidState(format!(
             "payload version {} disagrees with header version {}",
-            ckpt.version, header.version
+            ckpt.version, CHECKPOINT_VERSION
         )));
     }
     ckpt.rng.to_words()?;

@@ -24,6 +24,7 @@
 #![deny(missing_docs)]
 
 mod check;
+pub mod dtype;
 mod graph;
 mod init;
 pub mod ops;
@@ -32,6 +33,7 @@ mod shape;
 mod tensor;
 
 pub use check::{finite_difference_grad, gradcheck, GradCheckReport};
+pub use dtype::{quant_rows_cols, DType, QuantBlocks, Storage, QBLOCK, QBLOCK_SHIFT};
 pub use graph::{Graph, Var};
 pub use init::{kaiming_bound, kaiming_uniform, normal_init, normal_init_bound, uniform_init};
 pub use shape::{broadcast_shape, num_elements, strides_for, ShapeError};

@@ -29,6 +29,7 @@
 //! kernel documents its equivalence contract against the unfused op
 //! sequence (all are reassociation-free and therefore bit-exact).
 
+use crate::dtype::{QuantBlocks, QBLOCK_SHIFT};
 use crate::pool;
 use crate::tensor::Tensor;
 
@@ -56,6 +57,12 @@ const PAR_MIN_VOLUME: usize = 32 * 1024;
 const NT_TRANSPOSE_MIN_OUT: usize = 64;
 
 /// `C[m,n] = A[m,k] · B[k,n]`.
+///
+/// Dispatches on the rhs dtype: a block-quantized `B` runs through
+/// [`matmul_q8_into`] (dequant-in-register), which is bit-identical to
+/// the f32 kernel over `B.dequantize()`. A quantized lhs is dequantized
+/// up front (activations are never quantized in practice; this keeps the
+/// op total).
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let _t = profiled!("matmul");
     assert_eq!(a.rank(), 2, "matmul lhs must be 2-D");
@@ -64,7 +71,12 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (k2, n) = (b.shape()[0], b.shape()[1]);
     assert_eq!(k, k2, "matmul inner dims: {:?} x {:?}", a.shape(), b.shape());
     let mut out = Tensor::zeros(vec![m, n]);
-    par_rows(a.data(), b.data(), out.data_mut(), m, k, n, matmul_rows);
+    let a_dense = a.as_f32().is_none().then(|| a.dequantize());
+    let a_slice = a_dense.as_ref().map_or_else(|| a.data(), |t| t.data());
+    match b.quantized() {
+        Some(q) => matmul_q8_into(a_slice, q, out.data_mut(), m, k, n),
+        None => par_rows(a_slice, b.data(), out.data_mut(), m, k, n, matmul_rows),
+    }
     out
 }
 
@@ -83,12 +95,19 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
     let (n, k2) = (b.shape()[0], b.shape()[1]);
     assert_eq!(k, k2, "matmul_nt inner dims: {:?} x {:?}", a.shape(), b.shape());
     let mut out = Tensor::zeros(vec![m, n]);
+    // The nt layout has no blocked fast path (a quantized B's row-aligned
+    // blocks run along k here); dequantize up front — bit-identical to
+    // matmul_nt over B.dequantize() by construction.
+    let a_dense = a.as_f32().is_none().then(|| a.dequantize());
+    let a_slice = a_dense.as_ref().map_or_else(|| a.data(), |t| t.data());
+    let b_dense = b.as_f32().is_none().then(|| b.dequantize());
+    let b_slice = b_dense.as_ref().map_or_else(|| b.data(), |t| t.data());
     if m * n < NT_TRANSPOSE_MIN_OUT {
-        par_rows(a.data(), b.data(), out.data_mut(), m, k, n, matmul_nt_rows);
+        par_rows(a_slice, b_slice, out.data_mut(), m, k, n, matmul_nt_rows);
     } else {
         let mut scratch = vec![0.0f32; k * n];
-        transpose_into(b.data(), &mut scratch, n, k);
-        par_rows(a.data(), &scratch, out.data_mut(), m, k, n, matmul_rows);
+        transpose_into(b_slice, &mut scratch, n, k);
+        par_rows(a_slice, &scratch, out.data_mut(), m, k, n, matmul_rows);
     }
     out
 }
@@ -546,6 +565,163 @@ pub fn gather_rows_into(table: &[f32], row_len: usize, indices: &[usize], out: &
     }
 }
 
+// ---------------------------------------------------------------------
+// Block-quantized (int8) executor kernels
+//
+// The inference path stores large weight matrices as [`QuantBlocks`]
+// (row-aligned 32-wide blocks, one f32 scale per block). The kernels
+// below dequantize *in register* — each int8 value becomes
+// `q as f32 * scale` right before the multiply-accumulate — and keep
+// the exact ascending-`k` association of the f32 microkernel. The
+// contract, pinned by tests: `matmul_q8(a, qb)` is bit-identical to
+// `matmul(a, dequantize(qb))` at every thread count and tile shape.
+//
+// Because `NR` (8) divides `QBLOCK` (32) and main-path column offsets
+// are multiples of `NR`, an aligned 8-wide b-panel never straddles two
+// quant blocks — one scale load per panel per `k` step.
+// ---------------------------------------------------------------------
+
+/// `out[m,n] = a[m,k] · dequantize(b)[k,n]` where `b` is block-quantized
+/// with `k` rows and `n` columns. Bit-identical to [`matmul_into`] over
+/// the dequantized operand; reads 1 byte of `b` per MAC instead of 4.
+pub fn matmul_q8_into(a: &[f32], b: &QuantBlocks, out: &mut [f32], m: usize, k: usize, n: usize) {
+    let _t = profiled!("exec.matmul_q8");
+    assert_eq!(a.len(), m * k, "matmul_q8_into lhs size");
+    assert_eq!((b.rows(), b.cols()), (k, n), "matmul_q8_into rhs layout");
+    assert_eq!(out.len(), m * n, "matmul_q8_into out size");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if pool::n_threads() <= 1 || m * k * n < PAR_MIN_VOLUME {
+        matmul_q8_rows(a, b, out, k, n, 0, m);
+        return;
+    }
+    let ranges = pool::split_ranges(m);
+    let base = out.as_mut_ptr() as usize;
+    let len = out.len();
+    pool::parallel_for(ranges.len(), |t| {
+        let (r0, r1) = ranges[t];
+        // SAFETY: each range writes only rows r0..r1 of `out`; ranges are
+        // disjoint and `parallel_for` joins before `out` is released.
+        let out_all = unsafe { std::slice::from_raw_parts_mut(base as *mut f32, len) };
+        matmul_q8_rows(a, b, out_all, k, n, r0, r1);
+    });
+}
+
+/// Quantized twin of [`matmul_rows`]: same tiling walk, same sum order.
+fn matmul_q8_rows(
+    a: &[f32],
+    b: &QuantBlocks,
+    out: &mut [f32],
+    k: usize,
+    n: usize,
+    r0: usize,
+    r1: usize,
+) {
+    let mut i = r0;
+    while i + MR <= r1 {
+        let mut j = 0usize;
+        while j + NR <= n {
+            tile_q8_mr_nr(a, b, out, k, n, i, j);
+            j += NR;
+        }
+        if j < n {
+            tile_q8_edge(a, b, out, k, n, i, i + MR, j, n);
+        }
+        i += MR;
+    }
+    if i < r1 {
+        tile_q8_edge(a, b, out, k, n, i, r1, 0, n);
+    }
+}
+
+/// One full `MR × NR` register tile over a quantized `b`. The 8-wide
+/// panel at column `j0` (a multiple of `NR`) sits inside one 32-wide
+/// quant block, so a single scale covers the whole panel each `k` step.
+#[inline(always)]
+fn tile_q8_mr_nr(
+    a: &[f32],
+    b: &QuantBlocks,
+    out: &mut [f32],
+    k: usize,
+    n: usize,
+    i0: usize,
+    j0: usize,
+) {
+    let a0 = &a[i0 * k..(i0 + 1) * k];
+    let a1 = &a[(i0 + 1) * k..(i0 + 2) * k];
+    let a2 = &a[(i0 + 2) * k..(i0 + 3) * k];
+    let a3 = &a[(i0 + 3) * k..(i0 + 4) * k];
+    let quants = b.quants();
+    let scales = b.scales();
+    let bpr = b.blocks_per_row();
+    let blk = j0 >> QBLOCK_SHIFT;
+    let mut acc = [[0.0f32; NR]; MR];
+    for kk in 0..k {
+        let scale = scales[kk * bpr + blk];
+        let qrow = &quants[kk * n + j0..kk * n + j0 + NR];
+        let mut brow = [0.0f32; NR];
+        for (bf, &q) in brow.iter_mut().zip(qrow.iter()) {
+            *bf = q as f32 * scale;
+        }
+        let av = [a0[kk], a1[kk], a2[kk], a3[kk]];
+        for r in 0..MR {
+            let accr = &mut acc[r];
+            for c in 0..NR {
+                accr[c] += av[r] * brow[c];
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        out[(i0 + r) * n + j0..(i0 + r) * n + j0 + NR].copy_from_slice(accr);
+    }
+}
+
+/// Remainder tile over a quantized `b`: scalar accumulators, ascending-`k`
+/// order, per-element scale lookup (edge columns may sit anywhere in a
+/// block).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn tile_q8_edge(
+    a: &[f32],
+    b: &QuantBlocks,
+    out: &mut [f32],
+    k: usize,
+    n: usize,
+    i0: usize,
+    i1: usize,
+    j0: usize,
+    j1: usize,
+) {
+    let quants = b.quants();
+    let scales = b.scales();
+    let bpr = b.blocks_per_row();
+    for i in i0..i1 {
+        let arow = &a[i * k..(i + 1) * k];
+        for j in j0..j1 {
+            let blk = j >> QBLOCK_SHIFT;
+            let mut s = 0.0f32;
+            for (kk, &av) in arow.iter().enumerate() {
+                s += av * (quants[kk * n + j] as f32 * scales[kk * bpr + blk]);
+            }
+            out[i * n + j] = s;
+        }
+    }
+}
+
+/// Gather rows of a block-quantized `table` into dense `f32` `out`, in
+/// index order — the quantized twin of [`gather_rows_into`]. Blocks are
+/// row-aligned, so each gathered row reconstructs independently and the
+/// result equals gathering from the fully dequantized table.
+pub fn gather_rows_q8_into(table: &QuantBlocks, indices: &[usize], out: &mut [f32]) {
+    let _t = profiled!("exec.gather_q8");
+    let row_len = table.cols();
+    assert_eq!(out.len(), indices.len() * row_len, "gather_q8 out size");
+    for (r, &i) in indices.iter().enumerate() {
+        table.dequantize_row_into(i, &mut out[r * row_len..(r + 1) * row_len]);
+    }
+}
+
 /// Elementwise `out = a + b`, where `b` either matches `a`'s length or is
 /// cycled over it (trailing-axis broadcast, e.g. a `[d]` bias over
 /// `[n, d]`, or an `[n, n]` mask over `[h, n, n]`). Element order matches
@@ -633,7 +809,10 @@ pub fn fused_mask_softmax(
     assert_eq!(x.len(), out.len(), "fused_mask_softmax out size");
     assert!(row_len > 0 && x.len().is_multiple_of(row_len), "row length must divide x");
     if let Some(m) = mask {
-        assert!(!m.is_empty() && x.len().is_multiple_of(m.len()) && m.len() % row_len == 0, "mask size");
+        assert!(
+            !m.is_empty() && x.len().is_multiple_of(m.len()) && m.len() % row_len == 0,
+            "mask size"
+        );
     }
     for (r, (orow, xrow)) in out.chunks_mut(row_len).zip(x.chunks(row_len)).enumerate() {
         match mask {
@@ -1015,5 +1194,53 @@ mod tests {
         let mut out = vec![0.0f32; 20];
         gather_rows_into(table.data(), 5, &idx, &mut out);
         assert_eq!(&out[..], table.index_select0(&idx).data());
+    }
+
+    #[test]
+    fn q8_matmul_bit_identical_to_f32_over_dequantized() {
+        // Cover full tiles, row remainders, column remainders, and the
+        // parallel row-split path (last case exceeds PAR_MIN_VOLUME).
+        for (m, k, n) in [(1, 7, 1), (3, 5, 9), (8, 32, 40), (13, 31, 17), (24, 64, 48)] {
+            let a = pseudo(&[m, k], (m * 13 + n) as u32);
+            let b = pseudo(&[k, n], (k * 7 + m) as u32);
+            let qb = b.quantize_i8();
+            let q = qb.quantized().expect("quantized storage");
+            let mut fast = vec![0.0f32; m * n];
+            matmul_q8_into(a.data(), q, &mut fast, m, k, n);
+            let reference = matmul(&a, &qb.dequantize());
+            for (x, y) in fast.iter().zip(reference.data().iter()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "q8 kernel diverged at {m}x{k}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn tensor_matmul_dispatches_on_quantized_rhs() {
+        let a = pseudo(&[5, 12], 91);
+        let b = pseudo(&[12, 20], 92);
+        let qb = b.quantize_i8();
+        let via_dispatch = matmul(&a, &qb);
+        let via_dequant = matmul(&a, &qb.dequantize());
+        assert_eq!(via_dispatch, via_dequant);
+    }
+
+    #[test]
+    fn tensor_matmul_nt_dequantizes_quantized_operands() {
+        let a = pseudo(&[5, 12], 93);
+        let b = pseudo(&[9, 12], 94);
+        let qb = b.quantize_i8();
+        assert_eq!(matmul_nt(&a, &qb), matmul_nt(&a, &qb.dequantize()));
+    }
+
+    #[test]
+    fn gather_q8_matches_dequantized_index_select() {
+        let table = pseudo(&[7, 37], 95); // cols span two blocks, with remainder
+        let qt = table.quantize_i8();
+        let q = qt.quantized().expect("quantized storage");
+        let idx = [6usize, 0, 3, 6];
+        let mut out = vec![0.0f32; idx.len() * 37];
+        gather_rows_q8_into(q, &idx, &mut out);
+        assert_eq!(&out[..], qt.dequantize().index_select0(&idx).data());
+        assert_eq!(&out[..], qt.index_select0(&idx).data());
     }
 }

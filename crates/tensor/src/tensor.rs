@@ -1,17 +1,83 @@
-//! The dense row-major `f32` tensor.
+//! The dense row-major tensor over a typed [`Storage`].
 
+use crate::dtype::{quant_rows_cols, DType, QuantBlocks, Storage};
 use crate::shape::{broadcast_shape, broadcast_strides, num_elements, strides_for, ShapeError};
-use serde::{Deserialize, Serialize};
 
-/// A dense, row-major, heap-allocated `f32` tensor of arbitrary rank.
+/// A dense, row-major, heap-allocated tensor of arbitrary rank.
+///
+/// The backing buffer is a [`Storage`]: plain `f32` (the only
+/// representation autograd and training ever produce — every method
+/// below keeps its exact pre-storage-split semantics there) or
+/// block-quantized int8 weights for the inference path. The `f32`
+/// accessors ([`data`](Tensor::data), [`data_mut`](Tensor::data_mut),
+/// [`into_data`](Tensor::into_data)) are *typed*: they panic on
+/// quantized storage instead of silently dequantizing, so a quantized
+/// tensor can never leak into a training-path kernel. Inference kernels
+/// branch on [`dtype`](Tensor::dtype) and read quantized weights through
+/// [`quantized`](Tensor::quantized).
 ///
 /// All operations allocate fresh output tensors; in-place variants are
 /// provided where they matter for hot loops (gradient accumulation,
 /// optimizer updates).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
     shape: Vec<usize>,
-    data: Vec<f32>,
+    storage: Storage,
+}
+
+impl serde::Serialize for Tensor {
+    fn to_value(&self) -> serde::Value {
+        // Field spelling matches the pre-storage-split derive, so f32
+        // checkpoints are byte-compatible across the refactor.
+        let mut pairs = vec![("shape".to_string(), self.shape.to_value())];
+        match &self.storage {
+            Storage::F32(d) => pairs.push(("data".to_string(), d.to_value())),
+            Storage::I8Block(q) => {
+                pairs.push(("dtype".to_string(), serde::Value::Str(DType::I8Block.name().into())));
+                pairs.push(("scales".to_string(), q.scales().to_vec().to_value()));
+                pairs.push(("quants".to_string(), q.quants().to_vec().to_value()));
+            }
+        }
+        serde::Value::Obj(pairs)
+    }
+}
+
+impl serde::Deserialize for Tensor {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let shape: Vec<usize> = serde::Deserialize::from_value(
+            v.get("shape").ok_or_else(|| serde::DeError::new("missing field `shape` in Tensor"))?,
+        )?;
+        if let Some(data) = v.get("data") {
+            let data: Vec<f32> = serde::Deserialize::from_value(data)?;
+            if num_elements(&shape) != data.len() {
+                return Err(serde::DeError::new(format!(
+                    "tensor data length {} does not match shape {:?}",
+                    data.len(),
+                    shape
+                )));
+            }
+            return Ok(Self { shape, storage: Storage::F32(data) });
+        }
+        match v.get("dtype") {
+            Some(serde::Value::Str(s)) if s == DType::I8Block.name() => {
+                let scales: Vec<f32> = serde::Deserialize::from_value(
+                    v.get("scales")
+                        .ok_or_else(|| serde::DeError::new("missing field `scales` in Tensor"))?,
+                )?;
+                let quants: Vec<i8> = serde::Deserialize::from_value(
+                    v.get("quants")
+                        .ok_or_else(|| serde::DeError::new("missing field `quants` in Tensor"))?,
+                )?;
+                let (rows, cols) = quant_rows_cols(&shape);
+                let q = QuantBlocks::from_parts(rows, cols, scales, quants)
+                    .map_err(serde::DeError::new)?;
+                Ok(Self { shape, storage: Storage::I8Block(q) })
+            }
+            other => Err(serde::DeError::new(format!(
+                "tensor without `data` must carry a known `dtype`, got {other:?}"
+            ))),
+        }
+    }
 }
 
 impl Tensor {
@@ -27,13 +93,13 @@ impl Tensor {
             data.len(),
             shape
         );
-        Self { shape, data }
+        Self { shape, storage: Storage::F32(data) }
     }
 
     /// A tensor filled with zeros.
     pub fn zeros(shape: Vec<usize>) -> Self {
         let n = num_elements(&shape);
-        Self { shape, data: vec![0.0; n] }
+        Self { shape, storage: Storage::F32(vec![0.0; n]) }
     }
 
     /// A tensor filled with ones.
@@ -44,12 +110,28 @@ impl Tensor {
     /// A tensor filled with a constant value.
     pub fn full(shape: Vec<usize>, value: f32) -> Self {
         let n = num_elements(&shape);
-        Self { shape, data: vec![value; n] }
+        Self { shape, storage: Storage::F32(vec![value; n]) }
     }
 
     /// A rank-0-like scalar represented as shape `[1]`.
     pub fn scalar(value: f32) -> Self {
-        Self { shape: vec![1], data: vec![value] }
+        Self { shape: vec![1], storage: Storage::F32(vec![value]) }
+    }
+
+    /// Wrap block-quantized storage (shape must match the block layout of
+    /// [`quant_rows_cols`]).
+    ///
+    /// # Panics
+    /// Panics if `blocks` does not hold `product(shape)` elements split
+    /// as `quant_rows_cols(shape)`.
+    pub fn from_quantized(shape: Vec<usize>, blocks: QuantBlocks) -> Self {
+        let (rows, cols) = quant_rows_cols(&shape);
+        assert_eq!(
+            (blocks.rows(), blocks.cols()),
+            (rows, cols),
+            "quantized block layout does not match shape {shape:?}"
+        );
+        Self { shape, storage: Storage::I8Block(blocks) }
     }
 
     /// The tensor shape.
@@ -64,27 +146,112 @@ impl Tensor {
 
     /// Number of elements.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.storage.len()
     }
 
     /// True when the tensor holds no elements.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.storage.is_empty()
+    }
+
+    /// Element type of the backing storage.
+    pub fn dtype(&self) -> DType {
+        self.storage.dtype()
+    }
+
+    /// Bytes occupied by the backing storage.
+    pub fn byte_len(&self) -> usize {
+        self.storage.byte_len()
+    }
+
+    /// The dense `f32` buffer, panicking on quantized storage — see the
+    /// type-level docs for the accessor discipline.
+    #[track_caller]
+    fn f32s(&self) -> &Vec<f32> {
+        match &self.storage {
+            Storage::F32(d) => d,
+            Storage::I8Block(_) => panic!(
+                "f32 accessor on a {} tensor {:?}; use dequantize()/quantized()",
+                self.dtype(),
+                self.shape
+            ),
+        }
+    }
+
+    #[track_caller]
+    fn f32s_mut(&mut self) -> &mut Vec<f32> {
+        match &mut self.storage {
+            Storage::F32(d) => d,
+            Storage::I8Block(_) => panic!(
+                "mutable f32 accessor on a quantized tensor {:?}; quantized storage is immutable",
+                self.shape
+            ),
+        }
     }
 
     /// Read-only view of the backing buffer (row-major).
+    ///
+    /// # Panics
+    /// Panics on quantized storage; use [`as_f32`](Tensor::as_f32) /
+    /// [`quantized`](Tensor::quantized) to branch on dtype instead.
+    #[track_caller]
     pub fn data(&self) -> &[f32] {
-        &self.data
+        self.f32s()
     }
 
     /// Mutable view of the backing buffer (row-major).
+    ///
+    /// # Panics
+    /// Panics on quantized storage (it is immutable by construction).
+    #[track_caller]
     pub fn data_mut(&mut self) -> &mut [f32] {
-        &mut self.data
+        self.f32s_mut()
     }
 
     /// Consume the tensor, returning its backing buffer.
+    ///
+    /// # Panics
+    /// Panics on quantized storage.
+    #[track_caller]
     pub fn into_data(self) -> Vec<f32> {
-        self.data
+        match self.storage {
+            Storage::F32(d) => d,
+            Storage::I8Block(_) => {
+                panic!("into_data on a quantized tensor {:?}; use dequantize()", self.shape)
+            }
+        }
+    }
+
+    /// Non-panicking dense view: `Some` only for `f32` storage.
+    pub fn as_f32(&self) -> Option<&[f32]> {
+        match &self.storage {
+            Storage::F32(d) => Some(d),
+            Storage::I8Block(_) => None,
+        }
+    }
+
+    /// The quantized blocks: `Some` only for `I8Block` storage.
+    pub fn quantized(&self) -> Option<&QuantBlocks> {
+        match &self.storage {
+            Storage::F32(_) => None,
+            Storage::I8Block(q) => Some(q),
+        }
+    }
+
+    /// Block-quantize into an int8 tensor of the same shape (rows along
+    /// the leading axis; see [`QuantBlocks`]). `f32` input required.
+    pub fn quantize_i8(&self) -> Tensor {
+        let (rows, cols) = quant_rows_cols(&self.shape);
+        let blocks = QuantBlocks::quantize(rows, cols, self.f32s());
+        Tensor { shape: self.shape.clone(), storage: Storage::I8Block(blocks) }
+    }
+
+    /// Dense `f32` copy of this tensor (identity for `f32` storage).
+    pub fn dequantize(&self) -> Tensor {
+        match &self.storage {
+            Storage::F32(_) => self.clone(),
+            Storage::I8Block(q) => Tensor::from_vec(self.shape.clone(), q.dequantize()),
+        }
     }
 
     /// Extract the single element of a scalar-like tensor.
@@ -92,57 +259,62 @@ impl Tensor {
     /// # Panics
     /// Panics if the tensor has more than one element.
     pub fn item(&self) -> f32 {
-        assert_eq!(self.data.len(), 1, "item() on tensor with shape {:?}", self.shape);
-        self.data[0]
+        let data = self.f32s();
+        assert_eq!(data.len(), 1, "item() on tensor with shape {:?}", self.shape);
+        data[0]
     }
 
     /// Element at a 2-D index.
     pub fn at2(&self, i: usize, j: usize) -> f32 {
         debug_assert_eq!(self.rank(), 2);
-        self.data[i * self.shape[1] + j]
+        self.f32s()[i * self.shape[1] + j]
     }
 
     /// Set element at a 2-D index.
     pub fn set2(&mut self, i: usize, j: usize, v: f32) {
         debug_assert_eq!(self.rank(), 2);
-        self.data[i * self.shape[1] + j] = v;
+        let idx = i * self.shape[1] + j;
+        self.f32s_mut()[idx] = v;
     }
 
     /// Row `i` of a 2-D tensor as a slice.
     pub fn row(&self, i: usize) -> &[f32] {
         debug_assert_eq!(self.rank(), 2);
         let w = self.shape[1];
-        &self.data[i * w..(i + 1) * w]
+        &self.f32s()[i * w..(i + 1) * w]
     }
 
     /// Mutable row `i` of a 2-D tensor.
     pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
         debug_assert_eq!(self.rank(), 2);
         let w = self.shape[1];
-        &mut self.data[i * w..(i + 1) * w]
+        &mut self.f32s_mut()[i * w..(i + 1) * w]
     }
 
     /// Reinterpret with a new shape of identical element count.
     pub fn reshape(&self, shape: Vec<usize>) -> Result<Tensor, ShapeError> {
-        if num_elements(&shape) != self.data.len() {
+        if num_elements(&shape) != self.len() {
             return Err(ShapeError::new(format!(
                 "cannot reshape {:?} ({} elems) to {:?}",
                 self.shape,
-                self.data.len(),
+                self.len(),
                 shape
             )));
         }
-        Ok(Tensor { shape, data: self.data.clone() })
+        Ok(Tensor { shape, storage: Storage::F32(self.f32s().clone()) })
     }
 
     /// Apply a function elementwise, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+        Tensor {
+            shape: self.shape.clone(),
+            storage: Storage::F32(self.f32s().iter().map(|&x| f(x)).collect()),
+        }
     }
 
     /// Apply a function elementwise in place.
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for x in &mut self.data {
+        for x in self.f32s_mut() {
             *x = f(*x);
         }
     }
@@ -150,7 +322,8 @@ impl Tensor {
     /// `self += other` (shapes must match exactly).
     pub fn add_assign(&mut self, other: &Tensor) {
         assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+        let src = other.f32s();
+        for (a, b) in self.f32s_mut().iter_mut().zip(src.iter()) {
             *a += b;
         }
     }
@@ -158,21 +331,22 @@ impl Tensor {
     /// `self += alpha * other` (shapes must match exactly).
     pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
         assert_eq!(self.shape, other.shape, "axpy shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+        let src = other.f32s();
+        for (a, b) in self.f32s_mut().iter_mut().zip(src.iter()) {
             *a += alpha * b;
         }
     }
 
     /// Multiply every element by a scalar, in place.
     pub fn scale_inplace(&mut self, alpha: f32) {
-        for x in &mut self.data {
+        for x in self.f32s_mut() {
             *x *= alpha;
         }
     }
 
     /// Fill with zeros, keeping the allocation.
     pub fn zero_(&mut self) {
-        self.data.iter_mut().for_each(|x| *x = 0.0);
+        self.f32s_mut().iter_mut().for_each(|x| *x = 0.0);
     }
 
     /// Elementwise binary op with NumPy broadcasting.
@@ -181,9 +355,10 @@ impl Tensor {
         other: &Tensor,
         f: impl Fn(f32, f32) -> f32,
     ) -> Result<Tensor, ShapeError> {
+        let (sdata, odata) = (self.f32s(), other.f32s());
         if self.shape == other.shape {
-            let data = self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect();
-            return Ok(Tensor { shape: self.shape.clone(), data });
+            let data = sdata.iter().zip(odata.iter()).map(|(&a, &b)| f(a, b)).collect();
+            return Ok(Tensor { shape: self.shape.clone(), storage: Storage::F32(data) });
         }
         let out_shape = broadcast_shape(&self.shape, &other.shape)?;
         let sa = broadcast_strides(&self.shape, &out_shape);
@@ -194,7 +369,7 @@ impl Tensor {
         let mut off_a = 0usize;
         let mut off_b = 0usize;
         for _ in 0..n {
-            data.push(f(self.data[off_a], other.data[off_b]));
+            data.push(f(sdata[off_a], odata[off_b]));
             // advance multi-index (row-major)
             for d in (0..out_shape.len()).rev() {
                 idx[d] += 1;
@@ -208,7 +383,7 @@ impl Tensor {
                 off_b -= sb[d] * out_shape[d];
             }
         }
-        Ok(Tensor { shape: out_shape, data })
+        Ok(Tensor { shape: out_shape, storage: Storage::F32(data) })
     }
 
     /// Sum a gradient tensor down to `target` shape (undoes broadcasting).
@@ -216,13 +391,14 @@ impl Tensor {
         if self.shape == target {
             return self.clone();
         }
+        let sdata = self.f32s();
         let out_n = num_elements(target);
-        let mut out = Tensor::zeros(target.to_vec());
+        let mut out = vec![0.0f32; out_n];
         let st = broadcast_strides(target, &self.shape);
         let mut idx = vec![0usize; self.shape.len()];
         let mut off_t = 0usize;
-        for i in 0..self.data.len() {
-            out.data[off_t] += self.data[i];
+        for &x in sdata.iter() {
+            out[off_t] += x;
             for d in (0..self.shape.len()).rev() {
                 idx[d] += 1;
                 off_t += st[d];
@@ -233,34 +409,33 @@ impl Tensor {
                 off_t -= st[d] * self.shape[d];
             }
         }
-        debug_assert!(out.data.len() == out_n);
-        out
+        Tensor::from_vec(target.to_vec(), out)
     }
 
     /// Sum of all elements.
     pub fn sum(&self) -> f32 {
-        self.data.iter().sum()
+        self.f32s().iter().sum()
     }
 
     /// Mean of all elements (0 for empty tensors).
     pub fn mean(&self) -> f32 {
-        if self.data.is_empty() {
+        if self.is_empty() {
             0.0
         } else {
-            self.sum() / self.data.len() as f32
+            self.sum() / self.len() as f32
         }
     }
 
     /// Maximum element (negative infinity for empty tensors).
     pub fn max(&self) -> f32 {
-        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.f32s().iter().copied().fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Index of the maximum element.
     pub fn argmax(&self) -> usize {
         let mut best = 0;
         let mut best_v = f32::NEG_INFINITY;
-        for (i, &v) in self.data.iter().enumerate() {
+        for (i, &v) in self.f32s().iter().enumerate() {
             if v > best_v {
                 best_v = v;
                 best = i;
@@ -271,12 +446,16 @@ impl Tensor {
 
     /// L2 norm of the whole tensor.
     pub fn norm(&self) -> f32 {
-        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+        self.f32s().iter().map(|x| x * x).sum::<f32>().sqrt()
     }
 
-    /// True if every element is finite.
+    /// True if every element is finite (quantized tensors always are:
+    /// their scales are validated finite and int8 values are bounded).
     pub fn all_finite(&self) -> bool {
-        self.data.iter().all(|x| x.is_finite())
+        match &self.storage {
+            Storage::F32(d) => d.iter().all(|x| x.is_finite()),
+            Storage::I8Block(_) => true,
+        }
     }
 
     /// Permute axes (generic rank). `axes` must be a permutation of `0..rank`.
@@ -287,15 +466,16 @@ impl Tensor {
             assert!(a < axes.len() && !seen[a], "invalid permutation {axes:?}");
             seen[a] = true;
         }
+        let sdata = self.f32s();
         let old_strides = strides_for(&self.shape);
         let new_shape: Vec<usize> = axes.iter().map(|&a| self.shape[a]).collect();
         let read_strides: Vec<usize> = axes.iter().map(|&a| old_strides[a]).collect();
-        let n = self.data.len();
+        let n = sdata.len();
         let mut data = Vec::with_capacity(n);
         let mut idx = vec![0usize; new_shape.len()];
         let mut off = 0usize;
         for _ in 0..n {
-            data.push(self.data[off]);
+            data.push(sdata[off]);
             for d in (0..new_shape.len()).rev() {
                 idx[d] += 1;
                 off += read_strides[d];
@@ -306,7 +486,7 @@ impl Tensor {
                 off -= read_strides[d] * new_shape[d];
             }
         }
-        Tensor { shape: new_shape, data }
+        Tensor { shape: new_shape, storage: Storage::F32(data) }
     }
 
     /// Transpose of a 2-D tensor.
@@ -315,18 +495,42 @@ impl Tensor {
         self.permute(&[1, 0])
     }
 
-    /// Select rows of a 2-D tensor (gather along axis 0).
+    /// Select rows of a 2-D tensor (gather along axis 0). Quantized
+    /// tables dequantize the gathered rows (the block layout is
+    /// row-aligned, so a row's reconstruction is independent of which
+    /// other rows are selected); the result is always dense `f32`.
     pub fn index_select0(&self, indices: &[usize]) -> Tensor {
         assert!(self.rank() >= 1);
         let row_len: usize = self.shape[1..].iter().product();
-        let mut data = Vec::with_capacity(indices.len() * row_len);
-        for &i in indices {
-            assert!(i < self.shape[0], "index {} out of bounds for dim0 {}", i, self.shape[0]);
-            data.extend_from_slice(&self.data[i * row_len..(i + 1) * row_len]);
-        }
         let mut shape = vec![indices.len()];
         shape.extend_from_slice(&self.shape[1..]);
-        Tensor { shape, data }
+        let mut data = vec![0.0f32; indices.len() * row_len];
+        match &self.storage {
+            Storage::F32(sdata) => {
+                for (r, &i) in indices.iter().enumerate() {
+                    assert!(
+                        i < self.shape[0],
+                        "index {} out of bounds for dim0 {}",
+                        i,
+                        self.shape[0]
+                    );
+                    data[r * row_len..(r + 1) * row_len]
+                        .copy_from_slice(&sdata[i * row_len..(i + 1) * row_len]);
+                }
+            }
+            Storage::I8Block(q) => {
+                for (r, &i) in indices.iter().enumerate() {
+                    assert!(
+                        i < self.shape[0],
+                        "index {} out of bounds for dim0 {}",
+                        i,
+                        self.shape[0]
+                    );
+                    q.dequantize_row_into(i, &mut data[r * row_len..(r + 1) * row_len]);
+                }
+            }
+        }
+        Tensor { shape, storage: Storage::F32(data) }
     }
 
     /// Concatenate 2-D tensors along the last axis.
@@ -344,7 +548,7 @@ impl Tensor {
                 data.extend_from_slice(p.row(r));
             }
         }
-        Tensor { shape: vec![rows, total], data }
+        Tensor { shape: vec![rows, total], storage: Storage::F32(data) }
     }
 
     /// Stack 1-D tensors of equal length into a 2-D tensor (one per row).
@@ -356,14 +560,14 @@ impl Tensor {
             assert_eq!(p.len(), w, "stack_rows length mismatch");
             data.extend_from_slice(p.data());
         }
-        Tensor { shape: vec![parts.len(), w], data }
+        Tensor { shape: vec![parts.len(), w], storage: Storage::F32(data) }
     }
 
     /// Softmax along the last axis, numerically stabilized.
     pub fn softmax_last(&self) -> Tensor {
         let mut out = self.clone();
         let w = *self.shape.last().expect("softmax on rank-0 tensor");
-        for chunk in out.data.chunks_mut(w) {
+        for chunk in out.f32s_mut().chunks_mut(w) {
             let m = chunk.iter().copied().fold(f32::NEG_INFINITY, f32::max);
             let mut sum = 0.0;
             for x in chunk.iter_mut() {
@@ -390,6 +594,8 @@ mod tests {
         assert_eq!(t.shape(), &[2, 3]);
         assert_eq!(t.at2(1, 2), 6.0);
         assert_eq!(t.row(0), &[1., 2., 3.]);
+        assert_eq!(t.dtype(), DType::F32);
+        assert_eq!(t.byte_len(), 24);
     }
 
     #[test]
@@ -481,5 +687,55 @@ mod tests {
         let t = Tensor::from_vec(vec![4], vec![0., 3., -5., 1.]);
         assert_eq!(t.argmax(), 1);
         assert!((t.norm() - (35.0f32).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantize_roundtrip_through_tensor() {
+        let t = Tensor::from_vec(vec![4, 8], (0..32).map(|i| (i as f32 - 16.0) * 0.5).collect());
+        let q = t.quantize_i8();
+        assert_eq!(q.dtype(), DType::I8Block);
+        assert_eq!(q.shape(), t.shape());
+        assert_eq!(q.len(), t.len());
+        assert!(q.byte_len() < t.byte_len());
+        let d = q.dequantize();
+        assert_eq!(d.dtype(), DType::F32);
+        for (a, b) in t.data().iter().zip(d.data().iter()) {
+            assert!((a - b).abs() <= 0.1, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "f32 accessor")]
+    fn dense_accessor_panics_on_quantized() {
+        let t = Tensor::ones(vec![2, 4]).quantize_i8();
+        let _ = t.data();
+    }
+
+    #[test]
+    fn quantized_index_select_matches_dequantized() {
+        let t = Tensor::from_vec(vec![5, 6], (0..30).map(|i| (i as f32).sin()).collect());
+        let q = t.quantize_i8();
+        let a = q.index_select0(&[4, 0, 2]);
+        let b = q.dequantize().index_select0(&[4, 0, 2]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serde_preserves_legacy_f32_wire_format() {
+        let t = Tensor::from_vec(vec![2, 2], vec![1., 2., 3., 4.]);
+        let json = serde_json::to_string(&t).unwrap();
+        assert_eq!(json, r#"{"shape":[2,2],"data":[1,2,3,4]}"#);
+        let back: Tensor = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn serde_roundtrips_quantized_tensors() {
+        let t = Tensor::from_vec(vec![2, 40], (0..80).map(|i| (i as f32).cos()).collect());
+        let q = t.quantize_i8();
+        let json = serde_json::to_string(&q).unwrap();
+        let back: Tensor = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, q);
+        assert_eq!(back.dtype(), DType::I8Block);
     }
 }

@@ -1,0 +1,199 @@
+//! Property tests for the `i8b32` block-quantization scheme.
+//!
+//! The documented contract (see `dtype.rs`): for every element `x` of a
+//! quantized block with scale `s = amax / 127`, the dequantized value
+//! `x̂ = round(clamp(x / s)) · s` satisfies `|x − x̂| ≤ s/2` (up to one
+//! f32 rounding of the product, covered by the `1e-5·s` slack below).
+//! These tests drive the bound through adversarial distributions —
+//! subnormals, negative zero, constant blocks, huge dynamic range, and
+//! block-boundary-straddling shapes — and additionally pin down the
+//! exactness cases (zeros, symmetric round-trips).
+
+use proptest::prelude::*;
+use turl_tensor::{quant_rows_cols, QuantBlocks, Tensor, QBLOCK};
+
+/// Largest per-element reconstruction error the scheme admits for the
+/// block that owns column `c` of row `r`.
+fn bound(q: &QuantBlocks, r: usize, c: usize) -> f32 {
+    let s = q.scales()[r * q.blocks_per_row() + c / QBLOCK];
+    // Half a quantization step, plus slack for the one f32 rounding in
+    // `q as f32 * scale` (and the division on the way in).
+    s / 2.0 + 1e-5 * s
+}
+
+fn assert_roundtrip_within_bound(rows: usize, cols: usize, data: &[f32]) {
+    let q = QuantBlocks::quantize(rows, cols, data);
+    for r in 0..rows {
+        for c in 0..cols {
+            let x = data[r * cols + c];
+            let y = q.at(r, c);
+            let err = (x - y).abs();
+            assert!(
+                err <= bound(&q, r, c),
+                "({r},{c}): |{x} - {y}| = {err} exceeds bound {}",
+                bound(&q, r, c)
+            );
+        }
+    }
+}
+
+/// Values spanning the full finite-f32 landscape the exporter can see:
+/// normals over many magnitudes, subnormals, zeros of both signs.
+fn adversarial_values(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    // The vendored proptest has no `prop_oneof!`; pick a variant per
+    // element via a selector tuple instead.
+    proptest::collection::vec(
+        (0u8..8, -2.0f32..2.0, -30i32..30, any::<bool>()).prop_map(|(kind, plain, e, neg)| {
+            match kind {
+                // plain trained-weight-looking values (weighted ×2)
+                0 | 1 => plain,
+                // wide dynamic range (exponent sweep), both signs
+                2 | 3 => {
+                    let v = 2.0f32.powi(e);
+                    if neg {
+                        -v
+                    } else {
+                        v
+                    }
+                }
+                // subnormals and the smallest normals
+                4 => f32::MIN_POSITIVE,
+                5 => f32::MIN_POSITIVE / 2.0,
+                6 => {
+                    if neg {
+                        -1.0e-42f32
+                    } else {
+                        1.0e-42f32
+                    }
+                }
+                // signed zero
+                _ => {
+                    if neg {
+                        -0.0f32
+                    } else {
+                        0.0f32
+                    }
+                }
+            }
+        }),
+        n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn roundtrip_error_is_within_half_a_step(
+        rows in 1usize..5,
+        extra_cols in 0usize..(2 * QBLOCK + 3),
+        seed in any::<u64>(),
+    ) {
+        // Cols deliberately straddle block boundaries (1..=2.5 blocks).
+        let cols = 1 + extra_cols;
+        let n = rows * cols;
+        // Derive data deterministically from the seed via a cheap LCG so
+        // the shape and values shrink independently.
+        let mut state = seed | 1;
+        let data: Vec<f32> = (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 40) as i32 - (1 << 23)) as f32 / (1 << 20) as f32
+            })
+            .collect();
+        assert_roundtrip_within_bound(rows, cols, &data);
+    }
+
+    #[test]
+    fn adversarial_distributions_respect_the_bound(
+        data in adversarial_values(3 * QBLOCK + 7)
+    ) {
+        // One row spanning 4 blocks with a ragged tail.
+        assert_roundtrip_within_bound(1, data.len(), &data);
+        // Same values folded into multiple rows (different block owners).
+        let cols = QBLOCK + 3;
+        let rows = data.len() / cols;
+        assert_roundtrip_within_bound(rows, cols, &data[..rows * cols]);
+    }
+
+    #[test]
+    fn constant_blocks_reconstruct_their_extremes_exactly(
+        v in (0u8..4, -1.0e3f32..1.0e3).prop_map(|(kind, plain)| match kind {
+            0 | 1 => plain,
+            2 => 1.5e-42f32,
+            _ => -3.0e38f32,
+        }),
+        cols in 1usize..(QBLOCK * 2),
+    ) {
+        // A constant block's amax is |v|, so v = ±amax quantizes to ±127
+        // and dequantizes to exactly scale·127 = amax (up to the one f32
+        // rounding) — the bound still holds and the sign is preserved.
+        let data = vec![v; cols];
+        let q = QuantBlocks::quantize(1, cols, &data);
+        for c in 0..cols {
+            let y = q.at(0, c);
+            prop_assert!((v - y).abs() <= bound(&q, 0, c));
+            if v != 0.0 {
+                // Sign is preserved unless the value quantized to zero
+                // (possible for subnormal inputs under the scale guard).
+                prop_assert!(v.is_sign_negative() == y.is_sign_negative() || y == 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn all_zero_and_negative_zero_blocks_are_exact(cols in 1usize..(QBLOCK * 3)) {
+        // amax == 0 ⟹ scale 0 ⟹ every reconstruction is exactly +0.0;
+        // -0.0 inputs are reconstructed as +0.0, which compares equal.
+        let data: Vec<f32> = (0..cols).map(|i| if i % 2 == 0 { 0.0 } else { -0.0 }).collect();
+        let q = QuantBlocks::quantize(1, cols, &data);
+        for c in 0..cols {
+            prop_assert_eq!(q.at(0, c), 0.0);
+        }
+    }
+
+    #[test]
+    fn tensor_level_quantize_matches_block_level(rows in 1usize..4, cols in 1usize..80) {
+        let n = rows * cols;
+        let data: Vec<f32> = (0..n).map(|i| ((i * 2654435761) % 1000) as f32 / 250.0 - 2.0).collect();
+        let t = Tensor::from_vec(vec![rows, cols], data.clone());
+        let qt = t.quantize_i8();
+        let (qr, qc) = quant_rows_cols(&[rows, cols]);
+        let q = QuantBlocks::quantize(qr, qc, &data);
+        prop_assert_eq!(qt.quantized().unwrap().quants(), q.quants());
+        prop_assert_eq!(qt.quantized().unwrap().scales(), q.scales());
+        // And the dense round-trip obeys the bound everywhere.
+        let back = qt.dequantize();
+        for (i, (&x, &y)) in data.iter().zip(back.data()).enumerate() {
+            prop_assert!((x - y).abs() <= bound(&q, i / qc, i % qc));
+        }
+    }
+}
+
+#[test]
+fn subnormal_amax_does_not_produce_nonfinite_reconstructions() {
+    // amax so small that amax/127 underflows: the scale guard clamps to
+    // f32::MIN_POSITIVE; reconstructions must stay finite and tiny.
+    let data = vec![1.0e-42f32, -1.0e-42, 0.0, 5.0e-43];
+    let q = QuantBlocks::quantize(1, data.len(), &data);
+    for c in 0..data.len() {
+        let y = q.at(0, c);
+        assert!(y.is_finite(), "({c}): reconstruction {y} not finite");
+        assert!(y.abs() <= 2.0e-42, "({c}): reconstruction {y} too large");
+    }
+}
+
+#[test]
+fn worst_case_midpoint_values_sit_on_the_bound() {
+    // Values exactly between two quantization steps maximize the error:
+    // with amax = 127 the scale is 1.0 and x = k + 0.5 misses by 0.5.
+    let mut data: Vec<f32> = (0..QBLOCK).map(|i| (i % 100) as f32 + 0.5).collect();
+    data[0] = 127.0; // pins the scale to exactly 1.0
+    let q = QuantBlocks::quantize(1, QBLOCK, &data);
+    assert_eq!(q.scales()[0], 1.0);
+    for (c, &x) in data.iter().enumerate().skip(1) {
+        let err = (x - q.at(0, c)).abs();
+        assert!((err - 0.5).abs() <= 1e-6, "({c}): err {err} should be ~0.5");
+        assert!(err <= bound(&q, 0, c));
+    }
+}

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Storage-boundary lint: the DType/Storage split lives entirely inside
+# `crates/tensor`. Outside that crate, code must go through the typed
+# accessors (`data()`, `dtype()`, `quantized()`, `quantize_i8()`,
+# `dequantize()`) so that adding a dtype is a one-crate change. Two
+# families of leakage are banned elsewhere:
+#
+#   * `Storage::` variant matching — dtype dispatch belongs to the
+#     tensor crate's kernels, not to callers.
+#   * raw quantized-part access (`.scales()` / `.quants()` /
+#     `QuantBlocks::from_parts`) — only the artifact wire format
+#     (crates/nn/src/artifact.rs) and the arena executor's typed
+#     source views (crates/exec/src/run.rs) may touch block internals.
+#
+# Exits non-zero listing every violation, for the CI `check` job.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+storage_violations=$(grep -rnE '\bStorage::' crates/ --include='*.rs' \
+  | grep -vE '^crates/tensor/' \
+  || true)
+
+quant_violations=$(grep -rnE '\.scales\(\)|\.quants\(\)|QuantBlocks::from_parts' \
+    crates/ --include='*.rs' \
+  | grep -vE '^crates/tensor/' \
+  | grep -vE '^crates/nn/src/artifact\.rs:' \
+  | grep -vE '^crates/exec/src/run\.rs:' \
+  || true)
+
+status=0
+if [ -n "$storage_violations" ]; then
+  {
+    echo "error: Storage variant access outside crates/tensor —"
+    echo "use Tensor accessors (data()/dtype()/quantized()) instead:"
+    echo "$storage_violations"
+  } >&2
+  status=1
+fi
+if [ -n "$quant_violations" ]; then
+  {
+    echo "error: raw quantized-block access outside the allowlist —"
+    echo "only the artifact format and arena executor may touch block parts:"
+    echo "$quant_violations"
+  } >&2
+  status=1
+fi
+if [ "$status" -ne 0 ]; then
+  exit "$status"
+fi
+echo "storage boundary: ok — dtype internals stay inside crates/tensor"
