@@ -276,6 +276,30 @@ pub fn run_suite(quick: bool, thread_counts: &[usize]) -> Vec<BenchEntry> {
         );
         out.push(entry("infer_step", enc_size, t, ns, enc_rows));
 
+        // Cross-request micro-batching (the `turl serve` fast path): 4
+        // tables coalesced under one block-diagonal §4.3 mask and pushed
+        // through a single compiled forward, including the per-batch
+        // assembly and per-member output extraction the server performs.
+        // Directly comparable to 4x the `infer_step` row above.
+        let micro: Vec<&EncodedInput> = world.data.iter().take(4).map(|(_, e)| e).collect();
+        let micro_rows: usize = world.rows.iter().take(4).sum();
+        let micro_size = format!(
+            "tables=4,rows={micro_rows},d={},layers={}",
+            cfg.encoder.d_model, cfg.encoder.n_layers
+        );
+        let mut bcf = model.compiled();
+        let ns = time_ns(
+            || {
+                let tb = turl_core::TableBatch::build(&micro).expect("batch build");
+                let h = bcf.encode(model, store, tb.input()).expect("batched encode");
+                for i in 0..tb.len() {
+                    std::hint::black_box(tb.extract(i, &h).data().first().copied());
+                }
+            },
+            window_ms,
+        );
+        out.push(entry("infer_step_batched", micro_size, t, ns, micro_rows));
+
         // Paper-dimension encoder: graph forward vs compiled executor.
         let paper_size = format!(
             "seq={enc_rows},d={},layers={}",
@@ -536,6 +560,7 @@ mod tests {
             "encoder_fwd",
             "encoder_fwd_bwd",
             "infer_step",
+            "infer_step_batched",
             "encoder_fwd_compiled",
             "pretrain_step",
         ];

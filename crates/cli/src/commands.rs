@@ -36,6 +36,13 @@ USAGE:
                 [--eps F] [--int8-scale S]
   turl bench    [--quick] [--threads 1,2,4] [--out BENCH_pretrain.json]
                 [--baseline FILE [--factor 2.0]]
+  turl serve    [--entities N] [--tables N] [--seed S]
+                [--artifact model.artifact | --ckpt model.json]
+                [--addr 127.0.0.1:7433] [--workers N] [--conns N]
+                [--max-batch N] [--max-wait-us U] [--queue-depth N]
+                [--cache-cap N] [--plan-cache-cap N]
+  turl client   [--addr HOST:PORT] [--requests N] [--concurrency C]
+                [--check-parity [--artifact F | --ckpt F]] [--shutdown]
   turl report   <run.jsonl>
 
 Every command also accepts a global `--threads N` to size the worker
@@ -85,6 +92,26 @@ parameters on every validation table; an int8 artifact must keep the
 §6.8 object-entity probe within --tolerance (default 0.05) of the f32
 accuracy. Quantized parameters are re-proven through the plan-level
 range analysis with their exact ±127·scale dequantization bounds.
+
+`serve` runs a long-lived HTTP/JSON inference daemon over the compiled
+graph-free forward: POST a table (corpus JSON schema) to /v1/encode,
+/v1/entity_linking, /v1/cell_filling, /v1/row_population,
+/v1/column_type, /v1/relation_extraction or /v1/schema_augmentation;
+GET /healthz and /metrics for liveness and telemetry. Same-shape
+requests arriving within --max-wait-us are coalesced into one batched
+forward (up to --max-batch tables) behind a --queue-depth-bounded
+queue (overflow answers 503); responses stay bit-identical to offline
+`turl infer`. Repeated tables are answered from a --cache-cap LRU
+keyed on canonical input bytes, and each worker's compiled-plan cache
+is bounded by --plan-cache-cap. Malformed requests get typed 4xx JSON
+errors; SIGTERM (or POST /admin/shutdown) drains in-flight work before
+exit.
+
+`client` drives a running daemon with --requests concurrent /v1/encode
+calls over the validation split and prints the server's /metrics
+summary. --check-parity recomputes every response locally (from the
+same --artifact or --ckpt the server loaded) and fails unless each one
+matches bit-for-bit; --shutdown asks the daemon to exit afterwards.
 
 `plan --int8-scale S` runs the same abstract interpreter with every
 embedding table and linear weight bounded by its int8 dequantization
@@ -432,6 +459,35 @@ pub fn infer(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Load a `turl export` artifact and check it against a freshly
+/// initialized store: same tensor count, same parameter order. Catches
+/// artifacts exported under different --entities/--tables/--seed before
+/// they can silently produce garbage.
+fn load_artifact_checked(
+    expected: &turl_nn::ParamStore,
+    artifact: &str,
+) -> Result<turl_nn::ParamStore, String> {
+    let store = turl_nn::load_artifact(Path::new(artifact)).map_err(|e| e.to_string())?;
+    if store.len() != expected.len() {
+        return Err(format!(
+            "artifact {artifact} holds {} tensors, the model needs {} — \
+             was it exported with the same --entities/--tables/--seed?",
+            store.len(),
+            expected.len()
+        ));
+    }
+    for (a, b) in expected.ids().zip(store.ids()) {
+        if expected.name(a) != store.name(b) {
+            return Err(format!(
+                "artifact parameter order diverges at `{}` (model expects `{}`)",
+                store.name(b),
+                expected.name(a)
+            ));
+        }
+    }
+    Ok(store)
+}
+
 /// `turl export`: write the model's parameters as a single-file,
 /// checksummed artifact, optionally block-quantizing the big matrices
 /// to int8. With `--ckpt` the artifact snapshots a pre-trained model;
@@ -492,24 +548,7 @@ fn quant_range_overrides(store: &turl_nn::ParamStore) -> Vec<(String, turl_audit
 fn infer_artifact(s: &Setup, opts: &Options, artifact: &str) -> Result<(), String> {
     let mut pt =
         Pretrainer::new(s.cfg, s.vocab.len(), s.kb.n_entities(), s.vocab.mask_id() as usize);
-    let store = turl_nn::load_artifact(Path::new(artifact)).map_err(|e| e.to_string())?;
-    if store.len() != pt.store.len() {
-        return Err(format!(
-            "artifact {artifact} holds {} tensors, the model needs {} — \
-             was it exported with the same --entities/--tables/--seed?",
-            store.len(),
-            pt.store.len()
-        ));
-    }
-    for (a, b) in pt.store.ids().zip(store.ids()) {
-        if pt.store.name(a) != store.name(b) {
-            return Err(format!(
-                "artifact parameter order diverges at `{}` (model expects `{}`)",
-                store.name(b),
-                pt.store.name(a)
-            ));
-        }
-    }
+    let store = load_artifact_checked(&pt.store, artifact)?;
     let n_quant = store.ids().filter(|&id| store.value(id).quantized().is_some()).count();
     let bytes = std::fs::metadata(artifact).map(|m| m.len()).unwrap_or(0);
     info(format!(
@@ -1147,4 +1186,202 @@ pub fn fill(opts: &Options) -> Result<(), String> {
         ));
     }
     Ok(())
+}
+
+/// `turl serve`: the long-running HTTP/JSON inference daemon. Loads
+/// parameters from a `turl export` artifact (preferred — f32 or int8),
+/// a `pretrain --out` checkpoint, or by pre-training fresh, then serves
+/// the TUBE task endpoints plus `/healthz` and `/metrics` until SIGTERM
+/// or `POST /admin/shutdown`. Responses are bit-identical to offline
+/// `turl infer` on the same tables, including under concurrent
+/// micro-batched load.
+pub fn serve(opts: &Options) -> Result<(), String> {
+    let s = setup(opts)?;
+    let artifact = opts.get("artifact", "");
+    let (model, store) = if !artifact.is_empty() {
+        let pt =
+            Pretrainer::new(s.cfg, s.vocab.len(), s.kb.n_entities(), s.vocab.mask_id() as usize);
+        let store = load_artifact_checked(&pt.store, &artifact)?;
+        let n_quant = store.ids().filter(|&id| store.value(id).quantized().is_some()).count();
+        info(format!("loaded artifact {artifact}: {} tensors ({n_quant} quantized)", store.len()));
+        (pt.model, store)
+    } else {
+        let pt = make_pretrainer(&s, opts)?;
+        (pt.model, pt.store)
+    };
+    let defaults = turl_serve::ServeOptions::default();
+    let sopts = turl_serve::ServeOptions {
+        addr: opts.get("addr", &defaults.addr),
+        workers: opts.get_usize("workers", defaults.workers)?.max(1),
+        conns: opts.get_usize("conns", defaults.conns)?.max(1),
+        max_batch: opts.get_usize("max-batch", defaults.max_batch)?.max(1),
+        max_wait_us: opts.get_u64("max-wait-us", defaults.max_wait_us)?,
+        queue_depth: opts.get_usize("queue-depth", defaults.queue_depth)?,
+        cache_cap: opts.get_usize("cache-cap", defaults.cache_cap)?,
+        plan_cache_cap: opts.get_usize("plan-cache-cap", defaults.plan_cache_cap)?,
+    };
+    let session = turl_serve::Session::new(model, store, s.vocab, s.cfg.use_visibility);
+    turl_serve::run(session, &sopts)
+}
+
+/// `turl client`: exercise a running `turl serve` daemon with
+/// concurrent `/v1/encode` requests over the validation split, then
+/// summarize the server's `/metrics`. With `--check-parity` every
+/// response is compared bit-for-bit against a locally computed compiled
+/// forward using the same `--artifact` (or `--ckpt`) the server loaded
+/// — the CI smoke gate for serving parity.
+pub fn client(opts: &Options) -> Result<(), String> {
+    let s = setup(opts)?;
+    let addr = opts.get("addr", "127.0.0.1:7433");
+    let n_requests = opts.get_usize("requests", 16)?.max(1);
+    let concurrency = opts.get_usize("concurrency", 4)?.max(1);
+    let check_parity = opts.get_bool("check-parity")?;
+    if s.splits.validation.is_empty() {
+        return Err("validation split is empty".to_string());
+    }
+
+    // Fail fast with a useful message when nothing is listening.
+    let (status, body) = turl_serve::client::get(&addr, "/healthz")
+        .map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    if status != 200 {
+        return Err(format!("{addr}/healthz answered {status}: {body}"));
+    }
+    let health: turl_serve::HealthResponse =
+        serde_json::from_str(&body).map_err(|e| format!("bad /healthz body: {e}"))?;
+    info(format!(
+        "server {addr}: {} words, {} entities, d_model {}",
+        health.n_words, health.n_entities, health.dim
+    ));
+
+    // One request body per validation table, reused round-robin.
+    let bodies: Vec<String> = s
+        .splits
+        .validation
+        .iter()
+        .map(|t| serde_json::to_string(t).map(|j| format!("{{\"table\":{j}}}")))
+        .collect::<Result<_, _>>()
+        .map_err(|e| e.to_string())?;
+
+    // Local bit-exact references, computed the same way the server's
+    // session encodes: linearize, encode, compiled forward.
+    let expected: Vec<Vec<u32>> = if check_parity {
+        let pt =
+            Pretrainer::new(s.cfg, s.vocab.len(), s.kb.n_entities(), s.vocab.mask_id() as usize);
+        let artifact = opts.get("artifact", "");
+        let ckpt = opts.get("ckpt", "");
+        let (model, store) = if !artifact.is_empty() {
+            let store = load_artifact_checked(&pt.store, &artifact)?;
+            (pt.model, store)
+        } else if !ckpt.is_empty() {
+            let mut pt = pt;
+            load_ckpt_into(&mut pt, &ckpt)?;
+            (pt.model, pt.store)
+        } else {
+            return Err("--check-parity needs the server's parameters: pass the same \
+                 --artifact (or --ckpt) the daemon was started with"
+                .to_string());
+        };
+        let mut cf = model.compiled();
+        let data = encode(&s, &s.splits.validation);
+        data.iter()
+            .map(|(_, enc)| {
+                cf.encode(&model, &store, enc)
+                    .map(|h| h.data().iter().map(|v| v.to_bits()).collect())
+                    .map_err(|e| e.to_string())
+            })
+            .collect::<Result<_, _>>()?
+    } else {
+        Vec::new()
+    };
+
+    let failures = std::sync::Mutex::new(Vec::<String>::new());
+    let done = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for worker in 0..concurrency {
+            let addr = &addr;
+            let bodies = &bodies;
+            let expected = &expected;
+            let failures = &failures;
+            let done = &done;
+            scope.spawn(move || {
+                let fail = |msg: String| {
+                    if let Ok(mut f) = failures.lock() {
+                        f.push(msg);
+                    }
+                };
+                for i in (worker..n_requests).step_by(concurrency) {
+                    let tab = i % bodies.len();
+                    match turl_serve::client::post(addr, "/v1/encode", &bodies[tab]) {
+                        Ok((200, body)) => {
+                            done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if expected.is_empty() {
+                                continue;
+                            }
+                            match serde_json::from_str::<turl_serve::EncodeResponse>(&body) {
+                                Ok(resp) => {
+                                    let got: Vec<u32> =
+                                        resp.data.iter().map(|v| v.to_bits()).collect();
+                                    if got != expected[tab] {
+                                        fail(format!(
+                                            "request {i} (table {tab}): response diverges \
+                                             from the local compiled forward"
+                                        ));
+                                    }
+                                }
+                                Err(e) => fail(format!("request {i}: bad response body: {e}")),
+                            }
+                        }
+                        Ok((code, body)) => fail(format!("request {i}: status {code}: {body}")),
+                        Err(e) => fail(format!("request {i}: {e}")),
+                    }
+                }
+            });
+        }
+    });
+    let ok = done.load(std::sync::atomic::Ordering::Relaxed);
+    info(format!(
+        "{ok}/{n_requests} requests ok across {concurrency} client thread(s){}",
+        if check_parity { ", every response bit-identical to the local forward" } else { "" }
+    ));
+
+    let (status, body) = turl_serve::client::get(&addr, "/metrics")?;
+    if status != 200 {
+        return Err(format!("{addr}/metrics answered {status}: {body}"));
+    }
+    let m: turl_serve::MetricsResponse =
+        serde_json::from_str(&body).map_err(|e| format!("bad /metrics body: {e}"))?;
+    info(format!(
+        "server metrics: {} requests ({} ok, {} 4xx, {} 5xx) | p50 {:.0}us p99 {:.0}us | \
+         {:.1} rps | batch occupancy {:.2} | cache hit rate {:.2} | {} resident plan(s), \
+         {} eviction(s)",
+        m.requests,
+        m.ok,
+        m.client_errors,
+        m.server_errors,
+        m.latency_p50_us,
+        m.latency_p99_us,
+        m.rps,
+        m.batch_occupancy,
+        m.cache_hit_rate,
+        m.plan_cache_size,
+        m.plan_evictions
+    ));
+
+    if opts.get_bool("shutdown")? {
+        let (status, _) = turl_serve::client::post(&addr, "/admin/shutdown", "{}")?;
+        if status != 200 {
+            return Err(format!("/admin/shutdown answered {status}"));
+        }
+        info("requested server shutdown");
+    }
+
+    let failures = failures.into_inner().unwrap_or_else(|p| p.into_inner());
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        for f in failures.iter().take(10) {
+            warn(format!("failure: {f}"));
+        }
+        Err(format!("{} of {n_requests} request(s) failed", failures.len()))
+    }
 }

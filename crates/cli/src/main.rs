@@ -16,6 +16,8 @@
 //! turl audit    [--entities N] [--tables N] [--seed S]  static invariant checks
 //! turl plan     [--eps F] [...]                      IR + value ranges + arena plan
 //! turl bench    [--quick] [--threads 1,2,4] [--out F]   throughput benchmark
+//! turl serve    [--artifact F] [--addr A] [...]       batched HTTP inference daemon
+//! turl client   [--addr A] [--check-parity] [...]     drive + parity-check a daemon
 //! turl report   <run.jsonl>                          render a metrics file
 //! ```
 //!
@@ -92,6 +94,8 @@ fn main() -> ExitCode {
         "audit" => commands::audit(&opts),
         "plan" => commands::plan(&opts),
         "bench" => commands::bench(&opts),
+        "serve" => commands::serve(&opts),
+        "client" => commands::client(&opts),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

@@ -1,0 +1,264 @@
+//! Cross-request micro-batching: coalesce several encoded tables into
+//! one batched forward that is **bit-exact** with running each table
+//! alone.
+//!
+//! Batching here is not a new execution mode — it is a §4.3 visibility
+//! mask. [`TableBatch::build`] concatenates the member inputs (all
+//! tokens first, then all entity cells, preserving per-table order) and
+//! builds a block-structured additive mask: within a table the original
+//! mask entries are copied verbatim, across tables everything is
+//! `-1e9`-masked. The fused softmax then assigns cross-table positions
+//! an attention weight of exactly `+0.0` (`exp(-1e9 - mx)` underflows),
+//! and the reassociation-free single-accumulator kernels guarantee that
+//! adding those exact zeros never perturbs a running sum — so every row
+//! of the batched encode carries the same bits as the corresponding row
+//! of a solo encode. The `batched_parity` tests assert this down to
+//! `f32::to_bits`.
+//!
+//! Only inputs that carry a visibility mask can batch (an unmasked
+//! input has nothing to keep its neighbors invisible); callers fall
+//! back to single-table forwards otherwise.
+
+use crate::input::EncodedInput;
+use turl_exec::ExecError;
+use turl_tensor::Tensor;
+
+/// Row extents of one member table inside the concatenated input.
+#[derive(Debug, Clone, Copy)]
+struct Span {
+    tok_off: usize,
+    tok_len: usize,
+    ent_off: usize,
+    ent_len: usize,
+}
+
+/// Several encoded tables coalesced into one forward-sized input.
+pub struct TableBatch {
+    input: EncodedInput,
+    spans: Vec<Span>,
+    total_tokens: usize,
+}
+
+impl TableBatch {
+    /// Coalesce `inputs` into one batched input. Every member must be
+    /// non-empty and carry a visibility mask; otherwise a typed
+    /// [`ExecError::Binding`] is returned and the caller should run the
+    /// members individually.
+    pub fn build(inputs: &[&EncodedInput]) -> Result<Self, ExecError> {
+        if inputs.is_empty() {
+            return Err(ExecError::Binding("cannot batch zero inputs".into()));
+        }
+        let mut spans = Vec::with_capacity(inputs.len());
+        let mut total_tokens = 0usize;
+        let mut total_entities = 0usize;
+        for (i, inp) in inputs.iter().enumerate() {
+            if inp.seq_len() == 0 {
+                return Err(ExecError::Binding(format!("batch member {i} is empty")));
+            }
+            let mask = inp
+                .mask
+                .as_ref()
+                .ok_or_else(|| ExecError::Binding(format!("batch member {i} has no mask")))?;
+            let n = inp.seq_len();
+            if mask.shape() != [n, n] {
+                return Err(ExecError::Binding(format!(
+                    "batch member {i}: mask shape {:?} != [{n}, {n}]",
+                    mask.shape()
+                )));
+            }
+            spans.push(Span {
+                tok_off: total_tokens,
+                tok_len: inp.token_ids.len(),
+                ent_off: total_entities,
+                ent_len: inp.entities.len(),
+            });
+            total_tokens += inp.token_ids.len();
+            total_entities += inp.entities.len();
+        }
+
+        let mut token_ids = Vec::with_capacity(total_tokens);
+        let mut token_types = Vec::with_capacity(total_tokens);
+        let mut token_pos = Vec::with_capacity(total_tokens);
+        let mut entities = Vec::with_capacity(total_entities);
+        for inp in inputs {
+            token_ids.extend_from_slice(&inp.token_ids);
+            token_types.extend_from_slice(&inp.token_types);
+            token_pos.extend_from_slice(&inp.token_pos);
+            entities.extend(inp.entities.iter().cloned());
+        }
+
+        // Block-structured additive mask: everything cross-table starts
+        // masked; each member's own mask entries are copied bit-for-bit
+        // into its block so within-table visibility is unchanged.
+        let n = total_tokens + total_entities;
+        let mut mask = vec![-1e9f32; n * n];
+        for (span, inp) in spans.iter().zip(inputs.iter()) {
+            let local = inp.mask.as_ref().expect("checked above").data();
+            let ln = inp.seq_len();
+            let global = |r: usize| {
+                if r < span.tok_len {
+                    span.tok_off + r
+                } else {
+                    total_tokens + span.ent_off + (r - span.tok_len)
+                }
+            };
+            for r in 0..ln {
+                let gr = global(r);
+                for c in 0..ln {
+                    mask[gr * n + global(c)] = local[r * ln + c];
+                }
+            }
+        }
+
+        Ok(Self {
+            input: EncodedInput {
+                token_ids,
+                token_types,
+                token_pos,
+                entities,
+                mask: Some(Tensor::from_vec(vec![n, n], mask)),
+            },
+            spans,
+            total_tokens,
+        })
+    }
+
+    /// The concatenated input to feed one compiled forward.
+    pub fn input(&self) -> &EncodedInput {
+        &self.input
+    }
+
+    /// Number of member tables.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when the batch holds no members (never, post-`build`).
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Map member `item`'s local sequence row to its row in the batched
+    /// encode.
+    pub fn global_row(&self, item: usize, local_row: usize) -> usize {
+        let s = self.spans[item];
+        debug_assert!(local_row < s.tok_len + s.ent_len);
+        if local_row < s.tok_len {
+            s.tok_off + local_row
+        } else {
+            self.total_tokens + s.ent_off + (local_row - s.tok_len)
+        }
+    }
+
+    /// Copy member `item`'s rows out of the batched encode `h`, in the
+    /// member's original row order — bit-identical to a solo encode of
+    /// that member.
+    pub fn extract(&self, item: usize, h: &Tensor) -> Tensor {
+        let s = self.spans[item];
+        let rows: Vec<usize> =
+            (0..s.tok_len + s.ent_len).map(|r| self.global_row(item, r)).collect();
+        h.index_select0(&rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TurlConfig;
+    use crate::model::TurlModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use turl_nn::ParamStore;
+
+    fn masked_input(tokens: usize, ents: usize, seed: u64) -> EncodedInput {
+        // §4.3-shaped visibility: diagonal always visible, off-diagonal
+        // pseudo-randomly masked, like real table masks.
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = tokens + ents;
+        let mut m = Tensor::zeros(vec![n, n]);
+        for r in 0..n {
+            for c in 0..n {
+                if r != c && rng.gen::<f32>() < 0.3 {
+                    m.data_mut()[r * n + c] = -1e9;
+                }
+            }
+        }
+        EncodedInput {
+            token_ids: (0..tokens).map(|i| (i * 7 + seed as usize) % 50).collect(),
+            token_types: (0..tokens).map(|i| i % 2).collect(),
+            token_pos: (0..tokens).collect(),
+            entities: (0..ents)
+                .map(|i| crate::input::EntityInput {
+                    emb_index: (i * 3 + seed as usize) % 21,
+                    mention: vec![(i * 5) % 50; (i % 3) + 1],
+                    type_idx: i % 3,
+                })
+                .collect(),
+            mask: Some(m),
+        }
+    }
+
+    #[test]
+    fn batched_encode_is_bit_exact_vs_solo() {
+        let cfg = TurlConfig::small(12);
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(12);
+        let model = TurlModel::new(&mut store, &mut rng, cfg, 50, 20);
+        let mut cf = model.compiled();
+
+        // Same-shape members (the serve coalescing rule) and, separately,
+        // mixed shapes: the mask argument covers both.
+        let groups: [Vec<EncodedInput>; 2] = [
+            (0..4).map(|i| masked_input(6, 3, 100 + i)).collect(),
+            vec![masked_input(5, 2, 7), masked_input(8, 4, 8), masked_input(3, 1, 9)],
+        ];
+        for inputs in &groups {
+            let refs: Vec<&EncodedInput> = inputs.iter().collect();
+            let batch = TableBatch::build(&refs).expect("batch builds");
+            let hb = cf.encode(&model, &store, batch.input()).expect("batched encode");
+            for (i, inp) in inputs.iter().enumerate() {
+                let solo = cf.encode(&model, &store, inp).expect("solo encode");
+                let part = batch.extract(i, &hb);
+                assert_eq!(part.shape(), solo.shape());
+                for (a, b) in part.data().iter().zip(solo.data().iter()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "batched encode diverged (member {i})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_mer_head_matches_solo() {
+        let cfg = TurlConfig::small(13);
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(13);
+        let model = TurlModel::new(&mut store, &mut rng, cfg, 50, 20);
+        let mut cf = model.compiled();
+        let inputs: Vec<EncodedInput> = (0..3).map(|i| masked_input(6, 3, 40 + i)).collect();
+        let refs: Vec<&EncodedInput> = inputs.iter().collect();
+        let batch = TableBatch::build(&refs).expect("batch builds");
+        let hb = cf.encode(&model, &store, batch.input()).expect("batched encode");
+        let candidates = [0usize, 3, 7, 19];
+        for (i, inp) in inputs.iter().enumerate() {
+            let solo_h = cf.encode(&model, &store, inp).expect("solo encode");
+            let want = cf
+                .mer_logits(&model, &store, &solo_h, &[inp.entity_row(1)], &candidates)
+                .expect("solo mer");
+            let grow = batch.global_row(i, inp.entity_row(1));
+            let got =
+                cf.mer_logits(&model, &store, &hb, &[grow], &candidates).expect("batched mer");
+            for (a, b) in got.data().iter().zip(want.data().iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "batched MER diverged (member {i})");
+            }
+        }
+    }
+
+    #[test]
+    fn unmasked_members_are_rejected() {
+        let mut a = masked_input(4, 2, 1);
+        a.mask = None;
+        assert!(TableBatch::build(&[&a]).is_err());
+        assert!(TableBatch::build(&[]).is_err());
+    }
+}

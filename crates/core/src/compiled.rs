@@ -53,17 +53,27 @@ struct Entry {
     binds: Vec<SourceBind>,
 }
 
+/// Default [plan-cache](CompiledForward::set_plan_cache_cap) capacity:
+/// how many distinct input shapes keep a resident compiled plan.
+pub const DEFAULT_PLAN_CACHE_CAP: usize = 64;
+
 /// A reusable compiled-inference context for one model + store pair.
 ///
 /// Create once, call [`encode`](CompiledForward::encode) per input.
-/// Plans are compiled lazily per input shape and cached; the arena and
-/// all index/constant scratch buffers are reused across calls, so the
-/// steady state performs no heap allocation beyond the output tensor
-/// (use [`encode_into`](CompiledForward::encode_into) to eliminate that
-/// one too).
-#[derive(Default)]
+/// Plans are compiled lazily per input shape and cached in an LRU
+/// bounded at [`DEFAULT_PLAN_CACHE_CAP`] shapes (tunable via
+/// [`set_plan_cache_cap`](CompiledForward::set_plan_cache_cap)) — a
+/// long-running server fed arbitrary table shapes holds at most `cap`
+/// compiled schedules, recompiling on re-entry after eviction. The
+/// arena and all index/constant scratch buffers are reused across
+/// calls, so the steady state performs no heap allocation beyond the
+/// output tensor (use [`encode_into`](CompiledForward::encode_into) to
+/// eliminate that one too).
 pub struct CompiledForward {
+    /// MRU-first: index 0 is the most recently used plan.
     entries: Vec<Entry>,
+    plan_cache_cap: usize,
+    plan_evictions: u64,
     arena: Arena,
     // Reused per-call binding scratch.
     positions: Vec<usize>,
@@ -74,15 +84,61 @@ pub struct CompiledForward {
     zeros: Vec<f32>,
 }
 
+impl Default for CompiledForward {
+    fn default() -> Self {
+        Self {
+            entries: Vec::new(),
+            plan_cache_cap: DEFAULT_PLAN_CACHE_CAP,
+            plan_evictions: 0,
+            arena: Arena::default(),
+            positions: Vec::new(),
+            entity_ids: Vec::new(),
+            entity_types: Vec::new(),
+            mention_words: Vec::new(),
+            avg_matrix: Vec::new(),
+            zeros: Vec::new(),
+        }
+    }
+}
+
 impl CompiledForward {
     /// Empty context; plans compile lazily on first use of each shape.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Number of distinct input shapes compiled so far.
+    /// Number of distinct input shapes holding a resident compiled plan.
     pub fn compiled_shapes(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Bound the plan cache to `cap` resident shapes (minimum 1),
+    /// evicting least-recently-used plans immediately if over the new
+    /// cap.
+    pub fn set_plan_cache_cap(&mut self, cap: usize) {
+        self.plan_cache_cap = cap.max(1);
+        while self.entries.len() > self.plan_cache_cap {
+            self.entries.pop();
+            self.plan_evictions += 1;
+        }
+        self.publish_cache_metrics();
+    }
+
+    /// Configured plan-cache capacity.
+    pub fn plan_cache_cap(&self) -> usize {
+        self.plan_cache_cap
+    }
+
+    /// Total plans evicted from the cache over this context's lifetime.
+    pub fn plan_evictions(&self) -> u64 {
+        self.plan_evictions
+    }
+
+    fn publish_cache_metrics(&self) {
+        if turl_obs::metrics_enabled() {
+            turl_obs::gauge("compiled.plan_cache_size").set(self.entries.len() as f64);
+            turl_obs::gauge("compiled.plan_evictions").set(self.plan_evictions as f64);
+        }
     }
 
     /// The compiled plan for `input`'s shape, compiling it on a miss —
@@ -104,6 +160,11 @@ impl CompiledForward {
         store: &ParamStore,
         input: &EncodedInput,
     ) -> Result<usize, ExecError> {
+        if input.token_ids.is_empty() && input.entities.is_empty() {
+            return Err(ExecError::Binding(
+                "empty input: at least one token or entity cell is required".into(),
+            ));
+        }
         let key = PlanKey {
             n_tokens: input.token_ids.len(),
             n_entities: input.entities.len(),
@@ -111,7 +172,9 @@ impl CompiledForward {
             masked: input.mask.is_some(),
         };
         if let Some(i) = self.entries.iter().position(|e| e.key == key) {
-            return Ok(i);
+            // LRU move-to-front: the hit becomes the most recent entry.
+            self.entries[0..=i].rotate_right(1);
+            return Ok(0);
         }
 
         let mut plan = crate::audit::model_plan(
@@ -149,8 +212,13 @@ impl CompiledForward {
             };
             binds.push(bind);
         }
-        self.entries.push(Entry { key, plan: compiled, binds });
-        Ok(self.entries.len() - 1)
+        self.entries.insert(0, Entry { key, plan: compiled, binds });
+        while self.entries.len() > self.plan_cache_cap {
+            self.entries.pop();
+            self.plan_evictions += 1;
+        }
+        self.publish_cache_metrics();
+        Ok(0)
     }
 
     fn param_bind(store: &ParamStore, name: &str) -> Result<SourceBind, ExecError> {
@@ -205,6 +273,11 @@ impl CompiledForward {
     /// each against the candidate entity embeddings. Runs the same
     /// kernels in the same order as [`TurlModel::mer_logits`] on the
     /// tape, so the logits are bit-exact with the graph head.
+    ///
+    /// Out-of-range `rows` (≥ the encoded sequence length) or
+    /// `candidates` (≥ the entity vocabulary) are typed
+    /// [`ExecError::Binding`] errors, never panics — serving code hands
+    /// adversarial indices straight in here.
     pub fn mer_logits(
         &self,
         model: &TurlModel,
@@ -212,17 +285,35 @@ impl CompiledForward {
         h: &Tensor,
         rows: &[usize],
         candidates: &[usize],
-    ) -> Tensor {
+    ) -> Result<Tensor, ExecError> {
+        let n_rows = h.shape().first().copied().unwrap_or(0);
+        if rows.is_empty() || candidates.is_empty() {
+            return Err(ExecError::Binding(
+                "mer_logits needs at least one row and one candidate".into(),
+            ));
+        }
+        if let Some(&bad) = rows.iter().find(|&&r| r >= n_rows) {
+            return Err(ExecError::Binding(format!(
+                "mer row {bad} out of range for {n_rows} encoded rows"
+            )));
+        }
+        // Candidates shift by +1 (embedding row 0 is the entity [MASK]).
+        let n_entities = model.n_entities();
+        if let Some(&bad) = candidates.iter().find(|&&c| c >= n_entities) {
+            return Err(ExecError::Binding(format!(
+                "candidate entity {bad} out of range for {n_entities} entities"
+            )));
+        }
         let sel = h.index_select0(rows);
         let mut proj = turl_tensor::ops::matmul(&sel, store.value(model.mer_proj.weight));
         if let Some(b) = model.mer_proj.bias {
-            proj = proj
-                .broadcast_zip(store.value(b), |x, y| x + y)
-                .expect("mer bias broadcasts over rows");
+            proj = proj.broadcast_zip(store.value(b), |x, y| x + y).map_err(|e| {
+                ExecError::Binding(format!("mer bias does not broadcast over rows: {e}"))
+            })?;
         }
         let shifted: Vec<usize> = candidates.iter().map(|&c| c + 1).collect();
         let cand = store.value(model.ent_emb.weight).index_select0(&shifted);
-        turl_tensor::ops::matmul_nt(&proj, &cand)
+        Ok(turl_tensor::ops::matmul_nt(&proj, &cand))
     }
 
     fn run_entry(
@@ -407,7 +498,7 @@ mod tests {
 
         let mut cf = model.compiled();
         let hc = cf.encode(&model, &store, &input).expect("compiled encode");
-        let got = cf.mer_logits(&model, &store, &hc, &rows, &candidates);
+        let got = cf.mer_logits(&model, &store, &hc, &rows, &candidates).expect("compiled mer");
         assert_eq!(got.shape(), want.shape());
         for (a, b) in got.data().iter().zip(want.data().iter()) {
             assert_eq!(a.to_bits(), b.to_bits(), "MER head diverged from graph");

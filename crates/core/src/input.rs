@@ -96,6 +96,69 @@ impl EncodedInput {
     pub fn replace_entity(&mut self, i: usize, entity: usize) {
         self.entities[i].emb_index = entity + 1;
     }
+
+    /// Pre-flight validation against a model's vocabulary sizes.
+    ///
+    /// Serving code calls this before touching [`crate::CompiledForward`]
+    /// so adversarial requests (empty tables, ids ≥ vocab, ragged or
+    /// non-finite masks) are rejected with a typed message *before* a
+    /// plan is compiled for their shape — a garbage request must not
+    /// pollute the bounded plan cache. `n_words` is the word-vocabulary
+    /// size and `n_entities` the entity count (embedding rows are
+    /// `n_entities + 1`; `emb_index` 0 is the `[MASK]` row).
+    pub fn validate(&self, n_words: usize, n_entities: usize) -> Result<(), String> {
+        let n = self.seq_len();
+        if n == 0 {
+            return Err("empty input: at least one token or entity cell is required".into());
+        }
+        if self.token_types.len() != self.token_ids.len()
+            || self.token_pos.len() != self.token_ids.len()
+        {
+            return Err(format!(
+                "ragged token columns: {} ids, {} types, {} positions",
+                self.token_ids.len(),
+                self.token_types.len(),
+                self.token_pos.len()
+            ));
+        }
+        if let Some(&bad) = self.token_ids.iter().find(|&&t| t >= n_words) {
+            return Err(format!("token id {bad} out of range for vocab of {n_words}"));
+        }
+        if let Some(&bad) = self.token_types.iter().find(|&&t| t >= 2) {
+            return Err(format!("token type {bad} out of range (0 caption, 1 header)"));
+        }
+        for (i, e) in self.entities.iter().enumerate() {
+            if e.emb_index > n_entities {
+                return Err(format!(
+                    "entity cell {i}: embedding index {} out of range for {n_entities} entities",
+                    e.emb_index
+                ));
+            }
+            if e.type_idx >= 3 {
+                return Err(format!(
+                    "entity cell {i}: type {} out of range (0 topic, 1 subject, 2 object)",
+                    e.type_idx
+                ));
+            }
+            if e.mention.is_empty() {
+                return Err(format!("entity cell {i}: empty mention (mask it instead)"));
+            }
+            if let Some(&bad) = e.mention.iter().find(|&&w| w >= n_words) {
+                return Err(format!(
+                    "entity cell {i}: mention word {bad} out of range for vocab of {n_words}"
+                ));
+            }
+        }
+        if let Some(m) = &self.mask {
+            if m.shape() != [n, n] {
+                return Err(format!("visibility mask shape {:?} != [{n}, {n}]", m.shape()));
+            }
+            if m.data().iter().any(|v| !v.is_finite()) {
+                return Err("visibility mask contains non-finite values".into());
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -25,6 +25,7 @@
 #![deny(missing_docs)]
 
 pub mod audit;
+mod batch;
 mod compiled;
 mod config;
 mod extensions;
@@ -35,7 +36,8 @@ mod pretrain;
 pub mod probe;
 pub mod tasks;
 
-pub use compiled::CompiledForward;
+pub use batch::TableBatch;
+pub use compiled::{CompiledForward, DEFAULT_PLAN_CACHE_CAP};
 pub use config::{CandidateConfig, PretrainConfig, TurlConfig};
 pub use extensions::{AuxRelationObjective, RelationPair};
 pub use finetune::{FinetuneConfig, FinetuneStats};

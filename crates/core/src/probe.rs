@@ -51,7 +51,9 @@ pub fn object_entity_accuracy(
             let mut enc = clean.clone();
             enc.mask_entity(i, true, mask_word_id);
             let h = cf.encode(model, store, &enc).expect("compiled probe encode");
-            let logits = cf.mer_logits(model, store, &h, &[enc.entity_row(i)], &candidates);
+            let logits = cf
+                .mer_logits(model, store, &h, &[enc.entity_row(i)], &candidates)
+                .expect("compiled probe mer head");
             let pred = logits.argmax();
             if pred == gold_pos {
                 correct += 1;

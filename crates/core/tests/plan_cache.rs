@@ -1,0 +1,107 @@
+//! Regression test for the bounded compiled-plan cache: a server fed
+//! arbitrary table shapes must hold at most `plan_cache_cap` resident
+//! compiled plans, no matter how many distinct shapes pass through.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use turl_core::{EncodedInput, EntityInput, TurlConfig, TurlModel};
+use turl_nn::ParamStore;
+
+fn shape_input(tokens: usize, ents: usize) -> EncodedInput {
+    EncodedInput {
+        token_ids: (0..tokens).map(|i| i % 50).collect(),
+        token_types: (0..tokens).map(|i| i % 2).collect(),
+        token_pos: (0..tokens).collect(),
+        entities: (0..ents)
+            .map(|i| EntityInput { emb_index: i % 21, mention: vec![i % 50], type_idx: i % 3 })
+            .collect(),
+        mask: None,
+    }
+}
+
+#[test]
+fn thousand_distinct_shapes_stay_at_the_cap() {
+    let cfg = TurlConfig::tiny(2);
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(2);
+    let model = TurlModel::new(&mut store, &mut rng, cfg, 50, 20);
+    let mut cf = model.compiled();
+    assert_eq!(cf.plan_cache_cap(), turl_core::DEFAULT_PLAN_CACHE_CAP);
+    cf.set_plan_cache_cap(8);
+
+    // 1000 distinct shapes: tokens 1..=100 x entities 0..10. Compiling
+    // (plan_for) is enough to exercise insertion + eviction without the
+    // cost of running every forward.
+    let mut fed = 0usize;
+    for tokens in 1..=100usize {
+        for ents in 0..10usize {
+            let input = shape_input(tokens, ents);
+            cf.plan_for(&model, &store, &input).expect("plan compiles");
+            fed += 1;
+            assert!(
+                cf.compiled_shapes() <= 8,
+                "resident plans {} exceeded cap after {fed} shapes",
+                cf.compiled_shapes()
+            );
+        }
+    }
+    assert_eq!(fed, 1000);
+    assert_eq!(cf.compiled_shapes(), 8, "cache should sit exactly at the cap");
+    assert_eq!(cf.plan_evictions(), (fed - 8) as u64);
+}
+
+#[test]
+fn lru_keeps_hot_shapes_and_evicts_cold_ones() {
+    let cfg = TurlConfig::tiny(3);
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(3);
+    let model = TurlModel::new(&mut store, &mut rng, cfg, 50, 20);
+    let mut cf = model.compiled();
+    cf.set_plan_cache_cap(2);
+
+    let a = shape_input(3, 1);
+    let b = shape_input(4, 1);
+    let c = shape_input(5, 1);
+    cf.plan_for(&model, &store, &a).expect("a");
+    cf.plan_for(&model, &store, &b).expect("b");
+    // Touch `a` so `b` is the LRU entry, then insert `c`: `b` evicts.
+    cf.plan_for(&model, &store, &a).expect("a again");
+    cf.plan_for(&model, &store, &c).expect("c");
+    assert_eq!(cf.plan_evictions(), 1);
+    // `a` and `c` are resident: re-requesting them compiles nothing new.
+    cf.plan_for(&model, &store, &a).expect("a hot");
+    cf.plan_for(&model, &store, &c).expect("c hot");
+    assert_eq!(cf.plan_evictions(), 1, "hot shapes must not recompile or evict");
+    // `b` was evicted: re-requesting it recompiles and evicts again.
+    cf.plan_for(&model, &store, &b).expect("b cold");
+    assert_eq!(cf.plan_evictions(), 2);
+    assert_eq!(cf.compiled_shapes(), 2);
+}
+
+#[test]
+fn shrinking_the_cap_evicts_immediately() {
+    let cfg = TurlConfig::tiny(4);
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(4);
+    let model = TurlModel::new(&mut store, &mut rng, cfg, 50, 20);
+    let mut cf = model.compiled();
+    for tokens in 1..=6usize {
+        cf.plan_for(&model, &store, &shape_input(tokens, 1)).expect("plan");
+    }
+    assert_eq!(cf.compiled_shapes(), 6);
+    cf.set_plan_cache_cap(3);
+    assert_eq!(cf.compiled_shapes(), 3);
+    assert_eq!(cf.plan_evictions(), 3);
+}
+
+#[test]
+fn empty_input_is_a_typed_error() {
+    let cfg = TurlConfig::tiny(5);
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(5);
+    let model = TurlModel::new(&mut store, &mut rng, cfg, 50, 20);
+    let mut cf = model.compiled();
+    let empty = shape_input(0, 0);
+    let err = cf.encode(&model, &store, &empty).expect_err("empty input must not compile");
+    assert!(format!("{err}").contains("empty input"), "unexpected error: {err}");
+}

@@ -44,5 +44,7 @@ pub use recorder::{
     emit, flush, info, install_sink, metrics_enabled, now_ns, remove_sink, remove_sinks, set_epoch,
     set_step, span, warn, Span, Timer,
 };
-pub use report::{parse_jsonl, render, summarize, OpProfile, PoolReport, RatioStat, Summary};
+pub use report::{
+    parse_jsonl, render, summarize, HistogramReport, OpProfile, PoolReport, RatioStat, Summary,
+};
 pub use sink::{ConsoleSink, JsonlSink, MemorySink, Sink};

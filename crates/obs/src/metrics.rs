@@ -125,6 +125,33 @@ impl Histogram {
     pub fn bounds(&self) -> &[f64] {
         &self.bounds
     }
+
+    /// Bucket-resolution quantile estimate: the upper bound of the
+    /// bucket containing the `q`-th sample (`0.0 < q <= 1.0`), the
+    /// standard fixed-bucket estimator for p50/p99 dashboards. Returns
+    /// `None` with no samples; overflow-bucket quantiles report the
+    /// last finite bound (the estimate saturates).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        quantile_from_buckets(&self.bounds, &self.counts(), q)
+    }
+}
+
+/// Shared fixed-bucket quantile estimator — also used by `turl report`
+/// when reconstructing histograms from emitted `metric` events.
+pub fn quantile_from_buckets(bounds: &[f64], counts: &[u64], q: f64) -> Option<f64> {
+    let total: u64 = counts.iter().sum();
+    if total == 0 || bounds.is_empty() {
+        return None;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+    let mut seen = 0u64;
+    for (i, c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return Some(bounds[i.min(bounds.len() - 1)]);
+        }
+    }
+    Some(bounds[bounds.len() - 1])
 }
 
 #[derive(Default)]
@@ -192,7 +219,10 @@ pub fn emit_metrics_events() {
         (
             reg.counters.iter().map(|(n, c)| (*n, c.get())).collect(),
             reg.gauges.iter().map(|(n, g)| (*n, g.get())).collect(),
-            reg.histograms.iter().map(|(n, h)| (*n, h.total(), h.sum(), h.counts())).collect(),
+            reg.histograms
+                .iter()
+                .map(|(n, h)| (*n, h.total(), h.sum(), h.counts(), h.bounds().to_vec()))
+                .collect(),
         )
     };
     for (name, v) in snapshot.0 {
@@ -215,8 +245,9 @@ pub fn emit_metrics_events() {
             ],
         );
     }
-    for (name, total, sum, counts) in snapshot.2 {
+    for (name, total, sum, counts, bounds) in snapshot.2 {
         let buckets = counts.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(",");
+        let bounds = bounds.iter().map(|b| b.to_string()).collect::<Vec<_>>().join(",");
         emit(
             "metric",
             vec![
@@ -225,6 +256,7 @@ pub fn emit_metrics_events() {
                 ("total", FieldValue::U64(total)),
                 ("sum", FieldValue::F64(sum)),
                 ("buckets", FieldValue::Str(buckets)),
+                ("bounds", FieldValue::Str(bounds)),
             ],
         );
     }
@@ -270,5 +302,26 @@ mod tests {
         assert_eq!(h.total(), 6);
         // NaN excluded from the sum
         assert!((h.sum() - (0.5 + 1.0 + 10.0 + 100.0 + 1e6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_bucket_bounds() {
+        let h = Histogram::new(&[1.0, 10.0, 100.0]);
+        assert_eq!(h.quantile(0.5), None, "no samples yet");
+        for _ in 0..90 {
+            h.observe(0.5); // bucket 0
+        }
+        for _ in 0..9 {
+            h.observe(5.0); // bucket 1
+        }
+        h.observe(50.0); // bucket 2
+        assert_eq!(h.quantile(0.50), Some(1.0));
+        assert_eq!(h.quantile(0.95), Some(10.0));
+        assert_eq!(h.quantile(0.999), Some(100.0));
+        // overflow samples saturate at the last finite bound
+        for _ in 0..1000 {
+            h.observe(1e9);
+        }
+        assert_eq!(h.quantile(0.99), Some(100.0));
     }
 }

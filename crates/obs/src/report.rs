@@ -68,6 +68,35 @@ pub struct OpProfile {
     pub total_ns: u64,
 }
 
+/// Final snapshot of one registry histogram (e.g. serve latency),
+/// reconstructed from its emitted bucket counts.
+#[derive(Debug, Clone)]
+pub struct HistogramReport {
+    /// Instrument name (e.g. `serve.latency_us`).
+    pub name: String,
+    /// Total recorded samples.
+    pub total: u64,
+    /// Sum of finite samples.
+    pub sum: f64,
+    /// Ascending bucket upper bounds.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts (one extra overflow bucket).
+    pub counts: Vec<u64>,
+}
+
+impl HistogramReport {
+    /// Bucket-resolution quantile estimate (see
+    /// [`Histogram::quantile`](crate::Histogram::quantile)).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        crate::metrics::quantile_from_buckets(&self.bounds, &self.counts, q)
+    }
+
+    /// Mean of finite samples, or `None` with no samples.
+    pub fn mean(&self) -> Option<f64> {
+        (self.total > 0).then(|| self.sum / self.total as f64)
+    }
+}
+
 /// Final worker-pool utilization snapshot.
 #[derive(Debug, Clone, Default)]
 pub struct PoolReport {
@@ -117,6 +146,10 @@ pub struct Summary {
     /// Last value of each registry gauge (e.g. arena high-water marks),
     /// in first-seen order.
     pub gauges: Vec<(String, f64)>,
+    /// Last value of each registry counter, in first-seen order.
+    pub counters: Vec<(String, u64)>,
+    /// Last snapshot of each registry histogram, in first-seen order.
+    pub histograms: Vec<HistogramReport>,
     /// Steps skipped due to non-finite grad norms.
     pub non_finite_skips: u64,
     /// Batches that contained no maskable positions.
@@ -223,17 +256,51 @@ pub fn summarize(events: &[Event]) -> Result<Summary, String> {
                 }
             }
             // Registry flushes are cumulative snapshots: keep the
-            // latest value per gauge (counters/histograms feed CI
-            // diffs, not the human report).
-            "metric" if ev.str_field("metric_type") == Some("gauge") => {
-                if let (Some(name), Some(v)) = (ev.str_field("name"), ev.f64_field("value")) {
-                    if let Some(g) = s.gauges.iter_mut().find(|(n, _)| n == name) {
-                        g.1 = v;
-                    } else {
-                        s.gauges.push((name.to_string(), v));
+            // latest value per instrument.
+            "metric" => match ev.str_field("metric_type") {
+                Some("gauge") => {
+                    if let (Some(name), Some(v)) = (ev.str_field("name"), ev.f64_field("value")) {
+                        if let Some(g) = s.gauges.iter_mut().find(|(n, _)| n == name) {
+                            g.1 = v;
+                        } else {
+                            s.gauges.push((name.to_string(), v));
+                        }
                     }
                 }
-            }
+                Some("counter") => {
+                    if let (Some(name), Some(v)) = (ev.str_field("name"), ev.u64_field("value")) {
+                        if let Some(c) = s.counters.iter_mut().find(|(n, _)| n == name) {
+                            c.1 = v;
+                        } else {
+                            s.counters.push((name.to_string(), v));
+                        }
+                    }
+                }
+                Some("histogram") => {
+                    let parse_list = |field: &str| -> Vec<f64> {
+                        ev.str_field(field)
+                            .unwrap_or("")
+                            .split(',')
+                            .filter_map(|x| x.trim().parse::<f64>().ok())
+                            .collect()
+                    };
+                    if let Some(name) = ev.str_field("name") {
+                        let h = HistogramReport {
+                            name: name.to_string(),
+                            total: ev.u64_field("total").unwrap_or(0),
+                            sum: ev.f64_field("sum").unwrap_or(0.0),
+                            bounds: parse_list("bounds"),
+                            counts: parse_list("buckets").iter().map(|&c| c as u64).collect(),
+                        };
+                        if let Some(old) = s.histograms.iter_mut().find(|x| x.name == h.name) {
+                            *old = h;
+                        } else {
+                            s.histograms.push(h);
+                        }
+                    }
+                }
+                _ => {}
+            },
             "pool" => {
                 s.pool = Some(PoolReport {
                     width: ev.u64_field("width").unwrap_or(0),
@@ -407,6 +474,25 @@ pub fn render(s: &Summary) -> String {
             let _ = writeln!(out, "  {name:<24} {v:.3}");
         }
     }
+    if !s.counters.is_empty() {
+        let _ = writeln!(out, "\n-- counters --");
+        for (name, v) in &s.counters {
+            let _ = writeln!(out, "  {name:<24} {v}");
+        }
+    }
+    if !s.histograms.is_empty() {
+        let _ = writeln!(out, "\n-- histograms --");
+        for h in &s.histograms {
+            let p50 = h.quantile(0.50).unwrap_or(0.0);
+            let p99 = h.quantile(0.99).unwrap_or(0.0);
+            let mean = h.mean().unwrap_or(0.0);
+            let _ = writeln!(
+                out,
+                "  {:<24} n {:>8}  mean {mean:.1}  p50 \u{2264}{p50:.0}  p99 \u{2264}{p99:.0}",
+                h.name, h.total
+            );
+        }
+    }
     if let Some(pool) = &s.pool {
         let _ = writeln!(out, "\n-- worker pool --");
         let _ = writeln!(
@@ -551,6 +637,50 @@ mod tests {
         assert!(text.contains("-- gauges --"), "{text}");
         assert!(text.contains("exec.arena_bytes"), "{text}");
         assert!(text.contains("2048.000"), "{text}");
+    }
+
+    #[test]
+    fn histograms_and_counters_digest_from_metric_events() {
+        let metric = |fields: Vec<(&str, FieldValue)>| Event {
+            kind: "metric".to_string(),
+            step: 0,
+            epoch: 0,
+            t_ns: 1,
+            fields: fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+        };
+        let events = vec![
+            span_event("serve"),
+            metric(vec![
+                ("name", FieldValue::Str("serve.requests".into())),
+                ("metric_type", FieldValue::Str("counter".into())),
+                ("value", FieldValue::U64(10)),
+            ]),
+            // A later cumulative snapshot supersedes the first.
+            metric(vec![
+                ("name", FieldValue::Str("serve.requests".into())),
+                ("metric_type", FieldValue::Str("counter".into())),
+                ("value", FieldValue::U64(42)),
+            ]),
+            metric(vec![
+                ("name", FieldValue::Str("serve.latency_us".into())),
+                ("metric_type", FieldValue::Str("histogram".into())),
+                ("total", FieldValue::U64(100)),
+                ("sum", FieldValue::F64(5000.0)),
+                ("buckets", FieldValue::Str("90,9,1,0".into())),
+                ("bounds", FieldValue::Str("100,1000,10000".into())),
+            ]),
+        ];
+        let s = summarize(&events).expect("summary");
+        assert_eq!(s.counters, vec![("serve.requests".to_string(), 42)]);
+        assert_eq!(s.histograms.len(), 1);
+        let h = &s.histograms[0];
+        assert_eq!(h.total, 100);
+        assert_eq!(h.quantile(0.5), Some(100.0));
+        assert_eq!(h.quantile(0.99), Some(1000.0));
+        let text = render(&s);
+        assert!(text.contains("-- histograms --"), "{text}");
+        assert!(text.contains("serve.latency_us"), "{text}");
+        assert!(text.contains("-- counters --"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! Encoded-table output cache: an LRU keyed by the content of the
+//! encoded input.
+//!
+//! The key is a canonical byte serialization of the [`EncodedInput`]
+//! (ids, positions, types, mentions, mask bits) — two requests hit the
+//! same entry iff they encode to bit-identical inputs, so a cache hit
+//! returns representations bit-identical to recomputing. Entries are
+//! compared by full key bytes (the FNV-1a hash only narrows the scan),
+//! so hash collisions cannot serve wrong data.
+
+use std::sync::{Arc, Mutex};
+use turl_core::EncodedInput;
+use turl_tensor::Tensor;
+
+struct CacheEntry {
+    hash: u64,
+    key: Vec<u8>,
+    value: Arc<Tensor>,
+}
+
+/// Bounded MRU-first LRU of encode outputs.
+pub struct EncodeCache {
+    entries: Mutex<Vec<CacheEntry>>,
+    cap: usize,
+}
+
+impl EncodeCache {
+    /// Cache holding at most `cap` encoded tables (`cap` 0 disables it).
+    pub fn new(cap: usize) -> Self {
+        Self { entries: Mutex::new(Vec::new()), cap }
+    }
+
+    /// Configured capacity.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Look `key` up, promoting a hit to most-recently-used.
+    pub fn get(&self, hash: u64, key: &[u8]) -> Option<Arc<Tensor>> {
+        if self.cap == 0 {
+            return None;
+        }
+        let mut entries = match self.entries.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        let i = entries.iter().position(|e| e.hash == hash && e.key == key)?;
+        entries[0..=i].rotate_right(1);
+        Some(Arc::clone(&entries[0].value))
+    }
+
+    /// Insert (or refresh) an entry, evicting the least-recently-used
+    /// entry when over capacity.
+    pub fn put(&self, hash: u64, key: Vec<u8>, value: Arc<Tensor>) {
+        if self.cap == 0 {
+            return;
+        }
+        let mut entries = match self.entries.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        if let Some(i) = entries.iter().position(|e| e.hash == hash && e.key == key) {
+            entries[0..=i].rotate_right(1);
+            entries[0].value = value;
+            return;
+        }
+        entries.insert(0, CacheEntry { hash, key, value });
+        while entries.len() > self.cap {
+            entries.pop();
+        }
+    }
+
+    /// Current resident entries.
+    pub fn len(&self) -> usize {
+        match self.entries.lock() {
+            Ok(g) => g.len(),
+            Err(p) => p.into_inner().len(),
+        }
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Canonical byte serialization of an encoded input — the cache key.
+pub fn canonical_bytes(input: &EncodedInput) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + input.seq_len() * 8);
+    let push = |out: &mut Vec<u8>, v: u64| out.extend_from_slice(&v.to_le_bytes());
+    push(&mut out, input.token_ids.len() as u64);
+    for &t in &input.token_ids {
+        push(&mut out, t as u64);
+    }
+    for &t in &input.token_types {
+        push(&mut out, t as u64);
+    }
+    for &p in &input.token_pos {
+        push(&mut out, p as u64);
+    }
+    push(&mut out, input.entities.len() as u64);
+    for e in &input.entities {
+        push(&mut out, e.emb_index as u64);
+        push(&mut out, e.type_idx as u64);
+        push(&mut out, e.mention.len() as u64);
+        for &w in &e.mention {
+            push(&mut out, w as u64);
+        }
+    }
+    match &input.mask {
+        None => push(&mut out, 0),
+        Some(m) => {
+            push(&mut out, 1);
+            for v in m.data() {
+                out.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// 64-bit FNV-1a over the canonical bytes.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tensor(v: f32) -> Arc<Tensor> {
+        Arc::new(Tensor::from_vec(vec![1, 1], vec![v]))
+    }
+
+    #[test]
+    fn lru_evicts_cold_entries() {
+        let c = EncodeCache::new(2);
+        c.put(1, vec![1], tensor(1.0));
+        c.put(2, vec![2], tensor(2.0));
+        assert!(c.get(1, &[1]).is_some()); // 1 hot, 2 cold
+        c.put(3, vec![3], tensor(3.0)); // evicts 2
+        assert_eq!(c.len(), 2);
+        assert!(c.get(2, &[2]).is_none());
+        assert!(c.get(1, &[1]).is_some());
+        assert!(c.get(3, &[3]).is_some());
+    }
+
+    #[test]
+    fn colliding_hashes_compare_full_keys() {
+        let c = EncodeCache::new(4);
+        c.put(7, vec![1], tensor(1.0));
+        c.put(7, vec![2], tensor(2.0));
+        let a = c.get(7, &[1]).expect("entry 1");
+        let b = c.get(7, &[2]).expect("entry 2");
+        assert_ne!(a.data()[0], b.data()[0]);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let c = EncodeCache::new(0);
+        c.put(1, vec![1], tensor(1.0));
+        assert!(c.get(1, &[1]).is_none());
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,129 @@
+//! A deliberately minimal HTTP/1.1 layer over `std::net` — just enough
+//! to speak JSON over curl: request-line + headers + `Content-Length`
+//! body in, fixed-header response with `Connection: close` out. No
+//! keep-alive, no chunked encoding, no TLS; every connection carries
+//! exactly one request.
+
+use crate::protocol::{ServeError, MAX_BODY_BYTES};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A parsed inbound request.
+#[derive(Debug)]
+pub struct Request {
+    /// HTTP method, uppercased as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path (query strings are not interpreted).
+    pub path: String,
+    /// Request body (empty when no `Content-Length`).
+    pub body: String,
+}
+
+/// How long a connection may sit idle mid-request before it is dropped.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Read and parse one request from the stream. Every malformed input is
+/// a typed [`ServeError::BadRequest`] the caller turns into a 400.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, ServeError> {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+
+    // Read until the blank line ending the header block.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let header_end = loop {
+        if let Some(i) = find_header_end(&buf) {
+            break i;
+        }
+        if buf.len() > 64 * 1024 {
+            return Err(ServeError::BadRequest("header block exceeds 64 KiB".into()));
+        }
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| ServeError::BadRequest(format!("read failed: {e}")))?;
+        if n == 0 {
+            return Err(ServeError::BadRequest("connection closed mid-header".into()));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = String::from_utf8_lossy(&buf[..header_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let request_line =
+        lines.next().ok_or_else(|| ServeError::BadRequest("empty request".into()))?;
+    let mut parts = request_line.split_whitespace();
+    let method =
+        parts.next().ok_or_else(|| ServeError::BadRequest("missing method".into()))?.to_uppercase();
+    let path = parts
+        .next()
+        .ok_or_else(|| ServeError::BadRequest("missing request path".into()))?
+        .to_string();
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| ServeError::BadRequest("bad Content-Length".into()))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(ServeError::BadRequest(format!(
+            "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+        )));
+    }
+
+    let mut body = buf[header_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| ServeError::BadRequest(format!("read failed: {e}")))?;
+        if n == 0 {
+            return Err(ServeError::BadRequest("connection closed mid-body".into()));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    let body = String::from_utf8(body)
+        .map_err(|_| ServeError::BadRequest("body is not valid UTF-8".into()))?;
+    Ok(Request { method, path, body })
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Write a JSON response and close the connection.
+pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    // A peer that hung up early is not an error worth propagating.
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_end_detection() {
+        assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(14));
+        assert_eq!(find_header_end(b"partial\r\n"), None);
+    }
+}

@@ -1,0 +1,231 @@
+//! Request/response wire types and the typed error envelope.
+//!
+//! Requests carry a full [`Table`] in the corpus JSON schema (the same
+//! shape `turl corpus --out` writes), so anything the offline pipeline
+//! can encode, the server can serve. Every decode or validation failure
+//! maps to a structured 4xx/5xx JSON body — a malformed request must
+//! never panic a worker thread.
+
+use serde::{Deserialize, Serialize};
+use turl_data::Table;
+
+/// Upper bound on accepted request bodies.
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// `POST /v1/encode` and `/v1/schema_augmentation`: a bare table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableRequest {
+    /// The table to encode.
+    pub table: Table,
+}
+
+/// `POST /v1/entity_linking` and `/v1/cell_filling`: rank `candidates`
+/// for entity cell `cell` (index into the linearized entity sequence:
+/// topic entity first, then linked cells in row-major order).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RankRequest {
+    /// The table providing context.
+    pub table: Table,
+    /// Index of the target entity cell in the linearized sequence.
+    pub cell: usize,
+    /// Candidate entity ids to score.
+    pub candidates: Vec<u32>,
+}
+
+/// `POST /v1/row_population`: rank `candidates` as the subject entity
+/// of a hypothetical next row appended to the table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RowPopulationRequest {
+    /// The seed table.
+    pub table: Table,
+    /// Candidate entity ids for the new row's subject cell.
+    pub candidates: Vec<u32>,
+}
+
+/// `POST /v1/column_type`: contextualized representation of a column.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ColumnRequest {
+    /// The table.
+    pub table: Table,
+    /// Column index.
+    pub column: usize,
+}
+
+/// `POST /v1/relation_extraction`: representation of the (subject
+/// column, object column) pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RelationRequest {
+    /// The table (its `subject_column` is the relation subject).
+    pub table: Table,
+    /// The object column index.
+    pub object_column: usize,
+}
+
+/// `POST /v1/encode` response: the contextualized representations,
+/// row-major `[rows, dim]` — bit-identical to offline `turl infer` on
+/// the same table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EncodeResponse {
+    /// Sequence rows (tokens + entity cells).
+    pub rows: usize,
+    /// Model dimension.
+    pub dim: usize,
+    /// Row-major representation values.
+    pub data: Vec<f32>,
+    /// True when served from the encoded-table cache.
+    pub cached: bool,
+}
+
+/// Candidate-ranking response (entity linking, cell filling, row
+/// population).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RankResponse {
+    /// Candidate entity ids, best first.
+    pub ranking: Vec<u32>,
+    /// MER logits aligned with `ranking`.
+    pub scores: Vec<f32>,
+    /// True when the underlying encode came from the cache.
+    pub cached: bool,
+}
+
+/// Pooled-representation response (column type, relation extraction,
+/// schema augmentation).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReprResponse {
+    /// Model dimension.
+    pub dim: usize,
+    /// Mean representation over the task's row set.
+    pub repr: Vec<f32>,
+    /// True when the underlying encode came from the cache.
+    pub cached: bool,
+}
+
+/// `GET /healthz` response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HealthResponse {
+    /// Always true when the daemon answers.
+    pub ok: bool,
+    /// Word-vocabulary size of the loaded model.
+    pub n_words: usize,
+    /// Entity-vocabulary size of the loaded model.
+    pub n_entities: usize,
+    /// Model dimension.
+    pub dim: usize,
+}
+
+/// `GET /metrics` response: the serving telemetry snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetricsResponse {
+    /// Seconds since the server started.
+    pub uptime_s: f64,
+    /// Task-endpoint requests received.
+    pub requests: u64,
+    /// Requests per second over the uptime window.
+    pub rps: f64,
+    /// 2xx responses.
+    pub ok: u64,
+    /// 4xx responses.
+    pub client_errors: u64,
+    /// 5xx responses.
+    pub server_errors: u64,
+    /// Median request latency (bucket upper bound, microseconds).
+    pub latency_p50_us: f64,
+    /// 99th-percentile request latency (bucket upper bound, us).
+    pub latency_p99_us: f64,
+    /// Mean request latency in microseconds.
+    pub latency_mean_us: f64,
+    /// Forward passes executed (batched or single).
+    pub batches: u64,
+    /// Tables carried by those forwards.
+    pub batched_tables: u64,
+    /// Mean tables per forward (micro-batching occupancy).
+    pub batch_occupancy: f64,
+    /// Encoded-table cache hits.
+    pub cache_hits: u64,
+    /// Encoded-table cache misses.
+    pub cache_misses: u64,
+    /// Hit fraction of cache lookups.
+    pub cache_hit_rate: f64,
+    /// Resident compiled plans in the worker plan caches.
+    pub plan_cache_size: f64,
+    /// Compiled plans evicted since start.
+    pub plan_evictions: f64,
+}
+
+/// Typed request-handling error: carries the HTTP status and a stable
+/// machine-readable code.
+#[derive(Debug, Clone)]
+pub enum ServeError {
+    /// 400: malformed or semantically invalid request.
+    BadRequest(String),
+    /// 404: unknown endpoint.
+    NotFound(String),
+    /// 503: batching queue is full.
+    Overloaded(String),
+    /// 500: the server failed on a validated request.
+    Internal(String),
+}
+
+impl ServeError {
+    /// HTTP status code.
+    pub fn status(&self) -> u16 {
+        match self {
+            ServeError::BadRequest(_) => 400,
+            ServeError::NotFound(_) => 404,
+            ServeError::Overloaded(_) => 503,
+            ServeError::Internal(_) => 500,
+        }
+    }
+
+    /// Stable machine-readable error code.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::BadRequest(_) => "bad_request",
+            ServeError::NotFound(_) => "not_found",
+            ServeError::Overloaded(_) => "overloaded",
+            ServeError::Internal(_) => "internal",
+        }
+    }
+
+    /// Human-readable message.
+    pub fn message(&self) -> &str {
+        match self {
+            ServeError::BadRequest(m)
+            | ServeError::NotFound(m)
+            | ServeError::Overloaded(m)
+            | ServeError::Internal(m) => m,
+        }
+    }
+
+    /// The JSON error envelope.
+    pub fn to_json(&self) -> String {
+        let env = ErrorEnvelope {
+            error: ErrorBody { code: self.code().to_string(), message: self.message().to_string() },
+        };
+        serde_json::to_string(&env).unwrap_or_else(|_| {
+            format!("{{\"error\":{{\"code\":\"{}\",\"message\":\"\"}}}}", self.code())
+        })
+    }
+}
+
+/// JSON error envelope: `{"error": {"code", "message"}}`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ErrorEnvelope {
+    /// The error payload.
+    pub error: ErrorBody,
+}
+
+/// The error payload inside [`ErrorEnvelope`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ErrorBody {
+    /// Stable machine-readable code.
+    pub code: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// Decode a JSON request body into `T`, mapping parse errors to a
+/// typed 400.
+pub fn decode<T: Deserialize>(body: &str) -> Result<T, ServeError> {
+    serde_json::from_str(body).map_err(|e| ServeError::BadRequest(format!("invalid request: {e}")))
+}

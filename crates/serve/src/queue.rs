@@ -1,0 +1,188 @@
+//! The bounded cross-request batching queue.
+//!
+//! Connection threads push [`Job`]s; worker threads pull them with
+//! [`BatchQueue::next_batch`], which coalesces up to `max_batch` jobs of
+//! the *same input shape* (waiting at most `max_wait` for stragglers)
+//! into one batched forward. Shape-divergent jobs are left queued and
+//! served as singles by subsequent pulls — coalescing never reorders
+//! jobs of a given shape, and a full queue is backpressure (the push
+//! fails and the caller answers 503), never an unbounded buffer.
+
+use crate::protocol::ServeError;
+use crate::session::Head;
+use std::collections::VecDeque;
+use std::sync::mpsc::SyncSender;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+use turl_core::EncodedInput;
+
+/// The shape signature batching coalesces on — identical to the plan
+/// cache's `PlanKey`, so a coalesced batch of `k` same-shape tables
+/// still occupies exactly one plan-cache slot per distinct `k`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShapeKey {
+    /// Metadata token count.
+    pub n_tokens: usize,
+    /// Entity cell count.
+    pub n_entities: usize,
+    /// Total mention tokens across cells.
+    pub n_mention_tokens: usize,
+    /// Whether the input carries a visibility mask (only masked inputs
+    /// can batch — the mask is what keeps neighbors invisible).
+    pub masked: bool,
+}
+
+impl ShapeKey {
+    /// The shape signature of an encoded input.
+    pub fn of(input: &EncodedInput) -> Self {
+        Self {
+            n_tokens: input.token_ids.len(),
+            n_entities: input.entities.len(),
+            n_mention_tokens: input.entities.iter().map(|e| e.mention.len()).sum(),
+            masked: input.mask.is_some(),
+        }
+    }
+}
+
+/// One queued request: the validated input, what to compute from its
+/// representations, and the channel the worker answers on.
+pub struct Job {
+    /// Validated encoded input.
+    pub input: EncodedInput,
+    /// Shape signature for coalescing.
+    pub shape: ShapeKey,
+    /// FNV-1a of the canonical input bytes (cache insert key).
+    pub hash: u64,
+    /// Canonical input bytes (cache insert key).
+    pub key: Vec<u8>,
+    /// Head to apply after the forward.
+    pub head: Head,
+    /// Worker's reply channel back to the connection thread.
+    pub reply: SyncSender<Result<String, ServeError>>,
+    /// Enqueue time (drives the queue-wait part of request latency).
+    pub enqueued: Instant,
+}
+
+struct Inner {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// Bounded MPSC queue with shape-coalescing batch pulls.
+pub struct BatchQueue {
+    inner: Mutex<Inner>,
+    cond: Condvar,
+    depth: usize,
+}
+
+impl BatchQueue {
+    /// Queue admitting at most `depth` waiting jobs.
+    pub fn new(depth: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner { jobs: VecDeque::new(), closed: false }),
+            cond: Condvar::new(),
+            depth: depth.max(1),
+        }
+    }
+
+    /// Enqueue a job. `Err` means the queue is full (backpressure — the
+    /// caller answers 503) or closed; the job is handed back untouched.
+    pub fn push(&self, job: Job) -> Result<(), Box<Job>> {
+        let mut inner = match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        if inner.closed || inner.jobs.len() >= self.depth {
+            return Err(Box::new(job));
+        }
+        inner.jobs.push_back(job);
+        drop(inner);
+        self.cond.notify_all();
+        Ok(())
+    }
+
+    /// Pull the next batch: blocks for the first job, then coalesces up
+    /// to `max_batch` *same-shape, masked* jobs, waiting at most
+    /// `max_wait` for more to arrive. Returns `None` once the queue is
+    /// closed and drained — the worker's exit signal.
+    pub fn next_batch(&self, max_batch: usize, max_wait: Duration) -> Option<Vec<Job>> {
+        let mut inner = match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        let first = loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                break job;
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = match self.cond.wait(inner) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        };
+        let key = first.shape;
+        let mut batch = vec![first];
+        if !key.masked || max_batch <= 1 {
+            return Some(batch);
+        }
+        let deadline = Instant::now() + max_wait;
+        loop {
+            let mut i = 0;
+            while i < inner.jobs.len() && batch.len() < max_batch {
+                if inner.jobs[i].shape == key {
+                    if let Some(job) = inner.jobs.remove(i) {
+                        batch.push(job);
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            if batch.len() >= max_batch || inner.closed {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, timeout) = match self.cond.wait_timeout(inner, deadline - now) {
+                Ok(r) => r,
+                Err(p) => {
+                    let r = p.into_inner();
+                    (r.0, r.1)
+                }
+            };
+            inner = guard;
+            if timeout.timed_out() && inner.jobs.iter().all(|j| j.shape != key) {
+                break;
+            }
+        }
+        Some(batch)
+    }
+
+    /// Jobs currently waiting.
+    pub fn len(&self) -> usize {
+        match self.inner.lock() {
+            Ok(g) => g.jobs.len(),
+            Err(p) => p.into_inner().jobs.len(),
+        }
+    }
+
+    /// True when no job is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Close the queue: pushes start failing, workers drain what is left
+    /// and then see `None`.
+    pub fn close(&self) {
+        let mut inner = match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        inner.closed = true;
+        drop(inner);
+        self.cond.notify_all();
+    }
+}

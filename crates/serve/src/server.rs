@@ -1,0 +1,482 @@
+//! The serving daemon: bounded accept loops, batching workers, and the
+//! metrics/health endpoints.
+//!
+//! Threading model (std-only, no async runtime): `conns` acceptor
+//! threads share one nonblocking listener and handle each connection
+//! inline — one request per connection, so the number of in-flight
+//! requests is bounded by `conns`. Task requests are validated, looked
+//! up in the encode cache, and on a miss pushed onto the [`BatchQueue`];
+//! `workers` worker threads pull shape-coalesced batches, run the
+//! compiled forward (bounded plan cache per worker), and reply over the
+//! job's channel. Shutdown is ordered so no in-flight request is ever
+//! dropped: stop accepting → join acceptors (each finishes its current
+//! request) → close the queue → join workers (they drain what is left).
+
+use crate::cache::{canonical_bytes, fnv1a, EncodeCache};
+use crate::http::{read_request, write_response, Request};
+use crate::protocol::{HealthResponse, MetricsResponse, ServeError};
+use crate::queue::{BatchQueue, Job, ShapeKey};
+use crate::session::{exec_to_serve, Session};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::sync_channel;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use turl_core::TableBatch;
+use turl_obs::{Counter, Gauge, Histogram};
+use turl_tensor::Tensor;
+
+/// Request-latency histogram bounds in microseconds (50 µs – 1 s).
+const LATENCY_BOUNDS_US: [f64; 14] = [
+    50.0,
+    100.0,
+    250.0,
+    500.0,
+    1_000.0,
+    2_500.0,
+    5_000.0,
+    10_000.0,
+    25_000.0,
+    50_000.0,
+    100_000.0,
+    250_000.0,
+    500_000.0,
+    1_000_000.0,
+];
+
+/// Batch-occupancy histogram bounds (tables per forward).
+const BATCH_BOUNDS: [f64; 6] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+
+/// Tunables for one server instance.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bind address, e.g. `127.0.0.1:7433` (port 0 picks a free port).
+    pub addr: String,
+    /// Batching worker threads (each owns one compiled forward).
+    pub workers: usize,
+    /// Acceptor threads == maximum in-flight requests.
+    pub conns: usize,
+    /// Maximum tables coalesced into one forward.
+    pub max_batch: usize,
+    /// How long a worker waits for same-shape stragglers (µs).
+    pub max_wait_us: u64,
+    /// Maximum queued jobs before pushes answer 503.
+    pub queue_depth: usize,
+    /// Encoded-table LRU capacity (0 disables the cache).
+    pub cache_cap: usize,
+    /// Per-worker compiled-plan LRU capacity.
+    pub plan_cache_cap: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7433".into(),
+            workers: 1,
+            conns: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).max(2),
+            max_batch: 8,
+            max_wait_us: 500,
+            queue_depth: 256,
+            cache_cap: 256,
+            plan_cache_cap: turl_core::DEFAULT_PLAN_CACHE_CAP,
+        }
+    }
+}
+
+/// Serving instruments, registered once in the process-global metrics
+/// registry so `--metrics-out` runs land them in the stream for
+/// `turl report`.
+struct Instruments {
+    requests: Arc<Counter>,
+    ok: Arc<Counter>,
+    client_errors: Arc<Counter>,
+    server_errors: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    batches: Arc<Counter>,
+    batched_tables: Arc<Counter>,
+    latency_us: Arc<Histogram>,
+    batch_size: Arc<Histogram>,
+    plan_cache_size: Arc<Gauge>,
+    plan_evictions: Arc<Gauge>,
+}
+
+impl Instruments {
+    fn get() -> Self {
+        Self {
+            requests: turl_obs::counter("serve.requests"),
+            ok: turl_obs::counter("serve.responses_ok"),
+            client_errors: turl_obs::counter("serve.responses_client_error"),
+            server_errors: turl_obs::counter("serve.responses_server_error"),
+            cache_hits: turl_obs::counter("serve.cache_hits"),
+            cache_misses: turl_obs::counter("serve.cache_misses"),
+            batches: turl_obs::counter("serve.batches"),
+            batched_tables: turl_obs::counter("serve.batched_tables"),
+            latency_us: turl_obs::histogram("serve.latency_us", &LATENCY_BOUNDS_US),
+            batch_size: turl_obs::histogram("serve.batch_size", &BATCH_BOUNDS),
+            plan_cache_size: turl_obs::gauge("serve.plan_cache_size"),
+            plan_evictions: turl_obs::gauge("serve.plan_evictions"),
+        }
+    }
+}
+
+struct ServerCtx {
+    session: Arc<Session>,
+    queue: BatchQueue,
+    cache: EncodeCache,
+    inst: Instruments,
+    stop: AtomicBool,
+    started: Instant,
+    max_batch: usize,
+    max_wait: Duration,
+    plan_cache_cap: usize,
+}
+
+/// A running server: join it with [`shutdown`](ServerHandle::shutdown).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    ctx: Arc<ServerCtx>,
+    acceptors: Vec<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// True once a stop was requested (`/admin/shutdown` or
+    /// [`request_stop`](ServerHandle::request_stop)).
+    pub fn stop_requested(&self) -> bool {
+        self.ctx.stop.load(Ordering::SeqCst)
+    }
+
+    /// Ask the server to stop accepting work.
+    pub fn request_stop(&self) {
+        self.ctx.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Ordered shutdown: stop accepting, finish every in-flight request,
+    /// drain the queue, join all threads, and emit a final metrics
+    /// snapshot. No accepted request is dropped.
+    pub fn shutdown(self) {
+        self.ctx.stop.store(true, Ordering::SeqCst);
+        for t in self.acceptors {
+            let _ = t.join();
+        }
+        self.ctx.queue.close();
+        for t in self.workers {
+            let _ = t.join();
+        }
+        if turl_obs::metrics_enabled() {
+            turl_obs::emit_metrics_events();
+        }
+    }
+}
+
+/// Bind, spawn acceptors and workers, and return the running handle.
+pub fn start(session: Arc<Session>, opts: &ServeOptions) -> Result<ServerHandle, String> {
+    let listener =
+        TcpListener::bind(&opts.addr).map_err(|e| format!("cannot bind {}: {e}", opts.addr))?;
+    listener.set_nonblocking(true).map_err(|e| e.to_string())?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+
+    let ctx = Arc::new(ServerCtx {
+        session,
+        queue: BatchQueue::new(opts.queue_depth),
+        cache: EncodeCache::new(opts.cache_cap),
+        inst: Instruments::get(),
+        stop: AtomicBool::new(false),
+        started: Instant::now(),
+        max_batch: opts.max_batch.max(1),
+        max_wait: Duration::from_micros(opts.max_wait_us),
+        plan_cache_cap: opts.plan_cache_cap,
+    });
+
+    let mut workers = Vec::with_capacity(opts.workers.max(1));
+    for _ in 0..opts.workers.max(1) {
+        let ctx = Arc::clone(&ctx);
+        workers.push(std::thread::spawn(move || worker_loop(&ctx)));
+    }
+    let mut acceptors = Vec::with_capacity(opts.conns.max(1));
+    for _ in 0..opts.conns.max(1) {
+        let ctx = Arc::clone(&ctx);
+        let listener = listener.try_clone().map_err(|e| e.to_string())?;
+        acceptors.push(std::thread::spawn(move || accept_loop(&listener, &ctx)));
+    }
+    Ok(ServerHandle { addr, ctx, acceptors, workers })
+}
+
+fn accept_loop(listener: &TcpListener, ctx: &ServerCtx) {
+    while !ctx.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                handle_conn(&mut stream, ctx);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+fn handle_conn(stream: &mut TcpStream, ctx: &ServerCtx) {
+    let req = match read_request(stream) {
+        Ok(r) => r,
+        Err(e) => {
+            ctx.inst.client_errors.inc();
+            write_response(stream, e.status(), &e.to_json());
+            return;
+        }
+    };
+    let (status, body) = route(ctx, &req);
+    match status {
+        200 => ctx.inst.ok.inc(),
+        400..=499 => ctx.inst.client_errors.inc(),
+        _ => ctx.inst.server_errors.inc(),
+    }
+    write_response(stream, status, &body);
+}
+
+fn route(ctx: &ServerCtx, req: &Request) -> (u16, String) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            let resp = HealthResponse {
+                ok: true,
+                n_words: ctx.session.n_words(),
+                n_entities: ctx.session.n_entities(),
+                dim: ctx.session.d_model(),
+            };
+            json_or_500(&resp)
+        }
+        ("GET", "/metrics") => json_or_500(&metrics_snapshot(ctx)),
+        ("POST", "/admin/shutdown") => {
+            ctx.stop.store(true, Ordering::SeqCst);
+            (200, "{\"ok\":true}".to_string())
+        }
+        ("POST", path) if path.starts_with("/v1/") => handle_task(ctx, path, &req.body),
+        (_, path) if path.starts_with("/v1/") || path == "/admin/shutdown" => {
+            let e = ServeError::BadRequest(format!("{} expects POST", req.path));
+            (405, e.to_json())
+        }
+        _ => {
+            let e = ServeError::NotFound(format!("no such endpoint: {}", req.path));
+            (e.status(), e.to_json())
+        }
+    }
+}
+
+fn handle_task(ctx: &ServerCtx, path: &str, body: &str) -> (u16, String) {
+    let t0 = Instant::now();
+    ctx.inst.requests.inc();
+    let result = task_response(ctx, path, body);
+    ctx.inst.latency_us.observe(t0.elapsed().as_micros() as f64);
+    match result {
+        Ok(body) => (200, body),
+        Err(e) => (e.status(), e.to_json()),
+    }
+}
+
+fn task_response(ctx: &ServerCtx, path: &str, body: &str) -> Result<String, ServeError> {
+    let (input, head) = ctx.session.build_job(path, body)?;
+    let key = canonical_bytes(&input);
+    let hash = fnv1a(&key);
+    if let Some(h) = ctx.cache.get(hash, &key) {
+        ctx.inst.cache_hits.inc();
+        return ctx.session.apply_head_shared(&head, &h, true);
+    }
+    ctx.inst.cache_misses.inc();
+    let (reply, rx) = sync_channel(1);
+    let job = Job {
+        shape: ShapeKey::of(&input),
+        input,
+        hash,
+        key,
+        head,
+        reply,
+        enqueued: Instant::now(),
+    };
+    if ctx.queue.push(job).is_err() {
+        return Err(ServeError::Overloaded(format!(
+            "batching queue is full ({} jobs)",
+            ctx.queue.len()
+        )));
+    }
+    rx.recv().map_err(|_| ServeError::Internal("worker exited before replying".into()))?
+}
+
+fn worker_loop(ctx: &ServerCtx) {
+    let mut cf = ctx.session.model().compiled();
+    cf.set_plan_cache_cap(ctx.plan_cache_cap);
+    while let Some(batch) = ctx.queue.next_batch(ctx.max_batch, ctx.max_wait) {
+        ctx.inst.batches.inc();
+        ctx.inst.batched_tables.add(batch.len() as u64);
+        ctx.inst.batch_size.observe(batch.len() as f64);
+        if batch.len() > 1 {
+            run_batched(ctx, &mut cf, batch);
+        } else {
+            for job in batch {
+                run_single(ctx, &mut cf, job);
+            }
+        }
+        // Per-worker cache stats; exact with the default single worker,
+        // last-writer-wins otherwise.
+        ctx.inst.plan_cache_size.set(cf.compiled_shapes() as f64);
+        ctx.inst.plan_evictions.set(cf.plan_evictions() as f64);
+    }
+}
+
+fn run_batched(ctx: &ServerCtx, cf: &mut turl_core::CompiledForward, batch: Vec<Job>) {
+    let inputs: Vec<&turl_core::EncodedInput> = batch.iter().map(|j| &j.input).collect();
+    let coalesced = match TableBatch::build(&inputs) {
+        Ok(b) => b,
+        Err(_) => {
+            // Coalescing refused (should not happen post-validation) —
+            // serve every member solo rather than failing the requests.
+            for job in batch {
+                run_single(ctx, cf, job);
+            }
+            return;
+        }
+    };
+    match cf.encode(ctx.session.model(), ctx.session.store(), coalesced.input()) {
+        Ok(hb) => {
+            for (i, job) in batch.into_iter().enumerate() {
+                let h = Arc::new(coalesced.extract(i, &hb));
+                finish(ctx, cf, job, h);
+            }
+        }
+        Err(_) => {
+            // The batched shape failed to compile/run; members may still
+            // work solo (and solo is the parity-bearing path anyway).
+            for job in batch {
+                run_single(ctx, cf, job);
+            }
+        }
+    }
+}
+
+fn run_single(ctx: &ServerCtx, cf: &mut turl_core::CompiledForward, job: Job) {
+    match cf.encode(ctx.session.model(), ctx.session.store(), &job.input) {
+        Ok(h) => finish(ctx, cf, job, Arc::new(h)),
+        Err(e) => {
+            let _ = job.reply.send(Err(exec_to_serve(e)));
+        }
+    }
+}
+
+fn finish(ctx: &ServerCtx, cf: &turl_core::CompiledForward, job: Job, h: Arc<Tensor>) {
+    ctx.cache.put(job.hash, job.key, Arc::clone(&h));
+    let resp = ctx.session.apply_head(cf, &job.head, &h, false);
+    let _ = job.reply.send(resp);
+}
+
+fn json_or_500<T: serde::Serialize>(value: &T) -> (u16, String) {
+    match serde_json::to_string(value) {
+        Ok(s) => (200, s),
+        Err(e) => {
+            let err = ServeError::Internal(format!("response encode: {e}"));
+            (err.status(), err.to_json())
+        }
+    }
+}
+
+fn metrics_snapshot(ctx: &ServerCtx) -> MetricsResponse {
+    let i = &ctx.inst;
+    let uptime_s = ctx.started.elapsed().as_secs_f64();
+    let requests = i.requests.get();
+    let batches = i.batches.get();
+    let batched_tables = i.batched_tables.get();
+    let hits = i.cache_hits.get();
+    let misses = i.cache_misses.get();
+    let lookups = hits + misses;
+    let total = i.latency_us.total();
+    let rps = if uptime_s > 0.0 { requests as f64 / uptime_s } else { 0.0 };
+    let snapshot = MetricsResponse {
+        uptime_s,
+        requests,
+        rps,
+        ok: i.ok.get(),
+        client_errors: i.client_errors.get(),
+        server_errors: i.server_errors.get(),
+        latency_p50_us: i.latency_us.quantile(0.50).unwrap_or(0.0),
+        latency_p99_us: i.latency_us.quantile(0.99).unwrap_or(0.0),
+        latency_mean_us: if total > 0 { i.latency_us.sum() / total as f64 } else { 0.0 },
+        batches,
+        batched_tables,
+        batch_occupancy: if batches > 0 { batched_tables as f64 / batches as f64 } else { 0.0 },
+        cache_hits: hits,
+        cache_misses: misses,
+        cache_hit_rate: if lookups > 0 { hits as f64 / lookups as f64 } else { 0.0 },
+        plan_cache_size: i.plan_cache_size.get(),
+        plan_evictions: i.plan_evictions.get(),
+    };
+    turl_obs::gauge("serve.rps").set(snapshot.rps);
+    turl_obs::gauge("serve.cache_hit_rate").set(snapshot.cache_hit_rate);
+    turl_obs::gauge("serve.batch_occupancy").set(snapshot.batch_occupancy);
+    if turl_obs::metrics_enabled() {
+        turl_obs::emit_metrics_events();
+    }
+    snapshot
+}
+
+/// Run the daemon in the foreground until `/admin/shutdown`, SIGTERM, or
+/// SIGINT, then shut down in order (no in-flight request dropped). The
+/// whole run is wrapped in a `serve_run` span so a `--metrics-out`
+/// stream digests cleanly under `turl report`.
+pub fn run(session: Session, opts: &ServeOptions) -> Result<(), String> {
+    let span = turl_obs::span("serve_run");
+    let handle = start(Arc::new(session), opts)?;
+    signals::install();
+    turl_obs::info(format!("listening on http://{}", handle.addr()));
+    while !handle.stop_requested() && !signals::received() {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    turl_obs::info("shutting down ...");
+    handle.shutdown();
+    drop(span);
+    Ok(())
+}
+
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static RECEIVED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        RECEIVED.store(true, Ordering::SeqCst);
+    }
+
+    /// Route SIGTERM (15) and SIGINT (2) into a flag the serve loop
+    /// polls — an async-signal-safe store, nothing else runs in the
+    /// handler.
+    pub fn install() {
+        unsafe {
+            signal(15, on_signal as extern "C" fn(i32) as usize);
+            signal(2, on_signal as extern "C" fn(i32) as usize);
+        }
+    }
+
+    pub fn received() -> bool {
+        RECEIVED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod signals {
+    /// No signal routing off unix; `/admin/shutdown` still works.
+    pub fn install() {}
+
+    pub fn received() -> bool {
+        false
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests for the request-decode path: arbitrary bytes and
+//! arbitrary (often invalid) structured requests must produce `Ok` or a
+//! typed error — never a panic, and never a job that later blows up a
+//! worker.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use turl_core::{TurlConfig, TurlModel};
+use turl_data::{Cell, EntityRef, Table, Vocab};
+use turl_nn::ParamStore;
+use turl_serve::{ServeError, Session};
+
+fn make_session() -> Session {
+    let texts = ["caption words one two three ent cell film director festival"];
+    let vocab = Vocab::build(texts.iter().map(|s| &**s), 1);
+    let cfg = TurlConfig::small(7);
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(7);
+    let model = TurlModel::new(&mut store, &mut rng, cfg, vocab.len(), 25);
+    Session::new(model, store, vocab, true)
+}
+
+const ENDPOINTS: [&str; 7] = [
+    "/v1/encode",
+    "/v1/entity_linking",
+    "/v1/cell_filling",
+    "/v1/row_population",
+    "/v1/column_type",
+    "/v1/relation_extraction",
+    "/v1/schema_augmentation",
+];
+
+fn arb_table() -> impl Strategy<Value = Table> {
+    (
+        "[a-z ]{0,30}",
+        proptest::collection::vec("[a-z]{1,6}", 0..4),
+        0usize..4,
+        any::<u32>(),
+        any::<usize>(),
+    )
+        .prop_map(|(caption, headers, n_rows, id_seed, subject)| {
+            let n_cols = headers.len();
+            let rows = (0..n_rows)
+                .map(|r| {
+                    (0..n_cols)
+                        .map(|c| {
+                            // Deliberately include ids far past the entity
+                            // vocabulary — they must come back as a 400.
+                            let id = id_seed.wrapping_mul((r * n_cols + c + 1) as u32);
+                            if id % 3 == 0 {
+                                Cell::text(format!("txt{c}"))
+                            } else {
+                                Cell::linked(id % 40, format!("ent{c}"))
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            Table {
+                id: "prop".into(),
+                page_title: String::new(),
+                section_title: String::new(),
+                caption,
+                topic_entity: (id_seed % 2 == 0)
+                    .then(|| EntityRef { id: id_seed % 60, mention: "festival".into() }),
+                headers,
+                subject_column: subject % 5,
+                rows,
+            }
+        })
+}
+
+proptest! {
+    #[test]
+    fn garbage_bodies_never_panic(body in "\\PC{0,120}", which in 0usize..7) {
+        let session = make_session();
+        let path = ENDPOINTS[which % ENDPOINTS.len()];
+        match session.build_job(path, &body) {
+            Ok(_) => {}
+            Err(ServeError::BadRequest(m)) => prop_assert!(!m.is_empty()),
+            Err(other) => prop_assert!(
+                false,
+                "garbage body produced a non-400 error: {other:?}"
+            ),
+        }
+    }
+
+    #[test]
+    fn structured_requests_decode_or_fail_typed(
+        table in arb_table(),
+        cell in any::<usize>(),
+        cand in proptest::collection::vec(any::<u32>(), 0..5),
+        which in 0usize..7,
+        column in any::<usize>(),
+    ) {
+        let session = make_session();
+        let path = ENDPOINTS[which % ENDPOINTS.len()];
+        let table_json = serde_json::to_string(&table).expect("table json");
+        let cand_json = serde_json::to_string(&cand).expect("cand json");
+        let body = match path {
+            "/v1/entity_linking" | "/v1/cell_filling" => format!(
+                "{{\"table\":{table_json},\"cell\":{cell},\"candidates\":{cand_json}}}"
+            ),
+            "/v1/row_population" => {
+                format!("{{\"table\":{table_json},\"candidates\":{cand_json}}}")
+            }
+            "/v1/column_type" => format!("{{\"table\":{table_json},\"column\":{column}}}"),
+            "/v1/relation_extraction" => {
+                format!("{{\"table\":{table_json},\"object_column\":{column}}}")
+            }
+            _ => format!("{{\"table\":{table_json}}}"),
+        };
+        match session.build_job(path, &body) {
+            Ok((input, _head)) => {
+                // Anything accepted must be a validated, runnable input.
+                prop_assert!(input.seq_len() > 0);
+                prop_assert!(input
+                    .validate(session.n_words(), session.n_entities())
+                    .is_ok());
+            }
+            Err(ServeError::BadRequest(m)) => prop_assert!(!m.is_empty()),
+            Err(other) => prop_assert!(
+                false,
+                "structured request produced a non-400 error: {other:?}"
+            ),
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! In-process end-to-end tests: a real server on a loopback port, real
+//! HTTP, and bit-parity against the offline compiled forward.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use turl_core::{TurlConfig, TurlModel};
+use turl_data::{Cell, EntityRef, Table, Vocab};
+use turl_nn::ParamStore;
+use turl_serve::client::{get, post};
+use turl_serve::{
+    EncodeResponse, ErrorEnvelope, HealthResponse, MetricsResponse, RankRequest, RankResponse,
+    ServeOptions, Session, TableRequest,
+};
+
+fn sample_table(i: usize, rows: usize) -> Table {
+    Table {
+        id: format!("t{i}"),
+        page_title: "Films".into(),
+        section_title: String::new(),
+        caption: format!("films by director {i}"),
+        topic_entity: Some(EntityRef { id: (i % 5) as u32, mention: "festival".into() }),
+        headers: vec!["film".into(), "director".into()],
+        subject_column: 0,
+        rows: (0..rows)
+            .map(|r| {
+                vec![
+                    Cell::linked(((i + r * 2) % 20 + 5) as u32, "alpha beta"),
+                    Cell::linked(((i + r * 3) % 20 + 5) as u32, "gamma"),
+                ]
+            })
+            .collect(),
+    }
+}
+
+fn make_session(seed: u64) -> Session {
+    let texts =
+        ["films by director 0 1 2 3 4 5 6 7 8 9 festival film alpha beta gamma delta epsilon"];
+    let vocab = Vocab::build(texts.iter().map(|s| &**s), 1);
+    let cfg = TurlConfig::small(seed);
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = TurlModel::new(&mut store, &mut rng, cfg, vocab.len(), 30);
+    Session::new(model, store, vocab, true)
+}
+
+fn serve(session: Arc<Session>, opts: ServeOptions) -> (turl_serve::ServerHandle, String) {
+    let handle = turl_serve::start(session, &opts).expect("server starts");
+    let addr = handle.addr().to_string();
+    (handle, addr)
+}
+
+fn loopback_opts() -> ServeOptions {
+    ServeOptions { addr: "127.0.0.1:0".into(), ..ServeOptions::default() }
+}
+
+#[test]
+fn health_metrics_and_every_task_endpoint_respond() {
+    let session = Arc::new(make_session(41));
+    let (handle, addr) = serve(Arc::clone(&session), loopback_opts());
+
+    let (status, body) = get(&addr, "/healthz").expect("healthz");
+    assert_eq!(status, 200, "{body}");
+    let health: HealthResponse = serde_json::from_str(&body).expect("health json");
+    assert!(health.ok);
+    assert_eq!(health.n_words, session.n_words());
+    assert_eq!(health.n_entities, 30);
+
+    let table = sample_table(1, 3);
+    let table_req = serde_json::to_string(&TableRequest { table: table.clone() }).expect("json");
+    let rank_req = serde_json::to_string(&RankRequest {
+        table: table.clone(),
+        cell: 1,
+        candidates: vec![3, 9, 14],
+    })
+    .expect("json");
+    let cases = [
+        ("/v1/encode", table_req.clone()),
+        ("/v1/entity_linking", rank_req.clone()),
+        ("/v1/cell_filling", rank_req.clone()),
+        (
+            "/v1/row_population",
+            format!(
+                "{{\"table\":{},\"candidates\":[2,7,11]}}",
+                serde_json::to_string(&table).expect("json")
+            ),
+        ),
+        (
+            "/v1/column_type",
+            format!("{{\"table\":{},\"column\":1}}", serde_json::to_string(&table).expect("json")),
+        ),
+        (
+            "/v1/relation_extraction",
+            format!(
+                "{{\"table\":{},\"object_column\":1}}",
+                serde_json::to_string(&table).expect("json")
+            ),
+        ),
+        ("/v1/schema_augmentation", table_req.clone()),
+    ];
+    for (path, body) in &cases {
+        let (status, resp) = post(&addr, path, body).expect("request");
+        assert_eq!(status, 200, "{path}: {resp}");
+    }
+
+    let (status, body) = get(&addr, "/metrics").expect("metrics");
+    assert_eq!(status, 200);
+    let m: MetricsResponse = serde_json::from_str(&body).expect("metrics json");
+    assert!(m.requests >= cases.len() as u64);
+    assert!(m.ok >= cases.len() as u64);
+    assert!(m.batches >= 1);
+    assert!(m.plan_cache_size >= 1.0);
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_responses_are_bit_identical_to_offline_infer() {
+    let session = Arc::new(make_session(42));
+    // Cache off so every request really crosses the batching queue and a
+    // compiled forward — this is the micro-batching parity test.
+    let opts = ServeOptions {
+        workers: 2,
+        conns: 6,
+        max_batch: 4,
+        max_wait_us: 2_000,
+        cache_cap: 0,
+        ..loopback_opts()
+    };
+    let (handle, addr) = serve(Arc::clone(&session), opts);
+
+    // Offline references through the same compiled path `turl infer`
+    // uses, computed serially before any load hits the server.
+    let tables: Vec<Table> = (0..4).map(|i| sample_table(i, 3)).collect();
+    let mut cf = session.model().compiled();
+    let mut want: Vec<Vec<u32>> = Vec::new();
+    for t in &tables {
+        let (_, enc) = session.encode_table(t).expect("encode");
+        let h = cf.encode(session.model(), session.store(), &enc).expect("solo encode");
+        want.push(h.data().iter().map(|v| v.to_bits()).collect());
+    }
+
+    let mut threads = Vec::new();
+    for worker in 0..6 {
+        let addr = addr.clone();
+        let tables = tables.clone();
+        let want: Vec<Vec<u32>> = want.clone();
+        threads.push(std::thread::spawn(move || {
+            for round in 0..3 {
+                let i = (worker + round) % tables.len();
+                let body = serde_json::to_string(&TableRequest { table: tables[i].clone() })
+                    .expect("json");
+                let (status, resp) = post(&addr, "/v1/encode", &body).expect("request");
+                assert_eq!(status, 200, "{resp}");
+                let parsed: EncodeResponse = serde_json::from_str(&resp).expect("encode json");
+                let got: Vec<u32> = parsed.data.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(got, want[i], "served bits diverged from offline (table {i})");
+            }
+        }));
+    }
+    for t in threads {
+        t.join().expect("client thread");
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn ranking_matches_offline_mer_logits() {
+    let session = Arc::new(make_session(43));
+    let (handle, addr) = serve(Arc::clone(&session), loopback_opts());
+    let table = sample_table(2, 4);
+    let candidates = [3u32, 9, 14, 21];
+    let body = serde_json::to_string(&RankRequest {
+        table: table.clone(),
+        cell: 2,
+        candidates: candidates.to_vec(),
+    })
+    .expect("json");
+    let (status, resp) = post(&addr, "/v1/entity_linking", &body).expect("request");
+    assert_eq!(status, 200, "{resp}");
+    let rank: RankResponse = serde_json::from_str(&resp).expect("rank json");
+
+    // Offline: same masking, same compiled encode, same MER head.
+    let (_, mut enc) = session.encode_table(&table).expect("encode");
+    enc.mask_entity(2, false, session.mask_word());
+    let mut cf = session.model().compiled();
+    let h = cf.encode(session.model(), session.store(), &enc).expect("solo encode");
+    let cands: Vec<usize> = candidates.iter().map(|&c| c as usize).collect();
+    let logits = cf
+        .mer_logits(session.model(), session.store(), &h, &[enc.entity_row(2)], &cands)
+        .expect("mer");
+    let mut order: Vec<usize> = (0..cands.len()).collect();
+    let scores = logits.data();
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then_with(|| a.cmp(&b)));
+    let want_ranking: Vec<u32> = order.iter().map(|&i| candidates[i]).collect();
+    let want_scores: Vec<u32> = order.iter().map(|&i| scores[i].to_bits()).collect();
+    assert_eq!(rank.ranking, want_ranking);
+    let got_scores: Vec<u32> = rank.scores.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(got_scores, want_scores, "served MER scores diverged from offline");
+    handle.shutdown();
+}
+
+#[test]
+fn cache_serves_bit_identical_replays() {
+    let session = Arc::new(make_session(44));
+    let (handle, addr) = serve(Arc::clone(&session), loopback_opts());
+    let body = serde_json::to_string(&TableRequest { table: sample_table(3, 2) }).expect("json");
+    let (s1, r1) = post(&addr, "/v1/encode", &body).expect("request");
+    let (s2, r2) = post(&addr, "/v1/encode", &body).expect("request");
+    assert_eq!((s1, s2), (200, 200));
+    let a: EncodeResponse = serde_json::from_str(&r1).expect("json");
+    let b: EncodeResponse = serde_json::from_str(&r2).expect("json");
+    assert!(!a.cached, "first request must miss");
+    assert!(b.cached, "replay must hit the cache");
+    let bits = |d: &[f32]| d.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&a.data), bits(&b.data), "cache hit changed the served bits");
+    let (_, m) = get(&addr, "/metrics").expect("metrics");
+    let m: MetricsResponse = serde_json::from_str(&m).expect("metrics json");
+    assert!(m.cache_hits >= 1);
+    assert!(m.cache_misses >= 1);
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_requests_are_typed_4xx_never_panics() {
+    let session = Arc::new(make_session(45));
+    let (handle, addr) = serve(Arc::clone(&session), loopback_opts());
+    let table = sample_table(4, 2);
+    let table_json = serde_json::to_string(&table).expect("json");
+    let empty = Table {
+        id: "empty".into(),
+        page_title: String::new(),
+        section_title: String::new(),
+        caption: String::new(),
+        topic_entity: None,
+        headers: vec![],
+        subject_column: 0,
+        rows: vec![],
+    };
+    let huge_entity =
+        Table { rows: vec![vec![Cell::linked(9_999, "alpha")]], ..sample_table(5, 0) };
+    let cases: Vec<(&str, String, u16)> = vec![
+        ("/v1/encode", "this is not json".into(), 400),
+        ("/v1/encode", "{\"nope\":1}".into(), 400),
+        ("/v1/encode", serde_json::to_string(&TableRequest { table: empty }).expect("json"), 400),
+        (
+            "/v1/encode",
+            serde_json::to_string(&TableRequest { table: huge_entity }).expect("json"),
+            400,
+        ),
+        // cell index past the linked-entity sequence
+        (
+            "/v1/entity_linking",
+            format!("{{\"table\":{table_json},\"cell\":999,\"candidates\":[1]}}"),
+            400,
+        ),
+        // candidate past the entity vocabulary
+        (
+            "/v1/entity_linking",
+            format!("{{\"table\":{table_json},\"cell\":0,\"candidates\":[4000000000]}}"),
+            400,
+        ),
+        // empty candidate list
+        (
+            "/v1/cell_filling",
+            format!("{{\"table\":{table_json},\"cell\":0,\"candidates\":[]}}"),
+            400,
+        ),
+        // column out of range
+        ("/v1/column_type", format!("{{\"table\":{table_json},\"column\":77}}"), 400),
+        ("/v1/relation_extraction", format!("{{\"table\":{table_json},\"object_column\":9}}"), 400),
+        // unknown endpoint
+        ("/v1/definitely_not_a_task", table_json.clone(), 404),
+    ];
+    for (path, body, want) in &cases {
+        let (status, resp) = post(&addr, path, body).expect("request");
+        assert_eq!(status, *want, "{path} with `{body}` -> {resp}");
+        let env: ErrorEnvelope = serde_json::from_str(&resp).expect("typed error envelope");
+        assert!(!env.error.code.is_empty());
+        assert!(!env.error.message.is_empty());
+    }
+    // Wrong method on a task endpoint.
+    let (status, _) = get(&addr, "/v1/encode").expect("request");
+    assert_eq!(status, 405);
+    // The server must still be healthy after the adversarial battery.
+    let (status, _) = get(&addr, "/healthz").expect("healthz");
+    assert_eq!(status, 200);
+    let (_, m) = get(&addr, "/metrics").expect("metrics");
+    let m: MetricsResponse = serde_json::from_str(&m).expect("metrics json");
+    assert!(m.client_errors >= cases.len() as u64);
+    assert_eq!(m.server_errors, 0, "adversarial inputs must never be 5xx");
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_completes_in_flight_work_and_stops_accepting() {
+    let session = Arc::new(make_session(46));
+    let (handle, addr) = serve(Arc::clone(&session), loopback_opts());
+    // Load the server from several threads, then shut down and verify
+    // every accepted request got a real response.
+    let mut threads = Vec::new();
+    for i in 0..4 {
+        let addr = addr.clone();
+        threads.push(std::thread::spawn(move || {
+            let body =
+                serde_json::to_string(&TableRequest { table: sample_table(i, 2) }).expect("json");
+            post(&addr, "/v1/encode", &body)
+        }));
+    }
+    let results: Vec<_> = threads.into_iter().map(|t| t.join().expect("client")).collect();
+    for r in results {
+        let (status, body) = r.expect("in-flight request must complete");
+        assert_eq!(status, 200, "{body}");
+    }
+    handle.shutdown();
+    // Post-shutdown the port must be closed.
+    assert!(get(&addr, "/healthz").is_err(), "server still accepting after shutdown");
+}
+
+#[test]
+fn admin_shutdown_flips_the_stop_flag() {
+    let session = Arc::new(make_session(47));
+    let (handle, addr) = serve(Arc::clone(&session), loopback_opts());
+    assert!(!handle.stop_requested());
+    let (status, _) = post(&addr, "/admin/shutdown", "{}").expect("request");
+    assert_eq!(status, 200);
+    assert!(handle.stop_requested());
+    handle.shutdown();
+}

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# CI gate for the serving daemon: pre-train a tiny model, export it as
+# an artifact, start `turl serve` in the background, hammer it with
+# concurrent parity-checked requests via `turl client`, assert the
+# /metrics snapshot is sane, then SIGTERM the daemon and require a
+# clean drain (no dropped in-flight requests, exit code 0).
+#
+# Usage: scripts/ci_serve_smoke.sh [path-to-turl-binary]
+set -euo pipefail
+
+TURL="${1:-./target/release/turl}"
+WORK="$(mktemp -d)"
+ADDR="127.0.0.1:7641"
+SERVE_PID=""
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+ARGS=(--entities 120 --tables 60 --seed 11)
+
+echo "== pretrain + export =="
+"$TURL" pretrain "${ARGS[@]}" --epochs 1 --out "$WORK/model.json"
+"$TURL" export "${ARGS[@]}" --ckpt "$WORK/model.json" \
+  --out "$WORK/model.artifact" --dtype int8
+
+echo "== start daemon =="
+"$TURL" serve "${ARGS[@]}" --artifact "$WORK/model.artifact" \
+  --addr "$ADDR" --workers 2 --conns 4 --max-batch 4 --max-wait-us 2000 \
+  > "$WORK/serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 600); do
+  grep -q 'listening on' "$WORK/serve.log" && break
+  kill -0 "$SERVE_PID" 2>/dev/null || { cat "$WORK/serve.log"; exit 1; }
+  sleep 0.1
+done
+grep -q 'listening on' "$WORK/serve.log" || { cat "$WORK/serve.log"; exit 1; }
+
+echo "== concurrent parity-checked load =="
+"$TURL" client "${ARGS[@]}" --addr "$ADDR" --requests 32 --concurrency 4 \
+  --check-parity --artifact "$WORK/model.artifact" | tee "$WORK/client.log"
+grep -q 'bit-identical to the local forward' "$WORK/client.log"
+
+echo "== /metrics sanity =="
+METRICS="$(curl -sf "http://$ADDR/metrics")" \
+  || METRICS="$(python3 - "$ADDR" <<'EOF'
+import sys, urllib.request
+print(urllib.request.urlopen(f"http://{sys.argv[1]}/metrics").read().decode())
+EOF
+)"
+METRICS="$METRICS" python3 <<'EOF'
+import json, os
+m = json.loads(os.environ["METRICS"])
+assert m["requests"] >= 32, "expected >=32 requests, saw %s" % m["requests"]
+assert m["server_errors"] == 0, "server errors: %s" % m["server_errors"]
+assert m["batches"] >= 1 and m["batch_occupancy"] >= 1.0, "no forwards recorded"
+assert m["plan_cache_size"] >= 1, "no compiled plan resident"
+print("metrics ok: %d requests, occupancy %.2f, hit rate %.2f"
+      % (m["requests"], m["batch_occupancy"], m["cache_hit_rate"]))
+EOF
+
+echo "== malformed request stays typed =="
+python3 - "$ADDR" <<'EOF'
+import sys, urllib.request, urllib.error, json
+req = urllib.request.Request(f"http://{sys.argv[1]}/v1/encode",
+                             data=b"{not json", method="POST")
+try:
+    urllib.request.urlopen(req)
+    sys.exit("malformed body was accepted")
+except urllib.error.HTTPError as e:
+    assert e.code == 400, f"expected 400, got {e.code}"
+    body = json.load(e)
+    assert body["error"]["code"] == "bad_request", body
+    print("typed 400 ok:", body["error"]["code"])
+EOF
+
+echo "== SIGTERM drains and exits cleanly =="
+kill -TERM "$SERVE_PID"
+for _ in $(seq 1 100); do
+  kill -0 "$SERVE_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$SERVE_PID" 2>/dev/null; then
+  echo "FAIL: daemon still running 10s after SIGTERM"
+  exit 1
+fi
+wait "$SERVE_PID" && RC=0 || RC=$?
+SERVE_PID=""
+[ "$RC" -eq 0 ] || { echo "FAIL: daemon exited with $RC"; cat "$WORK/serve.log"; exit 1; }
+grep -q 'shutting down' "$WORK/serve.log"
+echo "PASS: serve smoke — concurrent parity, sane metrics, typed 4xx, clean SIGTERM drain"
