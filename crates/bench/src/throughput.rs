@@ -355,6 +355,49 @@ pub fn run_suite(quick: bool, thread_counts: &[usize]) -> Vec<BenchEntry> {
             window_ms,
         );
         out.push(entry("pretrain_step", step_size, t, ns, batch_rows));
+
+        // Per-request tracing overhead (the `turl serve` telemetry hot
+        // path with tracing enabled): generate a trace id, stamp all
+        // six stages into a StageCell, fold the cell into a
+        // RequestTrace, and offer it to a full tail-sampling reservoir.
+        // This is everything tracing adds per served request; the
+        // disabled path is a single bool read. Compare against the
+        // `infer_step` row to see the overhead is far below 2% of a
+        // request's compute.
+        let reservoir = turl_obs::TraceReservoir::new(32, 128);
+        let mut req_i = 0u64;
+        let ns = time_ns(
+            || {
+                let id = turl_obs::next_trace_id();
+                let cell = turl_obs::StageCell::new();
+                for (j, stage) in turl_obs::Stage::ALL.iter().enumerate() {
+                    cell.record(*stage, (j as u64 + 1) * 1_000);
+                }
+                cell.set_batch(4, 3);
+                let mut stage_ns = [0u64; 6];
+                for s in turl_obs::Stage::ALL {
+                    stage_ns[s as usize] = cell.get(s);
+                }
+                // Monotonic total keeps the slow bucket churning — the
+                // worst-case (always-inserting) reservoir path.
+                req_i += 1;
+                reservoir.offer(turl_obs::RequestTrace {
+                    id,
+                    endpoint: "/v1/encode".to_string(),
+                    status: 200,
+                    stage_ns,
+                    batch_size: cell.batch_size(),
+                    peers: cell.peers(),
+                    n_tokens: 25,
+                    n_entities: 9,
+                    cached: false,
+                    total_ns: stage_ns.iter().sum::<u64>() + req_i,
+                });
+                std::hint::black_box(reservoir.seen());
+            },
+            window_ms,
+        );
+        out.push(entry("serve_traced", "stages=6,reservoir=32+128".to_string(), t, ns, 1));
     }
     pool::set_threads(saved_threads);
     out

@@ -41,8 +41,10 @@ USAGE:
                 [--addr 127.0.0.1:7433] [--workers N] [--conns N]
                 [--max-batch N] [--max-wait-us U] [--queue-depth N]
                 [--cache-cap N] [--plan-cache-cap N]
+                [--trace-out traces.jsonl] [--no-trace]
   turl client   [--addr HOST:PORT] [--requests N] [--concurrency C]
                 [--check-parity [--artifact F | --ckpt F]] [--shutdown]
+  turl top      [--addr HOST:PORT] [--interval-ms MS] [--iters N]
   turl report   <run.jsonl>
 
 Every command also accepts a global `--threads N` to size the worker
@@ -97,7 +99,10 @@ range analysis with their exact ±127·scale dequantization bounds.
 graph-free forward: POST a table (corpus JSON schema) to /v1/encode,
 /v1/entity_linking, /v1/cell_filling, /v1/row_population,
 /v1/column_type, /v1/relation_extraction or /v1/schema_augmentation;
-GET /healthz and /metrics for liveness and telemetry. Same-shape
+GET /healthz for liveness, /metrics for Prometheus text exposition
+(per-endpoint latency and per-stage time histograms, queue and cache
+gauges, turl_build_info), /metrics.json for the same summary as JSON,
+and /admin/traces for tail-sampled request traces as JSONL. Same-shape
 requests arriving within --max-wait-us are coalesced into one batched
 forward (up to --max-batch tables) behind a --queue-depth-bounded
 queue (overflow answers 503); responses stay bit-identical to offline
@@ -107,10 +112,27 @@ is bounded by --plan-cache-cap. Malformed requests get typed 4xx JSON
 errors; SIGTERM (or POST /admin/shutdown) drains in-flight work before
 exit.
 
+Every request is traced: a span timeline (decode, queue_wait,
+batch_assemble, forward, encode, write) is attributed per request even
+under micro-batching, a trace id (the x-request-id header, or a
+generated one) is echoed on every response, and a bounded reservoir
+tail-samples the slowest traces plus a uniform sample. --trace-out
+dumps the reservoir as schema-valid JSONL on shutdown (readable by
+`turl report`); --no-trace disables reservoir sampling (stage and
+endpoint histograms stay on). Tracing never changes responses: bytes
+are bit-identical with tracing on or off.
+
+`top` is a live dashboard over a daemon's /metrics: RPS, per-endpoint
+and per-stage p50/p99, batch occupancy, cache hit rate, queue depth,
+and overload rejects, refreshed every --interval-ms (default 1000)
+for --iters frames (default 0 = until interrupted).
+
 `client` drives a running daemon with --requests concurrent /v1/encode
-calls over the validation split and prints the server's /metrics
-summary. --check-parity recomputes every response locally (from the
-same --artifact or --ckpt the server loaded) and fails unless each one
+calls over the validation split — each client thread holds one
+kept-alive connection and the achieved connection-reuse rate is
+reported — then prints the server's /metrics.json summary.
+--check-parity recomputes every response locally (from the same
+--artifact or --ckpt the server loaded) and fails unless each one
 matches bit-for-bit; --shutdown asks the daemon to exit afterwards.
 
 `plan --int8-scale S` runs the same abstract interpreter with every
@@ -1219,6 +1241,11 @@ pub fn serve(opts: &Options) -> Result<(), String> {
         queue_depth: opts.get_usize("queue-depth", defaults.queue_depth)?,
         cache_cap: opts.get_usize("cache-cap", defaults.cache_cap)?,
         plan_cache_cap: opts.get_usize("plan-cache-cap", defaults.plan_cache_cap)?,
+        tracing: !opts.get_bool("no-trace")?,
+        trace_out: match opts.get("trace-out", "").as_str() {
+            "" => None,
+            path => Some(PathBuf::from(path)),
+        },
     };
     let session = turl_serve::Session::new(model, store, s.vocab, s.cfg.use_visibility);
     turl_serve::run(session, &sopts)
@@ -1296,6 +1323,8 @@ pub fn client(opts: &Options) -> Result<(), String> {
 
     let failures = std::sync::Mutex::new(Vec::<String>::new());
     let done = std::sync::atomic::AtomicUsize::new(0);
+    let sent = std::sync::atomic::AtomicU64::new(0);
+    let connects = std::sync::atomic::AtomicU64::new(0);
     std::thread::scope(|scope| {
         for worker in 0..concurrency {
             let addr = &addr;
@@ -1303,15 +1332,19 @@ pub fn client(opts: &Options) -> Result<(), String> {
             let expected = &expected;
             let failures = &failures;
             let done = &done;
+            let sent = &sent;
+            let connects = &connects;
             scope.spawn(move || {
                 let fail = |msg: String| {
                     if let Ok(mut f) = failures.lock() {
                         f.push(msg);
                     }
                 };
+                // One kept-alive connection per client thread.
+                let mut http = turl_serve::Client::new(addr);
                 for i in (worker..n_requests).step_by(concurrency) {
                     let tab = i % bodies.len();
-                    match turl_serve::client::post(addr, "/v1/encode", &bodies[tab]) {
+                    match http.post("/v1/encode", &bodies[tab]) {
                         Ok((200, body)) => {
                             done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                             if expected.is_empty() {
@@ -1335,6 +1368,8 @@ pub fn client(opts: &Options) -> Result<(), String> {
                         Err(e) => fail(format!("request {i}: {e}")),
                     }
                 }
+                sent.fetch_add(http.requests(), std::sync::atomic::Ordering::Relaxed);
+                connects.fetch_add(http.connects(), std::sync::atomic::Ordering::Relaxed);
             });
         }
     });
@@ -1343,13 +1378,21 @@ pub fn client(opts: &Options) -> Result<(), String> {
         "{ok}/{n_requests} requests ok across {concurrency} client thread(s){}",
         if check_parity { ", every response bit-identical to the local forward" } else { "" }
     ));
+    let sent = sent.load(std::sync::atomic::Ordering::Relaxed);
+    let connects = connects.load(std::sync::atomic::Ordering::Relaxed);
+    if sent > 0 {
+        info(format!(
+            "connection reuse: {:.0}% ({sent} request(s) over {connects} connection(s))",
+            100.0 * (sent - connects.min(sent)) as f64 / sent as f64
+        ));
+    }
 
-    let (status, body) = turl_serve::client::get(&addr, "/metrics")?;
+    let (status, body) = turl_serve::client::get(&addr, "/metrics.json")?;
     if status != 200 {
-        return Err(format!("{addr}/metrics answered {status}: {body}"));
+        return Err(format!("{addr}/metrics.json answered {status}: {body}"));
     }
     let m: turl_serve::MetricsResponse =
-        serde_json::from_str(&body).map_err(|e| format!("bad /metrics body: {e}"))?;
+        serde_json::from_str(&body).map_err(|e| format!("bad /metrics.json body: {e}"))?;
     info(format!(
         "server metrics: {} requests ({} ok, {} 4xx, {} 5xx) | p50 {:.0}us p99 {:.0}us | \
          {:.1} rps | batch occupancy {:.2} | cache hit rate {:.2} | {} resident plan(s), \
@@ -1383,5 +1426,120 @@ pub fn client(opts: &Options) -> Result<(), String> {
             warn(format!("failure: {f}"));
         }
         Err(format!("{} of {n_requests} request(s) failed", failures.len()))
+    }
+}
+
+/// `turl top`: a live terminal dashboard over a daemon's Prometheus
+/// `/metrics` endpoint — RPS, per-endpoint p50/p99, per-stage p50/p99,
+/// batch occupancy, cache hit rate, queue depth, and overload rejects,
+/// refreshed every `--interval-ms` for `--iters` frames (0 = forever).
+pub fn top(opts: &Options) -> Result<(), String> {
+    let addr = opts.get("addr", "127.0.0.1:7433");
+    let iters = opts.get_usize("iters", 0)?;
+    let interval_ms = opts.get_u64("interval-ms", 1000)?.max(50);
+    let mut http = turl_serve::Client::new(&addr);
+    let mut prev_requests: Option<f64> = None;
+    let mut frame = 0usize;
+    loop {
+        let (status, text) =
+            http.get("/metrics").map_err(|e| format!("cannot reach {addr}: {e}"))?;
+        if status != 200 {
+            return Err(format!("{addr}/metrics answered {status}"));
+        }
+        let samples = turl_obs::parse_exposition(&text)
+            .map_err(|e| format!("{addr}/metrics is not valid Prometheus exposition: {e}"))?;
+        let gauge = |name: &str| turl_obs::sample_value(&samples, name, &[]).unwrap_or(0.0);
+
+        let requests = gauge("serve_requests");
+        // RPS over the poll interval beats the lifetime average once we
+        // have two frames.
+        let rps = match prev_requests {
+            Some(p) => (requests - p).max(0.0) * 1000.0 / interval_ms as f64,
+            None => gauge("serve_rps"),
+        };
+        prev_requests = Some(requests);
+
+        let mut out = String::with_capacity(2048);
+        out.push_str("\x1b[2J\x1b[H"); // clear screen, home cursor
+        out.push_str(&format!(
+            "turl top — {addr}   uptime {:.0}s   {:.1} rps   {} reqs ({} ok / {} 4xx / {} 5xx)\n",
+            gauge("serve_uptime_seconds"),
+            rps,
+            requests as u64,
+            gauge("serve_responses_ok") as u64,
+            gauge("serve_responses_client_error") as u64,
+            gauge("serve_responses_server_error") as u64,
+        ));
+        out.push_str(&format!(
+            "batch occupancy {:.2}   cache hit rate {:.2}   queue {} (max {})   \
+             rejected {}   plans {}\n\n",
+            gauge("serve_batch_occupancy"),
+            gauge("serve_cache_hit_rate"),
+            gauge("serve_queue_depth") as u64,
+            gauge("serve_queue_depth_max") as u64,
+            gauge("serve_rejected_overload") as u64,
+            gauge("serve_plan_cache_size") as u64,
+        ));
+
+        out.push_str(&format!("{:<22} {:>9} {:>12} {:>12}\n", "endpoint", "count", "p50", "p99"));
+        for ep in [
+            "encode",
+            "entity_linking",
+            "cell_filling",
+            "row_population",
+            "column_type",
+            "relation_extraction",
+            "schema_augmentation",
+        ] {
+            let labels = [("endpoint", ep)];
+            let count =
+                turl_obs::sample_value(&samples, "serve_latency_us_count", &labels).unwrap_or(0.0);
+            if count == 0.0 {
+                continue;
+            }
+            let p50 = turl_obs::histogram_quantile(&samples, "serve_latency_us", &labels, 0.50);
+            let p99 = turl_obs::histogram_quantile(&samples, "serve_latency_us", &labels, 0.99);
+            out.push_str(&format!(
+                "{ep:<22} {:>9} {:>12} {:>12}\n",
+                count as u64,
+                fmt_us(p50),
+                fmt_us(p99)
+            ));
+        }
+
+        out.push_str(&format!("\n{:<22} {:>9} {:>12} {:>12}\n", "stage", "count", "p50", "p99"));
+        for stage in
+            ["decode", "queue_wait", "batch_assemble", "forward", "encode", "write"]
+        {
+            let labels = [("stage", stage)];
+            let count =
+                turl_obs::sample_value(&samples, "serve_stage_us_count", &labels).unwrap_or(0.0);
+            let p50 = turl_obs::histogram_quantile(&samples, "serve_stage_us", &labels, 0.50);
+            let p99 = turl_obs::histogram_quantile(&samples, "serve_stage_us", &labels, 0.99);
+            out.push_str(&format!(
+                "{stage:<22} {:>9} {:>12} {:>12}\n",
+                count as u64,
+                fmt_us(p50),
+                fmt_us(p99)
+            ));
+        }
+        print!("{out}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+
+        frame += 1;
+        if iters > 0 && frame >= iters {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
+/// Format a histogram-bucket quantile (µs upper bound) for `turl top`.
+fn fmt_us(v: Option<f64>) -> String {
+    match v {
+        None => "-".to_string(),
+        Some(us) if us >= 1_000.0 => format!("≤{:.1}ms", us / 1_000.0),
+        Some(us) => format!("≤{us:.0}us"),
     }
 }

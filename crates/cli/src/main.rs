@@ -18,6 +18,7 @@
 //! turl bench    [--quick] [--threads 1,2,4] [--out F]   throughput benchmark
 //! turl serve    [--artifact F] [--addr A] [...]       batched HTTP inference daemon
 //! turl client   [--addr A] [--check-parity] [...]     drive + parity-check a daemon
+//! turl top      [--addr A] [--interval-ms MS]         live /metrics dashboard
 //! turl report   <run.jsonl>                          render a metrics file
 //! ```
 //!
@@ -96,6 +97,7 @@ fn main() -> ExitCode {
         "bench" => commands::bench(&opts),
         "serve" => commands::serve(&opts),
         "client" => commands::client(&opts),
+        "top" => commands::top(&opts),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

@@ -29,13 +29,23 @@
 pub mod event;
 pub mod metrics;
 pub mod profile;
+pub mod prometheus;
 pub mod raw;
 pub mod recorder;
 pub mod report;
 pub mod sink;
+pub mod trace;
 
 pub use event::{Event, FieldValue};
-pub use metrics::{counter, emit_metrics_events, gauge, histogram, Counter, Gauge, Histogram};
+pub use metrics::{
+    counter, emit_metrics_events, gauge, histogram, intern_name, quantile_from_buckets,
+    snapshot_registry, Counter, Gauge, Histogram, RegistrySnapshot,
+};
+pub use prometheus::{
+    histogram_buckets, histogram_quantile, parse_exposition, render_prometheus,
+    sanitize_metric_name, sample_value, PromSample,
+};
+pub use trace::{next_trace_id, RequestTrace, Stage, StageCell, TraceReservoir};
 pub use profile::{
     emit_profile_events, op_timer, pool_configure, pool_dequeued, pool_helper_run, pool_submitted,
     record_op, register_op, OpId, OpTimer,

@@ -208,24 +208,60 @@ pub fn histogram(name: &'static str, bounds: &[f64]) -> Arc<Histogram> {
     h
 }
 
+/// Point-in-time copy of every registered instrument, consumed by the
+/// Prometheus renderer and `emit_metrics_events`.
+#[derive(Debug, Default)]
+pub struct RegistrySnapshot {
+    /// `(name, cumulative count)` per counter.
+    pub counters: Vec<(&'static str, u64)>,
+    /// `(name, last value)` per gauge.
+    pub gauges: Vec<(&'static str, f64)>,
+    /// `(name, total, sum, per-bucket counts incl. overflow, bounds)`
+    /// per histogram.
+    pub histograms: Vec<(&'static str, u64, f64, Vec<u64>, Vec<f64>)>,
+}
+
+/// Snapshot every registered instrument (registration order).
+pub fn snapshot_registry() -> RegistrySnapshot {
+    let reg = match registry().lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    RegistrySnapshot {
+        counters: reg.counters.iter().map(|(n, c)| (*n, c.get())).collect(),
+        gauges: reg.gauges.iter().map(|(n, g)| (*n, g.get())).collect(),
+        histograms: reg
+            .histograms
+            .iter()
+            .map(|(n, h)| (*n, h.total(), h.sum(), h.counts(), h.bounds().to_vec()))
+            .collect(),
+    }
+}
+
+/// Intern a dynamically built instrument name into a `&'static str`
+/// (instrument constructors take static names so hot paths never hash
+/// strings). Deduplicated, so repeated interning of the same text does
+/// not grow memory — intended for names built once at startup, e.g. a
+/// `build_info` gauge whose labels depend on the loaded artifact.
+pub fn intern_name(name: &str) -> &'static str {
+    static INTERNED: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    let mut table = match INTERNED.get_or_init(|| Mutex::new(Vec::new())).lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    if let Some(s) = table.iter().find(|s| **s == name) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    table.push(leaked);
+    leaked
+}
+
 /// Emit one `metric` event per registered instrument (cumulative
 /// values — consumers diff across snapshots if they want rates).
 pub fn emit_metrics_events() {
-    let snapshot: (Vec<_>, Vec<_>, Vec<_>) = {
-        let reg = match registry().lock() {
-            Ok(g) => g,
-            Err(p) => p.into_inner(),
-        };
-        (
-            reg.counters.iter().map(|(n, c)| (*n, c.get())).collect(),
-            reg.gauges.iter().map(|(n, g)| (*n, g.get())).collect(),
-            reg.histograms
-                .iter()
-                .map(|(n, h)| (*n, h.total(), h.sum(), h.counts(), h.bounds().to_vec()))
-                .collect(),
-        )
-    };
-    for (name, v) in snapshot.0 {
+    let snapshot = snapshot_registry();
+    for (name, v) in snapshot.counters {
         emit(
             "metric",
             vec![
@@ -235,7 +271,7 @@ pub fn emit_metrics_events() {
             ],
         );
     }
-    for (name, v) in snapshot.1 {
+    for (name, v) in snapshot.gauges {
         emit(
             "metric",
             vec![
@@ -245,7 +281,7 @@ pub fn emit_metrics_events() {
             ],
         );
     }
-    for (name, total, sum, counts, bounds) in snapshot.2 {
+    for (name, total, sum, counts, bounds) in snapshot.histograms {
         let buckets = counts.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(",");
         let bounds = bounds.iter().map(|b| b.to_string()).collect::<Vec<_>>().join(",");
         emit(
@@ -302,6 +338,41 @@ mod tests {
         assert_eq!(h.total(), 6);
         // NaN excluded from the sum
         assert!((h.sum() - (0.5 + 1.0 + 10.0 + 100.0 + 1e6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_from_buckets_edge_cases() {
+        // empty histogram: no bounds, no counts
+        assert_eq!(quantile_from_buckets(&[], &[], 0.5), None);
+        // bounds but zero samples
+        assert_eq!(quantile_from_buckets(&[1.0, 2.0], &[0, 0, 0], 0.5), None);
+        // counts but no bounds (degenerate registration)
+        assert_eq!(quantile_from_buckets(&[], &[5], 0.5), None);
+
+        let bounds = [1.0, 10.0, 100.0];
+        let counts = [5u64, 3, 2, 0];
+        // q=0.0 clamps to rank 1: the first non-empty bucket's bound
+        assert_eq!(quantile_from_buckets(&bounds, &counts, 0.0), Some(1.0));
+        // q=1.0 is the last non-empty bucket's bound
+        assert_eq!(quantile_from_buckets(&bounds, &counts, 1.0), Some(100.0));
+        // out-of-range q clamps rather than panicking
+        assert_eq!(quantile_from_buckets(&bounds, &counts, -3.0), Some(1.0));
+        assert_eq!(quantile_from_buckets(&bounds, &counts, 7.0), Some(100.0));
+
+        // single-bucket histogram: every quantile is that bound
+        assert_eq!(quantile_from_buckets(&[5.0], &[9, 0], 0.01), Some(5.0));
+        assert_eq!(quantile_from_buckets(&[5.0], &[9, 0], 0.99), Some(5.0));
+
+        // all mass in the overflow bucket: saturates at last finite bound
+        assert_eq!(quantile_from_buckets(&bounds, &[0, 0, 0, 42], 0.5), Some(100.0));
+        assert_eq!(quantile_from_buckets(&bounds, &[0, 0, 0, 42], 1.0), Some(100.0));
+    }
+
+    #[test]
+    fn interned_names_deduplicate() {
+        let a = intern_name(&format!("dyn.metric.{}", 7));
+        let b = intern_name("dyn.metric.7");
+        assert!(std::ptr::eq(a, b), "same text must intern to the same allocation");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use crate::event::Event;
 use crate::raw::from_json_line;
+use crate::trace::{RequestTrace, Stage};
 
 /// Parse a JSONL metrics stream, schema-checking every line.
 ///
@@ -156,6 +157,9 @@ pub struct Summary {
     pub empty_batches: u64,
     /// Host cores recorded at run start (starvation heuristics).
     pub available_cores: u64,
+    /// Sampled request traces with their reservoir bucket tag
+    /// (`slow` / `uniform`), in stream order.
+    pub traces: Vec<(RequestTrace, String)>,
     /// Human-readable anomaly flags.
     pub anomalies: Vec<String>,
 }
@@ -240,6 +244,14 @@ pub fn summarize(events: &[Event]) -> Result<Summary, String> {
                     _ => {}
                 }
             }
+            "trace" => match RequestTrace::from_event(ev) {
+                Some(pair) => s.traces.push(pair),
+                None => {
+                    return Err(
+                        "trace event is missing required stage/shape fields".to_string()
+                    );
+                }
+            },
             "non_finite_skip" => s.non_finite_skips += 1,
             "empty_batch" => s.empty_batches += 1,
             "op_profile" => {
@@ -318,7 +330,8 @@ pub fn summarize(events: &[Event]) -> Result<Summary, String> {
         s.mean_loss = Some(loss_sum / s.losses.len() as f64);
     }
     s.ops.sort_by_key(|op| std::cmp::Reverse(op.total_ns));
-    if s.n_spans == 0 {
+    // A trace-only dump (`--trace-out`) legitimately has no spans.
+    if s.n_spans == 0 && s.traces.is_empty() {
         return Err(format!(
             "metrics stream has {} events but zero recorded spans — instrumentation is dead",
             s.n_events
@@ -387,6 +400,127 @@ fn detect_anomalies(s: &Summary) -> Vec<String> {
 
 fn fmt_ms(ns: u64) -> String {
     format!("{:.2} ms", ns as f64 / 1.0e6)
+}
+
+/// Nearest-rank quantile over an ascending-sorted slice.
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+/// Pearson correlation coefficient; `None` when either side has zero
+/// variance (correlation is undefined).
+fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    let n = xs.len().min(ys.len());
+    if n < 2 {
+        return None;
+    }
+    let mx = xs[..n].iter().sum::<f64>() / n as f64;
+    let my = ys[..n].iter().sum::<f64>() / n as f64;
+    let (mut sxy, mut sxx, mut syy) = (0.0, 0.0, 0.0);
+    for i in 0..n {
+        let dx = xs[i] - mx;
+        let dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+fn render_traces(out: &mut String, s: &Summary) {
+    use std::fmt::Write as _;
+    let n_slow = s.traces.iter().filter(|(_, tag)| tag == "slow").count();
+    let _ = writeln!(out, "\n-- request traces --");
+    let _ = writeln!(
+        out,
+        "  sampled {} ({} slow, {} uniform)",
+        s.traces.len(),
+        n_slow,
+        s.traces.len() - n_slow
+    );
+
+    // Quantiles come from the uniform bucket when available — the slow
+    // bucket is tail-biased by construction. Fall back to everything
+    // when the run was too short to fill the uniform reservoir.
+    let uniform: Vec<&RequestTrace> =
+        s.traces.iter().filter(|(_, tag)| tag == "uniform").map(|(t, _)| t).collect();
+    let basis: Vec<&RequestTrace> = if uniform.is_empty() {
+        s.traces.iter().map(|(t, _)| t).collect()
+    } else {
+        uniform
+    };
+
+    let _ = writeln!(out, "  stage            p50          p99");
+    for stage in Stage::ALL {
+        let mut vals: Vec<f64> =
+            basis.iter().map(|t| t.stage_ns[stage as usize] as f64).collect();
+        vals.sort_by(f64::total_cmp);
+        let _ = writeln!(
+            out,
+            "  {:<14} {:>9}  {:>11}",
+            stage.name(),
+            fmt_ms(exact_quantile(&vals, 0.50) as u64),
+            fmt_ms(exact_quantile(&vals, 0.99) as u64)
+        );
+    }
+
+    let wait: u64 = basis.iter().map(|t| t.wait_ns()).sum();
+    let compute: u64 = basis.iter().map(|t| t.compute_ns()).sum();
+    if compute > 0 {
+        let _ = writeln!(
+            out,
+            "  queue-wait vs compute: {:.2}  (wait {}, compute {})",
+            wait as f64 / compute as f64,
+            fmt_ms(wait),
+            fmt_ms(compute)
+        );
+    }
+
+    let sizes: Vec<f64> = basis.iter().map(|t| t.batch_size as f64).collect();
+    let totals: Vec<f64> = basis.iter().map(|t| t.total_ns as f64).collect();
+    match pearson(&sizes, &totals) {
+        Some(r) => {
+            let _ = writeln!(out, "  batch-occupancy vs latency correlation: r = {r:+.2}");
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "  batch-occupancy vs latency correlation: n/a (constant sample)"
+            );
+        }
+    }
+
+    // Slowest-N over every sampled trace, deduplicated by id (a trace
+    // can sit in both reservoir buckets).
+    let mut slowest: Vec<&RequestTrace> = Vec::new();
+    for (t, _) in &s.traces {
+        if !slowest.iter().any(|x| x.id == t.id) {
+            slowest.push(t);
+        }
+    }
+    slowest.sort_by_key(|t| std::cmp::Reverse(t.total_ns));
+    let _ = writeln!(out, "  slowest requests:");
+    for t in slowest.iter().take(5) {
+        let _ = writeln!(
+            out,
+            "    {:>10}  {:<24} status {}  batch {}  {} tok + {} ent{}  id {}",
+            fmt_ms(t.total_ns),
+            t.endpoint,
+            t.status,
+            t.batch_size,
+            t.n_tokens,
+            t.n_entities,
+            if t.cached { "  [cached]" } else { "" },
+            t.id
+        );
+    }
 }
 
 /// Render the summary as the `turl report` terminal text.
@@ -492,6 +626,9 @@ pub fn render(s: &Summary) -> String {
                 h.name, h.total
             );
         }
+    }
+    if !s.traces.is_empty() {
+        render_traces(&mut out, s);
     }
     if let Some(pool) = &s.pool {
         let _ = writeln!(out, "\n-- worker pool --");
@@ -712,6 +849,70 @@ mod tests {
         assert!(text.contains("loss spike"), "{text}");
         assert!(text.contains("MER mask-ratio drift"), "{text}");
         assert!(text.contains("non-finite"), "{text}");
+    }
+
+    fn trace_event(id: &str, total_ns: u64, batch: u64, sample: &str) -> Event {
+        let t = RequestTrace {
+            id: id.to_string(),
+            endpoint: "/v1/encode".to_string(),
+            status: 200,
+            stage_ns: [
+                total_ns / 10,
+                total_ns / 10,
+                total_ns / 10,
+                total_ns / 2,
+                total_ns / 10,
+                total_ns / 10,
+            ],
+            batch_size: batch,
+            peers: batch.saturating_sub(1),
+            n_tokens: 25,
+            n_entities: 9,
+            cached: false,
+            total_ns,
+        };
+        t.to_event(sample)
+    }
+
+    #[test]
+    fn trace_only_streams_summarize_and_render_breakdown() {
+        // A --trace-out dump has zero spans — must not trip the
+        // dead-instrumentation error.
+        let events = vec![
+            trace_event("aaa", 9_000_000, 4, "slow"),
+            trace_event("bbb", 1_000_000, 1, "uniform"),
+            trace_event("ccc", 2_000_000, 2, "uniform"),
+            trace_event("ddd", 4_000_000, 4, "uniform"),
+        ];
+        let s = summarize(&events).expect("trace-only stream is valid");
+        assert_eq!(s.traces.len(), 4);
+        let text = render(&s);
+        assert!(text.contains("-- request traces --"), "{text}");
+        assert!(text.contains("sampled 4 (1 slow, 3 uniform)"), "{text}");
+        for stage in ["decode", "queue_wait", "batch_assemble", "forward", "encode", "write"] {
+            assert!(text.contains(stage), "missing stage {stage} in {text}");
+        }
+        assert!(text.contains("queue-wait vs compute"), "{text}");
+        // batch size and latency rise together in this fixture
+        assert!(text.contains("correlation: r = +1.00"), "{text}");
+        assert!(text.contains("slowest requests:"), "{text}");
+        assert!(text.contains("id aaa"), "{text}");
+    }
+
+    #[test]
+    fn malformed_trace_event_is_a_hard_error() {
+        let mut ev = trace_event("aaa", 1000, 1, "slow");
+        ev.fields.retain(|(k, _)| k != "forward_ns");
+        let err = summarize(&[ev]).expect_err("missing stage field");
+        assert!(err.contains("trace event"), "{err}");
+    }
+
+    #[test]
+    fn pearson_degenerate_cases() {
+        assert_eq!(pearson(&[1.0], &[2.0]), None);
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), None);
+        let r = pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]).expect("defined");
+        assert!((r + 1.0).abs() < 1e-12);
     }
 
     #[test]

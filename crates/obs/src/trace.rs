@@ -1,0 +1,436 @@
+//! Per-request tracing primitives for the serving layer: trace ids,
+//! per-stage attribution cells, and a bounded tail-sampling reservoir.
+//!
+//! A request flowing through `turl serve` crosses threads: the
+//! connection thread decodes and writes, a worker thread batches and
+//! runs the forward. The [`StageCell`] is the shared scratchpad both
+//! sides stamp nanosecond durations into (plain relaxed atomics — the
+//! channel reply that hands the response back provides the
+//! happens-before edge before the cell is read). When the request
+//! completes, the connection thread folds the cell into a
+//! [`RequestTrace`] and offers it to the [`TraceReservoir`], which
+//! keeps the K slowest traces plus a uniform (Algorithm R) sample of
+//! everything — bounded memory no matter how long the daemon runs.
+//!
+//! # Determinism contract
+//!
+//! Tracing only reads clocks and bumps atomics; it never draws model
+//! RNG or reorders reductions, so responses are bit-identical with
+//! tracing on or off (proven by an end-to-end test in `turl-serve`).
+//! The reservoir's sampler is a private xorshift64 state seeded at
+//! construction — it is not the model RNG.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::event::{Event, FieldValue};
+use crate::recorder::now_ns;
+
+/// The six per-request pipeline stages, in pipeline order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Header + JSON body parsing and request validation.
+    Decode = 0,
+    /// Time spent queued before a worker selected the job.
+    QueueWait = 1,
+    /// Time between selection and batch dispatch (coalescing wait).
+    BatchAssemble = 2,
+    /// Amortized share of the fused forward (batch time / batch size).
+    Forward = 3,
+    /// Head application + response serialization.
+    Encode = 4,
+    /// Writing the response bytes back to the socket.
+    Write = 5,
+}
+
+impl Stage {
+    /// All stages in pipeline order.
+    pub const ALL: [Stage; 6] = [
+        Stage::Decode,
+        Stage::QueueWait,
+        Stage::BatchAssemble,
+        Stage::Forward,
+        Stage::Encode,
+        Stage::Write,
+    ];
+
+    /// Stable lowercase name (also the Prometheus `stage` label value).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Decode => "decode",
+            Stage::QueueWait => "queue_wait",
+            Stage::BatchAssemble => "batch_assemble",
+            Stage::Forward => "forward",
+            Stage::Encode => "encode",
+            Stage::Write => "write",
+        }
+    }
+}
+
+/// Cross-thread scratchpad one in-flight request stamps stage
+/// durations into. All stores/loads are relaxed; ordering is provided
+/// by the reply channel that sequences worker writes before the
+/// connection thread's final read.
+#[derive(Debug, Default)]
+pub struct StageCell {
+    ns: [AtomicU64; 6],
+    batch_size: AtomicU64,
+    peers: AtomicU64,
+}
+
+impl StageCell {
+    /// Fresh cell with every stage at zero.
+    pub fn new() -> Self {
+        StageCell::default()
+    }
+
+    /// Record a stage duration in nanoseconds (last write wins).
+    pub fn record(&self, stage: Stage, ns: u64) {
+        self.ns[stage as usize].store(ns, Ordering::Relaxed);
+    }
+
+    /// Read a recorded stage duration.
+    pub fn get(&self, stage: Stage) -> u64 {
+        self.ns[stage as usize].load(Ordering::Relaxed)
+    }
+
+    /// Record the batch this request rode in: total size and how many
+    /// *other* requests were coalesced alongside it.
+    pub fn set_batch(&self, size: u64, peers: u64) {
+        self.batch_size.store(size, Ordering::Relaxed);
+        self.peers.store(peers, Ordering::Relaxed);
+    }
+
+    /// Batch size the request was executed in (0 = never dispatched).
+    pub fn batch_size(&self) -> u64 {
+        self.batch_size.load(Ordering::Relaxed)
+    }
+
+    /// Number of coalesced peer requests in the same batch.
+    pub fn peers(&self) -> u64 {
+        self.peers.load(Ordering::Relaxed)
+    }
+}
+
+/// A completed request's span timeline, ready for sampling/export.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestTrace {
+    /// Trace id: `x-request-id` header value or a generated id.
+    pub id: String,
+    /// Endpoint path (`/v1/encode`, ...).
+    pub endpoint: String,
+    /// HTTP status the request finished with.
+    pub status: u16,
+    /// Per-stage nanoseconds, indexed by [`Stage`] discriminant.
+    pub stage_ns: [u64; 6],
+    /// Batch size the request executed in (0 when served from cache).
+    pub batch_size: u64,
+    /// Coalesced peer requests in the same batch.
+    pub peers: u64,
+    /// Input token count (shape attribution for tail analysis).
+    pub n_tokens: u64,
+    /// Input entity count.
+    pub n_entities: u64,
+    /// Whether the response came from the encode cache.
+    pub cached: bool,
+    /// End-to-end nanoseconds (sum of all stages).
+    pub total_ns: u64,
+}
+
+impl RequestTrace {
+    /// Sum of queueing stages (queue wait + batch assembly).
+    pub fn wait_ns(&self) -> u64 {
+        self.stage_ns[Stage::QueueWait as usize] + self.stage_ns[Stage::BatchAssemble as usize]
+    }
+
+    /// Sum of compute stages (decode + forward + encode).
+    pub fn compute_ns(&self) -> u64 {
+        self.stage_ns[Stage::Decode as usize]
+            + self.stage_ns[Stage::Forward as usize]
+            + self.stage_ns[Stage::Encode as usize]
+    }
+
+    /// Render as a flat, schema-valid `trace` [`Event`] so trace JSONL
+    /// files pass the same `parse_jsonl` validation as metrics files.
+    /// `sample` records which reservoir bucket emitted it (`slow` or
+    /// `uniform`).
+    pub fn to_event(&self, sample: &str) -> Event {
+        let mut fields: Vec<(String, FieldValue)> = vec![
+            ("trace_id".into(), FieldValue::Str(self.id.clone())),
+            ("endpoint".into(), FieldValue::Str(self.endpoint.clone())),
+            ("status".into(), FieldValue::U64(u64::from(self.status))),
+        ];
+        for stage in Stage::ALL {
+            fields.push((
+                format!("{}_ns", stage.name()),
+                FieldValue::U64(self.stage_ns[stage as usize]),
+            ));
+        }
+        fields.push(("total_ns".into(), FieldValue::U64(self.total_ns)));
+        fields.push(("batch_size".into(), FieldValue::U64(self.batch_size)));
+        fields.push(("peers".into(), FieldValue::U64(self.peers)));
+        fields.push(("tokens".into(), FieldValue::U64(self.n_tokens)));
+        fields.push(("entities".into(), FieldValue::U64(self.n_entities)));
+        fields.push(("cached".into(), FieldValue::Bool(self.cached)));
+        fields.push(("sample".into(), FieldValue::Str(sample.to_string())));
+        Event { kind: "trace".to_string(), step: 0, epoch: 0, t_ns: now_ns(), fields }
+    }
+
+    /// Rebuild a trace (plus its sample tag) from a parsed `trace`
+    /// event; `None` when the event is not a trace or lacks the
+    /// required fields.
+    pub fn from_event(ev: &Event) -> Option<(RequestTrace, String)> {
+        if ev.kind != "trace" {
+            return None;
+        }
+        let mut stage_ns = [0u64; 6];
+        for stage in Stage::ALL {
+            stage_ns[stage as usize] = ev.u64_field(&format!("{}_ns", stage.name()))?;
+        }
+        let trace = RequestTrace {
+            id: ev.str_field("trace_id")?.to_string(),
+            endpoint: ev.str_field("endpoint")?.to_string(),
+            status: u16::try_from(ev.u64_field("status")?).ok()?,
+            stage_ns,
+            batch_size: ev.u64_field("batch_size")?,
+            peers: ev.u64_field("peers")?,
+            n_tokens: ev.u64_field("tokens")?,
+            n_entities: ev.u64_field("entities")?,
+            cached: ev.bool_field("cached")?,
+            total_ns: ev.u64_field("total_ns")?,
+        };
+        Some((trace, ev.str_field("sample").unwrap_or("uniform").to_string()))
+    }
+}
+
+/// Generate a process-unique 16-hex-digit trace id. The id mixes a
+/// per-process seed (wall clock at first use XOR pid) with a
+/// monotonically increasing counter through an FNV-style avalanche, so
+/// ids from concurrently running daemons do not collide in practice.
+pub fn next_trace_id() -> String {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    static SEED: OnceLock<u64> = OnceLock::new();
+    let seed = *SEED.get_or_init(|| {
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e37_79b9_7f4a_7c15);
+        nanos ^ (u64::from(std::process::id()) << 32)
+    });
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    format!("{:016x}", splitmix64(seed.wrapping_add(n)))
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+struct ReservoirInner {
+    /// K slowest traces, kept sorted ascending by `total_ns` so the
+    /// eviction candidate is always the front.
+    slow: Vec<RequestTrace>,
+    /// Uniform Algorithm R sample over every trace ever offered.
+    uniform: Vec<RequestTrace>,
+    seen: u64,
+    rng: u64,
+}
+
+/// Bounded tail-sampling reservoir: the `k_slow` slowest traces plus a
+/// `k_uniform`-element uniform sample of all traces. Memory is bounded
+/// by `k_slow + k_uniform` regardless of traffic volume.
+pub struct TraceReservoir {
+    inner: Mutex<ReservoirInner>,
+    k_slow: usize,
+    k_uniform: usize,
+}
+
+impl TraceReservoir {
+    /// Reservoir keeping `k_slow` slowest + `k_uniform` uniform traces.
+    pub fn new(k_slow: usize, k_uniform: usize) -> Self {
+        TraceReservoir {
+            inner: Mutex::new(ReservoirInner {
+                slow: Vec::with_capacity(k_slow),
+                uniform: Vec::with_capacity(k_uniform),
+                seen: 0,
+                rng: 0x5bd1_e995_9e37_79b9,
+            }),
+            k_slow,
+            k_uniform,
+        }
+    }
+
+    /// Offer a completed trace for sampling.
+    pub fn offer(&self, t: RequestTrace) {
+        let mut inner = match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        inner.seen += 1;
+
+        // Slow bucket: sorted insert, evict the fastest when full.
+        if self.k_slow > 0 {
+            let keep = inner.slow.len() < self.k_slow
+                || inner.slow.first().is_some_and(|min| t.total_ns > min.total_ns);
+            if keep {
+                let at = inner.slow.partition_point(|s| s.total_ns <= t.total_ns);
+                inner.slow.insert(at, t.clone());
+                if inner.slow.len() > self.k_slow {
+                    inner.slow.remove(0);
+                }
+            }
+        }
+
+        // Uniform bucket: Algorithm R.
+        if self.k_uniform > 0 {
+            if inner.uniform.len() < self.k_uniform {
+                inner.uniform.push(t);
+            } else {
+                // xorshift64
+                let mut x = inner.rng;
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                inner.rng = x;
+                let j = (x % inner.seen) as usize;
+                if j < self.k_uniform {
+                    inner.uniform[j] = t;
+                }
+            }
+        }
+    }
+
+    /// Total traces ever offered.
+    pub fn seen(&self) -> u64 {
+        match self.inner.lock() {
+            Ok(g) => g.seen,
+            Err(p) => p.into_inner().seen,
+        }
+    }
+
+    /// Snapshot: `(slowest-first slow bucket, uniform bucket)`.
+    pub fn snapshot(&self) -> (Vec<RequestTrace>, Vec<RequestTrace>) {
+        let inner = match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        let mut slow = inner.slow.clone();
+        slow.reverse(); // stored ascending; report slowest first
+        (slow, inner.uniform.clone())
+    }
+
+    /// Render the whole reservoir as schema-valid JSONL (one `trace`
+    /// event per line, slow bucket first), the format `--trace-out`
+    /// writes and `/admin/traces` serves.
+    pub fn to_jsonl(&self) -> String {
+        let (slow, uniform) = self.snapshot();
+        let mut out = String::new();
+        for t in &slow {
+            out.push_str(&crate::raw::to_json_line(&t.to_event("slow").to_value()));
+            out.push('\n');
+        }
+        for t in &uniform {
+            out.push_str(&crate::raw::to_json_line(&t.to_event("uniform").to_value()));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(total_ns: u64) -> RequestTrace {
+        RequestTrace {
+            id: format!("t{total_ns}"),
+            endpoint: "/v1/encode".into(),
+            status: 200,
+            stage_ns: [1, 2, 3, total_ns.saturating_sub(10), 2, 2],
+            batch_size: 4,
+            peers: 3,
+            n_tokens: 25,
+            n_entities: 9,
+            cached: false,
+            total_ns,
+        }
+    }
+
+    #[test]
+    fn trace_ids_are_unique_and_hex() {
+        let a = next_trace_id();
+        let b = next_trace_id();
+        assert_ne!(a, b);
+        assert_eq!(a.len(), 16);
+        assert!(a.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn stage_cell_roundtrips() {
+        let cell = StageCell::new();
+        for (i, stage) in Stage::ALL.iter().enumerate() {
+            cell.record(*stage, (i as u64 + 1) * 100);
+        }
+        cell.set_batch(4, 3);
+        assert_eq!(cell.get(Stage::Forward), 400);
+        assert_eq!(cell.batch_size(), 4);
+        assert_eq!(cell.peers(), 3);
+    }
+
+    #[test]
+    fn trace_event_roundtrip_is_schema_valid() {
+        let t = trace(12345);
+        let ev = t.to_event("slow");
+        // must survive the strict from_value schema check
+        let back = Event::from_value(&ev.to_value()).expect("schema-valid trace event");
+        let (t2, sample) = RequestTrace::from_event(&back).expect("trace decodes");
+        assert_eq!(t2, t);
+        assert_eq!(sample, "slow");
+    }
+
+    #[test]
+    fn reservoir_keeps_k_slowest() {
+        let r = TraceReservoir::new(3, 0);
+        for total in [50, 10, 900, 70, 5, 800, 60] {
+            r.offer(trace(total));
+        }
+        let (slow, uniform) = r.snapshot();
+        assert!(uniform.is_empty());
+        let totals: Vec<u64> = slow.iter().map(|t| t.total_ns).collect();
+        assert_eq!(totals, vec![900, 800, 70], "slowest first");
+        assert_eq!(r.seen(), 7);
+    }
+
+    #[test]
+    fn reservoir_uniform_bucket_is_bounded() {
+        let r = TraceReservoir::new(2, 8);
+        for total in 0..1000u64 {
+            r.offer(trace(total + 1));
+        }
+        let (slow, uniform) = r.snapshot();
+        assert_eq!(slow.len(), 2);
+        assert_eq!(uniform.len(), 8);
+        assert_eq!(slow[0].total_ns, 1000);
+        // uniform sample must not be just the first 8
+        assert!(
+            uniform.iter().any(|t| t.total_ns > 8),
+            "Algorithm R should have replaced early entries"
+        );
+        assert_eq!(r.seen(), 1000);
+    }
+
+    #[test]
+    fn reservoir_jsonl_parses_under_strict_schema() {
+        let r = TraceReservoir::new(2, 2);
+        for total in [10, 20, 30] {
+            r.offer(trace(total));
+        }
+        let jsonl = r.to_jsonl();
+        let events = crate::report::parse_jsonl(&jsonl).expect("valid JSONL");
+        assert_eq!(events.len(), 4); // 2 slow + 2 uniform
+        assert!(events.iter().all(|e| e.kind == "trace"));
+    }
+}

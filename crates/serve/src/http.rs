@@ -1,11 +1,13 @@
 //! A deliberately minimal HTTP/1.1 layer over `std::net` — just enough
 //! to speak JSON over curl: request-line + headers + `Content-Length`
-//! body in, fixed-header response with `Connection: close` out. No
-//! keep-alive, no chunked encoding, no TLS; every connection carries
-//! exactly one request.
+//! body in, fixed-header response out. HTTP/1.1 connections are
+//! keep-alive by default (`Connection: close` — or HTTP/1.0 without
+//! `keep-alive` — opts out); no chunked encoding, no TLS. The parser
+//! also captures `x-request-id` so a caller-supplied trace id flows
+//! through the serving telemetry.
 
 use crate::protocol::{ServeError, MAX_BODY_BYTES};
-use std::io::{Read, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
@@ -18,15 +20,32 @@ pub struct Request {
     pub path: String,
     /// Request body (empty when no `Content-Length`).
     pub body: String,
+    /// Whether the connection should stay open after the response
+    /// (HTTP/1.1 default unless the client sent `Connection: close`).
+    pub keep_alive: bool,
+    /// Caller-supplied `x-request-id` header, if any.
+    pub request_id: Option<String>,
 }
 
 /// How long a connection may sit idle mid-request before it is dropped.
 pub const IO_TIMEOUT: Duration = Duration::from_secs(10);
 
-/// Read and parse one request from the stream. Every malformed input is
-/// a typed [`ServeError::BadRequest`] the caller turns into a 400.
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, ServeError> {
-    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+/// How long a kept-alive connection may idle between requests before
+/// the server closes it. Short on purpose: an idle keep-alive
+/// connection parks an acceptor thread, and shutdown waits at most
+/// this long for parked acceptors to notice the stop flag.
+pub const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(2);
+
+/// Read and parse one request from the stream. `Ok(None)` means the
+/// peer closed (or idled past `idle`) before sending any bytes — the
+/// clean end of a keep-alive connection, not an error. Every malformed
+/// input is a typed [`ServeError::BadRequest`] the caller turns into a
+/// 400.
+pub fn read_request(
+    stream: &mut TcpStream,
+    idle: Duration,
+) -> Result<Option<Request>, ServeError> {
+    let _ = stream.set_read_timeout(Some(idle));
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
 
     // Read until the blank line ending the header block.
@@ -39,13 +58,29 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ServeError> {
         if buf.len() > 64 * 1024 {
             return Err(ServeError::BadRequest("header block exceeds 64 KiB".into()));
         }
-        let n = stream
-            .read(&mut chunk)
-            .map_err(|e| ServeError::BadRequest(format!("read failed: {e}")))?;
+        let n = match stream.read(&mut chunk) {
+            Ok(n) => n,
+            // Idle timeout before the first byte: a quiet keep-alive
+            // peer, not a protocol error.
+            Err(e)
+                if buf.is_empty()
+                    && matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) =>
+            {
+                return Ok(None);
+            }
+            Err(e) => return Err(ServeError::BadRequest(format!("read failed: {e}"))),
+        };
         if n == 0 {
+            if buf.is_empty() {
+                return Ok(None); // clean close between requests
+            }
             return Err(ServeError::BadRequest("connection closed mid-header".into()));
         }
         buf.extend_from_slice(&chunk[..n]);
+        // Once a request has started, hold it to the full I/O timeout.
+        if buf.len() == n {
+            let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+        }
     };
 
     let head = String::from_utf8_lossy(&buf[..header_end]).into_owned();
@@ -59,15 +94,38 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ServeError> {
         .next()
         .ok_or_else(|| ServeError::BadRequest("missing request path".into()))?
         .to_string();
+    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 (or anything else) to
+    // close. The Connection header overrides either way.
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    let mut keep_alive = version.eq_ignore_ascii_case("HTTP/1.1");
 
     let mut content_length = 0usize;
+    let mut request_id = None;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
+            let name = name.trim();
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
                 content_length = value
-                    .trim()
                     .parse()
                     .map_err(|_| ServeError::BadRequest("bad Content-Length".into()))?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                if value.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
+            } else if name.eq_ignore_ascii_case("x-request-id") && !value.is_empty() {
+                // Bound and sanitize: the id is echoed into responses
+                // and trace JSONL.
+                let id: String = value
+                    .chars()
+                    .take(64)
+                    .filter(|c| c.is_ascii_graphic() && *c != '"' && *c != '\\')
+                    .collect();
+                if !id.is_empty() {
+                    request_id = Some(id);
+                }
             }
         }
     }
@@ -87,18 +145,38 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ServeError> {
         }
         body.extend_from_slice(&chunk[..n]);
     }
+    // Keep-alive framing: anything past Content-Length belongs to the
+    // next request, but this minimal server reads requests strictly
+    // one at a time, so pipelined bytes are dropped with the close.
     body.truncate(content_length);
     let body = String::from_utf8(body)
         .map_err(|_| ServeError::BadRequest("body is not valid UTF-8".into()))?;
-    Ok(Request { method, path, body })
+    Ok(Some(Request { method, path, body, keep_alive, request_id }))
 }
 
 fn find_header_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-/// Write a JSON response and close the connection.
-pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) {
+/// Response metadata accompanying [`write_response`].
+#[derive(Debug)]
+pub struct ResponseMeta<'a> {
+    /// `Content-Type` header value.
+    pub content_type: &'a str,
+    /// Whether to close the connection after this response.
+    pub close: bool,
+    /// Trace id echoed back as `x-request-id`.
+    pub request_id: Option<&'a str>,
+}
+
+impl Default for ResponseMeta<'_> {
+    fn default() -> Self {
+        ResponseMeta { content_type: "application/json", close: true, request_id: None }
+    }
+}
+
+/// Write a response; the connection header follows `meta.close`.
+pub fn write_response(stream: &mut TcpStream, status: u16, meta: &ResponseMeta<'_>, body: &str) {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
@@ -107,8 +185,14 @@ pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) {
         503 => "Service Unavailable",
         _ => "Internal Server Error",
     };
+    let connection = if meta.close { "close" } else { "keep-alive" };
+    let rid = match meta.request_id {
+        Some(id) => format!("x-request-id: {id}\r\n"),
+        None => String::new(),
+    };
     let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{rid}Connection: {connection}\r\n\r\n",
+        meta.content_type,
         body.len()
     );
     // A peer that hung up early is not an error worth propagating.

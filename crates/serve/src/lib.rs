@@ -5,8 +5,9 @@
 //! int8) and exposes the TUBE task endpoints — `/v1/encode`,
 //! `/v1/entity_linking`, `/v1/cell_filling`, `/v1/row_population`,
 //! `/v1/column_type`, `/v1/relation_extraction`,
-//! `/v1/schema_augmentation` — plus `/healthz` and `/metrics`. Three
-//! properties define it:
+//! `/v1/schema_augmentation` — plus `/healthz`, `/metrics` (Prometheus
+//! text exposition), `/metrics.json`, and `/admin/traces` (tail-sampled
+//! request traces as JSONL). Three properties define it:
 //!
 //! 1. **Bit-exact serving.** Every response is bit-identical to what
 //!    offline `turl infer` computes on the same table, including under
@@ -38,5 +39,6 @@ pub use protocol::{
     RankRequest, RankResponse, RelationRequest, ReprResponse, RowPopulationRequest, ServeError,
     TableRequest, MAX_BODY_BYTES,
 };
+pub use client::Client;
 pub use server::{run, start, ServeOptions, ServerHandle};
 pub use session::{Head, Session};

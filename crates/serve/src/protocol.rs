@@ -128,6 +128,8 @@ pub struct MetricsResponse {
     pub client_errors: u64,
     /// 5xx responses.
     pub server_errors: u64,
+    /// Requests answered 503 because the batching queue was full.
+    pub rejected_overload: u64,
     /// Median request latency (bucket upper bound, microseconds).
     pub latency_p50_us: f64,
     /// 99th-percentile request latency (bucket upper bound, us).
@@ -150,6 +152,12 @@ pub struct MetricsResponse {
     pub plan_cache_size: f64,
     /// Compiled plans evicted since start.
     pub plan_evictions: f64,
+    /// Jobs currently waiting in the batching queue.
+    pub queue_depth: u64,
+    /// Deepest the batching queue has ever been.
+    pub queue_depth_max: u64,
+    /// Request traces offered to the tail-sampling reservoir.
+    pub traces_sampled: u64,
 }
 
 /// Typed request-handling error: carries the HTTP status and a stable

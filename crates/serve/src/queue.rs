@@ -11,10 +11,12 @@
 use crate::protocol::ServeError;
 use crate::session::Head;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::SyncSender;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use turl_core::EncodedInput;
+use turl_obs::StageCell;
 
 /// The shape signature batching coalesces on — identical to the plan
 /// cache's `PlanKey`, so a coalesced batch of `k` same-shape tables
@@ -61,6 +63,13 @@ pub struct Job {
     pub reply: SyncSender<Result<String, ServeError>>,
     /// Enqueue time (drives the queue-wait part of request latency).
     pub enqueued: Instant,
+    /// When the batch assembler first selected this job (stamped by
+    /// [`BatchQueue::next_batch`]); `enqueued..selected` is queue wait,
+    /// `selected..dispatch` is batch assembly.
+    pub selected: Option<Instant>,
+    /// Per-request span scratchpad the worker stamps stage timings
+    /// into, when the request is traced.
+    pub trace: Option<Arc<StageCell>>,
 }
 
 struct Inner {
@@ -73,6 +82,7 @@ pub struct BatchQueue {
     inner: Mutex<Inner>,
     cond: Condvar,
     depth: usize,
+    high_watermark: AtomicUsize,
 }
 
 impl BatchQueue {
@@ -82,6 +92,7 @@ impl BatchQueue {
             inner: Mutex::new(Inner { jobs: VecDeque::new(), closed: false }),
             cond: Condvar::new(),
             depth: depth.max(1),
+            high_watermark: AtomicUsize::new(0),
         }
     }
 
@@ -96,9 +107,16 @@ impl BatchQueue {
             return Err(Box::new(job));
         }
         inner.jobs.push_back(job);
+        let len = inner.jobs.len();
         drop(inner);
+        self.high_watermark.fetch_max(len, Ordering::Relaxed);
         self.cond.notify_all();
         Ok(())
+    }
+
+    /// Deepest the queue has ever been (overload visibility gauge).
+    pub fn high_watermark(&self) -> usize {
+        self.high_watermark.load(Ordering::Relaxed)
     }
 
     /// Pull the next batch: blocks for the first job, then coalesces up
@@ -110,7 +128,7 @@ impl BatchQueue {
             Ok(g) => g,
             Err(p) => p.into_inner(),
         };
-        let first = loop {
+        let mut first = loop {
             if let Some(job) = inner.jobs.pop_front() {
                 break job;
             }
@@ -122,6 +140,7 @@ impl BatchQueue {
                 Err(p) => p.into_inner(),
             };
         };
+        first.selected = Some(Instant::now());
         let key = first.shape;
         let mut batch = vec![first];
         if !key.masked || max_batch <= 1 {
@@ -132,7 +151,8 @@ impl BatchQueue {
             let mut i = 0;
             while i < inner.jobs.len() && batch.len() < max_batch {
                 if inner.jobs[i].shape == key {
-                    if let Some(job) = inner.jobs.remove(i) {
+                    if let Some(mut job) = inner.jobs.remove(i) {
+                        job.selected = Some(Instant::now());
                         batch.push(job);
                         continue;
                     }

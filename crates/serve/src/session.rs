@@ -94,6 +94,18 @@ impl Session {
         self.model.cfg.encoder.d_model
     }
 
+    /// Parameter dtype label for build-info telemetry: `"int8"` when
+    /// any parameter is stored quantized, `"f32"` otherwise.
+    pub fn dtype(&self) -> &'static str {
+        let quantized =
+            self.store.ids().any(|id| self.store.value(id).quantized().is_some());
+        if quantized {
+            "int8"
+        } else {
+            "f32"
+        }
+    }
+
     /// The word `[MASK]` id.
     pub fn mask_word(&self) -> usize {
         self.vocab.mask_id() as usize

@@ -103,7 +103,7 @@ fn health_metrics_and_every_task_endpoint_respond() {
         assert_eq!(status, 200, "{path}: {resp}");
     }
 
-    let (status, body) = get(&addr, "/metrics").expect("metrics");
+    let (status, body) = get(&addr, "/metrics.json").expect("metrics");
     assert_eq!(status, 200);
     let m: MetricsResponse = serde_json::from_str(&body).expect("metrics json");
     assert!(m.requests >= cases.len() as u64);
@@ -213,7 +213,7 @@ fn cache_serves_bit_identical_replays() {
     assert!(b.cached, "replay must hit the cache");
     let bits = |d: &[f32]| d.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
     assert_eq!(bits(&a.data), bits(&b.data), "cache hit changed the served bits");
-    let (_, m) = get(&addr, "/metrics").expect("metrics");
+    let (_, m) = get(&addr, "/metrics.json").expect("metrics");
     let m: MetricsResponse = serde_json::from_str(&m).expect("metrics json");
     assert!(m.cache_hits >= 1);
     assert!(m.cache_misses >= 1);
@@ -284,7 +284,7 @@ fn malformed_requests_are_typed_4xx_never_panics() {
     // The server must still be healthy after the adversarial battery.
     let (status, _) = get(&addr, "/healthz").expect("healthz");
     assert_eq!(status, 200);
-    let (_, m) = get(&addr, "/metrics").expect("metrics");
+    let (_, m) = get(&addr, "/metrics.json").expect("metrics");
     let m: MetricsResponse = serde_json::from_str(&m).expect("metrics json");
     assert!(m.client_errors >= cases.len() as u64);
     assert_eq!(m.server_errors, 0, "adversarial inputs must never be 5xx");
@@ -314,6 +314,223 @@ fn shutdown_completes_in_flight_work_and_stops_accepting() {
     handle.shutdown();
     // Post-shutdown the port must be closed.
     assert!(get(&addr, "/healthz").is_err(), "server still accepting after shutdown");
+}
+
+#[test]
+fn responses_are_bit_identical_with_tracing_on_and_off() {
+    // Two servers over the SAME session parameters, one tracing, one
+    // not, driven with identical concurrent batched load: every
+    // response body must match byte-for-byte. This is the determinism
+    // contract of the telemetry layer.
+    let session = Arc::new(make_session(48));
+    let base = ServeOptions {
+        workers: 2,
+        conns: 4,
+        max_batch: 4,
+        max_wait_us: 2_000,
+        cache_cap: 0,
+        ..loopback_opts()
+    };
+    let (h_on, addr_on) =
+        serve(Arc::clone(&session), ServeOptions { tracing: true, ..base.clone() });
+    let (h_off, addr_off) = serve(Arc::clone(&session), ServeOptions { tracing: false, ..base });
+
+    let tables: Vec<Table> = (0..4).map(|i| sample_table(i, 3)).collect();
+    let run = |addr: String, tables: Vec<Table>| {
+        std::thread::spawn(move || {
+            let mut bodies: Vec<Vec<String>> = Vec::new();
+            let mut threads = Vec::new();
+            for worker in 0..4usize {
+                let addr = addr.clone();
+                let tables = tables.clone();
+                threads.push(std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    for round in 0..3 {
+                        let i = (worker + round) % tables.len();
+                        let body =
+                            serde_json::to_string(&TableRequest { table: tables[i].clone() })
+                                .expect("json");
+                        let (status, resp) = post(&addr, "/v1/encode", &body).expect("request");
+                        assert_eq!(status, 200, "{resp}");
+                        got.push(resp);
+                    }
+                    got
+                }));
+            }
+            for t in threads {
+                bodies.push(t.join().expect("client thread"));
+            }
+            bodies
+        })
+    };
+    let on = run(addr_on, tables.clone());
+    let off = run(addr_off, tables);
+    let on = on.join().expect("traced load");
+    let off = off.join().expect("untraced load");
+    assert_eq!(on, off, "tracing changed served bytes");
+
+    // The traced server sampled something; the untraced one must not.
+    assert!(!h_on.traces_jsonl().is_empty(), "tracing on but reservoir empty");
+    assert!(h_off.traces_jsonl().is_empty(), "tracing off but reservoir non-empty");
+    h_on.shutdown();
+    h_off.shutdown();
+}
+
+#[test]
+fn metrics_endpoint_is_valid_prometheus_with_stage_histograms() {
+    let session = Arc::new(make_session(49));
+    let (handle, addr) = serve(Arc::clone(&session), loopback_opts());
+    let body = serde_json::to_string(&TableRequest { table: sample_table(6, 2) }).expect("json");
+    let (status, _) = post(&addr, "/v1/encode", &body).expect("request");
+    assert_eq!(status, 200);
+
+    let (status, text) = get(&addr, "/metrics").expect("metrics");
+    assert_eq!(status, 200);
+    let samples = turl_obs::parse_exposition(&text).expect("valid Prometheus exposition");
+
+    // Per-stage time histograms must be live: every stage family
+    // exists, and the stages a lone uncached request crosses have
+    // observations.
+    for stage in ["decode", "queue_wait", "batch_assemble", "forward", "encode", "write"] {
+        let count =
+            turl_obs::sample_value(&samples, "serve_stage_us_count", &[("stage", stage)])
+                .unwrap_or_else(|| panic!("missing serve_stage_us_count for stage {stage}"));
+        assert!(count >= 1.0, "stage {stage} has no observations");
+    }
+    // Per-endpoint latency histogram for the endpoint we hit.
+    let count =
+        turl_obs::sample_value(&samples, "serve_latency_us_count", &[("endpoint", "encode")])
+            .expect("per-endpoint latency family");
+    assert!(count >= 1.0);
+    assert!(
+        turl_obs::histogram_quantile(&samples, "serve_latency_us", &[("endpoint", "encode")], 0.5)
+            .is_some()
+    );
+    // Build info and uptime gauges.
+    let build = samples.iter().find(|s| s.name == "turl_build_info").expect("turl_build_info");
+    assert_eq!(build.value, 1.0);
+    for key in ["version", "dtype", "cores"] {
+        assert!(build.label(key).is_some(), "turl_build_info lacks label {key}");
+    }
+    assert!(turl_obs::sample_value(&samples, "serve_uptime_seconds", &[]).is_some());
+    assert!(turl_obs::sample_value(&samples, "serve_queue_depth_max", &[]).is_some());
+    assert!(turl_obs::sample_value(&samples, "serve_rejected_overload", &[]).is_some());
+    handle.shutdown();
+}
+
+#[test]
+fn traces_endpoint_serves_schema_valid_jsonl_and_echoes_request_ids() {
+    let session = Arc::new(make_session(50));
+    let (handle, addr) = serve(Arc::clone(&session), loopback_opts());
+    let body = serde_json::to_string(&TableRequest { table: sample_table(7, 2) }).expect("json");
+    for _ in 0..3 {
+        let (status, _) = post(&addr, "/v1/encode", &body).expect("request");
+        assert_eq!(status, 200);
+    }
+
+    let (status, jsonl) = get(&addr, "/admin/traces").expect("traces");
+    assert_eq!(status, 200);
+    let events = turl_obs::parse_jsonl(&jsonl).expect("trace JSONL passes the strict schema");
+    assert!(!events.is_empty(), "no traces sampled");
+    let mut cached_seen = false;
+    for ev in &events {
+        assert_eq!(ev.kind, "trace");
+        let (trace, sample) = turl_obs::RequestTrace::from_event(ev).expect("trace fields");
+        assert_eq!(trace.endpoint, "/v1/encode");
+        assert_eq!(trace.status, 200);
+        assert_eq!(trace.total_ns, trace.stage_ns.iter().sum::<u64>());
+        assert!(trace.total_ns > 0, "empty span timeline");
+        assert!(sample == "slow" || sample == "uniform");
+        cached_seen |= trace.cached;
+    }
+    assert!(cached_seen, "replayed table should have produced a cached trace");
+
+    // A caller-supplied x-request-id must round-trip into the sampled
+    // trace ids and the response header.
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+    let req = format!(
+        "POST /v1/encode HTTP/1.1\r\nHost: {addr}\r\nx-request-id: my-trace-7\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).expect("write");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read");
+    assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+    assert!(
+        raw.to_ascii_lowercase().contains("x-request-id: my-trace-7"),
+        "response must echo the caller's x-request-id"
+    );
+    let (_, jsonl) = get(&addr, "/admin/traces").expect("traces");
+    assert!(jsonl.contains("my-trace-7"), "caller trace id must reach the reservoir");
+    handle.shutdown();
+}
+
+#[test]
+fn keep_alive_serves_multiple_requests_on_one_connection() {
+    use std::io::{Read, Write};
+    let session = Arc::new(make_session(51));
+    let (handle, addr) = serve(Arc::clone(&session), loopback_opts());
+    let body = serde_json::to_string(&TableRequest { table: sample_table(8, 2) }).expect("json");
+
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+    let read_one = |stream: &mut std::net::TcpStream| -> (String, String) {
+        // Read headers, then exactly Content-Length body bytes.
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 512];
+        let header_end = loop {
+            if let Some(i) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break i;
+            }
+            let n = stream.read(&mut chunk).expect("read");
+            assert!(n > 0, "connection closed mid-response");
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8_lossy(&buf[..header_end]).into_owned();
+        let len: usize = head
+            .lines()
+            .find_map(|l| l.to_ascii_lowercase().strip_prefix("content-length:").map(String::from))
+            .and_then(|v| v.trim().parse().ok())
+            .expect("content-length");
+        let mut body = buf[header_end + 4..].to_vec();
+        while body.len() < len {
+            let n = stream.read(&mut chunk).expect("read");
+            assert!(n > 0, "connection closed mid-body");
+            body.extend_from_slice(&chunk[..n]);
+        }
+        body.truncate(len);
+        (head, String::from_utf8_lossy(&body).into_owned())
+    };
+
+    // Two requests down the same connection: the first response must
+    // say keep-alive and the second must still be answered.
+    for round in 0..2 {
+        let req = format!(
+            "POST /v1/encode HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(req.as_bytes()).expect("write");
+        let (head, resp_body) = read_one(&mut stream);
+        assert!(head.starts_with("HTTP/1.1 200"), "round {round}: {head}");
+        assert!(
+            head.to_ascii_lowercase().contains("connection: keep-alive"),
+            "round {round} response must be keep-alive: {head}"
+        );
+        let parsed: EncodeResponse = serde_json::from_str(&resp_body).expect("encode json");
+        assert!(!parsed.data.is_empty());
+    }
+
+    // The keep-alive Client wrapper should report reuse.
+    let mut client = turl_serve::Client::new(&addr);
+    for _ in 0..4 {
+        let (status, _) = client.post("/v1/encode", &body).expect("request");
+        assert_eq!(status, 200);
+    }
+    assert_eq!(client.requests(), 4);
+    assert_eq!(client.connects(), 1, "client should reuse one connection");
+    assert!(client.reuse_rate() > 0.7);
+    handle.shutdown();
 }
 
 #[test]
